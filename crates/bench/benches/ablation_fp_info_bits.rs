@@ -1,0 +1,59 @@
+//! Ablation: how many mantissa bits should the FP information bit OR
+//! together? The paper fixes k = 4 ("using four bits misidentifies only
+//! 1/16 of the full-precision numbers") and declines more "so as to
+//! maintain a fast circuit". This bench sweeps k and reports the
+//! trade-off: coverage (how many trailing-zero operands are caught)
+//! versus predictive purity (zero density among flagged operands).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fua_bench::trace_of;
+use fua_isa::{FuClass, Word};
+use fua_stats::TextTable;
+
+fn bench(c: &mut Criterion) {
+    // Gather FPAU operands across the FP suite.
+    let mut operands: Vec<Word> = Vec::new();
+    for name in ["swim", "mgrid", "applu", "hydro2d", "wave5", "apsi", "turb3d", "fpppp"] {
+        for op in trace_of(name, 40_000) {
+            if let Some(fu) = op.fu {
+                if fu.class == FuClass::FpAlu {
+                    operands.push(fu.op1);
+                    operands.push(fu.op2);
+                }
+            }
+        }
+    }
+
+    let mut t = TextTable::new([
+        "k",
+        "flagged (info=0)",
+        "zero-density among flagged",
+        "expected false-flag rate",
+    ]);
+    for k in [1u32, 2, 4, 8, 12] {
+        let flagged: Vec<&Word> = operands.iter().filter(|w| !w.info_bit_k(k)).collect();
+        let density: f64 = if flagged.is_empty() {
+            0.0
+        } else {
+            flagged.iter().map(|w| 1.0 - w.ones_fraction()).sum::<f64>() / flagged.len() as f64
+        };
+        t.push_row([
+            k.to_string(),
+            format!("{:.1}%", 100.0 * flagged.len() as f64 / operands.len() as f64),
+            format!("{:.1}%", 100.0 * density),
+            format!("1/{}", 1u64 << k),
+        ]);
+    }
+    println!("\nFP information-bit width ablation ({} operands)\n{t}", operands.len());
+
+    c.bench_function("ablation_fp_info_bits/classify_all_k4", |b| {
+        b.iter(|| operands.iter().filter(|w| black_box(w).info_bit_k(4)).count());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

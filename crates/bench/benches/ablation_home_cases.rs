@@ -1,0 +1,86 @@
+//! Ablation: the home-case selection strategy (DESIGN.md §5). The paper
+//! uses different strategies for the IALU (replicate the dominant case)
+//! and the FPAU (one case per module); this bench runs all four
+//! [`fua_steer::HomeStrategy`] variants on the integer suite and compares
+//! the resulting IALU savings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fua_isa::FuClass;
+use fua_power::EnergyLedger;
+use fua_sim::{MachineConfig, Simulator, SteeringConfig};
+use fua_stats::TextTable;
+use fua_steer::{FcfsPolicy, HardwareSwapRule, HomeStrategy, LutBuilder, LutPolicy};
+use fua_workloads::integer;
+
+const LIMIT: u64 = 60_000;
+
+fn bench(c: &mut Criterion) {
+    // Profile once on the default machine.
+    let machine = MachineConfig::paper_default();
+    let mut occupancy = fua_stats::OccupancyProfiler::new(4);
+    let mut patterns = fua_stats::BitPatternProfiler::new();
+    let mut baseline = EnergyLedger::new();
+    for w in integer(1) {
+        let mut sim = Simulator::new(machine.clone(), SteeringConfig::original());
+        let r = sim.run_program(&w.program, LIMIT).expect("runs");
+        occupancy.merge(r.occupancy_of(FuClass::IntAlu));
+        patterns.merge(r.bit_patterns_of(FuClass::IntAlu));
+        baseline.merge(&r.ledger);
+    }
+    let profile = patterns.case_profile();
+    let occ = occupancy.distribution();
+    let base_bits = baseline.switched_bits(FuClass::IntAlu);
+
+    let strategies = [
+        ("Auto (paper recipe)", HomeStrategy::Auto),
+        ("Unique", HomeStrategy::Unique),
+        ("Proportional", HomeStrategy::Proportional),
+        ("Search", HomeStrategy::Search),
+    ];
+    let mut t = TextTable::new(["strategy", "homes", "reduction"]);
+    for (name, strategy) in strategies {
+        let lut = LutBuilder::new(profile, 32)
+            .occupancy(&occ)
+            .modules(4)
+            .strategy(strategy)
+            .build(2);
+        let homes = format!("{:?}", lut.homes());
+        let mut total = EnergyLedger::new();
+        for w in integer(1) {
+            let mut sim = Simulator::new(
+                machine.clone(),
+                SteeringConfig {
+                    ialu: Box::new(LutPolicy::new(lut.clone())),
+                    fpau: Box::new(FcfsPolicy::new()),
+                    ialu_swap: Some(HardwareSwapRule::from_profile(&profile)),
+                    fpau_swap: None,
+                    multiplier_swap: None,
+                },
+            );
+            total.merge(&sim.run_program(&w.program, LIMIT).expect("runs").ledger);
+        }
+        let bits = total.switched_bits(FuClass::IntAlu);
+        t.push_row([
+            name.to_string(),
+            homes,
+            format!("{:.1}%", 100.0 * (1.0 - bits as f64 / base_bits as f64)),
+        ]);
+    }
+    println!("\nIALU home-case strategy ablation (4-bit LUT + hw swap)\n{t}");
+
+    c.bench_function("ablation_homes/build_lut_search", |b| {
+        b.iter(|| {
+            LutBuilder::new(profile, 32)
+                .occupancy(&occ)
+                .strategy(HomeStrategy::Search)
+                .build(2)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

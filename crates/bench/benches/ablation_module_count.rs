@@ -1,0 +1,80 @@
+//! Ablation: how do the savings scale with the degree of FU duplication?
+//! The paper notes "power savings can be achieved with two or more
+//! functional units"; this bench sweeps the IALU/FPAU module count and
+//! reports the 4-bit-LUT + hardware-swap reduction at each point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fua_isa::FuClass;
+use fua_power::EnergyLedger;
+use fua_sim::{MachineConfig, Simulator, SteeringConfig};
+use fua_stats::TextTable;
+use fua_steer::SteeringKind;
+use fua_workloads::integer;
+
+const LIMIT: u64 = 60_000;
+
+fn run_suite(machine: &MachineConfig, make: impl Fn() -> SteeringConfig) -> EnergyLedger {
+    let mut total = EnergyLedger::new();
+    for w in integer(1) {
+        let mut sim = Simulator::new(machine.clone(), make());
+        total.merge(&sim.run_program(&w.program, LIMIT).expect("runs").ledger);
+    }
+    total
+}
+
+fn bench(c: &mut Criterion) {
+    let mut t = TextTable::new(["modules", "baseline bits", "steered bits", "reduction"]);
+    for modules in [2usize, 3, 4, 6, 8] {
+        let machine = MachineConfig::paper_default().with_duplicated_modules(modules);
+        // Measure occupancy on this machine first (the LUT needs it).
+        let mut occupancy = fua_stats::OccupancyProfiler::new(modules);
+        let mut ialu_patterns = fua_stats::BitPatternProfiler::new();
+        for w in integer(1) {
+            let mut sim = Simulator::new(machine.clone(), SteeringConfig::original());
+            let r = sim.run_program(&w.program, LIMIT).expect("runs");
+            occupancy.merge(r.occupancy_of(FuClass::IntAlu));
+            ialu_patterns.merge(r.bit_patterns_of(FuClass::IntAlu));
+        }
+        let profile = ialu_patterns.case_profile();
+        let occ = occupancy.distribution();
+
+        let baseline = run_suite(&machine, SteeringConfig::original);
+        let steered = run_suite(&machine, || {
+            SteeringConfig::from_profiles_with_occupancy(
+                SteeringKind::Lut { slots: 2 },
+                true,
+                &profile,
+                &fua_stats::CaseProfile::paper_fpau(),
+                &occ,
+                &fua_steer::PAPER_FPAU_OCCUPANCY,
+                modules,
+                machine.modules(FuClass::FpAlu),
+            )
+        });
+        let base = baseline.switched_bits(FuClass::IntAlu);
+        let opt = steered.switched_bits(FuClass::IntAlu);
+        t.push_row([
+            modules.to_string(),
+            base.to_string(),
+            opt.to_string(),
+            format!("{:.1}%", 100.0 * (1.0 - opt as f64 / base as f64)),
+        ]);
+    }
+    println!("\nIALU module-count ablation (4-bit LUT + hw swap vs Original)\n{t}");
+
+    let w = fua_workloads::by_name("go", 1).expect("bundled workload");
+    c.bench_function("ablation_modules/8_ialu_go_20k", |b| {
+        let machine = MachineConfig::paper_default().with_duplicated_modules(8);
+        b.iter(|| {
+            let mut sim = Simulator::new(machine.clone(), SteeringConfig::original());
+            sim.run_program(&w.program, 20_000).expect("runs")
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Ablation: per-cycle decision cost of each steering policy. The paper's
+//! whole point in Section 4.3 is that the Full-Ham computation "is sure to
+//! increase the cycle time of the machine" while the LUT is a handful of
+//! gates; this bench measures the software analogue — nanoseconds per
+//! steering decision — for every policy.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fua_isa::{FuClass, Word};
+use fua_power::ModulePorts;
+use fua_stats::CaseProfile;
+use fua_steer::{make_policy, SteeringKind, PAPER_IALU_OCCUPANCY};
+use fua_vm::FuOp;
+
+fn bench(c: &mut Criterion) {
+    let modules: Vec<ModulePorts> = (0..4)
+        .map(|i| {
+            let mut m = ModulePorts::new();
+            m.latch(Word::int(i * 12345), Word::int(-(i * 7)));
+            m
+        })
+        .collect();
+    let ops: Vec<FuOp> = (0..4)
+        .map(|i| FuOp {
+            class: FuClass::IntAlu,
+            op1: Word::int(i * 4321 - 2),
+            op2: Word::int(1 - i),
+            commutative: i % 2 == 0,
+        })
+        .collect();
+
+    let profile = CaseProfile::paper_ialu();
+    for kind in SteeringKind::FIGURE4 {
+        let mut policy = make_policy(kind, &profile, &PAPER_IALU_OCCUPANCY, 4, 32, true);
+        c.bench_function(&format!("policy_overhead/{kind}"), |b| {
+            b.iter(|| policy.assign(black_box(&ops), black_box(&modules)));
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Extension: the paper conjectures "some of our proposed techniques are
+//! also applicable to VLIWs" (Section 2). This bench runs the Figure-4
+//! design point on an in-order-issue (VLIW-style) variant of the machine
+//! and compares the steering benefit against the out-of-order core.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fua_isa::FuClass;
+use fua_power::EnergyLedger;
+use fua_sim::{MachineConfig, Simulator, SteeringConfig};
+use fua_stats::TextTable;
+use fua_steer::SteeringKind;
+use fua_workloads::integer;
+
+const LIMIT: u64 = 60_000;
+
+fn run_suite(machine: &MachineConfig, make: impl Fn() -> SteeringConfig) -> EnergyLedger {
+    let mut total = EnergyLedger::new();
+    for w in integer(1) {
+        let mut sim = Simulator::new(machine.clone(), make());
+        total.merge(&sim.run_program(&w.program, LIMIT).expect("runs").ledger);
+    }
+    total
+}
+
+fn bench(c: &mut Criterion) {
+    let mut t = TextTable::new(["machine", "baseline bits", "4-bit LUT + hw", "reduction"]);
+    for (name, machine) in [
+        ("out-of-order", MachineConfig::paper_default()),
+        ("in-order (VLIW-style)", MachineConfig::in_order()),
+    ] {
+        let baseline = run_suite(&machine, SteeringConfig::original);
+        let steered = run_suite(&machine, || {
+            SteeringConfig::paper_scheme(SteeringKind::Lut { slots: 2 }, true)
+        });
+        let base = baseline.switched_bits(FuClass::IntAlu);
+        let opt = steered.switched_bits(FuClass::IntAlu);
+        t.push_row([
+            name.to_string(),
+            base.to_string(),
+            opt.to_string(),
+            format!("{:.1}%", 100.0 * (1.0 - opt as f64 / base as f64)),
+        ]);
+    }
+    println!(
+        "\nVLIW extension: steering benefit under in-order issue \
+         (paper conjectures partial applicability)\n{t}"
+    );
+
+    let w = fua_workloads::by_name("go", 1).expect("bundled workload");
+    c.bench_function("extension_vliw/in_order_go_20k", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(MachineConfig::in_order(), SteeringConfig::original());
+            sim.run_program(&w.program, 20_000).expect("runs")
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Regenerates **Figure 1** (the worked three-FU routing example) and
+//! times the optimal-assignment computation of Figure 2.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fua_core::routing_example;
+use fua_isa::{FuClass, Word};
+use fua_power::ModulePorts;
+use fua_steer::{assignment_costs, FullHamPolicy, SteeringPolicy};
+use fua_vm::FuOp;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", routing_example().render());
+
+    // Figure-2 cost computation + optimal matching, 4 ops on 4 modules.
+    let modules: Vec<ModulePorts> = (0..4)
+        .map(|i| {
+            let mut m = ModulePorts::new();
+            m.latch(Word::int(i * 1000), Word::int(-i));
+            m
+        })
+        .collect();
+    let ops: Vec<FuOp> = (0..4)
+        .map(|i| FuOp {
+            class: FuClass::IntAlu,
+            op1: Word::int(i * 999 + 1),
+            op2: Word::int(-i - 1),
+            commutative: i % 2 == 0,
+        })
+        .collect();
+
+    c.bench_function("fig1/figure2_costs_4x4", |b| {
+        b.iter(|| assignment_costs(black_box(&ops), black_box(&modules), true));
+    });
+    c.bench_function("fig1/full_ham_assign_4x4", |b| {
+        let mut policy = FullHamPolicy::new(true);
+        b.iter(|| policy.assign(black_box(&ops), black_box(&modules)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Regenerates **Figure 4(a)**: IALU energy reduction for every steering
+//! scheme × swap variant over the seven integer workloads, then times one
+//! steered simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fua_bench::report_config;
+use fua_core::{figure4, Unit};
+use fua_sim::{MachineConfig, Simulator, SteeringConfig};
+use fua_steer::SteeringKind;
+
+fn bench(c: &mut Criterion) {
+    let fig = figure4(Unit::Ialu, &report_config());
+    println!("\n{}", fig.render());
+
+    let w = fua_workloads::by_name("compress", 1).expect("bundled workload");
+    c.bench_function("fig4a/lut4_hw_compress_20k", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(
+                MachineConfig::paper_default(),
+                SteeringConfig::paper_scheme(SteeringKind::Lut { slots: 2 }, true),
+            );
+            sim.run_program(&w.program, 20_000).expect("runs")
+        });
+    });
+    c.bench_function("fig4a/full_ham_compress_20k", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(
+                MachineConfig::paper_default(),
+                SteeringConfig::paper_scheme(SteeringKind::FullHam, true),
+            );
+            sim.run_program(&w.program, 20_000).expect("runs")
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Regenerates the **Section 5** hardware-cost study (paper: 58 gates /
+//! 6 levels for the 4-bit LUT with 8 RS entries; 130 / 8 with 32) and
+//! times the Quine–McCluskey synthesis pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fua_core::synthesis_report;
+use fua_stats::CaseProfile;
+use fua_steer::{LutBuilder, PAPER_IALU_OCCUPANCY};
+use fua_synth::{minimize, routing_cost, TruthTable};
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", synthesis_report().render());
+
+    let lut4 = LutBuilder::new(CaseProfile::paper_ialu(), 32)
+        .occupancy(&PAPER_IALU_OCCUPANCY)
+        .build(2);
+    let lut8 = LutBuilder::new(CaseProfile::paper_ialu(), 32)
+        .occupancy(&PAPER_IALU_OCCUPANCY)
+        .build(4);
+
+    c.bench_function("synth/routing_cost_4bit", |b| {
+        b.iter(|| routing_cost(black_box(&lut4), 8, 4));
+    });
+    c.bench_function("synth/routing_cost_8bit", |b| {
+        b.iter(|| routing_cost(black_box(&lut8), 8, 4));
+    });
+    c.bench_function("synth/qm_minimise_8in", |b| {
+        let tt = TruthTable::from_lut(&lut8);
+        b.iter(|| {
+            (0..tt.outputs())
+                .map(|o| minimize(black_box(&tt), o).terms.len())
+                .sum::<usize>()
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Regenerates **Table 1** (operand bit patterns of the IALU and FPAU,
+//! with the derived sign-extension and trailing-zero claims) and times
+//! the bit-pattern profiling pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fua_bench::{report_config, run_baseline};
+use fua_core::profile_suite;
+
+fn bench(c: &mut Criterion) {
+    let profile = profile_suite(&report_config());
+    println!("\n{}", profile.table1());
+
+    c.bench_function("table1/profile_compress_20k", |b| {
+        b.iter(|| run_baseline("compress", 20_000));
+    });
+    c.bench_function("table1/profile_swim_20k", |b| {
+        b.iter(|| run_baseline("swim", 20_000));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Regenerates **Table 2** (frequency that each FU type issues 1..4
+//! modules per busy cycle) and times the occupancy-profiling run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fua_bench::{report_config, run_baseline};
+use fua_core::profile_suite;
+
+fn bench(c: &mut Criterion) {
+    let profile = profile_suite(&report_config());
+    println!("\n{}", profile.table2());
+
+    c.bench_function("table2/occupancy_go_20k", |b| {
+        b.iter(|| run_baseline("go", 20_000));
+    });
+    c.bench_function("table2/occupancy_fpppp_20k", |b| {
+        b.iter(|| run_baseline("fpppp", 20_000));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Regenerates **Table 3** (bit patterns in multiplication data and the
+//! case-01 swap opportunity) and times the multiplier swap rule plus the
+//! Booth activity model that quantifies it (the model is our extension —
+//! the paper reports only the opportunity).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fua_bench::{report_config, trace_of};
+use fua_core::profile_suite;
+use fua_isa::FuClass;
+use fua_power::booth::BoothModel;
+use fua_swap::MultiplierSwapRule;
+
+fn bench(c: &mut Criterion) {
+    let profile = profile_suite(&report_config());
+    println!("\n{}", profile.table3());
+
+    // Quantify the swap opportunity with the Booth model (extension).
+    let trace = trace_of("turb3d", 100_000);
+    let model = BoothModel::new();
+    let rule = MultiplierSwapRule::new();
+    let (mut before, mut after, mut swaps, mut total) = (0.0f64, 0.0f64, 0u64, 0u64);
+    for op in &trace {
+        let Some(fu) = op.fu else { continue };
+        if fu.class != FuClass::FpMul || !fu.commutative {
+            continue;
+        }
+        total += 1;
+        before += model.multiply_energy(None, fu.op1, fu.op2);
+        let mut swapped = fu;
+        if rule.apply(&mut swapped) {
+            swaps += 1;
+        }
+        after += model.multiply_energy(None, swapped.op1, swapped.op2);
+    }
+    println!(
+        "Booth-model quantification (extension): {swaps}/{total} fp multiplies swapped, \
+         energy {before:.0} -> {after:.0} ({:.1}% less)\n",
+        100.0 * (1.0 - after / before.max(1.0))
+    );
+
+    c.bench_function("table3/booth_energy_100k_ops", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for op in &trace {
+                if let Some(fu) = op.fu {
+                    if fu.class == FuClass::FpMul {
+                        acc += model.multiply_energy(None, black_box(fu.op1), black_box(fu.op2));
+                    }
+                }
+            }
+            acc
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Shared plumbing for the benchmark harness.
+//!
+//! Each bench target under `benches/` regenerates one of the paper's
+//! tables or figures (printing the rows/series the paper reports) and
+//! then lets Criterion time a representative kernel of that experiment.
+//! See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
+//! recorded paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fua_core::ExperimentConfig;
+use fua_sim::{MachineConfig, Simulator, SteeringConfig};
+use fua_vm::DynOp;
+
+/// The configuration used for the *printed* artefacts: full workload
+/// scale, capped at 150k retired instructions per run.
+pub fn report_config() -> ExperimentConfig {
+    ExperimentConfig::full()
+}
+
+/// A smaller configuration for the *timed* kernels, so Criterion's
+/// sampling stays fast.
+pub fn timing_config() -> ExperimentConfig {
+    ExperimentConfig {
+        inst_limit: 20_000,
+        ..ExperimentConfig::full()
+    }
+}
+
+/// Runs one named workload on the baseline machine with the timing
+/// budget; the standard timed kernel for the profiling benches.
+pub fn run_baseline(workload: &str, limit: u64) -> fua_sim::SimResult {
+    let w = fua_workloads::by_name(workload, 1).expect("bundled workload");
+    let mut sim = Simulator::new(MachineConfig::paper_default(), SteeringConfig::original());
+    sim.run_program(&w.program, limit).expect("workload runs")
+}
+
+/// Materialises a trace of FU operations from a workload for policy
+/// micro-benchmarks.
+pub fn trace_of(workload: &str, limit: u64) -> Vec<DynOp> {
+    let w = fua_workloads::by_name(workload, 1).expect("bundled workload");
+    let mut vm = fua_vm::Vm::new(&w.program);
+    vm.run(limit).expect("workload runs").ops
+}

@@ -1,0 +1,252 @@
+//! Figure 4: energy reduction per steering scheme and swap variant.
+
+use fua_isa::FuClass;
+use fua_power::EnergyLedger;
+use fua_sim::{Simulator, SteeringConfig};
+use fua_steer::SteeringKind;
+use fua_stats::TextTable;
+use fua_swap::CompilerSwapPass;
+use fua_workloads::{floating_point, integer, Workload};
+
+use crate::{profile_suite, ExperimentConfig, Unit};
+
+/// The three stacked bars of each Figure-4 column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum SwapVariant {
+    /// Base: steering only, no operand swapping anywhere.
+    Base,
+    /// Base + the hardware swap rule (cost-based swap for the Ham
+    /// schemes).
+    Hardware,
+    /// Base + hardware + the profile-guided compiler swap pass.
+    HardwareCompiler,
+}
+
+impl SwapVariant {
+    /// All variants, in the paper's stacking order.
+    pub const ALL: [SwapVariant; 3] = [
+        SwapVariant::Base,
+        SwapVariant::Hardware,
+        SwapVariant::HardwareCompiler,
+    ];
+}
+
+/// One Figure-4 column: a steering scheme with its swap variants, as
+/// percentage energy reduction relative to Original/Base. The paper's
+/// figure stacks three bars; `compiler_only_pct` adds the variant the
+/// paper describes but does not plot ("'Base + Compiler Swapping' (not
+/// shown) is nearly as effective as 'Base + Hardware + Compiler'").
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Figure4Row {
+    /// The scheme label ("Full Ham", "4-bit LUT", ...).
+    pub scheme: String,
+    /// Reduction with no swapping (percent).
+    pub base_pct: f64,
+    /// Reduction with hardware swapping (percent).
+    pub hardware_pct: f64,
+    /// Reduction with hardware + compiler swapping (percent).
+    pub hardware_compiler_pct: f64,
+    /// Reduction with compiler swapping only (percent) — the paper's
+    /// unplotted variant.
+    pub compiler_only_pct: f64,
+}
+
+/// A regenerated Figure 4(a) or 4(b).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Figure4 {
+    /// Which unit the figure measures.
+    pub unit: Unit,
+    /// One row per scheme, in the paper's bar order.
+    pub rows: Vec<Figure4Row>,
+    /// Total baseline switched bits (denominator of every percentage).
+    pub baseline_switched_bits: u64,
+}
+
+impl Figure4 {
+    /// Renders the figure as a text table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new([
+            "scheme",
+            "base %",
+            "+hw swap %",
+            "+hw+compiler %",
+            "+compiler only %",
+        ]);
+        for r in &self.rows {
+            t.push_row([
+                r.scheme.clone(),
+                format!("{:.1}", r.base_pct),
+                format!("{:.1}", r.hardware_pct),
+                format!("{:.1}", r.hardware_compiler_pct),
+                format!("{:.1}", r.compiler_only_pct),
+            ]);
+        }
+        format!(
+            "Figure 4({}): {} energy reduction vs Original (baseline {} switched bits)\n{t}",
+            match self.unit {
+                Unit::Ialu => "a",
+                Unit::Fpau => "b",
+            },
+            self.unit,
+            self.baseline_switched_bits
+        )
+    }
+
+    /// The row for a scheme, if present.
+    pub fn row(&self, scheme: &str) -> Option<&Figure4Row> {
+        self.rows.iter().find(|r| r.scheme == scheme)
+    }
+}
+
+fn workloads_for(unit: Unit, scale: u32) -> Vec<Workload> {
+    match unit {
+        Unit::Ialu => integer(scale),
+        Unit::Fpau => floating_point(scale),
+    }
+}
+
+fn run_suite(
+    config: &ExperimentConfig,
+    workloads: &[Workload],
+    make: impl Fn() -> SteeringConfig,
+) -> EnergyLedger {
+    let mut total = EnergyLedger::new();
+    for w in workloads {
+        let mut sim = Simulator::new(config.machine.clone(), make());
+        let result = sim
+            .run_program(&w.program, config.inst_limit)
+            .unwrap_or_else(|e| panic!("workload {} faulted: {e}", w.name));
+        total.merge(&result.ledger);
+    }
+    total
+}
+
+/// Regenerates Figure 4(a) (`Unit::Ialu`) or 4(b) (`Unit::Fpau`):
+/// profiles the suite, builds every scheme from the *measured* statistics
+/// (as the paper's authors did from their profiling runs), and measures
+/// switched bits per scheme × swap variant.
+pub fn figure4(unit: Unit, config: &ExperimentConfig) -> Figure4 {
+    let class = unit.fu_class();
+    let profile = profile_suite(config);
+    let ialu_profile = profile.case_profile(FuClass::IntAlu);
+    let fpau_profile = profile.case_profile(FuClass::FpAlu);
+    let ialu_occ = profile.ialu_occupancy.distribution();
+    let fpau_occ = profile.fpau_occupancy.distribution();
+
+    let workloads = workloads_for(unit, config.scale);
+    // Compiler-swapped twins, shared by every scheme.
+    let swapped: Vec<Workload> = workloads
+        .iter()
+        .map(|w| {
+            let outcome = CompilerSwapPass::with_limit(config.inst_limit)
+                .run(&w.program)
+                .unwrap_or_else(|e| panic!("swap pass on {} faulted: {e}", w.name));
+            Workload {
+                program: outcome.program,
+                ..w.clone()
+            }
+        })
+        .collect();
+
+    let machine = &config.machine;
+    let make_scheme = |kind: SteeringKind, hw_swap: bool| {
+        SteeringConfig::from_profiles_with_occupancy(
+            kind,
+            hw_swap,
+            &ialu_profile,
+            &fpau_profile,
+            &ialu_occ,
+            &fpau_occ,
+            machine.modules(FuClass::IntAlu),
+            machine.modules(FuClass::FpAlu),
+        )
+    };
+
+    let baseline =
+        run_suite(config, &workloads, || make_scheme(SteeringKind::Original, false));
+    let base_bits = baseline.switched_bits(class);
+
+    let pct = |ledger: &EnergyLedger| {
+        if base_bits == 0 {
+            0.0
+        } else {
+            100.0 * (1.0 - ledger.switched_bits(class) as f64 / base_bits as f64)
+        }
+    };
+
+    let mut rows = Vec::new();
+    for kind in SteeringKind::FIGURE4 {
+        let base = if kind == SteeringKind::Original {
+            pct(&baseline)
+        } else {
+            pct(&run_suite(config, &workloads, || make_scheme(kind, false)))
+        };
+        let hardware = pct(&run_suite(config, &workloads, || make_scheme(kind, true)));
+        let compiler = pct(&run_suite(config, &swapped, || make_scheme(kind, true)));
+        let compiler_only = pct(&run_suite(config, &swapped, || make_scheme(kind, false)));
+        rows.push(Figure4Row {
+            scheme: kind.to_string(),
+            base_pct: base,
+            hardware_pct: hardware,
+            hardware_compiler_pct: compiler,
+            compiler_only_pct: compiler_only,
+        });
+    }
+
+    Figure4 {
+        unit,
+        rows,
+        baseline_switched_bits: base_bits,
+    }
+}
+
+/// The paper's headline numbers: IALU/FPAU reduction with the
+/// recommended 4-bit LUT + hardware swapping, and the IALU gain with
+/// compiler swapping added (paper: ≈17%, ≈18%, ≈26%).
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+pub struct Headline {
+    /// IALU reduction, 4-bit LUT + hardware swap (percent).
+    pub ialu_pct: f64,
+    /// FPAU reduction, 4-bit LUT + hardware swap (percent).
+    pub fpau_pct: f64,
+    /// IALU reduction, 4-bit LUT + hardware + compiler swap (percent).
+    pub ialu_compiler_pct: f64,
+}
+
+/// Computes the headline numbers from both Figure-4 runs.
+pub fn headline(config: &ExperimentConfig) -> Headline {
+    let a = figure4(Unit::Ialu, config);
+    let b = figure4(Unit::Fpau, config);
+    let lut_a = a.row("4-bit LUT").expect("scheme present");
+    let lut_b = b.row("4-bit LUT").expect("scheme present");
+    Headline {
+        ialu_pct: lut_a.hardware_pct,
+        fpau_pct: lut_b.hardware_pct,
+        ialu_compiler_pct: lut_a.hardware_compiler_pct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_shape_holds_at_small_scale() {
+        let fig = figure4(Unit::Ialu, &ExperimentConfig::quick());
+        assert_eq!(fig.rows.len(), 6);
+        let get = |name: &str| fig.row(name).expect("row exists").hardware_pct;
+        let full = get("Full Ham");
+        let one_bit = get("1-bit Ham");
+        let lut4 = get("4-bit LUT");
+        let original = fig.row("Original").expect("row").base_pct;
+        assert!(full > 0.0, "Full Ham must save energy, got {full:.1}%");
+        assert!(
+            full + 1e-9 >= one_bit,
+            "Full Ham ({full:.1}%) should bound 1-bit Ham ({one_bit:.1}%)"
+        );
+        assert!(lut4 > 0.0, "4-bit LUT must save energy, got {lut4:.1}%");
+        assert!(original.abs() < 1e-9, "Original/Base is the zero point");
+        let render = fig.render();
+        assert!(render.contains("Figure 4(a)"));
+    }
+}

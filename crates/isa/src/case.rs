@@ -1,0 +1,160 @@
+//! The 2-bit instruction classification used by the steering hardware.
+
+use std::fmt;
+
+use crate::Word;
+
+/// Concatenation of the information bits of an instruction's two operands.
+///
+/// `C01` means OP1's information bit is 0 and OP2's is 1, matching the
+/// paper's "case 01" notation.
+///
+/// # Examples
+///
+/// ```
+/// use fua_isa::{Case, Word};
+///
+/// let c = Case::of_operands(Word::int(5), Word::int(-3));
+/// assert_eq!(c, Case::C01);
+/// assert_eq!(c.swapped(), Case::C10);
+/// assert_eq!(c.to_string(), "01");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Case {
+    /// Both information bits are 0.
+    C00,
+    /// OP1's information bit is 0, OP2's is 1.
+    C01,
+    /// OP1's information bit is 1, OP2's is 0.
+    C10,
+    /// Both information bits are 1.
+    C11,
+}
+
+impl Case {
+    /// All four cases in index order (`00`, `01`, `10`, `11`).
+    pub const ALL: [Case; 4] = [Case::C00, Case::C01, Case::C10, Case::C11];
+
+    /// Builds a case from the two information bits.
+    #[inline]
+    pub fn from_info_bits(op1: bool, op2: bool) -> Self {
+        match (op1, op2) {
+            (false, false) => Case::C00,
+            (false, true) => Case::C01,
+            (true, false) => Case::C10,
+            (true, true) => Case::C11,
+        }
+    }
+
+    /// Classifies a pair of operand values.
+    #[inline]
+    pub fn of_operands(op1: Word, op2: Word) -> Self {
+        Case::from_info_bits(op1.info_bit(), op2.info_bit())
+    }
+
+    /// Builds a case from its 2-bit index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 3`.
+    #[inline]
+    pub fn from_index(index: u8) -> Self {
+        match index {
+            0 => Case::C00,
+            1 => Case::C01,
+            2 => Case::C10,
+            3 => Case::C11,
+            _ => panic!("case index out of range: {index}"),
+        }
+    }
+
+    /// The 2-bit index (`00` → 0, …, `11` → 3).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// OP1's information bit.
+    #[inline]
+    pub fn op1_bit(self) -> bool {
+        matches!(self, Case::C10 | Case::C11)
+    }
+
+    /// OP2's information bit.
+    #[inline]
+    pub fn op2_bit(self) -> bool {
+        matches!(self, Case::C01 | Case::C11)
+    }
+
+    /// The case obtained by swapping the two operands.
+    #[inline]
+    pub fn swapped(self) -> Self {
+        match self {
+            Case::C01 => Case::C10,
+            Case::C10 => Case::C01,
+            c => c,
+        }
+    }
+
+    /// Whether swapping the operands changes the case (true only for the
+    /// mixed cases 01 and 10).
+    #[inline]
+    pub fn is_mixed(self) -> bool {
+        matches!(self, Case::C01 | Case::C10)
+    }
+}
+
+impl fmt::Display for Case {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Case::C00 => "00",
+            Case::C01 => "01",
+            Case::C10 => "10",
+            Case::C11 => "11",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_index() {
+        for c in Case::ALL {
+            assert_eq!(Case::from_index(c.index() as u8), c);
+        }
+    }
+
+    #[test]
+    fn bits_match_notation() {
+        assert!(!Case::C01.op1_bit());
+        assert!(Case::C01.op2_bit());
+        assert!(Case::C10.op1_bit());
+        assert!(!Case::C10.op2_bit());
+    }
+
+    #[test]
+    fn swap_is_an_involution() {
+        for c in Case::ALL {
+            assert_eq!(c.swapped().swapped(), c);
+        }
+        assert_eq!(Case::C00.swapped(), Case::C00);
+        assert_eq!(Case::C11.swapped(), Case::C11);
+    }
+
+    #[test]
+    fn classification_of_fp_operands() {
+        let round = Word::fp(2.0);
+        let full = Word::fp(0.1);
+        assert_eq!(Case::of_operands(round, full), Case::C01);
+        assert_eq!(Case::of_operands(full, round), Case::C10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_index_rejects_out_of_range() {
+        let _ = Case::from_index(4);
+    }
+}

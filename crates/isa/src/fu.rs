@@ -1,0 +1,109 @@
+//! Functional-unit classes.
+
+use std::fmt;
+
+/// The pool of functional units that executes an instruction.
+///
+/// The modelled machine mirrors the paper's SimpleScalar default
+/// configuration: 4 integer ALUs, 1 integer multiplier/divider, 4
+/// floating-point adder/subtractor units (FPAUs, which also handle
+/// conversions and comparisons), and 1 floating-point multiplier/divider.
+///
+/// # Examples
+///
+/// ```
+/// use fua_isa::FuClass;
+///
+/// assert!(FuClass::IntAlu.is_duplicated());
+/// assert!(!FuClass::IntMul.is_duplicated());
+/// assert_eq!(FuClass::FpAlu.default_module_count(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FuClass {
+    /// Integer arithmetic-logic unit (adds, logic, shifts, compares,
+    /// effective-address computation).
+    IntAlu,
+    /// Integer multiplier/divider.
+    IntMul,
+    /// Floating-point adder/subtractor unit (also conversions, compares).
+    FpAlu,
+    /// Floating-point multiplier/divider.
+    FpMul,
+}
+
+impl FuClass {
+    /// All classes in display order.
+    pub const ALL: [FuClass; 4] = [
+        FuClass::IntAlu,
+        FuClass::IntMul,
+        FuClass::FpAlu,
+        FuClass::FpMul,
+    ];
+
+    /// Module count in the paper's default machine (4/1/4/1).
+    #[inline]
+    pub fn default_module_count(self) -> usize {
+        match self {
+            FuClass::IntAlu | FuClass::FpAlu => 4,
+            FuClass::IntMul | FuClass::FpMul => 1,
+        }
+    }
+
+    /// Whether the default machine duplicates this unit, which is the
+    /// precondition for power-aware steering (multipliers instead use
+    /// operand swapping).
+    #[inline]
+    pub fn is_duplicated(self) -> bool {
+        self.default_module_count() > 1
+    }
+
+    /// Whether operands of this class are floating-point words.
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        matches!(self, FuClass::FpAlu | FuClass::FpMul)
+    }
+
+    /// Stable index for per-class arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for FuClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FuClass::IntAlu => "IALU",
+            FuClass::IntMul => "IMUL",
+            FuClass::FpAlu => "FPAU",
+            FuClass::FpMul => "FPMUL",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_counts_match_paper_machine() {
+        assert_eq!(FuClass::IntAlu.default_module_count(), 4);
+        assert_eq!(FuClass::IntMul.default_module_count(), 1);
+        assert_eq!(FuClass::FpAlu.default_module_count(), 4);
+        assert_eq!(FuClass::FpMul.default_module_count(), 1);
+    }
+
+    #[test]
+    fn indices_are_dense() {
+        for (i, c) in FuClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(FuClass::IntAlu.to_string(), "IALU");
+        assert_eq!(FuClass::FpAlu.to_string(), "FPAU");
+    }
+}

@@ -1,0 +1,219 @@
+//! Instruction representation.
+
+use std::fmt;
+
+use crate::{FpReg, IntReg, Opcode, Reg};
+
+/// A source operand slot.
+///
+/// # Examples
+///
+/// ```
+/// use fua_isa::{IntReg, Src};
+///
+/// let s = Src::from(IntReg::new(3));
+/// assert!(s.is_reg());
+/// assert_eq!(Src::Imm(42).to_string(), "42");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Src {
+    /// An integer register.
+    IReg(IntReg),
+    /// A floating-point register.
+    FReg(FpReg),
+    /// A 32-bit signed immediate.
+    Imm(i32),
+    /// A double immediate, stored as raw IEEE-754 bits so `Src` stays `Eq`.
+    FImm(u64),
+    /// The slot is unused by this instruction format.
+    None,
+}
+
+impl Src {
+    /// Creates a double immediate.
+    #[inline]
+    pub fn fimm(v: f64) -> Self {
+        Src::FImm(v.to_bits())
+    }
+
+    /// Whether the slot names a register.
+    #[inline]
+    pub fn is_reg(self) -> bool {
+        matches!(self, Src::IReg(_) | Src::FReg(_))
+    }
+
+    /// The register named by the slot, if any.
+    #[inline]
+    pub fn reg(self) -> Option<Reg> {
+        match self {
+            Src::IReg(r) => Some(Reg::Int(r)),
+            Src::FReg(r) => Some(Reg::Fp(r)),
+            _ => None,
+        }
+    }
+}
+
+impl From<IntReg> for Src {
+    fn from(r: IntReg) -> Self {
+        Src::IReg(r)
+    }
+}
+
+impl From<FpReg> for Src {
+    fn from(r: FpReg) -> Self {
+        Src::FReg(r)
+    }
+}
+
+impl fmt::Display for Src {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Src::IReg(r) => r.fmt(f),
+            Src::FReg(r) => r.fmt(f),
+            Src::Imm(v) => v.fmt(f),
+            Src::FImm(b) => f64::from_bits(*b).fmt(f),
+            Src::None => f.write_str("-"),
+        }
+    }
+}
+
+/// One static instruction.
+///
+/// Formats by opcode family:
+///
+/// * ALU/FPU ops: `dst`, `src1`, `src2` (the second source may be an
+///   immediate);
+/// * unary ops: `dst`, `src1`;
+/// * loads: `dst`, `src1` = base register, `imm` = byte offset;
+/// * stores: `src1` = data register, `src2` = base register, `imm` = offset;
+/// * branches: `src1`, `src2` (compare sources), `imm` = target instruction
+///   index (patched by [`crate::ProgramBuilder`]);
+/// * `j`: `imm` = target; `halt`: no operands.
+///
+/// Instructions are built and validated by [`crate::ProgramBuilder`];
+/// constructing them directly is possible but skips format validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Inst {
+    /// The opcode.
+    pub op: Opcode,
+    /// Destination register, if the instruction writes one.
+    pub dst: Option<Reg>,
+    /// First source slot.
+    pub src1: Src,
+    /// Second source slot.
+    pub src2: Src,
+    /// Memory byte offset or control-transfer target index.
+    pub imm: i32,
+}
+
+impl Inst {
+    /// Creates an instruction with no destination and no immediate.
+    pub fn new(op: Opcode, src1: Src, src2: Src) -> Self {
+        Inst {
+            op,
+            dst: None,
+            src1,
+            src2,
+            imm: 0,
+        }
+    }
+
+    /// Returns the instruction with `dst` set.
+    pub fn with_dst(mut self, dst: impl Into<Reg>) -> Self {
+        self.dst = Some(dst.into());
+        self
+    }
+
+    /// Returns the instruction with `imm` set.
+    pub fn with_imm(mut self, imm: i32) -> Self {
+        self.imm = imm;
+        self
+    }
+
+    /// Whether a compiler may reorder this instruction's operands: the
+    /// opcode must be commutable in software ([`Opcode::flipped`]) and both
+    /// sources must be registers — an immediate is locked into the second
+    /// slot by the machine encoding, exactly the limitation the paper
+    /// describes for immediate adds.
+    pub fn software_swappable(&self) -> bool {
+        self.op.flipped().is_some() && self.src1.is_reg() && self.src2.is_reg()
+    }
+
+    /// The instruction with operands swapped and the opcode flipped
+    /// accordingly, or `None` when [`Inst::software_swappable`] is false.
+    pub fn swapped(&self) -> Option<Inst> {
+        if !self.software_swappable() {
+            return None;
+        }
+        let op = self.op.flipped()?;
+        Some(Inst {
+            op,
+            dst: self.dst,
+            src1: self.src2,
+            src2: self.src1,
+            imm: self.imm,
+        })
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.op)?;
+        if let Some(d) = self.dst {
+            write!(f, " {d},")?;
+        }
+        match (self.src1, self.src2) {
+            (Src::None, Src::None) => {}
+            (a, Src::None) => write!(f, " {a}")?,
+            (a, b) => write!(f, " {a}, {b}")?,
+        }
+        if self.op.is_mem() || self.op.is_control() {
+            write!(f, " [{}]", self.imm)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IntReg;
+
+    fn r(i: u8) -> IntReg {
+        IntReg::new(i)
+    }
+
+    #[test]
+    fn swap_flips_compare_opcodes() {
+        let inst = Inst::new(Opcode::Sgt, r(1).into(), r(2).into()).with_dst(r(3));
+        let swapped = inst.swapped().expect("sgt of two regs is swappable");
+        assert_eq!(swapped.op, Opcode::Slt);
+        assert_eq!(swapped.src1, Src::IReg(r(2)));
+        assert_eq!(swapped.src2, Src::IReg(r(1)));
+        assert_eq!(swapped.dst, inst.dst);
+    }
+
+    #[test]
+    fn immediate_operand_blocks_software_swap() {
+        let inst = Inst::new(Opcode::Add, r(1).into(), Src::Imm(4)).with_dst(r(1));
+        assert!(inst.op.commutative());
+        assert!(!inst.software_swappable());
+        assert!(inst.swapped().is_none());
+    }
+
+    #[test]
+    fn subtract_is_never_swapped() {
+        let inst = Inst::new(Opcode::Sub, r(1).into(), r(2).into()).with_dst(r(3));
+        assert!(inst.swapped().is_none());
+    }
+
+    #[test]
+    fn display_round_trip_smoke() {
+        let inst = Inst::new(Opcode::Add, r(1).into(), Src::Imm(4)).with_dst(r(2));
+        assert_eq!(inst.to_string(), "add r2, r1, 4");
+        let lw = Inst::new(Opcode::Lw, r(5).into(), Src::None)
+            .with_dst(r(6))
+            .with_imm(16);
+        assert_eq!(lw.to_string(), "lw r6, r5 [16]");
+    }
+}

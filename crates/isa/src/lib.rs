@@ -1,0 +1,49 @@
+//! Instruction-set architecture for the functional-unit-assignment study.
+//!
+//! This crate defines the MIPS-like ISA that every other crate in the
+//! workspace builds on: 32 × 32-bit integer registers, 32 × 64-bit IEEE-754
+//! floating-point registers, a small RISC opcode set with explicit
+//! commutativity metadata, and the paper's core notions:
+//!
+//! * [`Word`] — a runtime operand value (32-bit integer or 64-bit float);
+//! * information bits ([`Word::info_bit`]) — the single-bit operand summary
+//!   used by the steering hardware (sign bit for integers, OR of the low
+//!   four mantissa bits for floats);
+//! * [`Case`] — the 2-bit classification of an instruction formed by
+//!   concatenating the information bits of its two operands;
+//! * [`FuClass`] — which pool of functional units executes an opcode.
+//!
+//! # Examples
+//!
+//! ```
+//! use fua_isa::{Word, Case};
+//!
+//! let a = Word::int(20);            // 0x00000014: sign bit 0
+//! let b = Word::int(-20);           // 0xFFFFFFEC: sign bit 1
+//! assert!(!a.info_bit());
+//! assert!(b.info_bit());
+//! assert_eq!(Case::from_info_bits(a.info_bit(), b.info_bit()), Case::C01);
+//!
+//! // 7.0 has a two-bit mantissa, so its low four mantissa bits are zero.
+//! let f = Word::fp(7.0);
+//! assert!(!f.info_bit());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod case;
+mod fu;
+mod inst;
+mod opcode;
+mod program;
+mod reg;
+mod word;
+
+pub use case::Case;
+pub use fu::FuClass;
+pub use inst::{Inst, Src};
+pub use opcode::Opcode;
+pub use program::{BuildProgramError, Label, Program, ProgramBuilder};
+pub use reg::{FpReg, IntReg, Reg};
+pub use word::{hamming_u32, hamming_u64, Word, FP_MANTISSA_BITS, INT_BITS};

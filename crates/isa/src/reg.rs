@@ -1,0 +1,148 @@
+//! Architectural register names.
+
+use std::fmt;
+
+/// Number of integer registers.
+pub const NUM_INT_REGS: usize = 32;
+/// Number of floating-point registers.
+pub const NUM_FP_REGS: usize = 32;
+
+/// An integer register name (`r0`–`r31`). `r0` is an ordinary register in
+/// this ISA (not hard-wired to zero).
+///
+/// # Examples
+///
+/// ```
+/// use fua_isa::IntReg;
+/// let r = IntReg::new(5);
+/// assert_eq!(r.to_string(), "r5");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IntReg(u8);
+
+/// A floating-point register name (`f0`–`f31`), 64 bits wide.
+///
+/// # Examples
+///
+/// ```
+/// use fua_isa::FpReg;
+/// assert_eq!(FpReg::new(12).index(), 12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FpReg(u8);
+
+impl IntReg {
+    /// Creates a register name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[inline]
+    pub fn new(index: u8) -> Self {
+        assert!((index as usize) < NUM_INT_REGS, "int register out of range");
+        IntReg(index)
+    }
+
+    /// The register number.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl FpReg {
+    /// Creates a register name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[inline]
+    pub fn new(index: u8) -> Self {
+        assert!((index as usize) < NUM_FP_REGS, "fp register out of range");
+        FpReg(index)
+    }
+
+    /// The register number.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for IntReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for FpReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Either register kind, used for dependence tracking in the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Reg {
+    /// An integer register.
+    Int(IntReg),
+    /// A floating-point register.
+    Fp(FpReg),
+}
+
+impl Reg {
+    /// A dense index over both files (integer regs first).
+    #[inline]
+    pub fn dense_index(self) -> usize {
+        match self {
+            Reg::Int(r) => r.index(),
+            Reg::Fp(r) => NUM_INT_REGS + r.index(),
+        }
+    }
+}
+
+impl From<IntReg> for Reg {
+    fn from(r: IntReg) -> Self {
+        Reg::Int(r)
+    }
+}
+
+impl From<FpReg> for Reg {
+    fn from(r: FpReg) -> Self {
+        Reg::Fp(r)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::Int(r) => r.fmt(f),
+            Reg::Fp(r) => r.fmt(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_indices_do_not_collide() {
+        let a = Reg::from(IntReg::new(31));
+        let b = Reg::from(FpReg::new(0));
+        assert_ne!(a.dense_index(), b.dense_index());
+        assert_eq!(b.dense_index(), 32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_int_reg_panics() {
+        let _ = IntReg::new(32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_fp_reg_panics() {
+        let _ = FpReg::new(255);
+    }
+}

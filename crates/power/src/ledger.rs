@@ -1,0 +1,139 @@
+//! Per-functional-unit-type energy accounting.
+
+use std::fmt;
+
+use fua_isa::FuClass;
+
+/// Accumulates switched input bits and operation counts per FU class.
+///
+/// # Examples
+///
+/// ```
+/// use fua_isa::FuClass;
+/// use fua_power::EnergyLedger;
+///
+/// let mut ledger = EnergyLedger::new();
+/// ledger.charge(FuClass::IntAlu, 12);
+/// ledger.charge(FuClass::IntAlu, 8);
+/// assert_eq!(ledger.switched_bits(FuClass::IntAlu), 20);
+/// assert_eq!(ledger.ops(FuClass::IntAlu), 2);
+/// assert_eq!(ledger.total_switched_bits(), 20);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnergyLedger {
+    switched: [u64; 4],
+    ops: [u64; 4],
+}
+
+impl EnergyLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one operation on `class` that switched `bits` input bits.
+    #[inline]
+    pub fn charge(&mut self, class: FuClass, bits: u32) {
+        self.switched[class.index()] += bits as u64;
+        self.ops[class.index()] += 1;
+    }
+
+    /// Total switched bits recorded for `class`.
+    #[inline]
+    pub fn switched_bits(&self, class: FuClass) -> u64 {
+        self.switched[class.index()]
+    }
+
+    /// Number of operations recorded for `class`.
+    #[inline]
+    pub fn ops(&self, class: FuClass) -> u64 {
+        self.ops[class.index()]
+    }
+
+    /// Switched bits summed over all classes.
+    pub fn total_switched_bits(&self) -> u64 {
+        self.switched.iter().sum()
+    }
+
+    /// Mean switched bits per operation for `class` (0 when idle).
+    pub fn mean_bits_per_op(&self, class: FuClass) -> f64 {
+        let n = self.ops(class);
+        if n == 0 {
+            0.0
+        } else {
+            self.switched_bits(class) as f64 / n as f64
+        }
+    }
+
+    /// Fractional energy reduction of `self` relative to `baseline` for
+    /// one FU class: `1 - self/baseline`. Returns 0 when the baseline
+    /// recorded no switching.
+    pub fn reduction_vs(&self, baseline: &EnergyLedger, class: FuClass) -> f64 {
+        let base = baseline.switched_bits(class);
+        if base == 0 {
+            0.0
+        } else {
+            1.0 - self.switched_bits(class) as f64 / base as f64
+        }
+    }
+
+    /// Merges another ledger into this one (used to aggregate workloads).
+    pub fn merge(&mut self, other: &EnergyLedger) {
+        for i in 0..4 {
+            self.switched[i] += other.switched[i];
+            self.ops[i] += other.ops[i];
+        }
+    }
+}
+
+impl fmt::Display for EnergyLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for class in FuClass::ALL {
+            writeln!(
+                f,
+                "{class:6} ops={:10} switched_bits={:12} bits/op={:.2}",
+                self.ops(class),
+                self.switched_bits(class),
+                self.mean_bits_per_op(class)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_is_relative_to_baseline() {
+        let mut base = EnergyLedger::new();
+        base.charge(FuClass::IntAlu, 100);
+        let mut better = EnergyLedger::new();
+        better.charge(FuClass::IntAlu, 80);
+        assert!((better.reduction_vs(&base, FuClass::IntAlu) - 0.2).abs() < 1e-12);
+        // Idle baseline yields 0, not a division by zero.
+        assert_eq!(better.reduction_vs(&base, FuClass::FpAlu), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = EnergyLedger::new();
+        a.charge(FuClass::FpAlu, 5);
+        let mut b = EnergyLedger::new();
+        b.charge(FuClass::FpAlu, 7);
+        b.charge(FuClass::IntMul, 3);
+        a.merge(&b);
+        assert_eq!(a.switched_bits(FuClass::FpAlu), 12);
+        assert_eq!(a.ops(FuClass::FpAlu), 2);
+        assert_eq!(a.switched_bits(FuClass::IntMul), 3);
+    }
+
+    #[test]
+    fn display_lists_all_classes() {
+        let s = EnergyLedger::new().to_string();
+        for name in ["IALU", "IMUL", "FPAU", "FPMUL"] {
+            assert!(s.contains(name));
+        }
+    }
+}

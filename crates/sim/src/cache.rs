@@ -1,0 +1,151 @@
+//! A direct-mapped, write-allocate data cache.
+
+/// Data-cache geometry and timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Access latency on a hit, in cycles.
+    pub hit_latency: u64,
+    /// Access latency on a miss (memory round trip), in cycles.
+    pub miss_latency: u64,
+}
+
+impl Default for CacheConfig {
+    /// A 16 KiB direct-mapped cache with 32-byte lines, 1-cycle hits and
+    /// 18-cycle misses — SimpleScalar's era-appropriate L1.
+    fn default() -> Self {
+        CacheConfig {
+            size_bytes: 16 * 1024,
+            line_bytes: 32,
+            hit_latency: 1,
+            miss_latency: 18,
+        }
+    }
+}
+
+/// Direct-mapped data cache model: tracks tags only (data correctness is
+/// the interpreter's job); returns per-access latency.
+///
+/// # Examples
+///
+/// ```
+/// use fua_sim::{CacheConfig, DataCache};
+///
+/// let mut cache = DataCache::new(CacheConfig::default());
+/// let cold = cache.access(0x100);
+/// let warm = cache.access(0x104); // same line
+/// assert!(cold > warm);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DataCache {
+    config: CacheConfig,
+    tags: Vec<Option<u32>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl DataCache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is not a power-of-two or the line exceeds
+    /// the size.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.size_bytes.is_power_of_two());
+        assert!(config.line_bytes.is_power_of_two());
+        assert!(config.line_bytes <= config.size_bytes);
+        let lines = (config.size_bytes / config.line_bytes) as usize;
+        DataCache {
+            config,
+            tags: vec![None; lines],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Performs an access, updating tags, and returns its latency.
+    pub fn access(&mut self, addr: u32) -> u64 {
+        let line = addr / self.config.line_bytes;
+        let index = (line as usize) % self.tags.len();
+        let tag = line / self.tags.len() as u32;
+        if self.tags[index] == Some(tag) {
+            self.hits += 1;
+            self.config.hit_latency
+        } else {
+            self.tags[index] = Some(tag);
+            self.misses += 1;
+            self.config.miss_latency
+        }
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate over all accesses (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spatial_locality_hits() {
+        let mut c = DataCache::new(CacheConfig::default());
+        assert_eq!(c.access(0), c.config.miss_latency);
+        assert_eq!(c.access(4), c.config.hit_latency);
+        assert_eq!(c.access(28), c.config.hit_latency);
+        assert_eq!(c.access(32), c.config.miss_latency);
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conflicting_lines_evict() {
+        let cfg = CacheConfig {
+            size_bytes: 64,
+            line_bytes: 32,
+            hit_latency: 1,
+            miss_latency: 10,
+        };
+        let mut c = DataCache::new(cfg);
+        c.access(0);
+        c.access(64); // maps to the same index (2 lines)
+        assert_eq!(c.access(0), 10, "line 0 was evicted");
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_rejected() {
+        let _ = DataCache::new(CacheConfig {
+            size_bytes: 3000,
+            line_bytes: 32,
+            hit_latency: 1,
+            miss_latency: 10,
+        });
+    }
+}

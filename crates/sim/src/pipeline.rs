@@ -1,0 +1,746 @@
+//! The cycle-driven out-of-order engine.
+
+use std::collections::VecDeque;
+
+use fua_isa::{FuClass, Opcode, Program};
+use fua_power::booth::BoothModel;
+use fua_power::{EnergyLedger, ModulePorts};
+use fua_stats::{BitPatternProfiler, OccupancyProfiler};
+use fua_vm::{DynOp, Vm, VmError};
+
+use crate::{
+    BimodalPredictor, BranchStats, CacheStats, DataCache, MachineConfig, SimResult,
+    SteeringConfig, SwapStats,
+};
+
+/// How many cycles the engine tolerates with no commit, issue or dispatch
+/// before declaring itself wedged (a model bug, not a program property).
+const WATCHDOG_CYCLES: u64 = 10_000;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryState {
+    /// Dispatched, waiting for operands or an FU.
+    Waiting,
+    /// Executing or executed; completes at `done_cycle`.
+    Issued,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    op: DynOp,
+    deps: [Option<u64>; 2],
+    state: EntryState,
+    done_cycle: u64,
+}
+
+/// The out-of-order superscalar simulator.
+///
+/// One `Simulator` owns the machine state (window, predictor, cache,
+/// module latches) for a single run; create a fresh one per run. See the
+/// crate-level docs for an example.
+pub struct Simulator {
+    config: MachineConfig,
+    steering: SteeringConfig,
+    booth: BoothModel,
+
+    window: VecDeque<Entry>,
+    head_serial: u64,
+    last_writer: [Option<u64>; 64],
+    rs_used: [usize; 4],
+    ports: Vec<Vec<ModulePorts>>,
+    predictor: BimodalPredictor,
+    cache: DataCache,
+
+    cycle: u64,
+    retired: u64,
+    fetch_resume_cycle: u64,
+    // Serial of an unresolved mispredicted branch blocking fetch.
+    fetch_blocked_by: Option<u64>,
+    // Single-slot skid buffer: an op pulled from the source that could not
+    // dispatch because its reservation station was full.
+    skid: Option<DynOp>,
+
+    ledger: EnergyLedger,
+    booth_energy: [f64; 4],
+    occupancy: Vec<OccupancyProfiler>,
+    bit_patterns: Vec<BitPatternProfiler>,
+    swaps: SwapStats,
+    branches: BranchStats,
+}
+
+impl Simulator {
+    /// Creates a simulator for one run.
+    pub fn new(config: MachineConfig, steering: SteeringConfig) -> Self {
+        config.validate();
+        let ports = FuClass::ALL
+            .iter()
+            .map(|c| vec![ModulePorts::new(); config.modules(*c)])
+            .collect();
+        let occupancy = FuClass::ALL
+            .iter()
+            .map(|c| OccupancyProfiler::new(config.modules(*c)))
+            .collect();
+        let cache = DataCache::new(config.cache);
+        Simulator {
+            config,
+            steering,
+            booth: BoothModel::new(),
+            window: VecDeque::new(),
+            head_serial: 0,
+            last_writer: [None; 64],
+            rs_used: [0; 4],
+            ports,
+            predictor: BimodalPredictor::new(4096),
+            cache,
+            cycle: 0,
+            retired: 0,
+            fetch_resume_cycle: 0,
+            fetch_blocked_by: None,
+            skid: None,
+            ledger: EnergyLedger::new(),
+            booth_energy: [0.0; 4],
+            occupancy,
+            bit_patterns: vec![BitPatternProfiler::new(); 4],
+            swaps: SwapStats::default(),
+            branches: BranchStats::default(),
+        }
+    }
+
+    /// Runs a program end-to-end: interprets it with [`fua_vm::Vm`] and
+    /// feeds the dynamic instruction stream through the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter faults ([`VmError`]).
+    pub fn run_program(&mut self, program: &Program, limit: u64) -> Result<SimResult, VmError> {
+        let mut vm = Vm::new(program);
+        let mut remaining = limit;
+        let result = self.run_source(|| {
+            if remaining == 0 {
+                return Ok(None);
+            }
+            remaining -= 1;
+            vm.step()
+        })?;
+        Ok(SimResult {
+            halted: vm.halted(),
+            ..result
+        })
+    }
+
+    /// Runs a pre-materialised trace (useful for tests and property
+    /// checks).
+    pub fn run_trace(&mut self, ops: &[DynOp]) -> SimResult {
+        let mut iter = ops.iter().copied();
+        self.run_source(|| Ok(iter.next()))
+            .expect("a materialised trace cannot fault")
+    }
+
+    fn run_source(
+        &mut self,
+        mut next_op: impl FnMut() -> Result<Option<DynOp>, VmError>,
+    ) -> Result<SimResult, VmError> {
+        let mut source_done = false;
+        let mut idle_cycles = 0u64;
+        loop {
+            let progress_commit = self.commit();
+            let progress_issue = self.issue();
+            let progress_fetch = if source_done && self.skid.is_none() {
+                0
+            } else {
+                let fetched = self.fetch(&mut next_op)?;
+                if fetched.1 {
+                    source_done = true;
+                }
+                fetched.0
+            };
+
+            self.cycle += 1;
+            if self.window.is_empty() && source_done && self.skid.is_none() {
+                break;
+            }
+
+            if progress_commit + progress_issue + progress_fetch == 0 {
+                idle_cycles += 1;
+                assert!(
+                    idle_cycles < WATCHDOG_CYCLES,
+                    "pipeline wedged at cycle {}: head {:?}",
+                    self.cycle,
+                    self.window.front()
+                );
+            } else {
+                idle_cycles = 0;
+            }
+        }
+        Ok(SimResult {
+            cycles: self.cycle,
+            retired: self.retired,
+            halted: false,
+            ledger: self.ledger,
+            booth_energy: self.booth_energy,
+            occupancy: self.occupancy.clone(),
+            bit_patterns: self.bit_patterns.clone(),
+            swaps: self.swaps,
+            branches: self.branches,
+            cache: CacheStats {
+                hits: self.cache.hits(),
+                misses: self.cache.misses(),
+            },
+        })
+    }
+
+    // --- commit ---
+
+    fn commit(&mut self) -> usize {
+        let mut committed = 0;
+        while committed < self.config.commit_width {
+            match self.window.front() {
+                Some(e) if e.state == EntryState::Issued && e.done_cycle <= self.cycle => {
+                    self.window.pop_front();
+                    self.head_serial += 1;
+                    self.retired += 1;
+                    committed += 1;
+                }
+                _ => break,
+            }
+        }
+        committed
+    }
+
+    // --- issue ---
+
+    fn deps_satisfied(&self, entry: &Entry) -> bool {
+        entry.deps.iter().all(|dep| match dep {
+            None => true,
+            Some(serial) => {
+                if *serial < self.head_serial {
+                    return true; // producer already committed
+                }
+                let idx = (*serial - self.head_serial) as usize;
+                let producer = &self.window[idx];
+                producer.state == EntryState::Issued && producer.done_cycle <= self.cycle
+            }
+        })
+    }
+
+    /// Selects this cycle's issue group: oldest-first per class, one
+    /// instruction per module, loads/stores contending for the memory
+    /// ports. In in-order mode the group is the maximal *prefix* of
+    /// unissued instructions that can all go — the first stalled
+    /// instruction (data or structural hazard) ends the group, as in a
+    /// VLIW.
+    fn select_ready(&self) -> [Vec<usize>; 4] {
+        let mut selected: [Vec<usize>; 4] = Default::default();
+        let mut mem_ports_left = self.config.mem_ports;
+        for idx in 0..self.window.len() {
+            let entry = &self.window[idx];
+            if entry.state != EntryState::Waiting {
+                continue;
+            }
+            let Some(fu) = entry.op.fu else { continue };
+            let ci = fu.class.index();
+            let needs_port = entry.op.mem.is_some();
+            let issuable = selected[ci].len() < self.config.modules(fu.class)
+                && (!needs_port || mem_ports_left > 0)
+                && self.deps_satisfied(entry);
+            if issuable {
+                if needs_port {
+                    mem_ports_left -= 1;
+                }
+                selected[ci].push(idx);
+            } else if self.config.in_order_issue {
+                break;
+            }
+        }
+        selected
+    }
+
+    fn issue(&mut self) -> usize {
+        let groups = self.select_ready();
+        let mut issued_total = 0;
+        for class in FuClass::ALL {
+            issued_total += self.issue_class(class, &groups[class.index()]);
+        }
+        issued_total
+    }
+
+    fn issue_class(&mut self, class: FuClass, selected: &[usize]) -> usize {
+        let modules = self.config.modules(class);
+        debug_assert!(selected.len() <= modules);
+        self.occupancy[class.index()].record(selected.len());
+        if selected.is_empty() {
+            return 0;
+        }
+
+        // Build the FU operations, applying the static swap rules.
+        let mut ops: Vec<fua_vm::FuOp> = selected
+            .iter()
+            .map(|&i| self.window[i].op.fu.expect("selected ops have FUs"))
+            .collect();
+        if let Some(rule) = self.steering.swap_rule(class) {
+            let rule = *rule;
+            for op in &mut ops {
+                if rule.apply(op) {
+                    self.swaps.rule_swaps += 1;
+                }
+            }
+        }
+        if matches!(class, FuClass::IntMul | FuClass::FpMul) {
+            if let Some(rule) = self.steering.multiplier_swap {
+                for (op, &i) in ops.iter_mut().zip(selected) {
+                    let opcode = self.window[i].op.opcode;
+                    if matches!(opcode, Opcode::Mul | Opcode::FMul) && rule.apply(op) {
+                        self.swaps.multiplier_swaps += 1;
+                    }
+                }
+            }
+        }
+
+        // Steer: duplicated classes consult the policy, single-module
+        // classes trivially use module 0.
+        let choices: Vec<fua_steer::ModuleChoice> = if modules > 1 {
+            let policy = self
+                .steering
+                .policy_mut(class)
+                .expect("duplicated classes have a policy");
+            policy.assign(&ops, &self.ports[class.index()])
+        } else {
+            ops.iter()
+                .map(|_| fua_steer::ModuleChoice {
+                    module: 0,
+                    swap: false,
+                })
+                .collect()
+        };
+        if cfg!(debug_assertions) {
+            fua_steer::validate_choices(&ops, modules, &choices);
+        }
+
+        // Latch, charge energy, schedule completion.
+        for ((mut op, choice), &win_idx) in ops.into_iter().zip(choices).zip(selected) {
+            if choice.swap {
+                debug_assert!(op.commutative);
+                op = op.swapped();
+                self.swaps.policy_swaps += 1;
+            }
+            let ports = &mut self.ports[class.index()][choice.module];
+            let bits = ports.latch(op.op1, op.op2);
+            self.ledger.charge(class, bits);
+            self.bit_patterns[class.index()].record(&op);
+
+            let entry = &mut self.window[win_idx];
+            let opcode = entry.op.opcode;
+            if matches!(opcode, Opcode::Mul | Opcode::FMul) {
+                // Booth activity model (extension; see DESIGN.md). The
+                // latch already advanced, so reconstruct prev from cost.
+                self.booth_energy[class.index()] +=
+                    self.booth.pp_weight * fua_power::booth::nonzero_booth_digits(
+                        fua_power::booth::significand(op.op2).0,
+                        fua_power::booth::significand(op.op2).1,
+                    ) as f64 * op.op1.power_width() as f64
+                        + self.booth.sw_weight * bits as f64;
+            }
+
+            let mut latency = self.config.latency(opcode);
+            if let Some(mem) = entry.op.mem {
+                let mem_latency = self.cache.access(mem.addr);
+                if mem.is_load {
+                    latency += mem_latency;
+                }
+            }
+            entry.state = EntryState::Issued;
+            entry.done_cycle = self.cycle + latency;
+            self.rs_used[class.index()] -= 1;
+
+            // A resolved mispredicted branch un-blocks fetch.
+            if self.fetch_blocked_by == Some(entry.op.serial) {
+                self.fetch_blocked_by = None;
+                self.fetch_resume_cycle =
+                    entry.done_cycle + self.config.mispredict_penalty;
+            }
+        }
+        selected.len()
+    }
+
+    // --- fetch/dispatch ---
+
+    /// Returns (dispatched count, source exhausted).
+    fn fetch(
+        &mut self,
+        next_op: &mut impl FnMut() -> Result<Option<DynOp>, VmError>,
+    ) -> Result<(usize, bool), VmError> {
+        if self.fetch_blocked_by.is_some() || self.cycle < self.fetch_resume_cycle {
+            return Ok((0, false));
+        }
+        let mut dispatched = 0;
+        while dispatched < self.config.fetch_width {
+            if self.window.len() >= self.config.rob_size {
+                break;
+            }
+            // Drain the skid buffer (an op stalled on a full reservation
+            // station last cycle) before pulling from the source.
+            let op = match self.skid.take() {
+                Some(op) => op,
+                None => match next_op()? {
+                    Some(op) => op,
+                    None => return Ok((dispatched, true)),
+                },
+            };
+            if let Some(fu) = op.fu {
+                if self.rs_used[fu.class.index()] >= self.config.rs_entries {
+                    // Structural stall: park the op and retry next cycle.
+                    self.skid = Some(op);
+                    break;
+                }
+                self.rs_used[fu.class.index()] += 1;
+            }
+            self.dispatch(op);
+            dispatched += 1;
+            if self.fetch_blocked_by.is_some() {
+                break; // mispredicted branch ends the fetch group
+            }
+        }
+        Ok((dispatched, false))
+    }
+
+    fn dispatch(&mut self, op: DynOp) {
+        let deps = [
+            op.srcs[0].and_then(|r| self.last_writer[r.dense_index()]),
+            op.srcs[1].and_then(|r| self.last_writer[r.dense_index()]),
+        ];
+        if let Some(dst) = op.dst {
+            self.last_writer[dst.dense_index()] = Some(op.serial);
+        }
+        if let Some(branch) = op.branch {
+            if !branch.unconditional {
+                self.branches.branches += 1;
+                let predicted = self.predictor.predict(op.static_idx);
+                self.predictor.update(op.static_idx, branch.taken);
+                if predicted != branch.taken {
+                    self.branches.mispredicts += 1;
+                    self.fetch_blocked_by = Some(op.serial);
+                }
+            }
+        }
+        let state = if op.fu.is_some() {
+            EntryState::Waiting
+        } else {
+            EntryState::Issued // no FU: completes next cycle
+        };
+        let done_cycle = self.cycle + 1;
+        self.window.push_back(Entry {
+            op,
+            deps,
+            state,
+            done_cycle,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fua_isa::{FpReg, IntReg, ProgramBuilder};
+
+    fn r(i: u8) -> IntReg {
+        IntReg::new(i)
+    }
+
+    fn f(i: u8) -> FpReg {
+        FpReg::new(i)
+    }
+
+    fn run(program: &Program) -> SimResult {
+        let mut sim = Simulator::new(MachineConfig::default(), SteeringConfig::original());
+        sim.run_program(program, 1_000_000).expect("runs")
+    }
+
+    #[test]
+    fn straight_line_code_retires_everything() {
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), 1);
+        b.li(r(2), 2);
+        b.add(r(3), r(1), r(2));
+        b.halt();
+        let p = b.build().expect("valid");
+        let res = run(&p);
+        assert!(res.halted);
+        assert_eq!(res.retired, 4);
+        assert!(res.cycles >= 2);
+    }
+
+    #[test]
+    fn independent_ops_issue_in_parallel() {
+        // Four independent adds (after their li's) should issue in one
+        // cycle on the 4-IALU machine.
+        let mut b = ProgramBuilder::new();
+        for i in 1..=4 {
+            b.li(r(i), i as i32);
+        }
+        for i in 1..=4 {
+            b.add(r(i + 4), r(i), r(i));
+        }
+        b.halt();
+        let p = b.build().expect("valid");
+        let res = run(&p);
+        let occ = res.occupancy_of(FuClass::IntAlu);
+        assert!(occ.freq(4) > 0.0, "expected at least one 4-wide cycle");
+    }
+
+    #[test]
+    fn dependent_chain_serialises() {
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), 0);
+        for _ in 0..20 {
+            b.addi(r(1), r(1), 1);
+        }
+        b.halt();
+        let p = b.build().expect("valid");
+        let res = run(&p);
+        assert!(res.halted);
+        assert_eq!(res.retired, 22);
+        // A 20-deep dependence chain needs at least 20 cycles.
+        assert!(res.cycles >= 20, "cycles = {}", res.cycles);
+        let occ = res.occupancy_of(FuClass::IntAlu);
+        assert!(occ.freq(1) > 0.8, "chain should issue one at a time");
+    }
+
+    #[test]
+    fn loop_exercises_branch_predictor() {
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label();
+        b.li(r(1), 100);
+        b.bind(top);
+        b.addi(r(1), r(1), -1);
+        b.bgtz(r(1), top);
+        b.halt();
+        let p = b.build().expect("valid");
+        let res = run(&p);
+        assert!(res.halted);
+        assert_eq!(res.branches.branches, 100);
+        // A bimodal predictor learns the loop quickly.
+        assert!(
+            res.branches.mispredict_rate() < 0.2,
+            "rate = {}",
+            res.branches.mispredict_rate()
+        );
+    }
+
+    #[test]
+    fn cache_misses_then_hits_on_reuse() {
+        let mut b = ProgramBuilder::new();
+        let base = b.data_words(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        b.li(r(1), base);
+        // Two passes over one cache line.
+        for pass in 0..2 {
+            for i in 0..8 {
+                b.lw(r(2 + (i % 4) as u8), r(1), i * 4 + pass * 0);
+            }
+        }
+        b.halt();
+        let p = b.build().expect("valid");
+        let res = run(&p);
+        assert!(res.cache.hits > res.cache.misses);
+    }
+
+    #[test]
+    fn energy_is_charged_per_issue() {
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), 0);
+        b.li(r(2), -1);
+        b.add(r(3), r(1), r(2));
+        b.add(r(4), r(2), r(2));
+        b.halt();
+        let p = b.build().expect("valid");
+        let res = run(&p);
+        assert_eq!(res.ledger.ops(FuClass::IntAlu), 4);
+        assert!(res.ledger.switched_bits(FuClass::IntAlu) > 0);
+    }
+
+    #[test]
+    fn fp_pipeline_reaches_the_fp_units() {
+        let mut b = ProgramBuilder::new();
+        b.fli(f(1), 1.5);
+        b.fli(f(2), 2.5);
+        b.fadd(f(3), f(1), f(2));
+        b.fmul(f(4), f(3), f(2));
+        b.halt();
+        let p = b.build().expect("valid");
+        let res = run(&p);
+        assert_eq!(res.ledger.ops(FuClass::FpAlu), 1);
+        assert_eq!(res.ledger.ops(FuClass::FpMul), 1);
+        assert!(res.booth_energy[FuClass::FpMul.index()] > 0.0);
+    }
+
+    #[test]
+    fn steering_reduces_energy_on_a_bimodal_stream() {
+        // Alternating all-zero and all-one operand pairs: FCFS ping-pongs
+        // every module, Full Ham separates the streams.
+        let build = || {
+            let mut b = ProgramBuilder::new();
+            let top = b.new_label();
+            b.li(r(1), 0);
+            b.li(r(2), -1);
+            b.li(r(5), 200);
+            b.bind(top);
+            b.add(r(3), r(1), r(1));
+            b.sub(r(4), r(2), r(2));
+            b.addi(r(5), r(5), -1);
+            b.bgtz(r(5), top);
+            b.halt();
+            b.build().expect("valid")
+        };
+        let p = build();
+        let mut base_sim = Simulator::new(MachineConfig::default(), SteeringConfig::original());
+        let base = base_sim.run_program(&p, 1_000_000).expect("runs");
+        let mut opt_sim = Simulator::new(
+            MachineConfig::default(),
+            SteeringConfig::paper_scheme(fua_steer::SteeringKind::FullHam, false),
+        );
+        let opt = opt_sim.run_program(&p, 1_000_000).expect("runs");
+        assert_eq!(base.retired, opt.retired, "timing-independent retire count");
+        assert!(
+            opt.ledger.switched_bits(FuClass::IntAlu)
+                <= base.ledger.switched_bits(FuClass::IntAlu),
+            "Full Ham must not exceed FCFS switching"
+        );
+    }
+
+    #[test]
+    fn rs_backpressure_does_not_lose_instructions() {
+        // A long chain of dependent divides clogs the IntMul RS; every
+        // instruction must still retire.
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), 1_000_000);
+        for _ in 0..30 {
+            b.alui(fua_isa::Opcode::Div, r(1), r(1), 1);
+        }
+        b.halt();
+        let p = b.build().expect("valid");
+        let res = run(&p);
+        assert!(res.halted);
+        assert_eq!(res.retired, 32);
+    }
+
+    #[test]
+    fn mispredicted_branch_stalls_fetch() {
+        // A data-dependent unpredictable branch pattern costs cycles.
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label();
+        let skip = b.new_label();
+        b.li(r(1), 64);
+        b.li(r(2), 0x5A5A_5A5A_u32 as i32); // pseudo-random bits
+        b.bind(top);
+        b.andi(r(3), r(2), 1);
+        b.srli(r(2), r(2), 1);
+        b.blez(r(3), skip);
+        b.addi(r(4), r(4), 1);
+        b.bind(skip);
+        b.addi(r(1), r(1), -1);
+        b.bgtz(r(1), top);
+        b.halt();
+        let p = b.build().expect("valid");
+        let res = run(&p);
+        assert!(res.halted);
+        assert!(res.branches.mispredicts > 0);
+    }
+}
+
+#[cfg(test)]
+mod in_order_tests {
+    use super::*;
+    use fua_isa::{IntReg, ProgramBuilder};
+
+    fn r(i: u8) -> IntReg {
+        IntReg::new(i)
+    }
+
+    /// Pointer chasing (dependent cache-missing loads) interleaved with
+    /// independent adds, on a machine with a single integer ALU: the OoO
+    /// core fills the ALU with the adds while the chase load's consumer
+    /// stalls at the head; the in-order core idles behind it.
+    fn shadow_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        // A pointer ring whose nodes are one cache line apart.
+        const NODES: i32 = 64;
+        let mut ring = vec![0i32; (NODES * 16) as usize];
+        for k in 0..NODES {
+            ring[(k * 16) as usize] = ((k + 1) % NODES) * 64;
+        }
+        let base = b.data_words(&ring);
+        let top = b.new_label();
+        b.li(r(1), base);
+        b.li(r(2), 2 * NODES);
+        b.bind(top);
+        b.lw(r(1), r(1), 0); // chase (frequent conflict misses)
+        b.addi(r(3), r(1), 5); // depends on the load: stalls at the head
+        for k in 4..10 {
+            b.addi(r(k), r(k), 1); // independent filler
+        }
+        b.addi(r(2), r(2), -1);
+        b.bgtz(r(2), top);
+        b.halt();
+        b.build().expect("valid")
+    }
+
+    fn narrow(mut m: MachineConfig) -> MachineConfig {
+        m.fu_counts[FuClass::IntAlu.index()] = 1;
+        m
+    }
+
+    #[test]
+    fn in_order_issue_costs_cycles_on_long_shadows() {
+        let p = shadow_program();
+        let mut ooo = Simulator::new(
+            narrow(MachineConfig::paper_default()),
+            SteeringConfig::original(),
+        );
+        let ooo_result = ooo.run_program(&p, 100_000).expect("runs");
+        let mut vliw = Simulator::new(narrow(MachineConfig::in_order()), SteeringConfig::original());
+        let vliw_result = vliw.run_program(&p, 100_000).expect("runs");
+        assert_eq!(ooo_result.retired, vliw_result.retired);
+        assert!(
+            vliw_result.cycles > ooo_result.cycles,
+            "in-order ({}) should be slower than OoO ({})",
+            vliw_result.cycles,
+            ooo_result.cycles
+        );
+    }
+
+    #[test]
+    fn in_order_issue_preserves_energy_accounting() {
+        // The same program charges the same FU operation counts whether
+        // issue is in-order or out-of-order.
+        let p = shadow_program();
+        let mut vliw = Simulator::new(narrow(MachineConfig::in_order()), SteeringConfig::original());
+        let in_order = vliw.run_program(&p, 100_000).expect("runs");
+        let mut ooo = Simulator::new(
+            narrow(MachineConfig::paper_default()),
+            SteeringConfig::original(),
+        );
+        let out_of_order = ooo.run_program(&p, 100_000).expect("runs");
+        assert!(in_order.halted);
+        assert_eq!(
+            in_order.ledger.ops(FuClass::IntAlu),
+            out_of_order.ledger.ops(FuClass::IntAlu)
+        );
+        assert!(in_order.ledger.switched_bits(FuClass::IntAlu) > 0);
+    }
+
+    #[test]
+    fn in_order_never_issues_past_a_stall() {
+        // With in-order issue, occupancy on the IALU can still reach 4
+        // (independent prefix), but a dependent chain caps it at 1.
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), 0);
+        for _ in 0..30 {
+            b.addi(r(1), r(1), 1);
+        }
+        b.halt();
+        let p = b.build().expect("valid");
+        let mut sim = Simulator::new(MachineConfig::in_order(), SteeringConfig::original());
+        let result = sim.run_program(&p, 10_000).expect("runs");
+        let occ = result.occupancy_of(FuClass::IntAlu);
+        assert!(occ.freq(1) > 0.9, "dependent chain must issue singly");
+    }
+}

@@ -1,0 +1,101 @@
+//! A 2-bit bimodal branch predictor.
+
+/// Classic bimodal predictor: a table of 2-bit saturating counters indexed
+/// by the static instruction index.
+///
+/// # Examples
+///
+/// ```
+/// use fua_sim::BimodalPredictor;
+///
+/// let mut p = BimodalPredictor::new(1024);
+/// // Counters start weakly not-taken; training flips the prediction.
+/// assert!(!p.predict(42));
+/// p.update(42, true);
+/// p.update(42, true);
+/// assert!(p.predict(42));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BimodalPredictor {
+    counters: Vec<u8>,
+}
+
+impl BimodalPredictor {
+    /// Creates a predictor with `entries` counters (rounded up to a power
+    /// of two), initialised weakly not-taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries >= 1);
+        BimodalPredictor {
+            counters: vec![1; entries.next_power_of_two()],
+        }
+    }
+
+    #[inline]
+    fn index(&self, static_idx: u32) -> usize {
+        static_idx as usize & (self.counters.len() - 1)
+    }
+
+    /// Predicts whether the branch at `static_idx` is taken.
+    #[inline]
+    pub fn predict(&self, static_idx: u32) -> bool {
+        self.counters[self.index(static_idx)] >= 2
+    }
+
+    /// Trains the counter with the actual outcome.
+    #[inline]
+    pub fn update(&mut self, static_idx: u32, taken: bool) {
+        let i = self.index(static_idx);
+        let c = &mut self.counters[i];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_at_both_ends() {
+        let mut p = BimodalPredictor::new(4);
+        for _ in 0..10 {
+            p.update(0, true);
+        }
+        assert!(p.predict(0));
+        p.update(0, false);
+        assert!(p.predict(0), "one miss does not flip a saturated counter");
+        for _ in 0..10 {
+            p.update(0, false);
+        }
+        assert!(!p.predict(0));
+    }
+
+    #[test]
+    fn aliasing_uses_low_bits() {
+        let mut p = BimodalPredictor::new(4);
+        p.update(0, true);
+        p.update(4, true); // aliases with 0
+        assert!(p.predict(0));
+    }
+
+    #[test]
+    fn loop_branch_trains_quickly() {
+        let mut p = BimodalPredictor::new(64);
+        let mut mispredicts = 0;
+        for i in 0..100 {
+            let taken = i % 10 != 9; // loop taken 9 of 10
+            if p.predict(7) != taken {
+                mispredicts += 1;
+            }
+            p.update(7, taken);
+        }
+        assert!(mispredicts < 25, "got {mispredicts}");
+    }
+}

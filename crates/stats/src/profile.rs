@@ -1,0 +1,244 @@
+//! Distilled case statistics consumed by the steering-LUT builder.
+
+use fua_isa::Case;
+
+/// Case statistics for one FU channel: everything the LUT construction
+/// algorithm of Section 4.3 needs.
+///
+/// A profile can come from a measurement run
+/// ([`crate::BitPatternProfiler::case_profile`]) or from the paper's
+/// published Table 1 ([`CaseProfile::paper_ialu`] /
+/// [`CaseProfile::paper_fpau`]), which lets unit tests check that the
+/// builder reproduces the paper's design decisions exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaseProfile {
+    /// `P(case)`, commutative and non-commutative combined. Sums to 1 for
+    /// non-empty channels.
+    pub case_freq: [f64; 4],
+    /// `P(case ∧ non-commutative)` — the hardware swap rule picks the
+    /// mixed case minimising this.
+    pub noncommutative_freq: [f64; 4],
+    /// Mean `P(bit = 1)` of OP1 within each case.
+    pub op1_ones_prob: [f64; 4],
+    /// Mean `P(bit = 1)` of OP2 within each case.
+    pub op2_ones_prob: [f64; 4],
+}
+
+impl CaseProfile {
+    /// Builds a profile from raw table rows
+    /// `(case, commutative, freq_pct, op1_prob, op2_prob)`.
+    pub fn from_rows(rows: &[(Case, bool, f64, f64, f64)]) -> Self {
+        let mut freq = [0.0; 4];
+        let mut noncomm = [0.0; 4];
+        let mut p1 = [0.0; 4];
+        let mut p2 = [0.0; 4];
+        for &(case, commutative, f, a, b) in rows {
+            let i = case.index();
+            freq[i] += f;
+            if !commutative {
+                noncomm[i] += f;
+            }
+            p1[i] += f * a;
+            p2[i] += f * b;
+        }
+        for i in 0..4 {
+            if freq[i] > 0.0 {
+                p1[i] /= freq[i];
+                p2[i] /= freq[i];
+            } else {
+                p1[i] = 0.5;
+                p2[i] = 0.5;
+            }
+        }
+        let total: f64 = freq.iter().sum();
+        if total > 0.0 {
+            for i in 0..4 {
+                freq[i] /= total;
+                noncomm[i] /= total;
+            }
+        }
+        CaseProfile {
+            case_freq: freq,
+            noncommutative_freq: noncomm,
+            op1_ones_prob: p1,
+            op2_ones_prob: p2,
+        }
+    }
+
+    /// The paper's Table 1, IALU columns.
+    pub fn paper_ialu() -> Self {
+        use Case::*;
+        Self::from_rows(&[
+            (C00, true, 40.11, 0.123, 0.068),
+            (C00, false, 29.38, 0.078, 0.040),
+            (C01, true, 9.56, 0.175, 0.594),
+            (C01, false, 0.58, 0.109, 0.820),
+            (C10, true, 17.07, 0.608, 0.089),
+            (C10, false, 1.51, 0.643, 0.048),
+            (C11, true, 1.52, 0.703, 0.822),
+            (C11, false, 0.27, 0.663, 0.719),
+        ])
+    }
+
+    /// The paper's Table 1, FPAU columns.
+    pub fn paper_fpau() -> Self {
+        use Case::*;
+        Self::from_rows(&[
+            (C00, true, 16.79, 0.099, 0.094),
+            (C00, false, 10.28, 0.107, 0.158),
+            (C01, true, 15.64, 0.188, 0.522),
+            (C01, false, 4.90, 0.132, 0.514),
+            (C10, true, 5.92, 0.513, 0.190),
+            (C10, false, 4.22, 0.500, 0.188),
+            (C11, true, 31.00, 0.508, 0.502),
+            (C11, false, 11.25, 0.507, 0.506),
+        ])
+    }
+
+    /// The paper's Table 3, integer-multiplication columns (multiplies are
+    /// commutative, so the non-commutative frequencies are zero).
+    pub fn paper_int_mul() -> Self {
+        use Case::*;
+        Self::from_rows(&[
+            (C00, true, 93.79, 0.116, 0.056),
+            (C01, true, 1.07, 0.055, 0.956),
+            (C10, true, 2.76, 0.838, 0.076),
+            (C11, true, 2.38, 0.71, 0.909),
+        ])
+    }
+
+    /// The paper's Table 3, floating-point-multiplication columns.
+    pub fn paper_fp_mul() -> Self {
+        use Case::*;
+        Self::from_rows(&[
+            (C00, true, 20.12, 0.139, 0.095),
+            (C01, true, 15.52, 0.160, 0.511),
+            (C10, true, 21.29, 0.527, 0.090),
+            (C11, true, 43.07, 0.274, 0.271),
+        ])
+    }
+
+    /// The least-frequent case — used to pad short LUT vectors (the
+    /// paper's `least`).
+    pub fn least_case(&self) -> Case {
+        let mut best = Case::C00;
+        for c in Case::ALL {
+            if self.case_freq[c.index()] < self.case_freq[best.index()] {
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// The most frequent case.
+    pub fn most_frequent_case(&self) -> Case {
+        let mut best = Case::C00;
+        for c in Case::ALL {
+            if self.case_freq[c.index()] > self.case_freq[best.index()] {
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Expected switched bits when an operation of case `next` issues to a
+    /// module whose latches last held an operation of case `prev`, for
+    /// operands `width` bits wide.
+    ///
+    /// Bits are modelled as independent with the per-case densities of the
+    /// profile: a bit flips with probability `p(1-q) + q(1-p)`.
+    pub fn expected_pair_cost(&self, prev: Case, next: Case, width: u32) -> f64 {
+        let flip = |p: f64, q: f64| p * (1.0 - q) + q * (1.0 - p);
+        let i = prev.index();
+        let j = next.index();
+        width as f64
+            * (flip(self.op1_ones_prob[i], self.op1_ones_prob[j])
+                + flip(self.op2_ones_prob[i], self.op2_ones_prob[j]))
+    }
+
+    /// The hardware swap rule of Section 4.4: among the two mixed cases,
+    /// swap the one with the lower frequency of *non-commutative*
+    /// instructions (those are the ones that cannot be flipped and would
+    /// keep causing mismatches).
+    pub fn hardware_swap_case(&self) -> Case {
+        if self.noncommutative_freq[Case::C01.index()]
+            <= self.noncommutative_freq[Case::C10.index()]
+        {
+            Case::C01
+        } else {
+            Case::C10
+        }
+    }
+}
+
+impl Default for CaseProfile {
+    /// A flat profile: uniform cases, half-dense operands.
+    fn default() -> Self {
+        CaseProfile {
+            case_freq: [0.25; 4],
+            noncommutative_freq: [0.05; 4],
+            op1_ones_prob: [0.5; 4],
+            op2_ones_prob: [0.5; 4],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ialu_frequencies_normalise() {
+        let p = CaseProfile::paper_ialu();
+        let sum: f64 = p.case_freq.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // Case 00 dominates: 69.49%.
+        assert!((p.case_freq[0] - 0.6949).abs() < 1e-3);
+        assert_eq!(p.most_frequent_case(), Case::C00);
+        // Case 11 is rarest for the IALU.
+        assert_eq!(p.least_case(), Case::C11);
+    }
+
+    #[test]
+    fn paper_fpau_most_frequent_is_11() {
+        let p = CaseProfile::paper_fpau();
+        assert_eq!(p.most_frequent_case(), Case::C11);
+        assert!((p.case_freq[3] - 0.4225).abs() < 1e-3);
+    }
+
+    #[test]
+    fn hardware_swap_cases_match_the_paper() {
+        // Section 4.4: swap case 01 for the IALU (row 4 < row 6), case 10
+        // for the FPAU (row 6 < row 4).
+        assert_eq!(CaseProfile::paper_ialu().hardware_swap_case(), Case::C01);
+        assert_eq!(CaseProfile::paper_fpau().hardware_swap_case(), Case::C10);
+    }
+
+    #[test]
+    fn expected_cost_is_zero_for_identical_dense_profiles() {
+        let mut p = CaseProfile::default();
+        p.op1_ones_prob = [0.0; 4];
+        p.op2_ones_prob = [0.0; 4];
+        assert_eq!(p.expected_pair_cost(Case::C00, Case::C00, 32), 0.0);
+    }
+
+    #[test]
+    fn expected_cost_penalises_opposite_cases() {
+        let p = CaseProfile::paper_ialu();
+        let same = p.expected_pair_cost(Case::C00, Case::C00, 32);
+        let opposite = p.expected_pair_cost(Case::C00, Case::C11, 32);
+        assert!(opposite > same);
+        // Mixed-after-opposite-mixed is the worst-case pattern the swap
+        // rule targets.
+        let mixed = p.expected_pair_cost(Case::C10, Case::C01, 32);
+        let aligned = p.expected_pair_cost(Case::C01, Case::C01, 32);
+        assert!(mixed > aligned);
+    }
+
+    #[test]
+    fn from_rows_handles_missing_cases() {
+        let p = CaseProfile::from_rows(&[(Case::C00, true, 100.0, 0.1, 0.1)]);
+        assert_eq!(p.case_freq[0], 1.0);
+        assert_eq!(p.op1_ones_prob[1], 0.5, "unseen case defaults to 0.5");
+    }
+}

@@ -1,0 +1,202 @@
+//! Minimum-cost injective assignment of instructions to modules.
+
+/// Finds the assignment of `n = cost.len()` instructions to distinct
+/// modules (columns) minimising the total cost, by exhaustive search with
+/// pruning. Returns the chosen module for each instruction.
+///
+/// The paper's machines have at most 4 instructions and a handful of
+/// modules per cycle, so exhaustive search is both exact and cheap; the
+/// hardware itself never runs this (it is the reference "optimal"
+/// assignment the LUT approximates).
+///
+/// # Panics
+///
+/// Panics if the cost matrix is ragged or has more rows than columns.
+///
+/// # Examples
+///
+/// ```
+/// use fua_steer::min_cost_assignment;
+///
+/// // Two instructions, three modules.
+/// let cost = vec![
+///     vec![10, 1, 10],
+///     vec![1, 10, 10],
+/// ];
+/// assert_eq!(min_cost_assignment(&cost), vec![1, 0]);
+/// ```
+pub fn min_cost_assignment(cost: &[Vec<u32>]) -> Vec<usize> {
+    let n = cost.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let m = cost[0].len();
+    assert!(
+        cost.iter().all(|row| row.len() == m),
+        "ragged cost matrix"
+    );
+    assert!(n <= m, "more instructions than modules");
+
+    // Explore each row's columns cheapest-first. Besides speeding up the
+    // pruning, this makes the tie-break deterministic and *row-priority*:
+    // among equal-total assignments the first row (oldest instruction)
+    // keeps its cheapest module — which matters when later rows are
+    // indistinguishable padding (see the LUT builder).
+    let order: Vec<Vec<usize>> = cost
+        .iter()
+        .map(|row| {
+            let mut idx: Vec<usize> = (0..m).collect();
+            idx.sort_by_key(|&c| row[c]);
+            idx
+        })
+        .collect();
+
+    let mut best = u64::MAX;
+    let mut best_assign = vec![0usize; n];
+    let mut current = vec![0usize; n];
+    let mut used = vec![false; m];
+    search(
+        cost,
+        &order,
+        0,
+        0,
+        &mut used,
+        &mut current,
+        &mut best,
+        &mut best_assign,
+    );
+    best_assign
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    cost: &[Vec<u32>],
+    order: &[Vec<usize>],
+    row: usize,
+    acc: u64,
+    used: &mut [bool],
+    current: &mut [usize],
+    best: &mut u64,
+    best_assign: &mut [usize],
+) {
+    if acc >= *best {
+        return; // prune
+    }
+    if row == cost.len() {
+        *best = acc;
+        best_assign.copy_from_slice(current);
+        return;
+    }
+    for &col in &order[row] {
+        if used[col] {
+            continue;
+        }
+        used[col] = true;
+        current[row] = col;
+        search(
+            cost,
+            order,
+            row + 1,
+            acc + cost[row][col] as u64,
+            used,
+            current,
+            best,
+            best_assign,
+        );
+        used[col] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force reference: try every permutation of column subsets.
+    fn reference_min(cost: &[Vec<u32>]) -> u64 {
+        fn go(cost: &[Vec<u32>], row: usize, used: &mut Vec<bool>) -> u64 {
+            if row == cost.len() {
+                return 0;
+            }
+            let mut best = u64::MAX;
+            for col in 0..cost[0].len() {
+                if used[col] {
+                    continue;
+                }
+                used[col] = true;
+                let sub = go(cost, row + 1, used);
+                if sub != u64::MAX {
+                    best = best.min(cost[row][col] as u64 + sub);
+                }
+                used[col] = false;
+            }
+            best
+        }
+        go(cost, 0, &mut vec![false; cost[0].len()])
+    }
+
+    fn total(cost: &[Vec<u32>], assign: &[usize]) -> u64 {
+        assign
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| cost[i][j] as u64)
+            .sum()
+    }
+
+    #[test]
+    fn empty_input_yields_empty_assignment() {
+        assert!(min_cost_assignment(&[]).is_empty());
+    }
+
+    #[test]
+    fn square_case_matches_reference() {
+        let cost = vec![
+            vec![4, 2, 8],
+            vec![4, 3, 7],
+            vec![3, 1, 6],
+        ];
+        let assign = min_cost_assignment(&cost);
+        assert_eq!(total(&cost, &assign), reference_min(&cost));
+        // All distinct.
+        let mut sorted = assign.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), assign.len());
+    }
+
+    #[test]
+    fn rectangular_case_uses_spare_columns() {
+        let cost = vec![vec![9, 9, 0, 9]];
+        assert_eq!(min_cost_assignment(&cost), vec![2]);
+    }
+
+    #[test]
+    fn pseudo_random_matrices_match_reference() {
+        // Small deterministic LCG so the test needs no external crates.
+        let mut state = 0x2545F491u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 100) as u32
+        };
+        for n in 1..=4 {
+            for m in n..=6 {
+                for _ in 0..20 {
+                    let cost: Vec<Vec<u32>> =
+                        (0..n).map(|_| (0..m).map(|_| next()).collect()).collect();
+                    let assign = min_cost_assignment(&cost);
+                    assert_eq!(
+                        total(&cost, &assign),
+                        reference_min(&cost),
+                        "n={n} m={m} cost={cost:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn more_rows_than_columns_panics() {
+        let cost = vec![vec![1], vec![2]];
+        let _ = min_cost_assignment(&cost);
+    }
+}

@@ -1,0 +1,146 @@
+//! The 1-bit-Hamming upper bound: optimal assignment over information bits.
+
+use fua_isa::Case;
+use fua_power::ModulePorts;
+use fua_vm::FuOp;
+
+use crate::{min_cost_assignment, ModuleChoice, SteeringPolicy};
+
+/// Optimal per-cycle assignment where each operand is summarised by its
+/// information bit — the *1-bit Ham* bar of Figure 4. This bounds what any
+/// scheme based solely on information bits (such as the LUTs) can achieve.
+#[derive(Debug, Clone, Copy)]
+pub struct OneBitHamPolicy {
+    allow_swap: bool,
+}
+
+impl OneBitHamPolicy {
+    /// Creates the policy; `allow_swap` lets it consider the swapped
+    /// operand order for commutative instructions.
+    pub fn new(allow_swap: bool) -> Self {
+        OneBitHamPolicy { allow_swap }
+    }
+
+    /// Information-bit distance between an instruction case and a module's
+    /// last case (0, 1 or 2 mismatching information bits).
+    fn case_cost(prev: Option<Case>, next: Case) -> u32 {
+        match prev {
+            None => 0,
+            Some(p) => {
+                (p.op1_bit() != next.op1_bit()) as u32 + (p.op2_bit() != next.op2_bit()) as u32
+            }
+        }
+    }
+}
+
+impl SteeringPolicy for OneBitHamPolicy {
+    fn name(&self) -> &str {
+        "1-bit Ham"
+    }
+
+    fn assign(&mut self, ops: &[FuOp], modules: &[ModulePorts]) -> Vec<ModuleChoice> {
+        let prev_cases: Vec<Option<Case>> = modules
+            .iter()
+            .map(|m| m.prev().map(|(a, b)| Case::of_operands(a, b)))
+            .collect();
+        let mut swap_table = vec![vec![false; modules.len()]; ops.len()];
+        let cost: Vec<Vec<u32>> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, op)| {
+                let case = op.case();
+                prev_cases
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &prev)| {
+                        let direct = Self::case_cost(prev, case);
+                        if self.allow_swap && op.commutative {
+                            let swapped = Self::case_cost(prev, case.swapped());
+                            if swapped < direct {
+                                swap_table[i][j] = true;
+                                return swapped;
+                            }
+                        }
+                        direct
+                    })
+                    .collect()
+            })
+            .collect();
+        let assignment = min_cost_assignment(&cost);
+        assignment
+            .iter()
+            .enumerate()
+            .map(|(i, &module)| ModuleChoice {
+                module,
+                swap: swap_table[i][module],
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::validate_choices;
+    use fua_isa::{FuClass, Word};
+
+    fn op(a: i32, b: i32, commutative: bool) -> FuOp {
+        FuOp {
+            class: FuClass::IntAlu,
+            op1: Word::int(a),
+            op2: Word::int(b),
+            commutative,
+        }
+    }
+
+    fn latched(pairs: &[(i32, i32)]) -> Vec<ModulePorts> {
+        pairs
+            .iter()
+            .map(|&(a, b)| {
+                let mut m = ModulePorts::new();
+                m.latch(Word::int(a), Word::int(b));
+                m
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_cases_not_values() {
+        // Module 0 last saw case 00 (with very different *values*); module
+        // 1 last saw case 11. A new case-00 op prefers module 0 even though
+        // its values differ wildly.
+        let modules = latched(&[(0x7FFF_0000, 0x0FFF_FFF0), (-1, -2)]);
+        let ops = [op(1, 2, false)];
+        let choices = OneBitHamPolicy::new(false).assign(&ops, &modules);
+        validate_choices(&ops, modules.len(), &choices);
+        assert_eq!(choices[0].module, 0);
+    }
+
+    #[test]
+    fn swap_fixes_mirrored_cases() {
+        // Module saw case 10; a commutative case-01 op swaps into 10.
+        let modules = latched(&[(-1, 1)]);
+        let ops = [op(1, -1, true)];
+        let choices = OneBitHamPolicy::new(true).assign(&ops, &modules);
+        assert!(choices[0].swap);
+        // Without swap permission the op still issues, unswapped.
+        let plain = OneBitHamPolicy::new(false).assign(&ops, &modules);
+        assert!(!plain[0].swap);
+    }
+
+    #[test]
+    fn non_commutative_ops_never_swap() {
+        let modules = latched(&[(-1, 1)]);
+        let ops = [op(1, -1, false)];
+        let choices = OneBitHamPolicy::new(true).assign(&ops, &modules);
+        assert!(!choices[0].swap);
+    }
+
+    #[test]
+    fn cold_modules_cost_nothing() {
+        let modules = vec![ModulePorts::new(); 2];
+        let ops = [op(-1, -1, false), op(1, 1, false)];
+        let choices = OneBitHamPolicy::new(false).assign(&ops, &modules);
+        validate_choices(&ops, modules.len(), &choices);
+    }
+}

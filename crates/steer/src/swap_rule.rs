@@ -1,0 +1,124 @@
+//! Section 4.4's static hardware swap rule.
+
+use fua_isa::Case;
+use fua_stats::CaseProfile;
+use fua_vm::FuOp;
+
+/// The hardware operand-swapping rule: *always* swap commutative
+/// instructions of one fixed mixed case (01 or 10), chosen at design time
+/// as the mixed case with the lower frequency of non-commutative
+/// instructions. The paper derives case 01 for the IALU and case 10 for
+/// the FPAU from Table 1.
+///
+/// The rule looks only at the current instruction — no comparison with
+/// previous values — which is what makes it cheap enough for hardware.
+///
+/// # Examples
+///
+/// ```
+/// use fua_isa::{Case, FuClass, Word};
+/// use fua_steer::HardwareSwapRule;
+/// use fua_vm::FuOp;
+///
+/// let rule = HardwareSwapRule::new(Case::C01);
+/// let mut op = FuOp {
+///     class: FuClass::IntAlu,
+///     op1: Word::int(1),
+///     op2: Word::int(-1),
+///     commutative: true,
+/// };
+/// assert!(rule.apply(&mut op));
+/// assert_eq!(op.case(), Case::C10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HardwareSwapRule {
+    case: Case,
+}
+
+impl HardwareSwapRule {
+    /// Creates a rule that swaps the given mixed case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `case` is not one of the mixed cases (01 or 10) —
+    /// swapping 00 or 11 cannot change the case and would be pointless.
+    pub fn new(case: Case) -> Self {
+        assert!(case.is_mixed(), "only mixed cases are worth swapping");
+        HardwareSwapRule { case }
+    }
+
+    /// Derives the rule from a profiled channel, per Section 4.4.
+    pub fn from_profile(profile: &CaseProfile) -> Self {
+        Self::new(profile.hardware_swap_case())
+    }
+
+    /// The case this rule swaps.
+    pub fn case(&self) -> Case {
+        self.case
+    }
+
+    /// Applies the rule in place; returns whether the operands were
+    /// swapped. Non-commutative instructions and other cases pass through
+    /// untouched.
+    pub fn apply(&self, op: &mut FuOp) -> bool {
+        if op.commutative && op.case() == self.case {
+            *op = op.swapped();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fua_isa::{FuClass, Word};
+
+    fn op(a: i32, b: i32, commutative: bool) -> FuOp {
+        FuOp {
+            class: FuClass::IntAlu,
+            op1: Word::int(a),
+            op2: Word::int(b),
+            commutative,
+        }
+    }
+
+    #[test]
+    fn swaps_only_the_configured_case() {
+        let rule = HardwareSwapRule::new(Case::C01);
+        let mut c01 = op(1, -1, true);
+        assert!(rule.apply(&mut c01));
+        assert_eq!(c01.case(), Case::C10);
+        let mut c10 = op(-1, 1, true);
+        assert!(!rule.apply(&mut c10));
+        assert_eq!(c10.case(), Case::C10);
+    }
+
+    #[test]
+    fn respects_commutativity() {
+        let rule = HardwareSwapRule::new(Case::C01);
+        let mut fixed = op(1, -1, false);
+        assert!(!rule.apply(&mut fixed));
+        assert_eq!(fixed.op1, Word::int(1));
+    }
+
+    #[test]
+    fn paper_rules_from_profiles() {
+        use fua_stats::CaseProfile;
+        assert_eq!(
+            HardwareSwapRule::from_profile(&CaseProfile::paper_ialu()).case(),
+            Case::C01
+        );
+        assert_eq!(
+            HardwareSwapRule::from_profile(&CaseProfile::paper_fpau()).case(),
+            Case::C10
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_mixed_case_is_rejected() {
+        let _ = HardwareSwapRule::new(Case::C00);
+    }
+}

@@ -1,0 +1,307 @@
+//! The profile-guided compiler swap pass.
+
+use std::collections::HashMap;
+
+use fua_isa::{Case, FuClass, Program};
+use fua_stats::BitPatternProfiler;
+use fua_vm::{Vm, VmError};
+
+/// Result of running [`CompilerSwapPass`].
+#[derive(Debug, Clone)]
+pub struct SwapOutcome {
+    /// The rewritten program.
+    pub program: Program,
+    /// Static indices whose operands were swapped (ascending).
+    pub swapped: Vec<usize>,
+    /// Static instructions that were legal to swap (executed at least
+    /// once, commutable in software).
+    pub considered: usize,
+}
+
+impl SwapOutcome {
+    /// Fraction of considered instructions that were swapped.
+    pub fn swap_rate(&self) -> f64 {
+        if self.considered == 0 {
+            0.0
+        } else {
+            self.swapped.len() as f64 / self.considered as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct OperandSums {
+    count: u64,
+    op1_ones: u64,
+    op2_ones: u64,
+    class: Option<FuClass>,
+}
+
+/// Minimum average bit-count difference (in bits per execution) before a
+/// swap is worthwhile. The compiler sees full counts, but a near-tie
+/// carries no signal — swapping on noise perturbs the operand streams the
+/// steering hardware is trying to keep homogeneous.
+const SWAP_MARGIN_BITS: u64 = 2;
+
+/// The profile-guided operand-swapping pass of Section 4.4.
+///
+/// Unlike the hardware rule, the compiler sees full bit counts and decides
+/// per *static* instruction from the average over the profiling run — the
+/// paper's listed strengths (full counts, opcode commutation) and
+/// weaknesses (one decision for all dynamic instances, immediates pinned)
+/// both follow from that.
+///
+/// The canonical operand order is derived from the same profile data the
+/// hardware swap rule uses (Section 4.4): the mixed case with the lower
+/// non-commutative frequency is the one that gets swapped away, so the
+/// compiler canonicalises *towards the surviving mixed case* — otherwise
+/// the two mechanisms would undo each other. Multiplier operands instead
+/// always put the ones-sparse value second (Booth power tracks OP2's 1s).
+#[derive(Debug, Clone, Copy)]
+pub struct CompilerSwapPass {
+    limit: u64,
+    forced_direction: Option<bool>,
+}
+
+impl CompilerSwapPass {
+    /// Creates the pass with the default profiling budget (2M retired
+    /// instructions).
+    pub fn new() -> Self {
+        CompilerSwapPass {
+            limit: 2_000_000,
+            forced_direction: None,
+        }
+    }
+
+    /// Sets the profiling instruction budget.
+    pub fn with_limit(limit: u64) -> Self {
+        CompilerSwapPass {
+            limit,
+            forced_direction: None,
+        }
+    }
+
+    /// Forces the ALU canonical direction instead of deriving it from the
+    /// profile: `true` = denser operand first (the paper's IALU), `false`
+    /// = sparser operand first. Used by tests and the direction ablation.
+    pub fn with_alu_direction(mut self, op1_dense_first: bool) -> Self {
+        self.forced_direction = Some(op1_dense_first);
+        self
+    }
+
+    /// Profiles `program` and returns a rewritten copy with beneficial
+    /// swaps applied.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`VmError`] raised while profiling.
+    pub fn run(&self, program: &Program) -> Result<SwapOutcome, VmError> {
+        let mut sums: HashMap<u32, OperandSums> = HashMap::new();
+        let mut class_patterns = vec![BitPatternProfiler::new(); 4];
+        let mut vm = Vm::new(program);
+        vm.run_with(self.limit, |op| {
+            let Some(fu) = op.fu else { return };
+            class_patterns[fu.class.index()].record(&fu);
+            let inst = program.inst(op.static_idx as usize);
+            if !inst.software_swappable() {
+                return;
+            }
+            let entry = sums.entry(op.static_idx).or_default();
+            entry.count += 1;
+            entry.op1_ones += fu.op1.ones() as u64;
+            entry.op2_ones += fu.op2.ones() as u64;
+            entry.class = Some(fu.class);
+        })?;
+
+        // Per-class canonical direction, from the measured case profile:
+        // if the hardware rule would swap case 01 away, the canonical
+        // mixed case is 10 (denser operand first), and vice versa.
+        let op1_dense_first: [bool; 4] = std::array::from_fn(|i| match self.forced_direction {
+            Some(d) => d,
+            None => class_patterns[i].case_profile().hardware_swap_case() == Case::C01,
+        });
+
+        let mut rewritten = program.clone();
+        let mut swapped = Vec::new();
+        for (&idx, s) in &sums {
+            let Some(class) = s.class else { continue };
+            let dense_first = op1_dense_first[class.index()];
+            if should_swap(class, dense_first, s.count, s.op1_ones, s.op2_ones) {
+                let inst = program.inst(idx as usize);
+                if let Some(flipped) = inst.swapped() {
+                    rewritten.replace_inst(idx as usize, flipped);
+                    swapped.push(idx as usize);
+                }
+            }
+        }
+        swapped.sort_unstable();
+        Ok(SwapOutcome {
+            program: rewritten,
+            swapped,
+            considered: sums.len(),
+        })
+    }
+}
+
+impl Default for CompilerSwapPass {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The canonical-order predicate (see [`CompilerSwapPass`]).
+fn should_swap(
+    class: FuClass,
+    op1_dense_first: bool,
+    count: u64,
+    op1_ones: u64,
+    op2_ones: u64,
+) -> bool {
+    let margin = SWAP_MARGIN_BITS * count;
+    match class {
+        // Multipliers: ones-sparse operand second, always (Booth).
+        FuClass::IntMul | FuClass::FpMul => op1_ones + margin < op2_ones,
+        // ALUs: follow the measured canonical direction.
+        FuClass::IntAlu | FuClass::FpAlu => {
+            if op1_dense_first {
+                op1_ones + margin < op2_ones
+            } else {
+                op2_ones + margin < op1_ones
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fua_isa::{IntReg, Opcode, ProgramBuilder};
+
+    fn r(i: u8) -> IntReg {
+        IntReg::new(i)
+    }
+
+    #[test]
+    fn integer_add_is_canonicalised_dense_first() {
+        // Small integer programs measure case 01 as the rarer
+        // non-commutative mixed case, so the canonical order is
+        // dense-operand-first, as in the paper's IALU.
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), 3); // 2 ones
+        b.li(r(2), -1); // 32 ones
+        b.add(r(3), r(1), r(2));
+        b.add(r(4), r(2), r(1)); // already canonical
+        b.halt();
+        let p = b.build().expect("valid");
+        let out = CompilerSwapPass::new()
+            .with_alu_direction(true)
+            .run(&p)
+            .expect("profiles");
+        assert_eq!(out.swapped, vec![2]);
+        assert_eq!(out.considered, 2);
+        // Swapped instruction now reads r2 first.
+        let inst = out.program.inst(2);
+        assert_eq!(inst.src1.reg(), Some(r(2).into()));
+    }
+
+    #[test]
+    fn comparison_swap_flips_the_opcode_and_preserves_semantics() {
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), 2); // sparse
+        b.li(r(2), -5); // dense
+        b.sgt(r(3), r(1), r(2)); // 2 > -5 => 1
+        b.halt();
+        let p = b.build().expect("valid");
+        let out = CompilerSwapPass::new()
+            .with_alu_direction(true)
+            .run(&p)
+            .expect("profiles");
+        assert_eq!(out.swapped, vec![2]);
+        assert_eq!(out.program.inst(2).op, Opcode::Slt);
+        // Semantics preserved: r3 = 1 either way.
+        let mut vm = Vm::new(&out.program);
+        vm.run(100).expect("runs");
+        assert_eq!(vm.int_reg(r(3)), 1);
+    }
+
+    #[test]
+    fn multiplies_put_the_sparse_operand_second() {
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), 16); // 1 one
+        b.li(r(2), 0x55555555u32 as i32); // 16 ones
+        b.mul(r(3), r(1), r(2)); // dense op2: swap
+        b.halt();
+        let p = b.build().expect("valid");
+        let out = CompilerSwapPass::new().run(&p).expect("profiles");
+        assert_eq!(out.swapped, vec![2]);
+        let mut vm = Vm::new(&out.program);
+        vm.run(100).expect("runs");
+        assert_eq!(vm.int_reg(r(3)), 16i32.wrapping_mul(0x55555555u32 as i32));
+    }
+
+    #[test]
+    fn immediates_and_noncommutable_ops_are_untouched() {
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), 1);
+        b.addi(r(2), r(1), 1000); // immediate: pinned
+        b.sub(r(3), r(1), r(2)); // non-commutable
+        b.halt();
+        let p = b.build().expect("valid");
+        let out = CompilerSwapPass::new().run(&p).expect("profiles");
+        assert!(out.swapped.is_empty());
+        assert_eq!(out.considered, 0);
+        assert_eq!(out.swap_rate(), 0.0);
+    }
+
+    #[test]
+    fn near_ties_are_left_alone() {
+        // Operands whose average densities differ by less than the margin
+        // are not worth perturbing.
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), 0b0011); // 2 ones
+        b.li(r(2), 0b0111); // 3 ones: only 1 bit denser
+        b.add(r(3), r(1), r(2));
+        b.halt();
+        let p = b.build().expect("valid");
+        let out = CompilerSwapPass::new().run(&p).expect("profiles");
+        assert!(out.swapped.is_empty());
+        assert_eq!(out.considered, 1);
+    }
+
+    #[test]
+    fn decision_uses_the_dynamic_average() {
+        // One static add sees (dense, sparse) twice and (sparse, dense)
+        // once: the average keeps it unswapped.
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label();
+        b.li(r(5), 3); // loop counter
+        b.li(r(1), -1);
+        b.li(r(2), 1);
+        b.bind(top);
+        b.add(r(3), r(1), r(2));
+        b.addi(r(5), r(5), -1);
+        b.bgtz(r(5), top);
+        b.halt();
+        let p = b.build().expect("valid");
+        let out = CompilerSwapPass::new()
+            .with_alu_direction(true)
+            .run(&p)
+            .expect("profiles");
+        // The add at index 3 stays put: op1 is denser on average.
+        assert!(!out.swapped.contains(&3));
+    }
+
+    #[test]
+    fn profiling_respects_the_budget() {
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label();
+        b.bind(top);
+        b.li(r(1), 1);
+        b.j(top);
+        b.halt();
+        let p = b.build().expect("valid");
+        // An infinite loop must still terminate under the budget.
+        let out = CompilerSwapPass::with_limit(1_000).run(&p).expect("bounded");
+        assert_eq!(out.swapped.len(), 0);
+    }
+}

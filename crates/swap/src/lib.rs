@@ -1,0 +1,49 @@
+//! Operand swapping beyond the hardware rule: the profile-guided compiler
+//! pass of Section 4.4 and the multiplier swap.
+//!
+//! The compiler pass ([`CompilerSwapPass`]) profiles a program once,
+//! averages the *full* bit counts of each static instruction's operands
+//! (not just information bits — the paper's "1 + 511 vs 511 + 1" example),
+//! and rewrites the binary: operands of commutative instructions are
+//! reordered into the canonical order the hardware steering expects, and
+//! comparison opcodes are commuted (`sgt` → `slt`) where the machine
+//! encoding alone could not express the swap. Immediate second operands
+//! are never swapped — the encoding pins them, exactly the limitation the
+//! paper lists.
+//!
+//! The multiplier swap ([`MultiplierSwapRule`]) targets the non-duplicated
+//! multipliers: a Booth multiplier's power grows with the number of 1s in
+//! its second operand, so the rule puts the ones-sparse operand second.
+//!
+//! # Examples
+//!
+//! ```
+//! use fua_isa::{IntReg, Opcode, ProgramBuilder};
+//! use fua_swap::CompilerSwapPass;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (r1, r2, r3) = (IntReg::new(1), IntReg::new(2), IntReg::new(3));
+//! let mut b = ProgramBuilder::new();
+//! b.li(r1, 1);          // sparse
+//! b.li(r2, -1);         // dense (all ones)
+//! b.add(r3, r1, r2);    // canonical IALU order wants the dense op first
+//! b.halt();
+//! let program = b.build()?;
+//!
+//! // Real programs derive the direction from their own profile; this toy
+//! // program pins it to the paper's IALU direction.
+//! let outcome = CompilerSwapPass::new().with_alu_direction(true).run(&program)?;
+//! assert_eq!(outcome.swapped, vec![2]);
+//! assert_eq!(outcome.program.inst(2).op, Opcode::Add);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compiler;
+mod multiplier;
+
+pub use compiler::{CompilerSwapPass, SwapOutcome};
+pub use multiplier::{MultiplierSwapRule, SwapMetric};

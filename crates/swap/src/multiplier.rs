@@ -1,0 +1,153 @@
+//! Runtime operand swapping for the non-duplicated multipliers.
+
+use fua_power::booth::significand;
+use fua_vm::FuOp;
+
+/// How operand "density" is measured when deciding a multiplier swap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SwapMetric {
+    /// Count of 1 bits in the recoded value — the paper's literal rule
+    /// ("the second operand is the one with fewer ones in it").
+    #[default]
+    Ones,
+    /// Count of non-zero radix-4 Booth digits — the quantity the partial
+    /// product array actually scales with (our extension model).
+    BoothDigits,
+}
+
+impl SwapMetric {
+    fn measure(self, w: fua_isa::Word) -> u32 {
+        let (value, width) = significand(w);
+        match self {
+            SwapMetric::Ones => value.count_ones(),
+            SwapMetric::BoothDigits => fua_power::booth::nonzero_booth_digits(value, width),
+        }
+    }
+}
+
+/// Hardware operand swapping for multipliers (Section 4.4, "Swapping for
+/// multiplier units"): steering is impossible with a single module, but a
+/// Booth multiplier is cheaper when the ones-sparse operand feeds the
+/// recoder, so the rule swaps whenever OP1 is sparser than OP2.
+///
+/// # Examples
+///
+/// ```
+/// use fua_isa::{FuClass, Word};
+/// use fua_swap::MultiplierSwapRule;
+/// use fua_vm::FuOp;
+///
+/// let rule = MultiplierSwapRule::new();
+/// let mut op = FuOp {
+///     class: FuClass::IntMul,
+///     op1: Word::int(16),                    // sparse
+///     op2: Word::int(0x5555_5555u32 as i32), // dense
+///     commutative: true,
+/// };
+/// assert!(rule.apply(&mut op));
+/// assert_eq!(op.op2, Word::int(16));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MultiplierSwapRule {
+    metric: SwapMetric,
+}
+
+impl MultiplierSwapRule {
+    /// Creates the rule with the paper's ones-count metric.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the rule with an explicit metric.
+    pub fn with_metric(metric: SwapMetric) -> Self {
+        MultiplierSwapRule { metric }
+    }
+
+    /// The metric in use.
+    pub fn metric(&self) -> SwapMetric {
+        self.metric
+    }
+
+    /// Whether the rule would swap this operation.
+    pub fn should_swap(&self, op: &FuOp) -> bool {
+        op.commutative && self.metric.measure(op.op1) < self.metric.measure(op.op2)
+    }
+
+    /// Applies the rule in place; returns whether a swap happened.
+    pub fn apply(&self, op: &mut FuOp) -> bool {
+        if self.should_swap(op) {
+            *op = op.swapped();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fua_isa::{FuClass, Word};
+
+    fn mul(a: Word, b: Word, commutative: bool) -> FuOp {
+        FuOp {
+            class: FuClass::IntMul,
+            op1: a,
+            op2: b,
+            commutative,
+        }
+    }
+
+    #[test]
+    fn dense_second_operand_triggers_a_swap() {
+        let rule = MultiplierSwapRule::new();
+        let mut op = mul(Word::int(2), Word::int(-1), true);
+        assert!(rule.apply(&mut op));
+        assert_eq!(op.op1, Word::int(-1));
+    }
+
+    #[test]
+    fn already_canonical_order_is_kept() {
+        let rule = MultiplierSwapRule::new();
+        let mut op = mul(Word::int(-1), Word::int(2), true);
+        assert!(!rule.apply(&mut op));
+    }
+
+    #[test]
+    fn division_is_never_swapped() {
+        let rule = MultiplierSwapRule::new();
+        let mut op = mul(Word::int(2), Word::int(-1), false); // div: not commutative
+        assert!(!rule.apply(&mut op));
+    }
+
+    #[test]
+    fn booth_metric_differs_from_ones_on_runs() {
+        // 0x00FF has 8 ones but only 2 booth digits; 0x0505 has 4 ones and
+        // 4 booth digits. The metrics rank them oppositely.
+        let run = Word::int(0x00FF);
+        let sparse = Word::int(0x0505);
+        let ones = MultiplierSwapRule::with_metric(SwapMetric::Ones);
+        let booth = MultiplierSwapRule::with_metric(SwapMetric::BoothDigits);
+        let op = mul(run, sparse, true);
+        // Ones: op1 has 8 ones > op2's 4 => no swap.
+        assert!(!ones.should_swap(&op));
+        // Booth: op1 has 2 digits < op2's 4 => swap (keep the cheap run in
+        // the recoder).
+        assert!(booth.should_swap(&op));
+    }
+
+    #[test]
+    fn fp_multiplies_use_the_significand() {
+        let rule = MultiplierSwapRule::new();
+        let round = Word::fp(2.0); // significand has a single one
+        let dense = Word::fp(0.1);
+        let mut op = FuOp {
+            class: FuClass::FpMul,
+            op1: round,
+            op2: dense,
+            commutative: true,
+        };
+        assert!(rule.apply(&mut op));
+        assert_eq!(op.op2, round);
+    }
+}

@@ -1,0 +1,199 @@
+//! Gate-count and logic-depth estimation.
+
+use std::collections::HashSet;
+
+use fua_steer::LutTable;
+
+use crate::{minimize, Implicant, Sop, TruthTable};
+
+/// A technology-independent cost estimate: 2-to-`fanin`-input simple
+/// gates (AND/OR/NOT), shared inverters and shared product terms.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GateEstimate {
+    /// Total simple gates.
+    pub gates: u32,
+    /// Logic depth in gate levels.
+    pub levels: u32,
+    /// Distinct product terms across all outputs.
+    pub product_terms: u32,
+    /// Total literals across the distinct product terms.
+    pub literals: u32,
+}
+
+fn tree_gates(leaves: u32, fanin: u32) -> u32 {
+    if leaves <= 1 {
+        0
+    } else {
+        // An n-leaf tree of f-input gates needs ceil((n-1)/(f-1)) nodes.
+        (leaves - 1).div_ceil(fanin - 1)
+    }
+}
+
+fn tree_levels(leaves: u32, fanin: u32) -> u32 {
+    if leaves <= 1 {
+        0
+    } else {
+        let mut levels = 0;
+        let mut n = leaves;
+        while n > 1 {
+            n = n.div_ceil(fanin);
+            levels += 1;
+        }
+        levels
+    }
+}
+
+/// Costs a multi-output two-level network with fan-in-`fanin` gates:
+/// shared input inverters, product terms deduplicated across outputs,
+/// AND trees per term, OR trees per output.
+///
+/// # Panics
+///
+/// Panics if `fanin < 2`.
+pub fn estimate_network(sops: &[Sop], fanin: u32) -> GateEstimate {
+    assert!(fanin >= 2, "gates need at least two inputs");
+
+    // Shared inverters: each input complemented anywhere costs one NOT.
+    let mut complemented: u16 = 0;
+    // Shared product terms.
+    let mut terms: HashSet<Implicant> = HashSet::new();
+    for sop in sops {
+        for t in &sop.terms {
+            complemented |= t.complemented_inputs();
+            if t.literals() >= 1 {
+                terms.insert(*t);
+            }
+        }
+    }
+
+    let inverters = complemented.count_ones();
+    let mut gates = inverters;
+    let mut literals = 0;
+    let mut max_and_levels = 0;
+    for t in &terms {
+        let k = t.literals();
+        literals += k;
+        gates += tree_gates(k, fanin);
+        max_and_levels = max_and_levels.max(tree_levels(k, fanin));
+    }
+
+    let mut max_or_levels = 0;
+    for sop in sops {
+        let t = sop.terms.len() as u32;
+        gates += tree_gates(t, fanin);
+        max_or_levels = max_or_levels.max(tree_levels(t, fanin));
+    }
+
+    let levels = (inverters > 0) as u32 + max_and_levels + max_or_levels;
+    GateEstimate {
+        gates,
+        levels,
+        product_terms: terms.len() as u32,
+        literals,
+    }
+}
+
+/// Costs the complete routing-control logic of Section 5 for a machine
+/// with `rs_entries` reservation-station entries: the minimised LUT plus
+/// the information-bit forwarding network that selects the vector bits
+/// from the first ready entries.
+///
+/// The forwarding model: each of the LUT's input bits is driven by a
+/// priority-select over the reservation station — a chain of 2:1 muxes
+/// (3 simple gates each) across `rs_entries` candidates, with depth
+/// logarithmic in the entry count. This reproduces the paper's scaling
+/// (more entries → more gates and more levels) without claiming
+/// gate-exact equivalence to their unpublished netlist.
+pub fn routing_cost(lut: &LutTable, rs_entries: u32, fanin: u32) -> GateEstimate {
+    let tt = TruthTable::from_lut(lut);
+    let sops: Vec<Sop> = (0..tt.outputs()).map(|o| minimize(&tt, o)).collect();
+    let core = estimate_network(&sops, fanin);
+
+    let vector_bits = lut.vector_bits() as u32;
+    // One (rs_entries:1) priority mux per vector bit: rs_entries-1 2:1
+    // muxes of 3 gates, log2(rs_entries) levels deep.
+    let mux_gates = vector_bits * 3 * rs_entries.saturating_sub(1) / 2;
+    let mux_levels = 32 - rs_entries.max(2).leading_zeros() - 1;
+
+    GateEstimate {
+        gates: core.gates + mux_gates,
+        levels: core.levels + mux_levels,
+        product_terms: core.product_terms,
+        literals: core.literals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fua_stats::CaseProfile;
+    use fua_steer::{LutBuilder, PAPER_FPAU_OCCUPANCY, PAPER_IALU_OCCUPANCY};
+
+    #[test]
+    fn tree_helpers_match_hand_counts() {
+        assert_eq!(tree_gates(1, 4), 0);
+        assert_eq!(tree_gates(4, 4), 1);
+        assert_eq!(tree_gates(5, 4), 2);
+        assert_eq!(tree_gates(8, 2), 7);
+        assert_eq!(tree_levels(4, 4), 1);
+        assert_eq!(tree_levels(5, 4), 2);
+        assert_eq!(tree_levels(8, 2), 3);
+    }
+
+    #[test]
+    fn shared_terms_are_counted_once() {
+        let t = Implicant { value: 0b01, mask: 0b11 };
+        let a = Sop { terms: vec![t], inputs: 2 };
+        let b = Sop { terms: vec![t], inputs: 2 };
+        let est = estimate_network(&[a, b], 4);
+        assert_eq!(est.product_terms, 1);
+    }
+
+    #[test]
+    fn paper_scale_gate_counts() {
+        // The paper: 4-bit LUT, 8 RS entries → 58 gates / 6 levels; 32
+        // entries → 130 gates / 8 levels. Our independent estimate should
+        // land in the same regime (tens of gates, < 10 levels) and scale
+        // the same way.
+        let lut = LutBuilder::new(CaseProfile::paper_ialu(), 32)
+            .occupancy(&PAPER_IALU_OCCUPANCY)
+            .build(2);
+        let small = routing_cost(&lut, 8, 4);
+        let large = routing_cost(&lut, 32, 4);
+        assert!(
+            (20..=120).contains(&small.gates),
+            "8-entry estimate out of regime: {small:?}"
+        );
+        assert!((4..=10).contains(&small.levels), "{small:?}");
+        assert!(large.gates > small.gates);
+        assert!(large.levels > small.levels);
+        assert!(
+            (80..=260).contains(&large.gates),
+            "32-entry estimate out of regime: {large:?}"
+        );
+    }
+
+    #[test]
+    fn bigger_luts_cost_more() {
+        let build = |slots| {
+            LutBuilder::new(CaseProfile::paper_fpau(), 52)
+                .occupancy(&PAPER_FPAU_OCCUPANCY)
+                .build(slots)
+        };
+        let two = routing_cost(&build(1), 8, 4);
+        let eight = routing_cost(&build(4), 8, 4);
+        assert!(eight.gates > two.gates);
+    }
+
+    #[test]
+    fn minimised_lut_still_computes_the_table() {
+        let lut = LutBuilder::new(CaseProfile::paper_ialu(), 32).build(2);
+        let tt = TruthTable::from_lut(&lut);
+        for o in 0..tt.outputs() {
+            let sop = minimize(&tt, o);
+            for m in 0..(1u16 << tt.inputs()) {
+                assert_eq!(sop.eval(m), tt.output(m, o));
+            }
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Gate-level cost estimation for the steering LUT.
+//!
+//! Section 5 of the paper claims the 4-bit-LUT routing logic costs "58
+//! small logic gates and 6 logic levels" on a machine with 8 reservation
+//! station entries, and "130 gates and 8 levels" with 32 entries. This
+//! crate rebuilds that estimate from first principles:
+//!
+//! 1. the built [`fua_steer::LutTable`] is expanded into a multi-output
+//!    [`TruthTable`];
+//! 2. each output is minimised to a sum-of-products with Quine–McCluskey
+//!    ([`minimize`]);
+//! 3. the network is costed with shared inverters, shared product terms
+//!    and fan-in-limited gate trees ([`estimate_network`]);
+//! 4. the information-bit forwarding network (priority-select over the
+//!    reservation-station entries) is added ([`routing_cost`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use fua_stats::CaseProfile;
+//! use fua_steer::LutBuilder;
+//! use fua_synth::{routing_cost, TruthTable};
+//!
+//! let lut = LutBuilder::new(CaseProfile::paper_ialu(), 32).build(2);
+//! let cost = routing_cost(&lut, 8, 4);
+//! assert!(cost.gates > 0 && cost.levels > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gates;
+mod qm;
+mod truth_table;
+
+pub use gates::{estimate_network, routing_cost, GateEstimate};
+pub use qm::{minimize, minimum_cover, prime_implicants, Implicant, Sop};
+pub use truth_table::TruthTable;

@@ -1,0 +1,287 @@
+//! Quine–McCluskey two-level minimisation.
+
+use std::collections::HashSet;
+
+use crate::TruthTable;
+
+/// A product term over the input variables: input `i` is fixed to
+/// `value` bit `i` wherever `mask` bit `i` is 1, free otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Implicant {
+    /// Fixed input values (only bits under `mask` are meaningful).
+    pub value: u16,
+    /// Which inputs the term tests.
+    pub mask: u16,
+}
+
+impl Implicant {
+    /// A minterm (all inputs fixed).
+    pub fn minterm(value: u16, inputs: usize) -> Self {
+        Implicant {
+            value,
+            mask: low_mask(inputs),
+        }
+    }
+
+    /// Whether the term covers `minterm`.
+    #[inline]
+    pub fn covers(&self, minterm: u16) -> bool {
+        (minterm ^ self.value) & self.mask == 0
+    }
+
+    /// Combines two terms differing in exactly one tested bit.
+    pub fn combine(&self, other: &Implicant) -> Option<Implicant> {
+        if self.mask != other.mask {
+            return None;
+        }
+        let diff = (self.value ^ other.value) & self.mask;
+        if diff.count_ones() != 1 {
+            return None;
+        }
+        Some(Implicant {
+            value: self.value & !diff,
+            mask: self.mask & !diff,
+        })
+    }
+
+    /// Number of literals (tested inputs) in the term.
+    pub fn literals(&self) -> u32 {
+        self.mask.count_ones()
+    }
+
+    /// Number of *complemented* literals, given the term's value bits.
+    pub fn complemented_inputs(&self) -> u16 {
+        self.mask & !self.value
+    }
+}
+
+fn low_mask(inputs: usize) -> u16 {
+    if inputs >= 16 {
+        u16::MAX
+    } else {
+        (1u16 << inputs) - 1
+    }
+}
+
+/// A minimised sum-of-products for one output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sop {
+    /// The product terms; empty for the constant-0 function, and a single
+    /// all-free term (`mask == 0`) for the constant-1 function.
+    pub terms: Vec<Implicant>,
+    /// Number of input variables.
+    pub inputs: usize,
+}
+
+/// Computes all prime implicants of the function whose ON-set is
+/// `minterms` (the classic tabulation step).
+pub fn prime_implicants(minterms: &[u16], inputs: usize) -> Vec<Implicant> {
+    let mut current: HashSet<Implicant> = minterms
+        .iter()
+        .map(|&m| Implicant::minterm(m, inputs))
+        .collect();
+    let mut primes = Vec::new();
+    while !current.is_empty() {
+        let items: Vec<Implicant> = current.iter().copied().collect();
+        let mut combined_flags = vec![false; items.len()];
+        let mut next = HashSet::new();
+        for i in 0..items.len() {
+            for j in (i + 1)..items.len() {
+                if let Some(c) = items[i].combine(&items[j]) {
+                    combined_flags[i] = true;
+                    combined_flags[j] = true;
+                    next.insert(c);
+                }
+            }
+        }
+        for (item, combined) in items.iter().zip(&combined_flags) {
+            if !combined {
+                primes.push(*item);
+            }
+        }
+        current = next;
+    }
+    primes.sort_unstable();
+    primes.dedup();
+    primes
+}
+
+/// Selects a small cover of `minterms` from `primes`: essential primes
+/// first, then a greedy most-coverage choice (optimal covers are
+/// NP-hard; greedy is the standard engineering compromise and is exact on
+/// every table in this workspace's tests).
+pub fn minimum_cover(primes: &[Implicant], minterms: &[u16]) -> Vec<Implicant> {
+    let mut uncovered: HashSet<u16> = minterms.iter().copied().collect();
+    let mut cover = Vec::new();
+
+    // Essential primes: sole cover of some minterm.
+    for &m in minterms {
+        let covering: Vec<&Implicant> = primes.iter().filter(|p| p.covers(m)).collect();
+        if covering.len() == 1 && !cover.contains(covering[0]) {
+            cover.push(*covering[0]);
+        }
+    }
+    for p in &cover {
+        uncovered.retain(|&m| !p.covers(m));
+    }
+
+    // Greedy for the rest.
+    while !uncovered.is_empty() {
+        let best = primes
+            .iter()
+            .filter(|p| !cover.contains(*p))
+            .max_by_key(|p| {
+                (
+                    uncovered.iter().filter(|&&m| p.covers(m)).count(),
+                    std::cmp::Reverse(p.literals()),
+                )
+            })
+            .copied()
+            .expect("primes cover every minterm");
+        uncovered.retain(|&m| !best.covers(m));
+        cover.push(best);
+    }
+    cover
+}
+
+/// Minimises one output of a truth table into a [`Sop`].
+pub fn minimize(tt: &TruthTable, output: usize) -> Sop {
+    let minterms = tt.minterms(output);
+    let primes = prime_implicants(&minterms, tt.inputs());
+    let terms = minimum_cover(&primes, &minterms);
+    Sop {
+        terms,
+        inputs: tt.inputs(),
+    }
+}
+
+impl Sop {
+    /// Evaluates the SOP at a minterm (for verification).
+    pub fn eval(&self, minterm: u16) -> bool {
+        self.terms.iter().any(|t| t.covers(minterm))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verify(tt: &TruthTable, output: usize) {
+        let sop = minimize(tt, output);
+        for m in 0..(1u16 << tt.inputs()) {
+            assert_eq!(
+                sop.eval(m),
+                tt.output(m, output),
+                "mismatch at minterm {m:04b}"
+            );
+        }
+    }
+
+    #[test]
+    fn xor_needs_two_terms() {
+        let tt = TruthTable::from_fn(2, 1, |m, _| (m & 1) ^ ((m >> 1) & 1) == 1);
+        let sop = minimize(&tt, 0);
+        assert_eq!(sop.terms.len(), 2);
+        verify(&tt, 0);
+    }
+
+    #[test]
+    fn and_collapses_to_one_term() {
+        let tt = TruthTable::from_fn(3, 1, |m, _| m == 0b111);
+        let sop = minimize(&tt, 0);
+        assert_eq!(sop.terms.len(), 1);
+        assert_eq!(sop.terms[0].literals(), 3);
+    }
+
+    #[test]
+    fn dominated_variables_are_eliminated() {
+        // f = x0 (x1, x2 irrelevant).
+        let tt = TruthTable::from_fn(3, 1, |m, _| m & 1 == 1);
+        let sop = minimize(&tt, 0);
+        assert_eq!(sop.terms.len(), 1);
+        assert_eq!(sop.terms[0].literals(), 1);
+        verify(&tt, 0);
+    }
+
+    #[test]
+    fn constant_functions() {
+        let zero = TruthTable::from_fn(2, 1, |_, _| false);
+        assert!(minimize(&zero, 0).terms.is_empty());
+        let one = TruthTable::from_fn(2, 1, |_, _| true);
+        let sop = minimize(&one, 0);
+        assert_eq!(sop.terms.len(), 1);
+        assert_eq!(sop.terms[0].literals(), 0);
+    }
+
+    #[test]
+    fn classic_textbook_example() {
+        // f(a,b,c,d) with ON-set {4,8,10,11,12,15}: known 4-term minimum.
+        let on = [4u16, 8, 10, 11, 12, 15];
+        let tt = TruthTable::from_fn(4, 1, |m, _| on.contains(&m));
+        let sop = minimize(&tt, 0);
+        verify(&tt, 0);
+        assert!(sop.terms.len() <= 4, "got {} terms", sop.terms.len());
+    }
+
+    #[test]
+    fn every_output_of_a_random_table_verifies() {
+        // Deterministic pseudo-random multi-output table.
+        let tt = TruthTable::from_fn(5, 3, |m, o| {
+            (m.wrapping_mul(2654435761u32 as u16) >> (o + 3)) & 1 == 1
+        });
+        for o in 0..3 {
+            verify(&tt, o);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The fundamental QM contract: for any function over up to 6
+        /// inputs, the minimised SOP computes the same function, and every
+        /// term is a prime implicant (no literal can be dropped).
+        #[test]
+        fn minimised_sop_is_exact_and_prime(
+            inputs in 1usize..=6,
+            seed: u64,
+        ) {
+            let size = 1usize << inputs;
+            let mut state = seed | 1;
+            let mut bits = Vec::with_capacity(size);
+            for _ in 0..size {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                bits.push((state >> 40) & 1 == 1);
+            }
+            let tt = crate::TruthTable::from_fn(inputs, 1, |m, _| bits[m as usize]);
+            let sop = minimize(&tt, 0);
+            for m in 0..size as u16 {
+                prop_assert_eq!(sop.eval(m), tt.output(m, 0), "wrong at {:b}", m);
+            }
+            // Primality: dropping any tested literal must break the cover
+            // (the widened term would cover an OFF minterm).
+            for term in &sop.terms {
+                let mut literal_bits = term.mask;
+                while literal_bits != 0 {
+                    let bit = literal_bits & literal_bits.wrapping_neg();
+                    literal_bits &= literal_bits - 1;
+                    let widened = Implicant {
+                        value: term.value & !bit,
+                        mask: term.mask & !bit,
+                    };
+                    let covers_off = (0..size as u16)
+                        .any(|m| widened.covers(m) && !tt.output(m, 0));
+                    prop_assert!(
+                        covers_off,
+                        "term {:?} is not prime: literal {:#b} is redundant",
+                        term,
+                        bit
+                    );
+                }
+            }
+        }
+    }
+}

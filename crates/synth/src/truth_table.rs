@@ -1,0 +1,123 @@
+//! Multi-output truth tables.
+
+use fua_steer::LutTable;
+
+/// A complete multi-output truth table over up to 16 inputs.
+///
+/// # Examples
+///
+/// ```
+/// use fua_synth::TruthTable;
+///
+/// // A 2-input XOR.
+/// let tt = TruthTable::from_fn(2, 1, |inputs, _| (inputs & 1) ^ ((inputs >> 1) & 1) == 1);
+/// assert!(tt.output(0b01, 0));
+/// assert!(!tt.output(0b11, 0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruthTable {
+    inputs: usize,
+    outputs: usize,
+    // bits[o][m] = value of output o at minterm m.
+    bits: Vec<Vec<bool>>,
+}
+
+impl TruthTable {
+    /// Builds a table by evaluating `f(minterm, output)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs > 16` or `outputs == 0`.
+    pub fn from_fn(inputs: usize, outputs: usize, f: impl Fn(u16, usize) -> bool) -> Self {
+        assert!(inputs <= 16, "too many inputs for exhaustive tables");
+        assert!(outputs >= 1);
+        let size = 1usize << inputs;
+        let bits = (0..outputs)
+            .map(|o| (0..size).map(|m| f(m as u16, o)).collect())
+            .collect();
+        TruthTable {
+            inputs,
+            outputs,
+            bits,
+        }
+    }
+
+    /// Expands a steering LUT: inputs are the vector bits, outputs are
+    /// `slots × ceil(log2(modules))` module-index bits (slot-major, least
+    /// significant bit first).
+    pub fn from_lut(lut: &LutTable) -> Self {
+        let mod_bits = usize::BITS as usize - (lut.modules() - 1).leading_zeros() as usize;
+        let mod_bits = mod_bits.max(1);
+        Self::from_fn(lut.vector_bits(), lut.slots() * mod_bits, |minterm, o| {
+            let slot = o / mod_bits;
+            let bit = o % mod_bits;
+            let module = lut.entry(minterm as usize)[slot];
+            (module >> bit) & 1 == 1
+        })
+    }
+
+    /// Number of inputs.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of outputs.
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// The value of `output` at `minterm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn output(&self, minterm: u16, output: usize) -> bool {
+        self.bits[output][minterm as usize]
+    }
+
+    /// The minterms on which `output` is 1.
+    pub fn minterms(&self, output: usize) -> Vec<u16> {
+        self.bits[output]
+            .iter()
+            .enumerate()
+            .filter_map(|(m, &v)| v.then_some(m as u16))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fua_stats::CaseProfile;
+    use fua_steer::LutBuilder;
+
+    #[test]
+    fn lut_expansion_round_trips() {
+        let lut = LutBuilder::new(CaseProfile::paper_ialu(), 32).build(2);
+        let tt = TruthTable::from_lut(&lut);
+        assert_eq!(tt.inputs(), 4);
+        assert_eq!(tt.outputs(), 2 * 2);
+        for vector in 0..16u16 {
+            let entry = lut.entry(vector as usize);
+            for slot in 0..2 {
+                let mut module = 0u8;
+                for bit in 0..2 {
+                    module |= (tt.output(vector, slot * 2 + bit) as u8) << bit;
+                }
+                assert_eq!(module, entry[slot]);
+            }
+        }
+    }
+
+    #[test]
+    fn minterms_enumerate_ones() {
+        let tt = TruthTable::from_fn(3, 1, |m, _| m % 2 == 1);
+        assert_eq!(tt.minterms(0), vec![1, 3, 5, 7]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_inputs_rejected() {
+        let _ = TruthTable::from_fn(17, 1, |_, _| false);
+    }
+}

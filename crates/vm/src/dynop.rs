@@ -1,0 +1,144 @@
+//! Dynamic instruction records emitted by the interpreter.
+
+use fua_isa::{Case, FuClass, Opcode, Reg, Word};
+
+/// A functional-unit operation with resolved operand values — the bits the
+/// FU's input latches will see when the operation issues.
+///
+/// For memory instructions this is the *effective-address add* executed on
+/// an integer ALU (`OP1` = base register value, `OP2` = sign-extended
+/// offset). For unary FP operations the second input port latches zero.
+///
+/// # Examples
+///
+/// ```
+/// use fua_isa::{Case, FuClass, Word};
+/// use fua_vm::FuOp;
+///
+/// let op = FuOp {
+///     class: FuClass::IntAlu,
+///     op1: Word::int(3),
+///     op2: Word::int(-1),
+///     commutative: true,
+/// };
+/// assert_eq!(op.case(), Case::C01);
+/// assert_eq!(op.swapped().case(), Case::C10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuOp {
+    /// Which FU pool executes the operation.
+    pub class: FuClass,
+    /// First input-port value.
+    pub op1: Word,
+    /// Second input-port value.
+    pub op2: Word,
+    /// Whether hardware may swap the two ports (the paper's
+    /// `Commutative(Ij)`).
+    pub commutative: bool,
+}
+
+impl FuOp {
+    /// The instruction's case: concatenated information bits of both ports.
+    #[inline]
+    pub fn case(&self) -> Case {
+        Case::of_operands(self.op1, self.op2)
+    }
+
+    /// The operation with its ports exchanged (callers must check
+    /// [`FuOp::commutative`] for legality).
+    #[inline]
+    pub fn swapped(&self) -> FuOp {
+        FuOp {
+            class: self.class,
+            op1: self.op2,
+            op2: self.op1,
+            commutative: self.commutative,
+        }
+    }
+}
+
+/// A memory access performed by a load or store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Byte address of the access.
+    pub addr: u32,
+    /// `true` for loads, `false` for stores.
+    pub is_load: bool,
+    /// Access width in bytes (4 or 8).
+    pub width: u8,
+}
+
+/// A resolved control-transfer outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchInfo {
+    /// Whether the branch was taken (always `true` for jumps).
+    pub taken: bool,
+    /// Instruction index control transfers to when taken.
+    pub target: u32,
+    /// Whether the transfer is unconditional.
+    pub unconditional: bool,
+}
+
+/// One retired dynamic instruction.
+///
+/// Every retired instruction produces a `DynOp`, including those that
+/// occupy no functional unit (jumps, halts, decode-level constant loads) —
+/// the timing model still spends fetch/decode bandwidth on them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynOp {
+    /// Program-order serial number (0-based).
+    pub serial: u64,
+    /// Index of the static instruction that produced this record.
+    pub static_idx: u32,
+    /// The opcode.
+    pub opcode: Opcode,
+    /// The functional-unit operation, if the instruction uses an FU.
+    pub fu: Option<FuOp>,
+    /// The memory access, for loads and stores.
+    pub mem: Option<MemAccess>,
+    /// The branch outcome, for control transfers.
+    pub branch: Option<BranchInfo>,
+    /// Source registers read (dependence tracking).
+    pub srcs: [Option<Reg>; 2],
+    /// Destination register written, if any.
+    pub dst: Option<Reg>,
+}
+
+impl DynOp {
+    /// Convenience accessor: the FU class, if the instruction executes on
+    /// one.
+    #[inline]
+    pub fn fu_class(&self) -> Option<FuClass> {
+        self.fu.map(|f| f.class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuop_swap_exchanges_ports() {
+        let op = FuOp {
+            class: FuClass::FpAlu,
+            op1: Word::fp(1.0),
+            op2: Word::fp(0.1),
+            commutative: true,
+        };
+        let s = op.swapped();
+        assert_eq!(s.op1, Word::fp(0.1));
+        assert_eq!(s.op2, Word::fp(1.0));
+        assert_eq!(s.swapped(), op);
+    }
+
+    #[test]
+    fn case_tracks_info_bits() {
+        let op = FuOp {
+            class: FuClass::IntAlu,
+            op1: Word::int(-5),
+            op2: Word::int(9),
+            commutative: false,
+        };
+        assert_eq!(op.case(), Case::C10);
+    }
+}

@@ -1,0 +1,61 @@
+//! Interpreter errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised while executing a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmError {
+    /// A memory access fell outside the configured memory.
+    OutOfBoundsMemory {
+        /// Faulting byte address.
+        addr: u32,
+        /// Access width in bytes.
+        width: u8,
+        /// Memory size in bytes.
+        mem_bytes: u32,
+    },
+    /// A memory access was not naturally aligned.
+    UnalignedAccess {
+        /// Faulting byte address.
+        addr: u32,
+        /// Access width in bytes.
+        width: u8,
+    },
+    /// An instruction's operand slots do not match its opcode's format
+    /// (possible only for hand-built [`fua_isa::Inst`] values that bypassed
+    /// the program builder).
+    MalformedInst {
+        /// Index of the malformed static instruction.
+        index: u32,
+    },
+    /// Control transferred outside the program text.
+    PcOutOfRange {
+        /// The faulting instruction index.
+        pc: u32,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::OutOfBoundsMemory {
+                addr,
+                width,
+                mem_bytes,
+            } => write!(
+                f,
+                "memory access of {width} bytes at {addr:#x} exceeds memory of {mem_bytes} bytes"
+            ),
+            VmError::UnalignedAccess { addr, width } => {
+                write!(f, "unaligned {width}-byte access at {addr:#x}")
+            }
+            VmError::MalformedInst { index } => {
+                write!(f, "malformed instruction at index {index}")
+            }
+            VmError::PcOutOfRange { pc } => write!(f, "program counter {pc} out of range"),
+        }
+    }
+}
+
+impl Error for VmError {}

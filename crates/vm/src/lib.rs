@@ -1,0 +1,49 @@
+//! Architectural interpreter for the functional-unit-assignment study.
+//!
+//! The [`Vm`] executes a [`fua_isa::Program`] at architectural level
+//! (registers + byte-addressable memory) and emits one [`DynOp`] per
+//! retired instruction. A `DynOp` carries everything the out-of-order
+//! timing model and the power model need: the functional-unit class, the
+//! *resolved operand values* (the bits the FU's input latches will see),
+//! source/destination registers for dependence tracking, memory addresses,
+//! and branch outcomes.
+//!
+//! The split mirrors trace-driven simulators such as SimpleScalar's
+//! `sim-outorder` front end: functional execution here, timing and power in
+//! the `fua-sim` crate.
+//!
+//! # Examples
+//!
+//! ```
+//! use fua_isa::{IntReg, ProgramBuilder};
+//! use fua_vm::Vm;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let r1 = IntReg::new(1);
+//! let mut b = ProgramBuilder::new();
+//! b.li(r1, 5);
+//! b.addi(r1, r1, 7);
+//! b.halt();
+//! let program = b.build()?;
+//!
+//! let mut vm = Vm::new(&program);
+//! let trace = vm.run(1_000)?;
+//! assert_eq!(trace.ops.len(), 3);
+//! assert!(trace.halted);
+//! assert_eq!(vm.int_reg(r1), 12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dynop;
+mod error;
+mod interp;
+#[cfg(test)]
+mod semantics_tests;
+
+pub use dynop::{BranchInfo, DynOp, FuOp, MemAccess};
+pub use error::VmError;
+pub use interp::{Trace, Vm, DEFAULT_MEM_BYTES};

@@ -1,0 +1,259 @@
+//! Exhaustive per-opcode semantic tests for the interpreter.
+
+use fua_isa::{FpReg, IntReg, Opcode, ProgramBuilder};
+
+use crate::Vm;
+
+fn r(i: u8) -> IntReg {
+    IntReg::new(i)
+}
+
+fn f(i: u8) -> FpReg {
+    FpReg::new(i)
+}
+
+/// Runs `op rd, a, b` and returns rd.
+fn int_op(op: Opcode, a: i32, b: i32) -> i32 {
+    let mut builder = ProgramBuilder::new();
+    builder.li(r(1), a);
+    builder.li(r(2), b);
+    builder.alu(op, r(3), r(1), r(2));
+    builder.halt();
+    let p = builder.build().expect("valid");
+    let mut vm = Vm::new(&p);
+    vm.run(10).expect("runs");
+    vm.int_reg(r(3))
+}
+
+/// Runs a binary FP op and returns the result.
+fn fp_op(op: Opcode, a: f64, b: f64) -> f64 {
+    let mut builder = ProgramBuilder::new();
+    builder.fli(f(1), a);
+    builder.fli(f(2), b);
+    builder.fpu(op, f(3), f(1), f(2));
+    builder.halt();
+    let p = builder.build().expect("valid");
+    let mut vm = Vm::new(&p);
+    vm.run(10).expect("runs");
+    vm.fp_reg(f(3))
+}
+
+/// Runs an FP compare and returns the integer flag.
+fn fp_cmp(op: Opcode, a: f64, b: f64) -> i32 {
+    let mut builder = ProgramBuilder::new();
+    builder.fli(f(1), a);
+    builder.fli(f(2), b);
+    builder.fcmp(op, r(3), f(1), f(2));
+    builder.halt();
+    let p = builder.build().expect("valid");
+    let mut vm = Vm::new(&p);
+    vm.run(10).expect("runs");
+    vm.int_reg(r(3))
+}
+
+#[test]
+fn arithmetic_and_logic() {
+    assert_eq!(int_op(Opcode::Add, 7, -3), 4);
+    assert_eq!(int_op(Opcode::Add, i32::MAX, 1), i32::MIN); // wrapping
+    assert_eq!(int_op(Opcode::Sub, 3, 10), -7);
+    assert_eq!(int_op(Opcode::Sub, i32::MIN, 1), i32::MAX); // wrapping
+    assert_eq!(int_op(Opcode::And, 0b1100, 0b1010), 0b1000);
+    assert_eq!(int_op(Opcode::Or, 0b1100, 0b1010), 0b1110);
+    assert_eq!(int_op(Opcode::Xor, 0b1100, 0b1010), 0b0110);
+    assert_eq!(int_op(Opcode::Nor, 0, 0), -1);
+    assert_eq!(int_op(Opcode::Nor, -1, 0), 0);
+}
+
+#[test]
+fn shifts_mask_the_amount() {
+    assert_eq!(int_op(Opcode::Sll, 1, 4), 16);
+    assert_eq!(int_op(Opcode::Sll, 1, 32), 1, "shift amount is mod 32");
+    assert_eq!(int_op(Opcode::Srl, -1, 28), 0xF);
+    assert_eq!(int_op(Opcode::Sra, -16, 2), -4);
+    assert_eq!(int_op(Opcode::Sra, 16, 2), 4);
+    assert_eq!(int_op(Opcode::Srl, i32::MIN, 31), 1);
+}
+
+#[test]
+fn comparison_family_is_consistent() {
+    for (a, b) in [(1, 2), (2, 1), (5, 5), (-3, 3), (i32::MIN, i32::MAX)] {
+        assert_eq!(int_op(Opcode::Slt, a, b), (a < b) as i32, "{a} slt {b}");
+        assert_eq!(int_op(Opcode::Sle, a, b), (a <= b) as i32, "{a} sle {b}");
+        assert_eq!(int_op(Opcode::Sgt, a, b), (a > b) as i32, "{a} sgt {b}");
+        assert_eq!(int_op(Opcode::Sge, a, b), (a >= b) as i32, "{a} sge {b}");
+        assert_eq!(int_op(Opcode::Seq, a, b), (a == b) as i32, "{a} seq {b}");
+        assert_eq!(int_op(Opcode::Sne, a, b), (a != b) as i32, "{a} sne {b}");
+        // The compiler-flip identity the swap pass relies on:
+        // a < b  ==  b > a, and so on.
+        assert_eq!(int_op(Opcode::Slt, a, b), int_op(Opcode::Sgt, b, a));
+        assert_eq!(int_op(Opcode::Sle, a, b), int_op(Opcode::Sge, b, a));
+    }
+}
+
+#[test]
+fn multiplier_family() {
+    assert_eq!(int_op(Opcode::Mul, 7, -3), -21);
+    assert_eq!(int_op(Opcode::Mul, 1 << 20, 1 << 20), 0, "low 32 bits");
+    assert_eq!(int_op(Opcode::Div, 22, 7), 3);
+    assert_eq!(int_op(Opcode::Div, -22, 7), -3, "truncating");
+    assert_eq!(int_op(Opcode::Rem, 22, 7), 1);
+    assert_eq!(int_op(Opcode::Rem, -22, 7), -1);
+}
+
+#[test]
+fn fp_arithmetic() {
+    assert_eq!(fp_op(Opcode::FAdd, 1.5, 2.25), 3.75);
+    assert_eq!(fp_op(Opcode::FSub, 1.5, 2.25), -0.75);
+    assert_eq!(fp_op(Opcode::FMul, 1.5, -2.0), -3.0);
+    assert_eq!(fp_op(Opcode::FDiv, 1.0, 4.0), 0.25);
+    assert!(fp_op(Opcode::FDiv, 1.0, 0.0).is_infinite());
+}
+
+#[test]
+fn fp_compares_and_their_flips() {
+    for (a, b) in [(1.0, 2.0), (2.0, 1.0), (1.5, 1.5), (-0.0, 0.0)] {
+        assert_eq!(fp_cmp(Opcode::FCmpLt, a, b), (a < b) as i32);
+        assert_eq!(fp_cmp(Opcode::FCmpLe, a, b), (a <= b) as i32);
+        assert_eq!(fp_cmp(Opcode::FCmpGt, a, b), (a > b) as i32);
+        assert_eq!(fp_cmp(Opcode::FCmpGe, a, b), (a >= b) as i32);
+        assert_eq!(fp_cmp(Opcode::FCmpEq, a, b), (a == b) as i32);
+        assert_eq!(fp_cmp(Opcode::FCmpNe, a, b), (a != b) as i32);
+        assert_eq!(fp_cmp(Opcode::FCmpLt, a, b), fp_cmp(Opcode::FCmpGt, b, a));
+    }
+    // NaN compares false on everything except Ne.
+    assert_eq!(fp_cmp(Opcode::FCmpLt, f64::NAN, 1.0), 0);
+    assert_eq!(fp_cmp(Opcode::FCmpEq, f64::NAN, f64::NAN), 0);
+    assert_eq!(fp_cmp(Opcode::FCmpNe, f64::NAN, f64::NAN), 1);
+}
+
+#[test]
+fn unary_fp_ops() {
+    let run = |build: &dyn Fn(&mut ProgramBuilder)| -> f64 {
+        let mut b = ProgramBuilder::new();
+        build(&mut b);
+        b.halt();
+        let p = b.build().expect("valid");
+        let mut vm = Vm::new(&p);
+        vm.run(10).expect("runs");
+        vm.fp_reg(f(2))
+    };
+    assert_eq!(
+        run(&|b| {
+            b.fli(f(1), -2.5);
+            b.fneg(f(2), f(1));
+        }),
+        2.5
+    );
+    assert_eq!(
+        run(&|b| {
+            b.fli(f(1), -2.5);
+            b.fabs(f(2), f(1));
+        }),
+        2.5
+    );
+    assert_eq!(
+        run(&|b| {
+            b.fli(f(1), 7.0);
+            b.fmov(f(2), f(1));
+        }),
+        7.0
+    );
+}
+
+#[test]
+fn conversions_truncate_and_saturate() {
+    let cvtfi = |v: f64| -> i32 {
+        let mut b = ProgramBuilder::new();
+        b.fli(f(1), v);
+        b.cvtfi(r(1), f(1));
+        b.halt();
+        let p = b.build().expect("valid");
+        let mut vm = Vm::new(&p);
+        vm.run(10).expect("runs");
+        vm.int_reg(r(1))
+    };
+    assert_eq!(cvtfi(2.9), 2);
+    assert_eq!(cvtfi(-2.9), -2);
+    assert_eq!(cvtfi(1e12), i32::MAX, "saturating");
+    assert_eq!(cvtfi(-1e12), i32::MIN);
+    assert_eq!(cvtfi(f64::NAN), 0);
+
+    let cvtif = |v: i32| -> f64 {
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), v);
+        b.cvtif(f(1), r(1));
+        b.halt();
+        let p = b.build().expect("valid");
+        let mut vm = Vm::new(&p);
+        vm.run(10).expect("runs");
+        vm.fp_reg(f(1))
+    };
+    assert_eq!(cvtif(-7), -7.0);
+    assert_eq!(cvtif(i32::MAX), i32::MAX as f64);
+}
+
+#[test]
+fn branch_family_semantics() {
+    // Each branch opcode, taken and not taken.
+    let run = |op: Opcode, a: i32, b_val: i32| -> bool {
+        let mut b = ProgramBuilder::new();
+        let taken = b.new_label();
+        b.li(r(1), a);
+        b.li(r(2), b_val);
+        match op {
+            Opcode::Beq => b.beq(r(1), r(2), taken),
+            Opcode::Bne => b.bne(r(1), r(2), taken),
+            Opcode::Blez => b.blez(r(1), taken),
+            _ => b.bgtz(r(1), taken),
+        }
+        b.li(r(3), 1); // fall-through marker
+        b.bind(taken);
+        b.halt();
+        let p = b.build().expect("valid");
+        let mut vm = Vm::new(&p);
+        vm.run(10).expect("runs");
+        vm.int_reg(r(3)) == 0
+    };
+    assert!(run(Opcode::Beq, 5, 5));
+    assert!(!run(Opcode::Beq, 5, 6));
+    assert!(run(Opcode::Bne, 5, 6));
+    assert!(!run(Opcode::Bne, 5, 5));
+    assert!(run(Opcode::Blez, 0, 0));
+    assert!(run(Opcode::Blez, -1, 0));
+    assert!(!run(Opcode::Blez, 1, 0));
+    assert!(run(Opcode::Bgtz, 1, 0));
+    assert!(!run(Opcode::Bgtz, 0, 0));
+}
+
+#[test]
+fn store_word_is_byte_exact() {
+    let mut b = ProgramBuilder::new();
+    let buf = b.alloc_data(16);
+    b.li(r(1), buf);
+    b.li(r(2), 0x1234_5678);
+    b.sw(r(2), r(1), 4);
+    b.lw(r(3), r(1), 4);
+    b.halt();
+    let p = b.build().expect("valid");
+    let mut vm = Vm::new(&p);
+    vm.run(10).expect("runs");
+    assert_eq!(vm.int_reg(r(3)), 0x1234_5678);
+    // Little-endian byte order in memory.
+    assert_eq!(vm.memory()[buf as usize + 4], 0x78);
+    assert_eq!(vm.memory()[buf as usize + 7], 0x12);
+}
+
+#[test]
+fn fp_memory_preserves_bit_patterns() {
+    let mut b = ProgramBuilder::new();
+    let buf = b.alloc_data(16);
+    b.li(r(1), buf);
+    b.fli(f(1), f64::from_bits(0x7FF8_0000_0000_0001)); // a quiet NaN payload
+    b.sf(f(1), r(1), 8);
+    b.lf(f(2), r(1), 8);
+    b.halt();
+    let p = b.build().expect("valid");
+    let mut vm = Vm::new(&p);
+    vm.run(10).expect("runs");
+    assert_eq!(vm.fp_reg(f(2)).to_bits(), 0x7FF8_0000_0000_0001);
+}

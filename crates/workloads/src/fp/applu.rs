@@ -1,0 +1,130 @@
+//! `applu` analogue: SSOR block solve with dense coefficients.
+//!
+//! Repeated 5×5 block matrix–vector products with full-precision
+//! coefficients, followed by a diagonal solve (`fdiv`). Operand
+//! character: dense mantissas dominating (case 11 heavy) with regular
+//! divider traffic — the counterweight to `mgrid`'s round values.
+
+use fua_isa::{FpReg, IntReg, Program, ProgramBuilder};
+
+use crate::util;
+
+const BLOCK: i32 = 5;
+const BLOCKS: i32 = 64;
+
+/// Builds the workload.
+pub fn build(scale: u32) -> Program {
+    build_with_input(scale, 0)
+}
+
+/// Builds the workload with an alternative input data set (see
+/// [`crate::all_with_input`]).
+pub fn build_with_input(scale: u32, input: u32) -> Program {
+    let mut rng = util::seeded_rng_input("applu", input);
+    let mut b = ProgramBuilder::new();
+
+    let n_mat = (BLOCKS * BLOCK * BLOCK) as usize;
+    let n_vec = (BLOCKS * BLOCK) as usize;
+    let mats = b.data_doubles(&util::mixed_doubles(&mut rng, n_mat, 0.1));
+    let vecs = b.data_doubles(&util::mixed_doubles(&mut rng, n_vec, 0.35));
+    // Diagonals bounded away from zero.
+    let diag_vals: Vec<f64> = (0..n_vec)
+        .map(|_| 1.0 + util::single_precision_double(&mut rng).abs())
+        .collect();
+    let diags = b.data_doubles(&diag_vals);
+    let result = b.alloc_data(8);
+
+    let blk = IntReg::new(1);
+    let rowi = IntReg::new(2);
+    let maddr = IntReg::new(4);
+    let vaddr = IntReg::new(5);
+    let daddr = IntReg::new(6);
+    let pass = IntReg::new(7);
+    let cond = IntReg::new(8);
+    let tmpreg = IntReg::new(9);
+    let addr = IntReg::new(10);
+
+    let acc = FpReg::new(1);
+    let a = FpReg::new(2);
+    let x = FpReg::new(3);
+    let d = FpReg::new(4);
+    let sum = FpReg::new(5);
+    let damp = FpReg::new(6);
+
+    b.fli(sum, 0.0);
+    b.fli(damp, 0.0625);
+    b.li(pass, 6 * scale as i32);
+
+    let outer = b.new_label();
+    let blk_loop = b.new_label();
+    let row_loop = b.new_label();
+
+    b.bind(outer);
+    b.li(blk, 0);
+    // Stepping pointers: maddr walks the matrix rows contiguously, vaddr
+    // rewinds to the block's vector each row.
+    b.li(maddr, mats);
+    b.bind(blk_loop);
+    b.li(rowi, 0);
+    b.bind(row_loop);
+    // acc = Σ_j A[blk][i][j] * x[blk][j], 5-way unrolled.
+    b.muli(vaddr, blk, BLOCK * 8);
+    b.addi(vaddr, vaddr, vecs);
+    b.lf(a, maddr, 0);
+    b.lf(x, vaddr, 0);
+    b.fmul(acc, a, x);
+    for j in 1..BLOCK {
+        b.lf(a, maddr, j * 8);
+        b.lf(x, vaddr, j * 8);
+        b.fmul(a, a, x);
+        b.fadd(acc, acc, a);
+    }
+    b.addi(maddr, maddr, BLOCK * 8);
+    // Diagonal solve and damped update: x[i] += damp * acc / d.
+    b.muli(daddr, blk, BLOCK);
+    b.add(daddr, daddr, rowi);
+    b.slli(daddr, daddr, 3);
+    b.addi(tmpreg, daddr, diags);
+    b.lf(d, tmpreg, 0);
+    b.fdiv(acc, acc, d);
+    b.fmul(acc, acc, damp);
+    b.addi(tmpreg, daddr, vecs);
+    b.lf(x, tmpreg, 0);
+    b.fadd(x, x, acc);
+    b.sf(x, tmpreg, 0);
+    b.fadd(sum, sum, acc);
+    b.addi(rowi, rowi, 1);
+    b.slti(cond, rowi, BLOCK);
+    b.bgtz(cond, row_loop);
+    b.addi(blk, blk, 1);
+    b.slti(cond, blk, BLOCKS);
+    b.bgtz(cond, blk_loop);
+    b.addi(pass, pass, -1);
+    b.bgtz(pass, outer);
+
+    b.li(addr, result);
+    b.sf(sum, addr, 0);
+    b.halt();
+    b.build().expect("applu workload assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fua_isa::Opcode;
+    use fua_vm::Vm;
+
+    #[test]
+    fn exercises_the_divider_and_stays_finite() {
+        let p = build(1);
+        let mut vm = Vm::new(&p);
+        let trace = vm.run(5_000_000).expect("runs");
+        assert!(trace.halted);
+        assert!(trace.ops.len() > 50_000);
+        let divides = trace.ops.iter().filter(|o| o.opcode == Opcode::FDiv).count();
+        assert!(divides > 500, "applu should use fdiv, saw {divides}");
+        let result =
+            ((BLOCKS * BLOCK * BLOCK) as u32 + 2 * (BLOCKS * BLOCK) as u32) * 8;
+        assert!(vm.read_double(result).expect("in range").is_finite());
+    }
+}

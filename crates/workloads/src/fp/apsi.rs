@@ -1,0 +1,120 @@
+//! `apsi` analogue: pseudo-spectral weather series evaluation.
+//!
+//! Evaluates truncated exponential-style series per grid column:
+//! `term = term * x / k` with the loop index cast to double (`cvtif`),
+//! accumulated into a temperature field, alternating with round-constant
+//! relaxation. Operand character: quotient-generated dense mantissas
+//! against int-cast divisors — a mixed regime between `mgrid` and
+//! `applu`.
+
+use fua_isa::{FpReg, IntReg, Program, ProgramBuilder};
+
+use crate::util;
+
+const COLUMNS: i32 = 256;
+const TERMS: i32 = 6;
+
+/// Builds the workload.
+pub fn build(scale: u32) -> Program {
+    build_with_input(scale, 0)
+}
+
+/// Builds the workload with an alternative input data set (see
+/// [`crate::all_with_input`]).
+pub fn build_with_input(scale: u32, input: u32) -> Program {
+    let mut rng = util::seeded_rng_input("apsi", input);
+    let mut b = ProgramBuilder::new();
+
+    let n = COLUMNS as usize;
+    // Column parameters arrive as single-precision observations.
+    let xs_vals: Vec<f64> = (0..n)
+        .map(|_| util::single_precision_double(&mut rng) * 0.5)
+        .collect();
+    let xs = b.data_doubles(&xs_vals);
+    let temp = b.data_doubles(&util::mixed_doubles(&mut rng, n, 0.6));
+    let result = b.alloc_data(8);
+
+    let col = IntReg::new(1);
+    let k = IntReg::new(2);
+    let addr = IntReg::new(3);
+    let taddr = IntReg::new(4);
+    let pass = IntReg::new(5);
+    let cond = IntReg::new(6);
+
+    let x = FpReg::new(1);
+    let term = FpReg::new(2);
+    let acc = FpReg::new(3);
+    let kf = FpReg::new(4);
+    let field = FpReg::new(5);
+    let relax = FpReg::new(6);
+    let one = FpReg::new(7);
+
+    b.fli(relax, 0.75);
+    b.fli(one, 1.0);
+    b.li(pass, 16 * scale as i32);
+
+    let outer = b.new_label();
+    let col_loop = b.new_label();
+    let term_loop = b.new_label();
+
+    b.bind(outer);
+    b.li(col, 0);
+    b.bind(col_loop);
+    b.slli(addr, col, 3);
+    b.addi(taddr, addr, temp);
+    b.addi(addr, addr, xs);
+    b.lf(x, addr, 0);
+    // exp-like series: acc = 1 + x + x^2/2 + ... + x^TERMS/TERMS!.
+    b.fmov(term, one);
+    b.fmov(acc, one);
+    b.li(k, 1);
+    b.bind(term_loop);
+    b.fmul(term, term, x);
+    b.cvtif(kf, k);
+    b.fdiv(term, term, kf);
+    b.fadd(acc, acc, term);
+    b.addi(k, k, 1);
+    b.slti(cond, k, TERMS + 1);
+    b.bgtz(cond, term_loop);
+    // Relaxation: T = 0.75*T + 0.25*acc.
+    b.lf(field, taddr, 0);
+    b.fmul(field, field, relax);
+    b.fsub(acc, acc, field);
+    b.fmul(acc, acc, relax);
+    b.fsub(acc, field, acc);
+    b.fadd(field, field, acc);
+    b.fmul(field, field, relax);
+    b.sf(field, taddr, 0);
+    b.addi(col, col, 1);
+    b.slti(cond, col, COLUMNS);
+    b.bgtz(cond, col_loop);
+    b.addi(pass, pass, -1);
+    b.bgtz(pass, outer);
+
+    b.li(addr, result);
+    b.sf(field, addr, 0);
+    b.halt();
+    b.build().expect("apsi workload assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fua_isa::Opcode;
+    use fua_vm::Vm;
+
+    #[test]
+    fn series_terms_divide_by_cast_indices() {
+        let p = build(1);
+        let mut vm = Vm::new(&p);
+        let trace = vm.run(8_000_000).expect("runs");
+        assert!(trace.halted);
+        assert!(trace.ops.len() > 50_000);
+        let casts = trace.ops.iter().filter(|o| o.opcode == Opcode::CvtIf).count();
+        let divs = trace.ops.iter().filter(|o| o.opcode == Opcode::FDiv).count();
+        assert!(casts > 10_000);
+        assert_eq!(casts, divs, "every term divides by a cast index");
+        let result = (2 * COLUMNS as u32) * 8;
+        assert!(vm.read_double(result).expect("in range").is_finite());
+    }
+}

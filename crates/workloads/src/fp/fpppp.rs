@@ -1,0 +1,117 @@
+//! `fpppp` analogue: quantum-chemistry multiply-add dependence chains.
+//!
+//! Long, mostly-serial fused update chains over electron-repulsion-like
+//! coefficient tables: `s = s * a + b`, unrolled over four accumulators
+//! with different tables. Operand character: the highest FP density and
+//! the lowest ILP of the suite — the FPAU occupancy stays near 1,
+//! matching `fpppp`'s reputation as the least parallel SPEC95 code.
+
+use fua_isa::{FpReg, IntReg, Program, ProgramBuilder};
+
+use crate::util;
+
+const COEFFS: i32 = 1024;
+
+/// Builds the workload.
+pub fn build(scale: u32) -> Program {
+    build_with_input(scale, 0)
+}
+
+/// Builds the workload with an alternative input data set (see
+/// [`crate::all_with_input`]).
+pub fn build_with_input(scale: u32, input: u32) -> Program {
+    let mut rng = util::seeded_rng_input("fpppp", input);
+    let mut b = ProgramBuilder::new();
+
+    let n = COEFFS as usize;
+    // Contraction factors just under 1 keep the chains stable.
+    let a_vals: Vec<f64> = (0..n)
+        .map(|_| 0.5 + 0.4 * util::full_precision_double(&mut rng).abs())
+        .collect();
+    let table_a = b.data_doubles(&a_vals);
+    let table_b = b.data_doubles(&util::mixed_doubles(&mut rng, n, 0.3));
+    let result = b.alloc_data(32);
+
+    let i = IntReg::new(1);
+    let aaddr = IntReg::new(2);
+    let baddr = IntReg::new(3);
+    let pass = IntReg::new(4);
+    let cond = IntReg::new(5);
+    let addr = IntReg::new(6);
+
+    let s0 = FpReg::new(1);
+    let s1 = FpReg::new(2);
+    let s2 = FpReg::new(3);
+    let s3 = FpReg::new(4);
+    let a = FpReg::new(5);
+    let c = FpReg::new(6);
+
+    b.fli(s0, 0.1);
+    b.fli(s1, 0.2);
+    b.fli(s2, 0.3);
+    b.fli(s3, 0.4);
+    b.li(pass, 12 * scale as i32);
+
+    let outer = b.new_label();
+    let chain = b.new_label();
+
+    b.bind(outer);
+    b.li(i, 0);
+    b.bind(chain);
+    b.slli(aaddr, i, 3);
+    b.addi(baddr, aaddr, table_b);
+    b.addi(aaddr, aaddr, table_a);
+    // Four staggered multiply-add chains over offset table slices.
+    b.lf(a, aaddr, 0);
+    b.lf(c, baddr, 0);
+    b.fmul(s0, s0, a);
+    b.fadd(s0, s0, c);
+    b.lf(a, aaddr, 8);
+    b.lf(c, baddr, 8);
+    b.fmul(s1, s1, a);
+    b.fsub(s1, s1, c);
+    b.lf(a, aaddr, 16);
+    b.lf(c, baddr, 16);
+    b.fmul(s2, s2, a);
+    b.fadd(s2, s2, c);
+    b.lf(a, aaddr, 24);
+    b.lf(c, baddr, 24);
+    b.fmul(s3, s3, a);
+    b.fsub(s3, s3, c);
+    // Cross-couple to keep magnitudes bounded: s0 ↔ s2, s1 ↔ s3.
+    b.fsub(s0, s0, s2);
+    b.fsub(s1, s1, s3);
+    b.addi(i, i, 4);
+    b.slti(cond, i, COEFFS - 4);
+    b.bgtz(cond, chain);
+    b.addi(pass, pass, -1);
+    b.bgtz(pass, outer);
+
+    b.li(addr, result);
+    b.sf(s0, addr, 0);
+    b.sf(s1, addr, 8);
+    b.sf(s2, addr, 16);
+    b.sf(s3, addr, 24);
+    b.halt();
+    b.build().expect("fpppp workload assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fua_vm::Vm;
+
+    #[test]
+    fn chains_stay_bounded() {
+        let p = build(1);
+        let mut vm = Vm::new(&p);
+        let trace = vm.run(8_000_000).expect("runs");
+        assert!(trace.halted);
+        assert!(trace.ops.len() > 50_000);
+        let result = (2 * COEFFS as u32) * 8;
+        for k in 0..4 {
+            let v = vm.read_double(result + k * 8).expect("in range");
+            assert!(v.is_finite(), "accumulator {k} diverged: {v}");
+        }
+    }
+}

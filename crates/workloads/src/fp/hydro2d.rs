@@ -1,0 +1,142 @@
+//! `hydro2d` analogue: hydrodynamical flux updates with limiters.
+//!
+//! Computes momentum fluxes (`rho * v`), central-difference pressure
+//! updates, and an upwind limiter driven by FP compares and `fabs`.
+//! Operand character: products of physical quantities (dense mantissas)
+//! mixed with halved differences, plus FPAU compare traffic none of the
+//! other kernels has.
+
+use fua_isa::{FpReg, IntReg, Opcode, Program, ProgramBuilder};
+
+use crate::util;
+
+const CELLS: i32 = 768;
+
+/// Builds the workload.
+pub fn build(scale: u32) -> Program {
+    build_with_input(scale, 0)
+}
+
+/// Builds the workload with an alternative input data set (see
+/// [`crate::all_with_input`]).
+pub fn build_with_input(scale: u32, input: u32) -> Program {
+    let mut rng = util::seeded_rng_input("hydro2d", input);
+    let mut b = ProgramBuilder::new();
+
+    let n = CELLS as usize;
+    // Densities near 1, velocities mixed-sign, pressures positive.
+    // Densities came through single-precision input files, as real
+    // hydro codes' initial conditions often do.
+    let rho_vals: Vec<f64> = (0..n)
+        .map(|_| 0.5 + util::single_precision_double(&mut rng).abs())
+        .collect();
+    let rho = b.data_doubles(&rho_vals);
+    let vel = b.data_doubles(&util::mixed_doubles(&mut rng, n, 0.5));
+    let pres_vals: Vec<f64> = (0..n)
+        .map(|_| 1.0 + util::single_precision_double(&mut rng).abs())
+        .collect();
+    let pres = b.data_doubles(&pres_vals);
+    let flux = b.alloc_data(n * 8);
+    let result = b.alloc_data(8);
+
+    let i = IntReg::new(1);
+    let addr = IntReg::new(2);
+    let faddr = IntReg::new(3);
+    let pass = IntReg::new(4);
+    let cond = IntReg::new(5);
+    let base = IntReg::new(6);
+
+    let r = FpReg::new(1);
+    let v = FpReg::new(2);
+    let f = FpReg::new(3);
+    let p = FpReg::new(4);
+    let t = FpReg::new(5);
+    let half = FpReg::new(6);
+    let sum = FpReg::new(7);
+    let zero = FpReg::new(8);
+    let damp = FpReg::new(9);
+
+    b.fli(half, 0.5);
+    b.fli(zero, 0.0);
+    b.fli(sum, 0.0);
+    b.fli(damp, 0.001);
+    b.li(pass, 9 * scale as i32);
+
+    let outer = b.new_label();
+    let flux_loop = b.new_label();
+    let update_loop = b.new_label();
+    let upwind = b.new_label();
+    let limited = b.new_label();
+
+    b.bind(outer);
+    // Pass 1: momentum flux f[i] = rho[i] * v[i].
+    b.li(i, 0);
+    b.bind(flux_loop);
+    b.slli(addr, i, 3);
+    b.addi(base, addr, rho);
+    b.lf(r, base, 0);
+    b.addi(base, addr, vel);
+    b.lf(v, base, 0);
+    b.fmul(f, r, v);
+    b.addi(faddr, addr, flux);
+    b.sf(f, faddr, 0);
+    b.addi(i, i, 1);
+    b.slti(cond, i, CELLS);
+    b.bgtz(cond, flux_loop);
+    // Pass 2: pressure update with an upwind limiter.
+    b.li(i, 1);
+    b.bind(update_loop);
+    b.slli(addr, i, 3);
+    b.addi(faddr, addr, flux);
+    b.lf(f, faddr, 0);
+    // limiter: if f < 0 use |f| damped, else central difference.
+    b.fcmp(Opcode::FCmpLt, cond, f, zero);
+    b.bgtz(cond, upwind);
+    b.lf(t, faddr, 8);
+    b.fsub(t, t, f);
+    b.fmul(t, t, half);
+    b.j(limited);
+    b.bind(upwind);
+    b.fabs(t, f);
+    b.fneg(t, t);
+    b.bind(limited);
+    b.fmul(t, t, damp);
+    b.addi(base, addr, pres);
+    b.lf(p, base, 0);
+    b.fadd(p, p, t);
+    b.sf(p, base, 0);
+    b.fadd(sum, sum, t);
+    b.addi(i, i, 1);
+    b.slti(cond, i, CELLS - 1);
+    b.bgtz(cond, update_loop);
+    b.addi(pass, pass, -1);
+    b.bgtz(pass, outer);
+
+    b.li(addr, result);
+    b.sf(sum, addr, 0);
+    b.halt();
+    b.build().expect("hydro2d workload assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fua_vm::Vm;
+
+    #[test]
+    fn fp_compares_steer_the_limiter() {
+        let p = build(1);
+        let mut vm = Vm::new(&p);
+        let trace = vm.run(5_000_000).expect("runs");
+        assert!(trace.halted);
+        assert!(trace.ops.len() > 50_000);
+        let cmps = trace
+            .ops
+            .iter()
+            .filter(|o| o.opcode == Opcode::FCmpLt)
+            .count();
+        assert!(cmps > 1_000, "hydro2d should compare fluxes, saw {cmps}");
+        let result = (4 * CELLS as u32) * 8;
+        assert!(vm.read_double(result).expect("in range").is_finite());
+    }
+}

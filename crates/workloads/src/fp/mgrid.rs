@@ -1,0 +1,142 @@
+//! `mgrid` analogue: multigrid relaxation with power-of-two weights.
+//!
+//! 1-D V-cycle-flavoured relaxation: each point is smoothed with a
+//! five-point kernel whose coefficients (0.5, 0.25, 0.125) are exact
+//! powers of two, alternating between a fine and a coarse array. Operand
+//! character: the most trailing-zero-rich kernel — most products carry a
+//! round factor, the regime where the FP information bit shines.
+
+use fua_isa::{FpReg, IntReg, Program, ProgramBuilder};
+
+use crate::util;
+
+const POINTS: i32 = 1024;
+
+/// Builds the workload.
+pub fn build(scale: u32) -> Program {
+    build_with_input(scale, 0)
+}
+
+/// Builds the workload with an alternative input data set (see
+/// [`crate::all_with_input`]).
+pub fn build_with_input(scale: u32, input: u32) -> Program {
+    let mut rng = util::seeded_rng_input("mgrid", input);
+    let mut b = ProgramBuilder::new();
+
+    let fine = b.data_doubles(&util::mixed_doubles(&mut rng, POINTS as usize, 0.85));
+    let coarse = b.data_doubles(&util::mixed_doubles(&mut rng, (POINTS / 2) as usize, 0.85));
+    let result = b.alloc_data(8);
+
+    let i = IntReg::new(1);
+    let addr = IntReg::new(2);
+    let caddr = IntReg::new(3);
+    let pass = IntReg::new(4);
+    let cond = IntReg::new(5);
+    let tmpreg = IntReg::new(6);
+
+    let x = FpReg::new(1);
+    let acc = FpReg::new(2);
+    let t = FpReg::new(3);
+    let w1 = FpReg::new(4);
+    let w2 = FpReg::new(5);
+    let w3 = FpReg::new(6);
+    let sum = FpReg::new(7);
+
+    b.fli(w1, 0.5);
+    b.fli(w2, 0.25);
+    b.fli(w3, 0.125);
+    b.fli(sum, 0.0);
+    b.li(pass, 10 * scale as i32);
+
+    let outer = b.new_label();
+    let smooth = b.new_label();
+    let restrict_loop = b.new_label();
+
+    b.bind(outer);
+    // Smooth the fine grid.
+    b.li(i, 2);
+    b.bind(smooth);
+    b.slli(addr, i, 3);
+    b.addi(addr, addr, fine);
+    b.lf(x, addr, 0);
+    b.fmul(acc, x, w1);
+    b.lf(t, addr, -8);
+    b.fmul(t, t, w2);
+    b.fadd(acc, acc, t);
+    b.lf(t, addr, 8);
+    b.fmul(t, t, w2);
+    b.fadd(acc, acc, t);
+    b.lf(t, addr, -16);
+    b.fmul(t, t, w3);
+    b.fadd(acc, acc, t);
+    b.lf(t, addr, 16);
+    b.fmul(t, t, w3);
+    b.fadd(acc, acc, t);
+    // Damp to keep the field bounded: x' = 0.5*x + 0.5*acc.
+    b.fmul(x, x, w1);
+    b.fmul(acc, acc, w1);
+    b.fadd(x, x, acc);
+    b.sf(x, addr, 0);
+    b.addi(i, i, 1);
+    b.slti(cond, i, POINTS - 2);
+    b.bgtz(cond, smooth);
+    // Restriction: coarse[j] = 0.25*fine[2j] + 0.25*fine[2j+1] + 0.5*coarse[j].
+    b.li(i, 0);
+    b.bind(restrict_loop);
+    b.slli(tmpreg, i, 4);
+    b.addi(addr, tmpreg, fine);
+    b.slli(tmpreg, i, 3);
+    b.addi(caddr, tmpreg, coarse);
+    b.lf(acc, addr, 0);
+    b.lf(t, addr, 8);
+    b.fadd(acc, acc, t);
+    b.fmul(acc, acc, w2);
+    b.lf(t, caddr, 0);
+    b.fmul(t, t, w1);
+    b.fadd(acc, acc, t);
+    b.sf(acc, caddr, 0);
+    b.fadd(sum, sum, acc);
+    b.addi(i, i, 1);
+    b.slti(cond, i, POINTS / 2);
+    b.bgtz(cond, restrict_loop);
+    b.addi(pass, pass, -1);
+    b.bgtz(pass, outer);
+
+    b.li(addr, result);
+    b.sf(sum, addr, 0);
+    b.halt();
+    b.build().expect("mgrid workload assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fua_isa::{FuClass, Word};
+    use fua_vm::Vm;
+
+    #[test]
+    fn is_trailing_zero_rich() {
+        let p = build(1);
+        let mut vm = Vm::new(&p);
+        let trace = vm.run(5_000_000).expect("runs");
+        assert!(trace.halted);
+        assert!(trace.ops.len() > 50_000);
+        // A healthy share of FPAU operands should have a clear (zero)
+        // information bit.
+        let (mut clear, mut total) = (0u64, 0u64);
+        for op in &trace.ops {
+            if let Some(fu) = op.fu {
+                if matches!(fu.class, FuClass::FpAlu | FuClass::FpMul) {
+                    total += 2;
+                    clear += !fu.op1.info_bit() as u64 + !fu.op2.info_bit() as u64;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            clear as f64 / total as f64 > 0.2,
+            "only {clear}/{total} operands were trailing-zero-rich"
+        );
+        let _ = Word::fp(0.0);
+    }
+}

@@ -1,0 +1,10 @@
+//! The eight floating-point workloads (SPEC95fp analogues).
+
+pub mod applu;
+pub mod apsi;
+pub mod fpppp;
+pub mod hydro2d;
+pub mod mgrid;
+pub mod swim;
+pub mod turb3d;
+pub mod wave5;

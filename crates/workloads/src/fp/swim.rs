@@ -1,0 +1,120 @@
+//! `swim` analogue: shallow-water 2-D stencil with round coefficients.
+//!
+//! Jacobi-style sweeps over two 32×32 double grids: each interior point
+//! becomes a weighted sum of its neighbours (weights 0.5/0.25 — exact
+//! powers of two) plus a coupling term from the second field. Operand
+//! character: the classic FPAU mix — trailing-zero-rich stencil weights
+//! and partially round field values against full-precision accumulations.
+
+use fua_isa::{FpReg, IntReg, Program, ProgramBuilder};
+
+use crate::util;
+
+const SIDE: i32 = 32;
+
+/// Builds the workload.
+pub fn build(scale: u32) -> Program {
+    build_with_input(scale, 0)
+}
+
+/// Builds the workload with an alternative input data set (see
+/// [`crate::all_with_input`]).
+pub fn build_with_input(scale: u32, input: u32) -> Program {
+    let mut rng = util::seeded_rng_input("swim", input);
+    let mut b = ProgramBuilder::new();
+
+    let n = (SIDE * SIDE) as usize;
+    let u = b.data_doubles(&util::mixed_doubles(&mut rng, n, 0.7));
+    let v = b.data_doubles(&util::mixed_doubles(&mut rng, n, 0.7));
+    let result = b.alloc_data(8);
+
+    let row = IntReg::new(1);
+    let col = IntReg::new(2);
+    let uaddr = IntReg::new(3);
+    let vaddr = IntReg::new(4);
+    let pass = IntReg::new(5);
+    let cond = IntReg::new(6);
+    let rowoff = IntReg::new(7);
+    let addr = IntReg::new(8);
+
+    let center = FpReg::new(1);
+    let acc = FpReg::new(2);
+    let tmp = FpReg::new(3);
+    let half = FpReg::new(4);
+    let quarter = FpReg::new(5);
+    let couple = FpReg::new(6);
+    let checksum = FpReg::new(7);
+
+    b.fli(half, 0.5);
+    b.fli(quarter, 0.25);
+    b.fli(checksum, 0.0);
+    b.li(pass, 6 * scale as i32);
+
+    let outer = b.new_label();
+    let row_loop = b.new_label();
+    let col_loop = b.new_label();
+
+    b.bind(outer);
+    b.li(row, 1);
+    b.bind(row_loop);
+    b.muli(rowoff, row, SIDE * 8);
+    b.li(col, 1);
+    b.bind(col_loop);
+    // uaddr = u + rowoff + col*8; vaddr likewise.
+    b.slli(addr, col, 3);
+    b.add(addr, addr, rowoff);
+    b.addi(uaddr, addr, u);
+    b.addi(vaddr, addr, v);
+    // acc = 0.25*(u[n] + u[s] + u[w] + u[e])
+    b.lf(acc, uaddr, -(SIDE * 8));
+    b.lf(tmp, uaddr, SIDE * 8);
+    b.fadd(acc, acc, tmp);
+    b.lf(tmp, uaddr, -8);
+    b.fadd(acc, acc, tmp);
+    b.lf(tmp, uaddr, 8);
+    b.fadd(acc, acc, tmp);
+    b.fmul(acc, acc, quarter);
+    // couple = 0.5 * v[center]
+    b.lf(couple, vaddr, 0);
+    b.fmul(couple, couple, half);
+    // u' = 0.5*u + 0.25*stencil + couple*0.25 (keeps values bounded).
+    b.lf(center, uaddr, 0);
+    b.fmul(center, center, half);
+    b.fmul(acc, acc, half);
+    b.fadd(center, center, acc);
+    b.fmul(couple, couple, quarter);
+    b.fadd(center, center, couple);
+    b.sf(center, uaddr, 0);
+    b.fadd(checksum, checksum, center);
+    b.addi(col, col, 1);
+    b.slti(cond, col, SIDE - 1);
+    b.bgtz(cond, col_loop);
+    b.addi(row, row, 1);
+    b.slti(cond, row, SIDE - 1);
+    b.bgtz(cond, row_loop);
+    b.addi(pass, pass, -1);
+    b.bgtz(pass, outer);
+
+    b.li(addr, result);
+    b.sf(checksum, addr, 0);
+    b.halt();
+    b.build().expect("swim workload assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fua_vm::Vm;
+
+    #[test]
+    fn converges_without_blowing_up() {
+        let p = build(1);
+        let mut vm = Vm::new(&p);
+        let trace = vm.run(5_000_000).expect("runs");
+        assert!(trace.halted);
+        assert!(trace.ops.len() > 50_000);
+        let result = 2 * (SIDE * SIDE) as u32 * 8;
+        let checksum = vm.read_double(result).expect("in range");
+        assert!(checksum.is_finite());
+    }
+}

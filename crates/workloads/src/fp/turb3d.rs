@@ -1,0 +1,141 @@
+//! `turb3d` analogue: FFT-style butterflies with dense twiddle factors.
+//!
+//! Strided radix-2 butterflies over a complex-like double array, each
+//! pair rotated by a precomputed full-precision twiddle factor. Operand
+//! character: almost entirely dense mantissas on both FPAU and FP
+//! multiplier — the workload where the FP information bit predicts
+//! *least*, stressing the scheme's worst case.
+
+use fua_isa::{FpReg, IntReg, Program, ProgramBuilder};
+
+use crate::util;
+
+const POINTS: i32 = 512; // complex points: 2 doubles each
+const STAGES: [i32; 4] = [1, 2, 4, 8];
+
+/// Builds the workload.
+pub fn build(scale: u32) -> Program {
+    build_with_input(scale, 0)
+}
+
+/// Builds the workload with an alternative input data set (see
+/// [`crate::all_with_input`]).
+pub fn build_with_input(scale: u32, input: u32) -> Program {
+    let mut rng = util::seeded_rng_input("turb3d", input);
+    let mut b = ProgramBuilder::new();
+
+    let n = (POINTS * 2) as usize;
+    let data = b.data_doubles(&util::mixed_doubles(&mut rng, n, 0.3));
+    // Twiddles: (cos, sin)-like dense pairs, norm < 1.
+    let twiddle_vals: Vec<f64> = (0..64)
+        .map(|_| util::full_precision_double(&mut rng) * 0.7)
+        .collect();
+    let twiddles = b.data_doubles(&twiddle_vals);
+    let result = b.alloc_data(8);
+
+    let i = IntReg::new(1);
+    let aaddr = IntReg::new(2);
+    let baddr = IntReg::new(3);
+    let waddr = IntReg::new(4);
+    let pass = IntReg::new(5);
+    let cond = IntReg::new(6);
+    let tmp = IntReg::new(7);
+    let addr = IntReg::new(8);
+
+    let ar = FpReg::new(1);
+    let ai = FpReg::new(2);
+    let br = FpReg::new(3);
+    let bi = FpReg::new(4);
+    let wr = FpReg::new(5);
+    let wi = FpReg::new(6);
+    let tr = FpReg::new(7);
+    let ti = FpReg::new(8);
+    let half = FpReg::new(9);
+
+    b.fli(half, 0.5);
+    b.li(pass, 4 * scale as i32);
+
+    let outer = b.new_label();
+
+    b.bind(outer);
+    for (s, &stride) in STAGES.iter().enumerate() {
+        let stage_loop = b.new_label();
+        b.li(i, 0);
+        b.bind(stage_loop);
+        // a = data[i], b = data[i + stride] (complex, 16 bytes each).
+        b.slli(aaddr, i, 4);
+        b.addi(aaddr, aaddr, data);
+        b.addi(baddr, aaddr, stride * 16);
+        // twiddle index = (i + stage) & 31, pairs of doubles.
+        b.addi(tmp, i, s as i32);
+        b.andi(tmp, tmp, 31);
+        b.slli(waddr, tmp, 4);
+        b.addi(waddr, waddr, twiddles);
+        b.lf(ar, aaddr, 0);
+        b.lf(ai, aaddr, 8);
+        b.lf(br, baddr, 0);
+        b.lf(bi, baddr, 8);
+        b.lf(wr, waddr, 0);
+        b.lf(wi, waddr, 8);
+        // t = w * b (complex multiply).
+        b.fmul(tr, wr, br);
+        b.fmul(ti, wi, bi);
+        b.fsub(tr, tr, ti);
+        b.fmul(ti, wr, bi);
+        b.fmul(bi, wi, br);
+        b.fadd(ti, ti, bi);
+        // a' = 0.5*(a + t); b' = 0.5*(a - t)  (damped to stay bounded).
+        b.fadd(br, ar, tr);
+        b.fmul(br, br, half);
+        b.fsub(ar, ar, tr);
+        b.fmul(ar, ar, half);
+        b.fadd(bi, ai, ti);
+        b.fmul(bi, bi, half);
+        b.fsub(ai, ai, ti);
+        b.fmul(ai, ai, half);
+        b.sf(br, aaddr, 0);
+        b.sf(bi, aaddr, 8);
+        b.sf(ar, baddr, 0);
+        b.sf(ai, baddr, 8);
+        b.addi(i, i, 1);
+        b.slti(cond, i, POINTS - stride);
+        b.bgtz(cond, stage_loop);
+    }
+    b.addi(pass, pass, -1);
+    b.bgtz(pass, outer);
+
+    b.li(addr, result);
+    b.sf(ar, addr, 0);
+    b.halt();
+    b.build().expect("turb3d workload assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fua_isa::FuClass;
+    use fua_vm::Vm;
+
+    #[test]
+    fn multiplier_sees_dense_operands() {
+        let p = build(1);
+        let mut vm = Vm::new(&p);
+        let trace = vm.run(8_000_000).expect("runs");
+        assert!(trace.halted);
+        assert!(trace.ops.len() > 50_000);
+        let (mut dense, mut total) = (0u64, 0u64);
+        for op in &trace.ops {
+            if let Some(fu) = op.fu {
+                if fu.class == FuClass::FpMul {
+                    total += 1;
+                    dense += fu.op1.info_bit() as u64;
+                }
+            }
+        }
+        assert!(total > 10_000);
+        assert!(
+            dense as f64 / total as f64 > 0.6,
+            "turb3d multiplies should be dense: {dense}/{total}"
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! `wave5` analogue: particle push with integer-cast coordinates.
+//!
+//! Advances particles under a round time step, converting positions to
+//! integer grid cells (`cvtfi`) to gather a field value, and converting a
+//! crossing counter back to double (`cvtif`). Operand character: the
+//! conversion-heavy kernel — int-cast doubles are one of the paper's
+//! three named sources of trailing-zero mantissas.
+
+use fua_isa::{FpReg, IntReg, Program, ProgramBuilder};
+
+use crate::util;
+
+const PARTICLES: i32 = 512;
+const GRID: i32 = 64;
+
+/// Builds the workload.
+pub fn build(scale: u32) -> Program {
+    build_with_input(scale, 0)
+}
+
+/// Builds the workload with an alternative input data set (see
+/// [`crate::all_with_input`]).
+pub fn build_with_input(scale: u32, input: u32) -> Program {
+    let mut rng = util::seeded_rng_input("wave5", input);
+    let mut b = ProgramBuilder::new();
+
+    let n = PARTICLES as usize;
+    // Magnitudes stay under GRID-2 so the first gather is in range.
+    let pos_vals: Vec<f64> = (0..n)
+        .map(|_| util::single_precision_double(&mut rng).abs() * 15.0)
+        .collect();
+    let pos = b.data_doubles(&pos_vals);
+    let vel = b.data_doubles(&util::mixed_doubles(&mut rng, n, 0.6));
+    let field = b.data_doubles(&util::mixed_doubles(&mut rng, GRID as usize, 0.75));
+    let result = b.alloc_data(16);
+
+    let i = IntReg::new(1);
+    let addr = IntReg::new(2);
+    let cell = IntReg::new(3);
+    let faddr = IntReg::new(4);
+    let pass = IntReg::new(5);
+    let cond = IntReg::new(6);
+    let crossings = IntReg::new(7);
+    let base = IntReg::new(8);
+
+    let x = FpReg::new(1);
+    let v = FpReg::new(2);
+    let e = FpReg::new(3);
+    let dt = FpReg::new(4);
+    let qm = FpReg::new(5);
+    let lim = FpReg::new(6);
+    let t = FpReg::new(7);
+
+    b.fli(dt, 0.25);
+    b.fli(qm, 0.5);
+    b.fli(lim, GRID as f64 - 2.0);
+    b.li(crossings, 0);
+    b.li(pass, 22 * scale as i32);
+
+    let outer = b.new_label();
+    let push = b.new_label();
+    let wrapped = b.new_label();
+
+    b.bind(outer);
+    b.li(i, 0);
+    b.bind(push);
+    b.slli(addr, i, 3);
+    b.addi(base, addr, pos);
+    b.lf(x, base, 0);
+    // Gather: cell = (int)x, e = field[cell].
+    b.cvtfi(cell, x);
+    b.slli(faddr, cell, 3);
+    b.addi(faddr, faddr, field);
+    b.lf(e, faddr, 0);
+    // v += qm * e * dt; x += v * dt.
+    b.fmul(e, e, qm);
+    b.fmul(e, e, dt);
+    b.addi(faddr, addr, vel);
+    b.lf(v, faddr, 0);
+    b.fadd(v, v, e);
+    b.sf(v, faddr, 0);
+    b.fmul(t, v, dt);
+    b.fadd(x, x, t);
+    // Reflect out-of-range particles back towards the middle and count
+    // the crossing (int counter cast to double to perturb the velocity —
+    // the paper's "incrementing a floating point variable" pattern).
+    b.fabs(x, x);
+    b.fcmp(fua_isa::Opcode::FCmpLt, cond, x, lim);
+    b.bgtz(cond, wrapped);
+    b.fmov(x, lim);
+    b.fmul(x, x, qm);
+    b.addi(crossings, crossings, 1);
+    b.cvtif(t, crossings);
+    b.fmul(t, t, dt);
+    b.fadd(v, v, t);
+    b.sf(v, faddr, 0);
+    b.bind(wrapped);
+    b.sf(x, base, 0);
+    b.addi(i, i, 1);
+    b.slti(cond, i, PARTICLES);
+    b.bgtz(cond, push);
+    b.addi(pass, pass, -1);
+    b.bgtz(pass, outer);
+
+    b.li(addr, result);
+    b.sw(crossings, addr, 8);
+    b.halt();
+    b.build().expect("wave5 workload assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fua_isa::Opcode;
+    use fua_vm::Vm;
+
+    #[test]
+    fn conversions_flow_both_ways() {
+        let p = build(1);
+        let mut vm = Vm::new(&p);
+        let trace = vm.run(8_000_000).expect("runs");
+        assert!(trace.halted);
+        assert!(trace.ops.len() > 50_000);
+        let to_int = trace.ops.iter().filter(|o| o.opcode == Opcode::CvtFi).count();
+        let to_fp = trace.ops.iter().filter(|o| o.opcode == Opcode::CvtIf).count();
+        assert!(to_int > 5_000, "gather casts, saw {to_int}");
+        assert!(to_fp > 0, "counter casts, saw {to_fp}");
+    }
+}

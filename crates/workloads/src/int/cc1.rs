@@ -1,0 +1,114 @@
+//! `cc1` analogue: compiler symbol-table hashing with linear probing.
+//!
+//! Interns a stream of symbol keys into an open-addressed hash table:
+//! multiplicative hash, linear probe with wraparound, compare, insert on
+//! an empty slot. Operand character: pointer arithmetic against table
+//! bases, equality compares between wide keys, occasional remainders —
+//! the most lookup-bound integer kernel.
+
+use fua_isa::{IntReg, Opcode, Program, ProgramBuilder};
+
+use crate::util;
+
+const KEYS: usize = 1536;
+const TABLE: i32 = 4096;
+
+/// Builds the workload.
+pub fn build(scale: u32) -> Program {
+    build_with_input(scale, 0)
+}
+
+/// Builds the workload with an alternative input data set (see
+/// [`crate::all_with_input`]).
+pub fn build_with_input(scale: u32, input: u32) -> Program {
+    let mut rng = util::seeded_rng_input("cc1", input);
+    let mut b = ProgramBuilder::new();
+
+    // Keys repeat (symbols are re-interned constantly in a compiler).
+    let mut keys = util::random_words(&mut rng, KEYS / 2, 1, i32::MAX);
+    let repeats = keys.clone();
+    keys.extend(repeats);
+    let key_base = b.data_words(&keys);
+    let table = b.alloc_data(TABLE as usize * 4);
+    let result = b.alloc_data(8);
+
+    let kptr = IntReg::new(1);
+    let key = IntReg::new(2);
+    let slot = IntReg::new(3);
+    let addr = IntReg::new(4);
+    let probe = IntReg::new(5);
+    let tab = IntReg::new(6);
+    let i = IntReg::new(7);
+    let pass = IntReg::new(8);
+    let hits = IntReg::new(9);
+    let cond = IntReg::new(10);
+
+    b.li(tab, table);
+    b.li(hits, 0);
+    b.li(pass, 3 * scale as i32);
+
+    let outer = b.new_label();
+    let key_loop = b.new_label();
+    let probe_loop = b.new_label();
+    let insert = b.new_label();
+    let found = b.new_label();
+    let next_key = b.new_label();
+
+    b.bind(outer);
+    b.li(kptr, key_base);
+    b.li(i, KEYS as i32);
+    b.bind(key_loop);
+    b.lw(key, kptr, 0);
+    // hash = (key * 0x61C9) mod TABLE, via mask.
+    b.muli(slot, key, 0x61C9);
+    b.srli(slot, slot, 8);
+    b.andi(slot, slot, TABLE - 1);
+    b.bind(probe_loop);
+    b.slli(addr, slot, 2);
+    b.add(addr, addr, tab);
+    b.lw(probe, addr, 0);
+    b.beq(probe, key, found);
+    b.blez(probe, insert); // empty slot (0) terminates the probe
+    // Linear probe with wraparound.
+    b.addi(slot, slot, 1);
+    b.alui(Opcode::Rem, slot, slot, TABLE);
+    b.j(probe_loop);
+    b.bind(insert);
+    b.sw(key, addr, 0);
+    b.j(next_key);
+    b.bind(found);
+    b.addi(hits, hits, 1);
+    b.bind(next_key);
+    b.addi(kptr, kptr, 4);
+    b.addi(i, i, -1);
+    b.bgtz(i, key_loop);
+    b.addi(pass, pass, -1);
+    b.bgtz(pass, outer);
+
+    b.li(addr, result);
+    b.sw(hits, addr, 0);
+    b.halt();
+    let _ = cond;
+    b.build().expect("cc1 workload assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fua_vm::Vm;
+
+    #[test]
+    fn repeated_keys_hit_after_first_intern() {
+        let p = build(1);
+        let mut vm = Vm::new(&p);
+        let trace = vm.run(5_000_000).expect("runs");
+        assert!(trace.halted);
+        assert!(trace.ops.len() > 50_000);
+        let result = (KEYS as u32) * 4 + (TABLE as u32) * 4;
+        let hits = vm.read_word(result).expect("in range");
+        // First pass: second half of the keys hit (they repeat the first
+        // half). Later passes: everything hits.
+        let expected = (KEYS / 2) as i32 + 2 * KEYS as i32;
+        assert_eq!(hits, expected);
+    }
+}

@@ -1,0 +1,107 @@
+//! `compress` analogue: LZW-style hashing and dictionary probing.
+//!
+//! The kernel streams a pseudo-random symbol sequence, hashes each symbol
+//! with a multiplicative hash, probes a direct-mapped dictionary, and
+//! either records a hit (checksum update) or inserts the symbol. Operand
+//! character: small positive symbols, mid-size hash products, table
+//! pointers — the sign-extension-friendly regime that makes case 00
+//! dominate the IALU.
+
+use fua_isa::{IntReg, Program, ProgramBuilder};
+
+use crate::util;
+
+/// Builds the workload; iteration count scales linearly with `scale`.
+pub fn build(scale: u32) -> Program {
+    build_with_input(scale, 0)
+}
+
+/// Builds the workload with an alternative input data set (see
+/// [`crate::all_with_input`]).
+pub fn build_with_input(scale: u32, input: u32) -> Program {
+    let mut rng = util::seeded_rng_input("compress", input);
+    let mut b = ProgramBuilder::new();
+
+    const N: usize = 2048; // input symbols
+    const TABLE: i32 = 1024; // dictionary entries
+
+    let input = b.data_words(&util::small_words(&mut rng, N, 1 << 16));
+    let table = b.alloc_data(TABLE as usize * 4);
+    let result = b.alloc_data(8);
+
+    let tab = IntReg::new(2);
+    let i = IntReg::new(3);
+    let ptr = IntReg::new(4);
+    let cur = IntReg::new(5);
+    let hash = IntReg::new(6);
+    let addr = IntReg::new(7);
+    let probe = IntReg::new(8);
+    let sum = IntReg::new(9);
+    let pass = IntReg::new(10);
+
+    b.li(tab, table);
+    b.li(sum, 0);
+    b.li(pass, 4 * scale as i32);
+
+    let outer = b.new_label();
+    let inner = b.new_label();
+    let hit = b.new_label();
+    let cont = b.new_label();
+
+    b.bind(outer);
+    b.li(i, N as i32);
+    b.li(ptr, input);
+    b.bind(inner);
+    b.lw(cur, ptr, 0);
+    // Multiplicative hash into the dictionary.
+    b.muli(hash, cur, 0x9E3B);
+    b.srli(hash, hash, 6);
+    b.andi(hash, hash, TABLE - 1);
+    b.slli(addr, hash, 2);
+    b.add(addr, addr, tab);
+    b.lw(probe, addr, 0);
+    b.beq(probe, cur, hit);
+    // Miss: insert and count.
+    b.sw(cur, addr, 0);
+    b.addi(sum, sum, 1);
+    b.j(cont);
+    b.bind(hit);
+    b.add(sum, sum, cur);
+    b.bind(cont);
+    b.addi(ptr, ptr, 4);
+    b.addi(i, i, -1);
+    b.bgtz(i, inner);
+    b.addi(pass, pass, -1);
+    b.bgtz(pass, outer);
+
+    b.li(addr, result);
+    b.sw(sum, addr, 0);
+    b.halt();
+    b.build().expect("compress workload assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fua_vm::Vm;
+
+    #[test]
+    fn runs_to_completion_and_produces_a_checksum() {
+        let p = build(1);
+        let mut vm = Vm::new(&p);
+        let trace = vm.run(2_000_000).expect("runs");
+        assert!(trace.halted);
+        assert!(trace.ops.len() > 50_000);
+        // The checksum is stored and non-zero.
+        let result_addr = {
+            // result block follows input (2048*4) and table (1024*4).
+            (2048 * 4 + 1024 * 4) as u32
+        };
+        assert_ne!(vm.read_word(result_addr).expect("in range"), 0);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        assert_eq!(build(1), build(1));
+    }
+}

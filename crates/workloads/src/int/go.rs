@@ -1,0 +1,117 @@
+//! `go` analogue: branchy board evaluation over a 19×19 grid.
+//!
+//! Repeatedly scores every interior point of a Go-like board by summing
+//! the four neighbours, comparing against thresholds, and updating a
+//! score. Operand character: tiny values (stones are 0/1/2), small sums,
+//! dense conditional branches — the most branch-heavy integer kernel.
+
+use fua_isa::{IntReg, Program, ProgramBuilder};
+
+use crate::util;
+
+const SIDE: i32 = 19;
+
+/// Builds the workload.
+pub fn build(scale: u32) -> Program {
+    build_with_input(scale, 0)
+}
+
+/// Builds the workload with an alternative input data set (see
+/// [`crate::all_with_input`]).
+pub fn build_with_input(scale: u32, input: u32) -> Program {
+    let mut rng = util::seeded_rng_input("go", input);
+    let mut b = ProgramBuilder::new();
+
+    let cells = util::random_words(&mut rng, (SIDE * SIDE) as usize, 0, 3);
+    let board = b.data_words(&cells);
+    let result = b.alloc_data(8);
+
+    let row = IntReg::new(1);
+    let col = IntReg::new(2);
+    let addr = IntReg::new(3);
+    let here = IntReg::new(4);
+    let acc = IntReg::new(5);
+    let tmp = IntReg::new(6);
+    let score = IntReg::new(7);
+    let pass = IntReg::new(8);
+    let rowbase = IntReg::new(9);
+    let cond = IntReg::new(10);
+
+    b.li(score, 0);
+    b.li(pass, 24 * scale as i32);
+
+    let outer = b.new_label();
+    let row_loop = b.new_label();
+    let col_loop = b.new_label();
+    let alive = b.new_label();
+    let scored = b.new_label();
+    let col_next = b.new_label();
+    let row_next = b.new_label();
+
+    b.bind(outer);
+    b.li(row, 1);
+    b.bind(row_loop);
+    // rowbase = board + row * SIDE * 4
+    b.muli(rowbase, row, SIDE * 4);
+    b.addi(rowbase, rowbase, board);
+    b.li(col, 1);
+    b.bind(col_loop);
+    b.slli(addr, col, 2);
+    b.add(addr, addr, rowbase);
+    b.lw(here, addr, 0);
+    // Sum the four neighbours.
+    b.lw(acc, addr, -4);
+    b.lw(tmp, addr, 4);
+    b.add(acc, acc, tmp);
+    b.lw(tmp, addr, -(SIDE * 4));
+    b.add(acc, acc, tmp);
+    b.lw(tmp, addr, SIDE * 4);
+    b.add(acc, acc, tmp);
+    // Liberties heuristic: empty-neighbour-rich stones score.
+    b.slti(cond, acc, 3);
+    b.bgtz(cond, alive);
+    // Crowded: penalise by the stone value.
+    b.sub(score, score, here);
+    b.j(scored);
+    b.bind(alive);
+    b.add(score, score, here);
+    b.addi(score, score, 1);
+    b.bind(scored);
+    b.bind(col_next);
+    b.addi(col, col, 1);
+    b.slti(cond, col, SIDE - 1);
+    b.bgtz(cond, col_loop);
+    b.bind(row_next);
+    b.addi(row, row, 1);
+    b.slti(cond, row, SIDE - 1);
+    b.bgtz(cond, row_loop);
+    b.addi(pass, pass, -1);
+    b.bgtz(pass, outer);
+
+    b.li(addr, result);
+    b.sw(score, addr, 0);
+    b.halt();
+    b.build().expect("go workload assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fua_vm::Vm;
+
+    #[test]
+    fn runs_and_scores() {
+        let p = build(1);
+        let mut vm = Vm::new(&p);
+        let trace = vm.run(5_000_000).expect("runs");
+        assert!(trace.halted);
+        assert!(trace.ops.len() > 50_000);
+        // Plenty of conditional branches.
+        let branches = trace
+            .ops
+            .iter()
+            .filter(|o| o.branch.map(|b| !b.unconditional).unwrap_or(false))
+            .count();
+        assert!(branches * 10 > trace.ops.len(), "go should be branchy");
+    }
+}

@@ -1,0 +1,110 @@
+//! `ijpeg` analogue: integer DCT butterflies over 8×8 blocks.
+//!
+//! Each pass transforms a set of 8×8 pixel blocks with add/subtract
+//! butterflies and fixed-point constant multiplies (×181 >> 8 ≈ √2/2),
+//! the core arithmetic of JPEG's integer DCT. Operand character:
+//! medium-magnitude signed values with frequent sign changes — the
+//! integer kernel with the most case-10/01 traffic.
+
+use fua_isa::{IntReg, Program, ProgramBuilder};
+
+use crate::util;
+
+const BLOCKS: usize = 24;
+
+/// Builds the workload.
+pub fn build(scale: u32) -> Program {
+    build_with_input(scale, 0)
+}
+
+/// Builds the workload with an alternative input data set (see
+/// [`crate::all_with_input`]).
+pub fn build_with_input(scale: u32, input: u32) -> Program {
+    let mut rng = util::seeded_rng_input("ijpeg", input);
+    let mut b = ProgramBuilder::new();
+
+    let pixels = util::random_words(&mut rng, BLOCKS * 64, -128, 128);
+    let data = b.data_words(&pixels);
+    let result = b.alloc_data(8);
+
+    let blk = IntReg::new(1);
+    let rowptr = IntReg::new(2);
+    let row = IntReg::new(3);
+    let a0 = IntReg::new(4);
+    let a1 = IntReg::new(5);
+    let s = IntReg::new(6);
+    let d = IntReg::new(7);
+    let t = IntReg::new(8);
+    let pass = IntReg::new(9);
+    let cond = IntReg::new(10);
+    let sum = IntReg::new(11);
+    let addr = IntReg::new(12);
+
+    b.li(pass, 18 * scale as i32);
+    b.li(sum, 0);
+
+    let outer = b.new_label();
+    let blk_loop = b.new_label();
+    let row_loop = b.new_label();
+
+    b.bind(outer);
+    b.li(blk, 0);
+    b.bind(blk_loop);
+    // rowptr = data + blk*256
+    b.muli(rowptr, blk, 256);
+    b.addi(rowptr, rowptr, data);
+    b.li(row, 8);
+    b.bind(row_loop);
+    // One radix-2 butterfly stage over four pairs of the row.
+    for k in 0..4i32 {
+        let off = k * 4;
+        let mirror = (7 - k) * 4;
+        b.lw(a0, rowptr, off);
+        b.lw(a1, rowptr, mirror);
+        b.add(s, a0, a1);
+        b.sub(d, a0, a1);
+        // Fixed-point rotation: d' = (d * 181) >> 8.
+        b.muli(t, d, 181);
+        b.srai(t, t, 8);
+        b.sw(s, rowptr, off);
+        b.sw(t, rowptr, mirror);
+        b.add(sum, sum, s);
+    }
+    b.addi(rowptr, rowptr, 32);
+    b.addi(row, row, -1);
+    b.bgtz(row, row_loop);
+    b.addi(blk, blk, 1);
+    b.slti(cond, blk, BLOCKS as i32);
+    b.bgtz(cond, blk_loop);
+    // Keep magnitudes bounded across passes.
+    b.srai(sum, sum, 4);
+    b.addi(pass, pass, -1);
+    b.bgtz(pass, outer);
+
+    b.li(addr, result);
+    b.sw(sum, addr, 0);
+    b.halt();
+    b.build().expect("ijpeg workload assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fua_isa::FuClass;
+    use fua_vm::Vm;
+
+    #[test]
+    fn runs_with_multiplier_traffic() {
+        let p = build(1);
+        let mut vm = Vm::new(&p);
+        let trace = vm.run(5_000_000).expect("runs");
+        assert!(trace.halted);
+        assert!(trace.ops.len() > 50_000);
+        let muls = trace
+            .ops
+            .iter()
+            .filter(|o| o.fu_class() == Some(FuClass::IntMul))
+            .count();
+        assert!(muls > 1_000, "ijpeg should exercise the multiplier");
+    }
+}

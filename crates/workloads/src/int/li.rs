@@ -1,0 +1,115 @@
+//! `li` analogue: lisp-interpreter pointer chasing over cons cells.
+//!
+//! A shuffled linked list of cons cells (`[tag|value, next]` pairs) is
+//! traversed repeatedly; number cells are accumulated, symbol cells bump
+//! a counter, and every few passes the accumulator is "garbage collected"
+//! (masked). Operand character: pointer-valued operands mixed with small
+//! tagged integers — the widest integer value spread of the suite.
+
+use fua_isa::{IntReg, Program, ProgramBuilder};
+use rand::seq::SliceRandom;
+
+use crate::util;
+
+const CELLS: usize = 512;
+
+/// Builds the workload.
+pub fn build(scale: u32) -> Program {
+    build_with_input(scale, 0)
+}
+
+/// Builds the workload with an alternative input data set (see
+/// [`crate::all_with_input`]).
+pub fn build_with_input(scale: u32, input: u32) -> Program {
+    let mut rng = util::seeded_rng_input("li", input);
+    let mut b = ProgramBuilder::new();
+
+    // Keep byte address 0 free so a null `next` pointer is unambiguous.
+    let guard = b.alloc_data(8);
+    let heap = guard + 8;
+
+    // Build a randomly-ordered singly linked list: cell k occupies bytes
+    // [heap+8k, heap+8k+8): word 0 = tagged value (odd = symbol, even =
+    // number), word 1 = absolute byte address of the next cell, 0
+    // terminates.
+    let mut order: Vec<usize> = (0..CELLS).collect();
+    order.shuffle(&mut rng);
+    let mut words = vec![0i32; CELLS * 2];
+    for w in order.windows(2) {
+        let (cell, next) = (w[0], w[1]);
+        words[cell * 2] = util::random_words(&mut rng, 1, 0, 4096)[0];
+        words[cell * 2 + 1] = heap + (next * 8) as i32;
+    }
+    let last = *order.last().expect("non-empty");
+    words[last * 2] = 7;
+    words[last * 2 + 1] = 0;
+    let heap_actual = b.data_words(&words);
+    assert_eq!(heap_actual, heap, "layout assumption");
+    let result = b.alloc_data(8);
+    let head = (order[0] * 8) as i32 + heap;
+
+    let ptr = IntReg::new(1);
+    let tagged = IntReg::new(2);
+    let acc = IntReg::new(3);
+    let symbols = IntReg::new(4);
+    let pass = IntReg::new(5);
+    let cond = IntReg::new(6);
+    let addr = IntReg::new(7);
+
+    b.li(acc, 0);
+    b.li(symbols, 0);
+    b.li(pass, 120 * scale as i32);
+
+    let outer = b.new_label();
+    let walk = b.new_label();
+    let number = b.new_label();
+    let advance = b.new_label();
+    let done_walk = b.new_label();
+
+    b.bind(outer);
+    b.li(ptr, head);
+    b.bind(walk);
+    b.lw(tagged, ptr, 0);
+    b.andi(cond, tagged, 1);
+    b.blez(cond, number);
+    // Symbol cell.
+    b.addi(symbols, symbols, 1);
+    b.j(advance);
+    b.bind(number);
+    b.srai(tagged, tagged, 1); // untag
+    b.add(acc, acc, tagged);
+    b.bind(advance);
+    b.lw(ptr, ptr, 4);
+    b.bgtz(ptr, walk);
+    b.bind(done_walk);
+    // "GC": keep the accumulator bounded.
+    b.andi(acc, acc, 0xFFFF);
+    b.addi(pass, pass, -1);
+    b.bgtz(pass, outer);
+
+    b.li(addr, result);
+    b.sw(acc, addr, 0);
+    b.sw(symbols, addr, 4);
+    b.halt();
+    b.build().expect("li workload assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fua_vm::Vm;
+
+    #[test]
+    fn walks_the_whole_list_every_pass() {
+        let p = build(1);
+        let mut vm = Vm::new(&p);
+        let trace = vm.run(5_000_000).expect("runs");
+        assert!(trace.halted);
+        assert!(trace.ops.len() > 50_000);
+        let result = (8 + CELLS * 8) as u32;
+        let symbols = vm.read_word(result + 4).expect("in range");
+        // Symbols counted across 120 passes: a multiple of 120.
+        assert!(symbols > 0);
+        assert_eq!(symbols % 120, 0);
+    }
+}

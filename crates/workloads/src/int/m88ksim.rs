@@ -1,0 +1,121 @@
+//! `m88ksim` analogue: instruction-set-simulator decode loop.
+//!
+//! Fetches 32-bit "guest instructions" from a pseudo-random text segment,
+//! extracts opcode/register/immediate fields with shifts and masks,
+//! dispatches on the opcode, and updates a guest register file in memory.
+//! Operand character: full-width encodings mixed with 5-bit field values
+//! — wide values feeding shifts, then small extracted fields.
+
+use fua_isa::{IntReg, Program, ProgramBuilder};
+
+use crate::util;
+
+const TEXT_WORDS: usize = 1024;
+const GUEST_REGS: i32 = 32;
+
+/// Builds the workload.
+pub fn build(scale: u32) -> Program {
+    build_with_input(scale, 0)
+}
+
+/// Builds the workload with an alternative input data set (see
+/// [`crate::all_with_input`]).
+pub fn build_with_input(scale: u32, input: u32) -> Program {
+    let mut rng = util::seeded_rng_input("m88ksim", input);
+    let mut b = ProgramBuilder::new();
+
+    let text = b.data_words(&util::random_words(&mut rng, TEXT_WORDS, i32::MIN, i32::MAX));
+    let regs = b.alloc_data(GUEST_REGS as usize * 4);
+    let result = b.alloc_data(8);
+
+    let pc = IntReg::new(1);
+    let word = IntReg::new(2);
+    let opcode = IntReg::new(3);
+    let rs = IntReg::new(4);
+    let rt = IntReg::new(5);
+    let imm = IntReg::new(6);
+    let va = IntReg::new(7);
+    let vb = IntReg::new(8);
+    let vr = IntReg::new(9);
+    let addr = IntReg::new(10);
+    let count = IntReg::new(11);
+    let cond = IntReg::new(12);
+    let regbase = IntReg::new(13);
+    let retired = IntReg::new(14);
+
+    b.li(regbase, regs);
+    b.li(retired, 0);
+    b.li(count, 64 * scale as i32 * TEXT_WORDS as i32 / 16);
+
+    let fetch = b.new_label();
+    let alu_op = b.new_label();
+    let imm_op = b.new_label();
+    let writeback = b.new_label();
+
+    b.li(pc, text);
+    b.bind(fetch);
+    b.lw(word, pc, 0);
+    // Field extraction.
+    b.srli(opcode, word, 26);
+    b.srli(rs, word, 21);
+    b.andi(rs, rs, 31);
+    b.srli(rt, word, 16);
+    b.andi(rt, rt, 31);
+    b.andi(imm, word, 0xFFFF);
+    // Read guest sources.
+    b.slli(addr, rs, 2);
+    b.add(addr, addr, regbase);
+    b.lw(va, addr, 0);
+    b.slli(addr, rt, 2);
+    b.add(addr, addr, regbase);
+    b.lw(vb, addr, 0);
+    // Dispatch: opcodes < 32 are register ALU ops, the rest immediate.
+    b.slti(cond, opcode, 32);
+    b.bgtz(cond, alu_op);
+    b.j(imm_op);
+    b.bind(alu_op);
+    b.add(vr, va, vb);
+    b.xor(vr, vr, opcode);
+    b.j(writeback);
+    b.bind(imm_op);
+    b.add(vr, va, imm);
+    b.bind(writeback);
+    // Bound magnitudes, write the destination (rt), advance the guest pc.
+    b.andi(vr, vr, 0x07FF_FFFF);
+    b.slli(addr, rt, 2);
+    b.add(addr, addr, regbase);
+    b.sw(vr, addr, 0);
+    b.addi(retired, retired, 1);
+    b.addi(pc, pc, 4);
+    // Wrap the guest text segment.
+    let skip_wrap = b.new_label();
+    b.slti(cond, pc, text + (TEXT_WORDS as i32) * 4);
+    b.bgtz(cond, skip_wrap);
+    b.li(pc, text);
+    b.bind(skip_wrap);
+    b.addi(count, count, -1);
+    b.bgtz(count, fetch);
+
+    b.li(addr, result);
+    b.sw(retired, addr, 0);
+    b.halt();
+    b.build().expect("m88ksim workload assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fua_vm::Vm;
+
+    #[test]
+    fn decodes_and_retires_guest_instructions() {
+        let p = build(1);
+        let mut vm = Vm::new(&p);
+        let trace = vm.run(5_000_000).expect("runs");
+        assert!(trace.halted);
+        assert!(trace.ops.len() > 50_000);
+        let result = (TEXT_WORDS as u32) * 4 + (GUEST_REGS as u32) * 4;
+        let retired = vm.read_word(result).expect("in range");
+        assert_eq!(retired, 64 * 1024 / 16);
+    }
+}

@@ -1,0 +1,9 @@
+//! The seven integer workloads (SPEC95int analogues).
+
+pub mod cc1;
+pub mod compress;
+pub mod go;
+pub mod ijpeg;
+pub mod li;
+pub mod m88ksim;
+pub mod perl;

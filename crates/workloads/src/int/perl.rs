@@ -1,0 +1,138 @@
+//! `perl` analogue: byte-level string scanning and classification.
+//!
+//! Scans a packed "script" a byte at a time (word loads + shifts +
+//! masks), classifies each character (letter / digit / other), keeps
+//! per-class counters, and hashes identifier characters into buckets with
+//! a remainder-based hash. Operand character: byte-sized values after
+//! extraction, wide packed words before — plus regular `rem` traffic,
+//! which the other integer kernels lack.
+
+use fua_isa::{IntReg, Opcode, Program, ProgramBuilder};
+
+use crate::util;
+
+const TEXT_WORDS: usize = 1024;
+const BUCKETS: i32 = 64;
+
+/// Builds the workload.
+pub fn build(scale: u32) -> Program {
+    build_with_input(scale, 0)
+}
+
+/// Builds the workload with an alternative input data set (see
+/// [`crate::all_with_input`]).
+pub fn build_with_input(scale: u32, input: u32) -> Program {
+    let mut rng = util::seeded_rng_input("perl", input);
+    let mut b = ProgramBuilder::new();
+
+    // Pseudo-text: bytes in the printable range packed four per word.
+    let words: Vec<i32> = (0..TEXT_WORDS)
+        .map(|_| {
+            let mut w = 0i32;
+            for _ in 0..4 {
+                let c = util::random_words(&mut rng, 1, 0x20, 0x7F)[0];
+                w = (w << 8) | c;
+            }
+            w
+        })
+        .collect();
+    let text = b.data_words(&words);
+    let buckets = b.alloc_data(BUCKETS as usize * 4);
+    let result = b.alloc_data(16);
+
+    let ptr = IntReg::new(1);
+    let word = IntReg::new(2);
+    let ch = IntReg::new(3);
+    let letters = IntReg::new(5);
+    let digits = IntReg::new(6);
+    let hash = IntReg::new(7);
+    let addr = IntReg::new(8);
+    let tmp = IntReg::new(9);
+    let i = IntReg::new(10);
+    let pass = IntReg::new(11);
+    let cond = IntReg::new(12);
+    let bucket_base = IntReg::new(13);
+
+    b.li(bucket_base, buckets);
+    b.li(letters, 0);
+    b.li(digits, 0);
+    b.li(hash, 5381);
+    b.li(pass, 14 * scale as i32);
+
+    let outer = b.new_label();
+    let word_loop = b.new_label();
+
+    b.bind(outer);
+    b.li(ptr, text);
+    b.li(i, TEXT_WORDS as i32);
+    b.bind(word_loop);
+    b.lw(word, ptr, 0);
+    // Unrolled byte extraction: shifts of 24, 16, 8, 0.
+    for byte in 0..4i32 {
+        let not_letter = b.new_label();
+        let not_digit = b.new_label();
+        let classified = b.new_label();
+
+        b.srli(ch, word, 24 - 8 * byte);
+        b.andi(ch, ch, 0xFF);
+        // Letter? ('a'..='z')
+        b.slti(cond, ch, 'a' as i32);
+        b.bgtz(cond, not_letter);
+        b.slti(cond, ch, 'z' as i32 + 1);
+        b.blez(cond, not_letter);
+        b.addi(letters, letters, 1);
+        // Identifier hash: h = h*33 + ch, bucketed by remainder.
+        b.muli(hash, hash, 33);
+        b.add(hash, hash, ch);
+        b.andi(hash, hash, 0xFFFFF);
+        b.alui(Opcode::Rem, tmp, hash, BUCKETS);
+        b.slli(tmp, tmp, 2);
+        b.add(tmp, tmp, bucket_base);
+        b.lw(addr, tmp, 0);
+        b.addi(addr, addr, 1);
+        b.sw(addr, tmp, 0);
+        b.j(classified);
+        b.bind(not_letter);
+        // Digit? ('0'..='9')
+        b.slti(cond, ch, '0' as i32);
+        b.bgtz(cond, not_digit);
+        b.slti(cond, ch, '9' as i32 + 1);
+        b.blez(cond, not_digit);
+        b.addi(digits, digits, 1);
+        b.bind(not_digit);
+        b.bind(classified);
+    }
+    b.addi(ptr, ptr, 4);
+    b.addi(i, i, -1);
+    b.bgtz(i, word_loop);
+    b.addi(pass, pass, -1);
+    b.bgtz(pass, outer);
+
+    b.li(addr, result);
+    b.sw(letters, addr, 0);
+    b.sw(digits, addr, 4);
+    b.sw(hash, addr, 8);
+    b.halt();
+    b.build().expect("perl workload assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fua_vm::Vm;
+
+    #[test]
+    fn classifies_the_text() {
+        let p = build(1);
+        let mut vm = Vm::new(&p);
+        let trace = vm.run(5_000_000).expect("runs");
+        assert!(trace.halted);
+        assert!(trace.ops.len() > 50_000);
+        let result = (TEXT_WORDS as u32) * 4 + (BUCKETS as u32) * 4;
+        let letters = vm.read_word(result).expect("in range");
+        let digits = vm.read_word(result + 4).expect("in range");
+        assert!(letters > 0);
+        assert!(digits > 0);
+        assert!(letters > digits, "lowercase range is wider than digits");
+    }
+}

@@ -1,0 +1,384 @@
+//! SPEC95-analog workloads for the functional-unit-assignment study.
+//!
+//! The paper evaluates on SPEC95: seven integer benchmarks (`m88ksim`,
+//! `ijpeg`, `li`, `go`, `compress`, `cc1`, `perl`) and eight
+//! floating-point ones (`apsi`, `applu`, `hydro2d`, `wave5`, `swim`,
+//! `mgrid`, `turb3d`, `fpppp`). The originals cannot be compiled for our
+//! ISA, so this crate provides one synthetic kernel per benchmark that
+//! reproduces the *operand bit-pattern character* the technique depends
+//! on — small sign-extended integers, pointer-shaped addresses,
+//! round/int-cast floating-point constants versus full-precision data —
+//! and each program's rough mix of FU classes. See DESIGN.md §2 for the
+//! substitution argument.
+//!
+//! Every workload is deterministic: data is generated from a fixed
+//! per-workload seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use fua_workloads::{all, Category};
+//!
+//! let workloads = all(1);
+//! assert_eq!(workloads.len(), 15);
+//! let ints = workloads.iter().filter(|w| w.category == Category::Integer).count();
+//! assert_eq!(ints, 7);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fp;
+mod int;
+mod util;
+
+use fua_isa::Program;
+
+/// Which half of the suite a workload belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Integer benchmark (drives the IALU results).
+    Integer,
+    /// Floating-point benchmark (drives the FPAU results).
+    FloatingPoint,
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Category::Integer => f.write_str("integer"),
+            Category::FloatingPoint => f.write_str("floating-point"),
+        }
+    }
+}
+
+/// A named, buildable benchmark program.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Benchmark name (the SPEC95 program it stands in for).
+    pub name: &'static str,
+    /// One-line description of the kernel.
+    pub description: &'static str,
+    /// Integer or floating-point half of the suite.
+    pub category: Category,
+    /// The built program.
+    pub program: Program,
+}
+
+macro_rules! workload {
+    ($name:literal, $desc:literal, $cat:expr, $builder:path, $scale:expr) => {
+        workload!($name, $desc, $cat, $builder, $scale, 0)
+    };
+    ($name:literal, $desc:literal, $cat:expr, $builder:path, $scale:expr, $input:expr) => {{
+        let mut program = $builder($scale, $input);
+        // Hand-written kernels are accidentally canonical; real compiler
+        // output has arbitrary operand order. Scramble commutative
+        // operand orders (seeded, deterministic) so the binaries look
+        // like compiled code — the regime the paper's swap passes target.
+        let mut order_rng = util::seeded_rng(concat!($name, "-operand-order"));
+        util::scramble_commutative(&mut program, &mut order_rng);
+        Workload {
+            name: $name,
+            description: $desc,
+            category: $cat,
+            program,
+        }
+    }};
+}
+
+/// Builds the seven integer workloads at the given scale (1 ≈ a hundred
+/// thousand dynamic instructions each; iteration counts scale linearly).
+pub fn integer(scale: u32) -> Vec<Workload> {
+    integer_with_input(scale, 0)
+}
+
+/// As [`integer`], with an alternative input data set — the analogue of a
+/// SPEC benchmark's train vs ref inputs. The *code* is identical across
+/// inputs (same static instructions); only the data differs, which is
+/// what makes cross-input profile-sensitivity studies meaningful.
+pub fn integer_with_input(scale: u32, input: u32) -> Vec<Workload> {
+    use Category::Integer as I;
+    vec![
+        workload!(
+            "compress",
+            "LZW-style hashing and dictionary lookups over a byte stream",
+            I,
+            int::compress::build_with_input,
+            scale,
+            input
+        ),
+        workload!(
+            "go",
+            "board evaluation: 2-D array walks, neighbour sums, branchy scoring",
+            I,
+            int::go::build_with_input,
+            scale,
+            input
+        ),
+        workload!(
+            "li",
+            "lisp interpreter: cons-cell pointer chasing and small-integer arithmetic",
+            I,
+            int::li::build_with_input,
+            scale,
+            input
+        ),
+        workload!(
+            "ijpeg",
+            "integer DCT butterflies with shifts and constant multiplies",
+            I,
+            int::ijpeg::build_with_input,
+            scale,
+            input
+        ),
+        workload!(
+            "m88ksim",
+            "CPU simulator: instruction decode via shift/mask field extraction",
+            I,
+            int::m88ksim::build_with_input,
+            scale,
+            input
+        ),
+        workload!(
+            "cc1",
+            "compiler symbol table: hashing, bucket probing, pointer arithmetic",
+            I,
+            int::cc1::build_with_input,
+            scale,
+            input
+        ),
+        workload!(
+            "perl",
+            "string scanning: byte extraction, character classes, hash buckets",
+            I,
+            int::perl::build_with_input,
+            scale,
+            input
+        ),
+    ]
+}
+
+/// Builds the eight floating-point workloads at the given scale.
+pub fn floating_point(scale: u32) -> Vec<Workload> {
+    floating_point_with_input(scale, 0)
+}
+
+/// As [`floating_point`], with an alternative input data set.
+pub fn floating_point_with_input(scale: u32, input: u32) -> Vec<Workload> {
+    use Category::FloatingPoint as F;
+    vec![
+        workload!(
+            "swim",
+            "shallow-water 2-D stencil with round coefficients",
+            F,
+            fp::swim::build_with_input,
+            scale,
+            input
+        ),
+        workload!(
+            "mgrid",
+            "multigrid relaxation: power-of-two weighted neighbour sums",
+            F,
+            fp::mgrid::build_with_input,
+            scale,
+            input
+        ),
+        workload!(
+            "applu",
+            "SSOR sweep: dense block multiply-accumulate with divisions",
+            F,
+            fp::applu::build_with_input,
+            scale,
+            input
+        ),
+        workload!(
+            "hydro2d",
+            "hydrodynamics: state products, absolute values, flux compares",
+            F,
+            fp::hydro2d::build_with_input,
+            scale,
+            input
+        ),
+        workload!(
+            "wave5",
+            "particle push: integer-cast positions and round increments",
+            F,
+            fp::wave5::build_with_input,
+            scale,
+            input
+        ),
+        workload!(
+            "apsi",
+            "weather series: alternating products and quotient updates",
+            F,
+            fp::apsi::build_with_input,
+            scale,
+            input
+        ),
+        workload!(
+            "turb3d",
+            "FFT-like butterflies with full-precision twiddle factors",
+            F,
+            fp::turb3d::build_with_input,
+            scale,
+            input
+        ),
+        workload!(
+            "fpppp",
+            "quantum-chemistry inner loop: long multiply-add dependence chains",
+            F,
+            fp::fpppp::build_with_input,
+            scale,
+            input
+        ),
+    ]
+}
+
+/// Builds the full 15-benchmark suite at the given scale.
+pub fn all(scale: u32) -> Vec<Workload> {
+    all_with_input(scale, 0)
+}
+
+/// As [`all`], with an alternative input data set.
+pub fn all_with_input(scale: u32, input: u32) -> Vec<Workload> {
+    let mut v = integer_with_input(scale, input);
+    v.extend(floating_point_with_input(scale, input));
+    v
+}
+
+/// Looks a workload up by name at the given scale.
+pub fn by_name(name: &str, scale: u32) -> Option<Workload> {
+    all(scale).into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fua_isa::FuClass;
+    use fua_vm::Vm;
+
+    #[test]
+    fn every_workload_halts() {
+        for w in all(1) {
+            let mut vm = Vm::new(&w.program);
+            let trace = vm.run(5_000_000).unwrap_or_else(|e| {
+                panic!("workload {} faulted: {e}", w.name);
+            });
+            assert!(trace.halted, "workload {} did not halt", w.name);
+            assert!(
+                trace.ops.len() > 10_000,
+                "workload {} too short: {} ops",
+                w.name,
+                trace.ops.len()
+            );
+        }
+    }
+
+    #[test]
+    fn categories_exercise_the_right_units() {
+        for w in all(1) {
+            let mut vm = Vm::new(&w.program);
+            let trace = vm.run(5_000_000).expect("runs");
+            let fp_ops = trace
+                .ops
+                .iter()
+                .filter(|o| {
+                    matches!(
+                        o.fu_class(),
+                        Some(FuClass::FpAlu) | Some(FuClass::FpMul)
+                    )
+                })
+                .count();
+            match w.category {
+                Category::Integer => {
+                    // A little FP is tolerable; it must not dominate.
+                    assert!(
+                        (fp_ops as f64) < 0.05 * trace.ops.len() as f64,
+                        "{} is not integer-dominated",
+                        w.name
+                    );
+                }
+                Category::FloatingPoint => {
+                    assert!(
+                        (fp_ops as f64) > 0.15 * trace.ops.len() as f64,
+                        "{} exercises too little FP ({} of {})",
+                        w.name,
+                        fp_ops,
+                        trace.ops.len()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scale_extends_the_run() {
+        let short = {
+            let w = by_name("compress", 1).expect("exists");
+            let mut vm = Vm::new(&w.program);
+            vm.run(10_000_000).expect("runs").ops.len()
+        };
+        let long = {
+            let w = by_name("compress", 2).expect("exists");
+            let mut vm = Vm::new(&w.program);
+            vm.run(10_000_000).expect("runs").ops.len()
+        };
+        assert!(long > short + short / 2, "short={short} long={long}");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = all(1).iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 15);
+    }
+
+    #[test]
+    fn input_sets_change_data_not_code() {
+        let a = integer_with_input(1, 0);
+        let b = integer_with_input(1, 1);
+        for (wa, wb) in a.iter().zip(&b) {
+            assert_eq!(wa.name, wb.name);
+            // The static structure (opcodes, register operands) is
+            // input-independent; only data — and data-derived immediates
+            // such as entry pointers — may change.
+            assert_eq!(wa.program.len(), wb.program.len(), "{}", wa.name);
+            for (ia, ib) in wa.program.insts().iter().zip(wb.program.insts()) {
+                assert_eq!(ia.op, ib.op, "{}: opcode stream differs", wa.name);
+                assert_eq!(
+                    ia.src1.reg(),
+                    ib.src1.reg(),
+                    "{}: register operands differ",
+                    wa.name
+                );
+                assert_eq!(ia.src2.reg(), ib.src2.reg(), "{}", wa.name);
+                assert_eq!(ia.dst, ib.dst, "{}", wa.name);
+            }
+            assert_ne!(
+                wa.program.data(),
+                wb.program.data(),
+                "{}: data must differ across inputs",
+                wa.name
+            );
+        }
+    }
+
+    #[test]
+    fn alternative_inputs_still_halt() {
+        for w in all_with_input(1, 2) {
+            let mut vm = fua_vm::Vm::new(&w.program);
+            let trace = vm.run(5_000_000).unwrap_or_else(|e| {
+                panic!("workload {} (input 2) faulted: {e}", w.name);
+            });
+            assert!(trace.halted, "workload {} (input 2) did not halt", w.name);
+        }
+    }
+
+    #[test]
+    fn determinism_across_builds() {
+        let a = by_name("go", 1).expect("exists");
+        let b = by_name("go", 1).expect("exists");
+        assert_eq!(a.program, b.program);
+    }
+}

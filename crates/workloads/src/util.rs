@@ -1,0 +1,153 @@
+//! Shared helpers for workload construction.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic per-workload RNG: the seed is derived from the workload
+/// name so every build of a given workload is identical.
+pub fn seeded_rng(name: &str) -> StdRng {
+    seeded_rng_input(name, 0)
+}
+
+/// As [`seeded_rng`], but additionally keyed by an *input set* number —
+/// the analogue of running a SPEC benchmark on its train vs ref inputs.
+/// Input 0 is the default data set.
+pub fn seeded_rng_input(name: &str, input: u32) -> StdRng {
+    let mut seed = [0u8; 32];
+    for (i, b) in name.bytes().cycle().take(32).enumerate() {
+        seed[i] = b.wrapping_mul(31).wrapping_add(i as u8);
+    }
+    for (i, b) in input.to_le_bytes().iter().enumerate() {
+        seed[28 + i] ^= b.wrapping_mul(167);
+    }
+    StdRng::from_seed(seed)
+}
+
+/// `n` random words in `[lo, hi)`.
+pub fn random_words(rng: &mut StdRng, n: usize, lo: i32, hi: i32) -> Vec<i32> {
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// `n` small non-negative words (the sign-extension-friendly regime that
+/// dominates integer programs).
+pub fn small_words(rng: &mut StdRng, n: usize, max: i32) -> Vec<i32> {
+    random_words(rng, n, 0, max.max(1))
+}
+
+/// A mixed double population mirroring the paper's three trailing-zero
+/// sources (Section 4.2): a `round_fraction` share of trailing-zero-rich
+/// values — half "round" constants/integer casts, half single-precision
+/// values cast to double (29 trailing mantissa zeros) — and the rest
+/// full-precision.
+pub fn mixed_doubles(rng: &mut StdRng, n: usize, round_fraction: f64) -> Vec<f64> {
+    (0..n)
+        .map(|_| {
+            if rng.gen_bool(round_fraction) {
+                if rng.gen_bool(0.5) {
+                    round_double(rng)
+                } else {
+                    single_precision_double(rng)
+                }
+            } else {
+                full_precision_double(rng)
+            }
+        })
+        .collect()
+}
+
+/// A double that came through a 32-bit float — the paper's "casting of
+/// single precision numbers into double precision by the hardware":
+/// full 23-bit float mantissa, 29 trailing zeros after widening.
+pub fn single_precision_double(rng: &mut StdRng) -> f64 {
+    (full_precision_double(rng) as f32) as f64
+}
+
+/// Randomises the operand order of every software-swappable instruction
+/// with probability ½.
+///
+/// Hand-written kernels are accidentally canonical; a real compiler's
+/// operand order is arbitrary (whatever register allocation produced).
+/// Scrambling restores that property, which is precisely what the paper's
+/// profile-guided swap pass exists to clean up.
+pub fn scramble_commutative(program: &mut fua_isa::Program, rng: &mut StdRng) {
+    for idx in 0..program.len() {
+        let inst = *program.inst(idx);
+        if let Some(swapped) = inst.swapped() {
+            if rng.gen_bool(0.5) {
+                program.replace_inst(idx, swapped);
+            }
+        }
+    }
+}
+
+/// A "round" double: an integer in a small range, possibly scaled by a
+/// power of two — exactly the values produced by integer casts and round
+/// program constants.
+pub fn round_double(rng: &mut StdRng) -> f64 {
+    let base = rng.gen_range(-64i32..64) as f64;
+    let scale = match rng.gen_range(0..4) {
+        0 => 1.0,
+        1 => 0.5,
+        2 => 0.25,
+        _ => 2.0,
+    };
+    base * scale
+}
+
+/// A full-precision double with magnitude in `[1/16, 2)` and a uniformly
+/// random 52-bit mantissa.
+///
+/// Built from raw bits rather than `gen_range`: uniform float sampling
+/// produces values of the form `k·2⁻⁵³`, which renormalise to mantissas
+/// with trailing zeros near zero — exactly the bias this helper must
+/// avoid.
+pub fn full_precision_double(rng: &mut StdRng) -> f64 {
+    let mantissa = rng.gen::<u64>() & ((1u64 << 52) - 1);
+    let exponent = rng.gen_range(1019u64..1024); // magnitude in [1/16, 2)
+    let sign = (rng.gen::<bool>() as u64) << 63;
+    f64::from_bits(sign | (exponent << 52) | mantissa)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fua_isa::Word;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let a: Vec<i32> = random_words(&mut seeded_rng("x"), 8, 0, 100);
+        let b: Vec<i32> = random_words(&mut seeded_rng("x"), 8, 0, 100);
+        let c: Vec<i32> = random_words(&mut seeded_rng("y"), 8, 0, 100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn round_doubles_have_clear_info_bits() {
+        let mut rng = seeded_rng("round");
+        for _ in 0..100 {
+            let v = round_double(&mut rng);
+            assert!(
+                !Word::fp(v).info_bit(),
+                "{v} should read as trailing-zero-rich"
+            );
+        }
+    }
+
+    #[test]
+    fn full_precision_doubles_are_dense() {
+        let mut rng = seeded_rng("dense");
+        let dense = (0..200)
+            .filter(|_| Word::fp(full_precision_double(&mut rng)).info_bit())
+            .count();
+        assert!(dense > 170, "only {dense} of 200 were full precision");
+    }
+
+    #[test]
+    fn mixed_population_respects_the_fraction() {
+        let mut rng = seeded_rng("mixed");
+        let vals = mixed_doubles(&mut rng, 1000, 0.4);
+        let round = vals.iter().filter(|v| !Word::fp(**v).info_bit()).count();
+        assert!((300..600).contains(&round), "round count {round}");
+    }
+}

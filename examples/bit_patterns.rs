@@ -1,0 +1,15 @@
+//! Regenerates the paper's measurement tables: Table 1 (operand bit
+//! patterns of the IALU and FPAU), Table 2 (modules used per busy cycle)
+//! and Table 3 (multiplication bit patterns), by profiling the whole
+//! 15-workload suite on the unmodified machine.
+//!
+//! Run with: `cargo run --release --example bit_patterns`
+
+use fua::core::{profile_suite, ExperimentConfig};
+
+fn main() {
+    let profile = profile_suite(&ExperimentConfig::full());
+    println!("{}", profile.table1());
+    println!("{}", profile.table2());
+    println!("{}", profile.table3());
+}

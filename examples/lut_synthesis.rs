@@ -1,0 +1,41 @@
+//! Dumps the built steering LUTs (home cases, single- and dual-issue
+//! entries) and regenerates the paper's Section-5 hardware-cost estimate
+//! (58 gates / 6 levels for a 4-bit LUT with 8 reservation-station
+//! entries, 130 / 8 with 32).
+//!
+//! Run with: `cargo run --release --example lut_synthesis`
+
+use fua::core::synthesis_report;
+use fua::isa::Case;
+use fua::stats::CaseProfile;
+use fua::steer::{LutBuilder, PAPER_FPAU_OCCUPANCY, PAPER_IALU_OCCUPANCY};
+
+fn main() {
+    for (name, profile, width, occupancy) in [
+        ("IALU", CaseProfile::paper_ialu(), 32u32, &PAPER_IALU_OCCUPANCY),
+        (
+            "FPAU",
+            CaseProfile::paper_fpau(),
+            fua::isa::FP_MANTISSA_BITS,
+            &PAPER_FPAU_OCCUPANCY,
+        ),
+    ] {
+        let lut = LutBuilder::new(profile, width)
+            .occupancy(occupancy)
+            .modules(4)
+            .build(2);
+        println!("{name} 4-bit LUT — homes: {:?}", lut.homes());
+        for c in Case::ALL {
+            println!("  single {c} -> module {}", lut.entry(lut.encode(&[c]))[0]);
+        }
+        for c0 in Case::ALL {
+            for c1 in Case::ALL {
+                let e = lut.entry(lut.encode(&[c0, c1]));
+                println!("  pair {c0},{c1} -> modules {},{}", e[0], e[1]);
+            }
+        }
+        println!();
+    }
+
+    println!("{}", synthesis_report().render());
+}

@@ -1,0 +1,26 @@
+//! Regenerates the paper's Figure 4: energy reduction of every steering
+//! scheme × swap variant, for the IALU (integer suite) and the FPAU (FP
+//! suite).
+//!
+//! Run with: `cargo run --release --example steering_comparison`
+//! (takes a minute or two: 2 × 19 full pipeline simulations of the suite).
+
+use fua::core::{figure4, headline, ExperimentConfig, Unit};
+
+fn main() {
+    let config = ExperimentConfig::full();
+
+    let fig_a = figure4(Unit::Ialu, &config);
+    println!("{}", fig_a.render());
+    println!();
+    let fig_b = figure4(Unit::Fpau, &config);
+    println!("{}", fig_b.render());
+
+    let h = headline(&config);
+    println!();
+    println!(
+        "Headline (paper: ~17% IALU / ~18% FPAU / ~26% IALU+compiler):\n\
+         measured: {:.1}% IALU / {:.1}% FPAU / {:.1}% IALU+compiler",
+        h.ialu_pct, h.fpau_pct, h.ialu_compiler_pct
+    );
+}

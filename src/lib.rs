@@ -1,0 +1,26 @@
+//! Facade crate for the "Dynamic Functional Unit Assignment for Low Power"
+//! reproduction. Re-exports every workspace crate under one roof so that
+//! examples, integration tests, and downstream users need a single
+//! dependency.
+//!
+//! # Examples
+//!
+//! ```
+//! use fua::isa::Word;
+//!
+//! assert!(Word::int(-1).info_bit());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use fua_core as core;
+pub use fua_isa as isa;
+pub use fua_power as power;
+pub use fua_sim as sim;
+pub use fua_stats as stats;
+pub use fua_steer as steer;
+pub use fua_swap as swap;
+pub use fua_synth as synth;
+pub use fua_vm as vm;
+pub use fua_workloads as workloads;

@@ -1,0 +1,244 @@
+//! `fua` — command-line front end for the reproduction.
+//!
+//! ```text
+//! fua tables                  regenerate Tables 1–3
+//! fua figure4 <ialu|fpau>     regenerate Figure 4(a)/(b)
+//! fua headline                the paper's headline numbers
+//! fua fig1                    Figure 1 routing example
+//! fua synth                   Section-5 gate-cost report
+//! fua chip                    chip-level power extrapolation (§1)
+//! fua breakdown <ialu|fpau>   per-workload results
+//! fua sensitivity             compiler-swap cross-input study
+//! fua workloads               list the bundled workloads
+//! fua run <workload>          simulate one workload under every scheme
+//!
+//! options: --limit <N>   retired-instruction cap per run (default 150000)
+//!          --scale <N>   workload scale factor (default 1)
+//!          --json        emit machine-readable JSON instead of tables
+//! ```
+
+use std::process::ExitCode;
+
+use fua::core::{
+    chip_estimate, figure4, headline, profile_suite, routing_example, swap_sensitivity,
+    synthesis_report, workload_breakdown, ExperimentConfig, Unit,
+};
+use fua::isa::FuClass;
+use fua::sim::{MachineConfig, Simulator, SteeringConfig};
+use fua::stats::TextTable;
+use fua::steer::SteeringKind;
+
+struct Options {
+    limit: u64,
+    scale: u32,
+    json: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: fua <command> [--limit N] [--scale N]\n\
+         commands: tables | figure4 <ialu|fpau> | headline | fig1 | synth | \
+         chip | breakdown <ialu|fpau> | sensitivity | workloads | run <workload>"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        limit: 150_000,
+        scale: 1,
+        json: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--limit" => {
+                let v = it.next().ok_or("--limit needs a value")?;
+                opts.limit = v.parse().map_err(|_| format!("bad --limit: {v}"))?;
+            }
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                opts.scale = v.parse().map_err(|_| format!("bad --scale: {v}"))?;
+            }
+            "--json" => opts.json = true,
+            other => return Err(format!("unknown option: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn config(opts: &Options) -> ExperimentConfig {
+    ExperimentConfig {
+        scale: opts.scale,
+        inst_limit: opts.limit,
+        machine: MachineConfig::paper_default(),
+    }
+}
+
+fn cmd_tables(opts: &Options) {
+    let p = profile_suite(&config(opts));
+    println!("{}", p.table1());
+    println!("{}", p.table2());
+    println!("{}", p.table3());
+}
+
+fn emit<T: serde::Serialize>(value: &T, rendered: String, json: bool) {
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(value).expect("results serialise")
+        );
+    } else {
+        println!("{rendered}");
+    }
+}
+
+fn cmd_figure4(unit: Unit, opts: &Options) {
+    let fig = figure4(unit, &config(opts));
+    let rendered = fig.render();
+    emit(&fig, rendered, opts.json);
+}
+
+fn cmd_headline(opts: &Options) {
+    let h = headline(&config(opts));
+    if opts.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&h).expect("results serialise")
+        );
+        return;
+    }
+    println!(
+        "IALU 4-bit LUT + hw swap:            {:>6.1}%   (paper ~17%)\n\
+         FPAU 4-bit LUT + hw swap:            {:>6.1}%   (paper ~18%)\n\
+         IALU 4-bit LUT + hw + compiler swap: {:>6.1}%   (paper ~26%)",
+        h.ialu_pct, h.fpau_pct, h.ialu_compiler_pct
+    );
+}
+
+fn cmd_workloads(opts: &Options) {
+    let mut t = TextTable::new(["name", "category", "static insts", "description"]);
+    for w in fua::workloads::all(opts.scale) {
+        t.push_row([
+            w.name.to_string(),
+            w.category.to_string(),
+            w.program.len().to_string(),
+            w.description.to_string(),
+        ]);
+    }
+    println!("{t}");
+}
+
+fn cmd_run(name: &str, opts: &Options) -> Result<(), String> {
+    let w = fua::workloads::by_name(name, opts.scale)
+        .ok_or_else(|| format!("unknown workload: {name} (try `fua workloads`)"))?;
+    let class = match w.category {
+        fua::workloads::Category::Integer => FuClass::IntAlu,
+        fua::workloads::Category::FloatingPoint => FuClass::FpAlu,
+    };
+
+    let mut baseline_sim =
+        Simulator::new(MachineConfig::paper_default(), SteeringConfig::original());
+    let baseline = baseline_sim
+        .run_program(&w.program, opts.limit)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{}: retired {} in {} cycles (IPC {:.2}), branch mispredict {:.1}%, \
+         D-cache hit {:.1}%",
+        w.name,
+        baseline.retired,
+        baseline.cycles,
+        baseline.ipc(),
+        100.0 * baseline.branches.mispredict_rate(),
+        100.0 * baseline.cache.hit_rate(),
+    );
+
+    let mut t = TextTable::new(["scheme", format!("{class} bits").as_str(), "reduction"]);
+    t.push_row([
+        "Original".to_string(),
+        baseline.ledger.switched_bits(class).to_string(),
+        "-".to_string(),
+    ]);
+    for kind in SteeringKind::FIGURE4 {
+        if kind == SteeringKind::Original {
+            continue;
+        }
+        let mut sim = Simulator::new(
+            MachineConfig::paper_default(),
+            SteeringConfig::paper_scheme(kind, true),
+        );
+        let r = sim
+            .run_program(&w.program, opts.limit)
+            .map_err(|e| e.to_string())?;
+        t.push_row([
+            format!("{kind} + hw swap"),
+            r.ledger.switched_bits(class).to_string(),
+            format!("{:.1}%", 100.0 * r.reduction_vs(&baseline, class)),
+        ]);
+    }
+    println!("{t}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    // Sub-argument (for figure4/run) precedes the -- options.
+    let sub = args.get(1).filter(|a| !a.starts_with("--")).cloned();
+    let opt_start = 1 + sub.is_some() as usize;
+    let opts = match parse_options(&args[opt_start..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+
+    match (command.as_str(), sub.as_deref()) {
+        ("tables", None) => cmd_tables(&opts),
+        ("figure4", Some("ialu")) => cmd_figure4(Unit::Ialu, &opts),
+        ("figure4", Some("fpau")) => cmd_figure4(Unit::Fpau, &opts),
+        ("headline", None) => cmd_headline(&opts),
+        ("fig1", None) => {
+            let ex = routing_example();
+            let rendered = ex.render();
+            emit(&ex, rendered, opts.json);
+        }
+        ("synth", None) => {
+            let report = synthesis_report();
+            let rendered = report.render();
+            emit(&report, rendered, opts.json);
+        }
+        ("chip", None) => {
+            let est = chip_estimate(&config(&opts));
+            let rendered = est.render();
+            emit(&est, rendered, opts.json);
+        }
+        ("breakdown", Some("ialu")) => {
+            let b = workload_breakdown(Unit::Ialu, &config(&opts));
+            let rendered = b.render();
+            emit(&b, rendered, opts.json);
+        }
+        ("breakdown", Some("fpau")) => {
+            let b = workload_breakdown(Unit::Fpau, &config(&opts));
+            let rendered = b.render();
+            emit(&b, rendered, opts.json);
+        }
+        ("sensitivity", None) => {
+            let s = swap_sensitivity(&config(&opts));
+            let rendered = s.render();
+            emit(&s, rendered, opts.json);
+        }
+        ("workloads", None) => cmd_workloads(&opts),
+        ("run", Some(name)) => {
+            if let Err(e) = cmd_run(name, &opts) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}

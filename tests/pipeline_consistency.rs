@@ -1,0 +1,67 @@
+//! Integration: the timing model and the architectural interpreter must
+//! agree about *what* executed, for every bundled workload.
+
+use fua::isa::FuClass;
+use fua::sim::{MachineConfig, Simulator, SteeringConfig};
+use fua::vm::Vm;
+use fua::workloads::all;
+
+const LIMIT: u64 = 60_000;
+
+#[test]
+fn simulator_retires_exactly_the_interpreted_stream() {
+    for w in all(1) {
+        let mut vm = Vm::new(&w.program);
+        let trace = vm
+            .run(LIMIT)
+            .unwrap_or_else(|e| panic!("{}: vm faulted: {e}", w.name));
+
+        let mut sim = Simulator::new(MachineConfig::paper_default(), SteeringConfig::original());
+        let result = sim
+            .run_program(&w.program, LIMIT)
+            .unwrap_or_else(|e| panic!("{}: sim faulted: {e}", w.name));
+
+        assert_eq!(
+            result.retired,
+            trace.ops.len() as u64,
+            "{}: sim and vm disagree on the instruction count",
+            w.name
+        );
+        // FU operation counts must match the trace exactly.
+        for class in FuClass::ALL {
+            let expected = trace
+                .ops
+                .iter()
+                .filter(|o| o.fu_class() == Some(class))
+                .count() as u64;
+            assert_eq!(
+                result.ledger.ops(class),
+                expected,
+                "{}: {class} op count",
+                w.name
+            );
+        }
+        // Sanity: a 4-wide machine keeps IPC in (0, 4].
+        let ipc = result.ipc();
+        assert!(ipc > 0.0 && ipc <= 4.0, "{}: IPC {ipc:.2}", w.name);
+    }
+}
+
+#[test]
+fn run_trace_equals_run_program() {
+    let w = fua::workloads::by_name("perl", 1).expect("bundled");
+    let mut vm = Vm::new(&w.program);
+    let trace = vm.run(LIMIT).expect("runs");
+
+    let mut sim_a = Simulator::new(MachineConfig::paper_default(), SteeringConfig::original());
+    let from_program = sim_a.run_program(&w.program, LIMIT).expect("runs");
+    let mut sim_b = Simulator::new(MachineConfig::paper_default(), SteeringConfig::original());
+    let from_trace = sim_b.run_trace(&trace.ops);
+
+    assert_eq!(from_program.cycles, from_trace.cycles);
+    assert_eq!(from_program.retired, from_trace.retired);
+    assert_eq!(
+        from_program.ledger.total_switched_bits(),
+        from_trace.ledger.total_switched_bits()
+    );
+}

@@ -1,0 +1,161 @@
+//! Property-based integration tests over the core data structures and
+//! the whole VM → pipeline stack.
+
+use fua::isa::{hamming_u32, Case, FuClass, IntReg, ProgramBuilder, Word};
+use fua::power::{pair_cost, steering_cost, ModulePorts};
+use fua::sim::{MachineConfig, Simulator, SteeringConfig};
+use fua::steer::min_cost_assignment;
+use fua::vm::{FuOp, Vm};
+use proptest::prelude::*;
+
+proptest! {
+    // --- Word / Hamming properties -----------------------------------
+
+    #[test]
+    fn hamming_is_a_metric(a: u32, b: u32, c: u32) {
+        prop_assert_eq!(hamming_u32(a, a), 0);
+        prop_assert_eq!(hamming_u32(a, b), hamming_u32(b, a));
+        prop_assert!(hamming_u32(a, c) <= hamming_u32(a, b) + hamming_u32(b, c));
+    }
+
+    #[test]
+    fn int_info_bit_is_the_sign(v: i32) {
+        prop_assert_eq!(Word::int(v).info_bit(), v < 0);
+    }
+
+    #[test]
+    fn fp_info_bit_matches_low_mantissa_bits(bits: u64) {
+        let w = Word::Fp(bits);
+        prop_assert_eq!(w.info_bit(), bits & 0xF != 0);
+        // Monotone in k: widening the window can only set the bit.
+        for k in 1..12u32 {
+            prop_assert!(w.info_bit_k(k) <= w.info_bit_k(k + 1));
+        }
+    }
+
+    #[test]
+    fn case_swap_swaps_bits(a: bool, b: bool) {
+        let case = Case::from_info_bits(a, b);
+        prop_assert_eq!(case.swapped(), Case::from_info_bits(b, a));
+        prop_assert_eq!(case.swapped().swapped(), case);
+    }
+
+    // --- power-model properties ---------------------------------------
+
+    #[test]
+    fn pair_cost_is_bounded_by_width(a: i32, b: i32, c: i32, d: i32) {
+        let prev = Some((Word::int(a), Word::int(b)));
+        let cost = pair_cost(prev, Word::int(c), Word::int(d));
+        prop_assert!(cost <= 64);
+    }
+
+    #[test]
+    fn steering_cost_swap_never_hurts(a: i32, b: i32, c: i32, d: i32) {
+        let prev = Some((Word::int(a), Word::int(b)));
+        let op = FuOp {
+            class: FuClass::IntAlu,
+            op1: Word::int(c),
+            op2: Word::int(d),
+            commutative: true,
+        };
+        let (with_swap, _) = steering_cost(prev, &op, true);
+        let (without, _) = steering_cost(prev, &op, false);
+        prop_assert!(with_swap <= without);
+    }
+
+    #[test]
+    fn module_ports_charge_what_they_peek(values in prop::collection::vec((any::<i32>(), any::<i32>()), 1..20)) {
+        let mut ports = ModulePorts::new();
+        for (a, b) in values {
+            let (a, b) = (Word::int(a), Word::int(b));
+            let peeked = ports.peek_cost(a, b);
+            prop_assert_eq!(ports.latch(a, b), peeked);
+            prop_assert_eq!(ports.prev(), Some((a, b)));
+        }
+    }
+
+    // --- assignment-solver properties ----------------------------------
+
+    #[test]
+    fn assignment_is_injective_and_optimal(
+        rows in 1usize..4,
+        extra_cols in 0usize..3,
+        seed: u64,
+    ) {
+        let cols = rows + extra_cols;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 1000) as u32
+        };
+        let cost: Vec<Vec<u32>> = (0..rows).map(|_| (0..cols).map(|_| next()).collect()).collect();
+        let assign = min_cost_assignment(&cost);
+
+        // Injective.
+        let mut seen = assign.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), rows);
+
+        // Optimal: compare against brute force over permutations.
+        fn brute(cost: &[Vec<u32>], row: usize, used: &mut Vec<bool>) -> u64 {
+            if row == cost.len() {
+                return 0;
+            }
+            let mut best = u64::MAX;
+            for c in 0..cost[0].len() {
+                if !used[c] {
+                    used[c] = true;
+                    let sub = brute(cost, row + 1, used);
+                    if sub != u64::MAX {
+                        best = best.min(cost[row][c] as u64 + sub);
+                    }
+                    used[c] = false;
+                }
+            }
+            best
+        }
+        let got: u64 = assign.iter().enumerate().map(|(r, &c)| cost[r][c] as u64).sum();
+        prop_assert_eq!(got, brute(&cost, 0, &mut vec![false; cols]));
+    }
+
+    // --- whole-stack properties -----------------------------------------
+
+    #[test]
+    fn random_straightline_programs_run_identically_under_every_policy(
+        ops in prop::collection::vec((0u8..6, 1u8..8, 1u8..8, 1u8..8), 1..40),
+    ) {
+        // Build a random straight-line ALU program over registers r1..r7.
+        let mut b = ProgramBuilder::new();
+        for i in 1..8 {
+            b.li(IntReg::new(i), (i as i32 - 4) * 1234567);
+        }
+        for (op, rd, rs, rt) in ops {
+            let (rd, rs, rt) = (IntReg::new(rd), IntReg::new(rs), IntReg::new(rt));
+            match op {
+                0 => b.add(rd, rs, rt),
+                1 => b.sub(rd, rs, rt),
+                2 => b.and(rd, rs, rt),
+                3 => b.or(rd, rs, rt),
+                4 => b.xor(rd, rs, rt),
+                _ => b.slt(rd, rs, rt),
+            }
+        }
+        b.halt();
+        let program = b.build().expect("valid by construction");
+
+        // The architectural result is policy-independent.
+        let mut reference = Vm::new(&program);
+        reference.run(10_000).expect("runs");
+
+        for kind in fua::steer::SteeringKind::FIGURE4 {
+            let mut sim = Simulator::new(
+                MachineConfig::paper_default(),
+                SteeringConfig::paper_scheme(kind, true),
+            );
+            let result = sim.run_program(&program, 10_000).expect("runs");
+            prop_assert_eq!(result.retired, reference.retired());
+            prop_assert!(result.halted);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Integration: the compiler swap pass must be a pure performance
+//! transformation — every workload must compute bit-identical results
+//! after rewriting.
+
+use fua::swap::CompilerSwapPass;
+use fua::vm::Vm;
+use fua::workloads::all;
+
+const LIMIT: u64 = 400_000;
+
+#[test]
+fn compiler_swapped_programs_are_bit_identical() {
+    for w in all(1) {
+        let outcome = CompilerSwapPass::with_limit(LIMIT)
+            .run(&w.program)
+            .unwrap_or_else(|e| panic!("{}: swap pass faulted: {e}", w.name));
+
+        let mut vm_a = Vm::new(&w.program);
+        vm_a.run_with(LIMIT, |_| ())
+            .unwrap_or_else(|e| panic!("{}: original faulted: {e}", w.name));
+        let mut vm_b = Vm::new(&outcome.program);
+        vm_b.run_with(LIMIT, |_| ())
+            .unwrap_or_else(|e| panic!("{}: rewritten faulted: {e}", w.name));
+
+        assert_eq!(
+            vm_a.retired(),
+            vm_b.retired(),
+            "{}: instruction counts diverged",
+            w.name
+        );
+        assert_eq!(
+            vm_a.int_regs(),
+            vm_b.int_regs(),
+            "{}: integer registers diverged",
+            w.name
+        );
+        let fa = vm_a.fp_regs();
+        let fb = vm_b.fp_regs();
+        for (i, (a, b)) in fa.iter().zip(&fb).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{}: fp register f{i} diverged",
+                w.name
+            );
+        }
+        assert_eq!(
+            vm_a.memory(),
+            vm_b.memory(),
+            "{}: memory images diverged",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn swap_pass_is_idempotent() {
+    // Rewriting an already-rewritten program must change nothing: the
+    // canonical order is a fixed point.
+    let w = fua::workloads::by_name("mgrid", 1).expect("bundled");
+    let once = CompilerSwapPass::with_limit(LIMIT)
+        .run(&w.program)
+        .expect("first pass");
+    let twice = CompilerSwapPass::with_limit(LIMIT)
+        .run(&once.program)
+        .expect("second pass");
+    assert!(
+        twice.swapped.is_empty(),
+        "second pass still swapped {:?}",
+        twice.swapped
+    );
+}

@@ -1,0 +1,96 @@
+//! Integration: the synthesised routing logic must compute *exactly* the
+//! steering decisions the behavioural LUT makes, for every unit, width
+//! and home strategy — the classic "netlist equals RTL" check.
+
+use fua::isa::{Case, FP_MANTISSA_BITS, INT_BITS};
+use fua::stats::CaseProfile;
+use fua::steer::{HomeStrategy, LutBuilder, PAPER_FPAU_OCCUPANCY, PAPER_IALU_OCCUPANCY};
+use fua::synth::{minimize, routing_cost, TruthTable};
+
+fn configurations() -> Vec<(&'static str, CaseProfile, u32, &'static [f64])> {
+    vec![
+        ("IALU", CaseProfile::paper_ialu(), INT_BITS, &PAPER_IALU_OCCUPANCY),
+        (
+            "FPAU",
+            CaseProfile::paper_fpau(),
+            FP_MANTISSA_BITS,
+            &PAPER_FPAU_OCCUPANCY,
+        ),
+    ]
+}
+
+#[test]
+fn minimised_logic_matches_every_lut_exactly() {
+    for (unit, profile, width, occupancy) in configurations() {
+        for strategy in [
+            HomeStrategy::Auto,
+            HomeStrategy::Unique,
+            HomeStrategy::Proportional,
+            HomeStrategy::Search,
+        ] {
+            for slots in [1usize, 2, 4] {
+                let lut = LutBuilder::new(profile, width)
+                    .occupancy(occupancy)
+                    .modules(4)
+                    .strategy(strategy)
+                    .build(slots);
+                let tt = TruthTable::from_lut(&lut);
+                for o in 0..tt.outputs() {
+                    let sop = minimize(&tt, o);
+                    for m in 0..(1u16 << tt.inputs()) {
+                        assert_eq!(
+                            sop.eval(m),
+                            tt.output(m, o),
+                            "{unit}/{strategy:?}/{slots} slots: output {o} wrong at {m:08b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn gate_costs_grow_with_vector_width_and_rs_entries() {
+    for (unit, profile, width, occupancy) in configurations() {
+        let build = |slots| {
+            LutBuilder::new(profile, width)
+                .occupancy(occupancy)
+                .modules(4)
+                .build(slots)
+        };
+        let narrow = routing_cost(&build(1), 8, 4);
+        let wide = routing_cost(&build(4), 8, 4);
+        assert!(
+            wide.gates >= narrow.gates,
+            "{unit}: wider vectors cannot shrink the logic"
+        );
+        let small_rs = routing_cost(&build(2), 8, 4);
+        let large_rs = routing_cost(&build(2), 32, 4);
+        assert!(large_rs.gates > small_rs.gates, "{unit}: RS scaling");
+        assert!(large_rs.levels >= small_rs.levels, "{unit}: RS depth");
+    }
+}
+
+#[test]
+fn single_issue_decisions_respect_homes() {
+    // For every unit: a lone instruction of case c must land on a module
+    // homed at c whenever such a module exists.
+    for (unit, profile, width, occupancy) in configurations() {
+        let lut = LutBuilder::new(profile, width)
+            .occupancy(occupancy)
+            .modules(4)
+            .build(2);
+        for case in Case::ALL {
+            if !lut.homes().contains(&case) {
+                continue;
+            }
+            let module = lut.entry(lut.encode(&[case]))[0] as usize;
+            assert_eq!(
+                lut.homes()[module],
+                case,
+                "{unit}: case {case} missed its home"
+            );
+        }
+    }
+}
