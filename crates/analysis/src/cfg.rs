@@ -1,0 +1,274 @@
+//! Control-flow graph construction over [`fua_isa::Program`]s.
+//!
+//! Basic blocks are maximal straight-line instruction runs; edges follow
+//! the VM's control semantics ([`fua_vm::Vm::step`]): conditional
+//! branches have a taken edge and a fall-through edge, `j` a single
+//! edge, `halt` none. A control target outside the text produces no
+//! edge — the linter reports it separately as a hazard.
+
+use fua_isa::{Opcode, Program};
+
+/// A basic block: instruction indices `[start, end)` plus CFG edges.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Index of the first instruction in the block.
+    pub start: usize,
+    /// One past the last instruction in the block.
+    pub end: usize,
+    /// Successor block ids.
+    pub succs: Vec<usize>,
+    /// Predecessor block ids.
+    pub preds: Vec<usize>,
+}
+
+impl Block {
+    /// The instruction indices belonging to this block.
+    pub fn insts(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+}
+
+/// The control-flow graph of a program.
+///
+/// # Examples
+///
+/// ```
+/// use fua_analysis::Cfg;
+/// use fua_isa::{IntReg, ProgramBuilder};
+///
+/// let r1 = IntReg::new(1);
+/// let mut b = ProgramBuilder::new();
+/// let top = b.new_label();
+/// b.li(r1, 3);
+/// b.bind(top);
+/// b.addi(r1, r1, -1);
+/// b.bgtz(r1, top);
+/// b.halt();
+/// let program = b.build().unwrap();
+///
+/// let cfg = Cfg::build(&program);
+/// assert_eq!(cfg.blocks().len(), 3); // preamble, loop body, halt
+/// assert!(cfg.reachable().iter().all(|&r| r));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    blocks: Vec<Block>,
+    /// Block id owning each instruction.
+    block_of: Vec<usize>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `program`.
+    pub fn build(program: &Program) -> Self {
+        let n = program.len();
+        let insts = program.insts();
+
+        // Leaders: entry, every control target in range, and every
+        // instruction following a control transfer.
+        let mut leader = vec![false; n];
+        if n > 0 {
+            leader[0] = true;
+        }
+        for (i, inst) in insts.iter().enumerate() {
+            if inst.op.is_control() {
+                if i + 1 < n {
+                    leader[i + 1] = true;
+                }
+                if inst.op != Opcode::Halt {
+                    let t = inst.imm;
+                    if (0..n as i32).contains(&t) {
+                        leader[t as usize] = true;
+                    }
+                }
+            }
+        }
+
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut block_of = vec![0usize; n];
+        let mut start = 0usize;
+        for i in 0..n {
+            if i > start && leader[i] {
+                blocks.push(Block {
+                    start,
+                    end: i,
+                    succs: Vec::new(),
+                    preds: Vec::new(),
+                });
+                start = i;
+            }
+            block_of[i] = blocks.len();
+        }
+        if n > 0 {
+            blocks.push(Block {
+                start,
+                end: n,
+                succs: Vec::new(),
+                preds: Vec::new(),
+            });
+        }
+
+        // Edges.
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for (b, block) in blocks.iter().enumerate() {
+            let last = &insts[block.end - 1];
+            let fallthrough = block.end < n;
+            let push_target = |edges: &mut Vec<(usize, usize)>| {
+                let t = last.imm;
+                if (0..n as i32).contains(&t) {
+                    edges.push((b, block_of[t as usize]));
+                }
+            };
+            match last.op {
+                Opcode::Halt => {}
+                Opcode::J => push_target(&mut edges),
+                op if op.is_branch() => {
+                    push_target(&mut edges);
+                    if fallthrough {
+                        edges.push((b, block_of[block.end]));
+                    }
+                }
+                _ => {
+                    if fallthrough {
+                        edges.push((b, block_of[block.end]));
+                    }
+                }
+            }
+        }
+        for (from, to) in edges {
+            if !blocks[from].succs.contains(&to) {
+                blocks[from].succs.push(to);
+            }
+            if !blocks[to].preds.contains(&from) {
+                blocks[to].preds.push(from);
+            }
+        }
+
+        Cfg { blocks, block_of }
+    }
+
+    /// The basic blocks, in program order (block 0 is the entry).
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// The block owning instruction `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn block_of(&self, idx: usize) -> usize {
+        self.block_of[idx]
+    }
+
+    /// Forward reachability from the entry block.
+    pub fn reachable(&self) -> Vec<bool> {
+        self.flood(&[0], |b| &self.blocks[b].succs)
+    }
+
+    /// Blocks from which some `halt` instruction is reachable (backward
+    /// reachability over the CFG). A reachable block *not* in this set
+    /// can only spin until the execution limit — the linter's
+    /// infinite-loop hazard.
+    pub fn reaches_halt(&self, program: &Program) -> Vec<bool> {
+        let halting: Vec<usize> = self
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, blk)| {
+                program.insts()[blk.insts()]
+                    .iter()
+                    .any(|i| i.op == Opcode::Halt)
+            })
+            .map(|(b, _)| b)
+            .collect();
+        self.flood(&halting, |b| &self.blocks[b].preds)
+    }
+
+    fn flood<'a>(&'a self, seeds: &[usize], next: impl Fn(usize) -> &'a [usize]) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut stack: Vec<usize> = seeds.to_vec();
+        for &s in seeds {
+            seen[s] = true;
+        }
+        while let Some(b) = stack.pop() {
+            for &s in next(b) {
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fua_isa::{IntReg, ProgramBuilder};
+
+    fn r(i: u8) -> IntReg {
+        IntReg::new(i)
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), 1);
+        b.addi(r(1), r(1), 1);
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.blocks().len(), 1);
+        assert!(cfg.blocks()[0].succs.is_empty());
+    }
+
+    #[test]
+    fn branch_splits_blocks_and_links_both_ways() {
+        let mut b = ProgramBuilder::new();
+        let skip = b.new_label();
+        b.li(r(1), 1);
+        b.bgtz(r(1), skip);
+        b.li(r(2), 9);
+        b.bind(skip);
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.blocks().len(), 3);
+        let entry = &cfg.blocks()[0];
+        assert_eq!(entry.succs.len(), 2, "taken + fall-through");
+        let halt_block = cfg.block_of(p.len() - 1);
+        assert_eq!(cfg.blocks()[halt_block].preds.len(), 2);
+    }
+
+    #[test]
+    fn unreachable_code_after_jump_is_detected() {
+        let mut b = ProgramBuilder::new();
+        let end = b.new_label();
+        b.j(end);
+        b.li(r(1), 1); // dead
+        b.bind(end);
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p);
+        let reach = cfg.reachable();
+        let dead = cfg.block_of(1);
+        assert!(!reach[dead]);
+        assert!(reach[cfg.block_of(2)]);
+    }
+
+    #[test]
+    fn loop_without_exit_cannot_reach_halt() {
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label();
+        b.bind(top);
+        b.addi(r(1), r(1), 1);
+        b.j(top);
+        b.halt(); // unreachable, but present so the builder accepts
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p);
+        let reaches = cfg.reaches_halt(&p);
+        assert!(!reaches[cfg.block_of(0)]);
+        assert!(reaches[cfg.block_of(2)]);
+    }
+}

@@ -1,0 +1,317 @@
+//! Classic bit-vector dataflow: reaching definitions, def-use chains,
+//! and backward liveness.
+//!
+//! Definition sites are instruction indices plus one *entry* pseudo-def
+//! per architectural register (the VM zero-initialises the register
+//! files, so "defined at entry" is a real, executable definition — the
+//! linter reports uses of it as uninitialised-read warnings all the
+//! same). Liveness treats `halt` as reading every register: the
+//! experiment harness inspects final register state, so a value that
+//! survives to `halt` is not dead.
+
+use fua_isa::{Program, Reg};
+
+use crate::Cfg;
+
+/// Total number of architectural registers across both files.
+const NUM_REGS: usize = 64;
+
+/// Where a register value may originate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefSite {
+    /// The register's zero-initialised value at program entry.
+    Entry(Reg),
+    /// The write performed by this instruction index.
+    Inst(usize),
+}
+
+/// One register use inside an instruction, with every definition that
+/// may reach it.
+#[derive(Debug, Clone)]
+pub struct UseInfo {
+    /// The register being read.
+    pub reg: Reg,
+    /// All definitions that may flow into this use.
+    pub defs: Vec<DefSite>,
+}
+
+/// Reaching-definition and liveness facts for one program.
+///
+/// # Examples
+///
+/// ```
+/// use fua_analysis::{Cfg, DataFlow, DefSite};
+/// use fua_isa::{IntReg, ProgramBuilder};
+///
+/// let (r1, r2) = (IntReg::new(1), IntReg::new(2));
+/// let mut b = ProgramBuilder::new();
+/// b.li(r1, 5);
+/// b.add(r2, r1, r1);
+/// b.halt();
+/// let program = b.build().unwrap();
+///
+/// let flow = DataFlow::run(&program, &Cfg::build(&program));
+/// let uses = flow.uses_of(1);
+/// assert_eq!(uses.len(), 2);
+/// assert_eq!(uses[0].defs, vec![DefSite::Inst(0)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DataFlow {
+    uses: Vec<Vec<UseInfo>>,
+    /// Per instruction: the registers live *after* it executes, as a
+    /// dense bitmask over [`Reg::dense_index`].
+    live_after: Vec<u64>,
+}
+
+/// A dense bit set over definition sites.
+type DefSet = Vec<u64>;
+
+fn set_bit(s: &mut DefSet, i: usize) {
+    s[i / 64] |= 1 << (i % 64);
+}
+
+fn clear_bit(s: &mut DefSet, i: usize) {
+    s[i / 64] &= !(1 << (i % 64));
+}
+
+fn get_bit(s: &[u64], i: usize) -> bool {
+    s[i / 64] >> (i % 64) & 1 == 1
+}
+
+fn union_into(dst: &mut DefSet, src: &[u64]) -> bool {
+    let mut changed = false;
+    for (d, &s) in dst.iter_mut().zip(src) {
+        let n = *d | s;
+        changed |= n != *d;
+        *d = n;
+    }
+    changed
+}
+
+impl DataFlow {
+    /// Runs both analyses over `program`.
+    pub fn run(program: &Program, cfg: &Cfg) -> Self {
+        let n = program.len();
+        let ndefs = n + NUM_REGS;
+        let words = ndefs.div_ceil(64);
+        let insts = program.insts();
+
+        // Definition sites per register (dense index), entry defs last.
+        let mut defs_of: Vec<Vec<usize>> = vec![Vec::new(); NUM_REGS];
+        for (i, inst) in insts.iter().enumerate() {
+            if let Some(d) = inst.dst {
+                defs_of[d.dense_index()].push(i);
+            }
+        }
+        for (r, defs) in defs_of.iter_mut().enumerate() {
+            defs.push(n + r);
+        }
+
+        // Forward reaching definitions, block-level fixpoint.
+        let nblocks = cfg.blocks().len();
+        let mut in_sets: Vec<DefSet> = vec![vec![0; words]; nblocks];
+        let mut out_sets: Vec<DefSet> = vec![vec![0; words]; nblocks];
+        if nblocks > 0 {
+            for r in 0..NUM_REGS {
+                set_bit(&mut in_sets[0], n + r);
+            }
+        }
+        let apply_block = |b: usize, start: &[u64]| -> DefSet {
+            let mut cur = start.to_vec();
+            for i in cfg.blocks()[b].insts() {
+                if let Some(d) = insts[i].dst {
+                    for &site in &defs_of[d.dense_index()] {
+                        clear_bit(&mut cur, site);
+                    }
+                    set_bit(&mut cur, i);
+                }
+            }
+            cur
+        };
+        let mut worklist: Vec<usize> = (0..nblocks).collect();
+        while let Some(b) = worklist.pop() {
+            let out = apply_block(b, &in_sets[b]);
+            if out != out_sets[b] {
+                out_sets[b] = out;
+                for &s in &cfg.blocks()[b].succs {
+                    if union_into(&mut in_sets[s], &out_sets[b]) && !worklist.contains(&s) {
+                        worklist.push(s);
+                    }
+                }
+            }
+        }
+
+        // Per-use def chains.
+        let mut uses: Vec<Vec<UseInfo>> = vec![Vec::new(); n];
+        for (b, block) in cfg.blocks().iter().enumerate() {
+            let mut cur = in_sets[b].clone();
+            for i in block.insts() {
+                let inst = &insts[i];
+                for reg in [inst.src1.reg(), inst.src2.reg()].into_iter().flatten() {
+                    let defs = defs_of[reg.dense_index()]
+                        .iter()
+                        .filter(|&&site| get_bit(&cur, site))
+                        .map(|&site| {
+                            if site >= n {
+                                DefSite::Entry(reg)
+                            } else {
+                                DefSite::Inst(site)
+                            }
+                        })
+                        .collect();
+                    uses[i].push(UseInfo { reg, defs });
+                }
+                if let Some(d) = inst.dst {
+                    for &site in &defs_of[d.dense_index()] {
+                        clear_bit(&mut cur, site);
+                    }
+                    set_bit(&mut cur, i);
+                }
+            }
+        }
+
+        // Backward liveness over registers (single u64 mask).
+        let all_live = u64::MAX; // NUM_REGS == 64 exactly fills the mask
+
+        let mut live_in: Vec<u64> = vec![0; nblocks];
+        let mut live_after = vec![0u64; n];
+        let transfer_backward = |b: usize, live_in: &[u64], record: &mut [u64]| -> u64 {
+            let block = &cfg.blocks()[b];
+            // Falling off the end of the text faults; registers are then
+            // observable, so the program-exit edge is all-live.
+            let mut live =
+                if block.succs.is_empty() && insts[block.end - 1].op != fua_isa::Opcode::Halt {
+                    all_live
+                } else {
+                    block
+                        .succs
+                        .iter()
+                        .map(|&s| live_in[s])
+                        .fold(0, |a, x| a | x)
+                };
+            for i in block.insts().rev() {
+                let inst = &insts[i];
+                if inst.op == fua_isa::Opcode::Halt {
+                    // The harness reads final register state.
+                    live = all_live;
+                }
+                record[i] = live;
+                if let Some(d) = inst.dst {
+                    live &= !(1 << d.dense_index());
+                }
+                for reg in [inst.src1.reg(), inst.src2.reg()].into_iter().flatten() {
+                    live |= 1 << reg.dense_index();
+                }
+            }
+            live
+        };
+        let mut worklist: Vec<usize> = (0..nblocks).collect();
+        let mut scratch = vec![0u64; n];
+        while let Some(b) = worklist.pop() {
+            let new_in = transfer_backward(b, &live_in, &mut scratch);
+            if new_in != live_in[b] {
+                live_in[b] = new_in;
+                for &p in &cfg.blocks()[b].preds {
+                    if !worklist.contains(&p) {
+                        worklist.push(p);
+                    }
+                }
+            }
+        }
+        // Final recording pass with the fixpoint solution.
+        for b in 0..nblocks {
+            transfer_backward(b, &live_in, &mut live_after);
+        }
+
+        DataFlow { uses, live_after }
+    }
+
+    /// The register uses of instruction `idx` with their reaching
+    /// definitions, in source-slot order.
+    pub fn uses_of(&self, idx: usize) -> &[UseInfo] {
+        &self.uses[idx]
+    }
+
+    /// Whether register `reg` is live immediately after instruction
+    /// `idx` executes.
+    pub fn is_live_after(&self, idx: usize, reg: Reg) -> bool {
+        self.live_after[idx] >> reg.dense_index() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fua_isa::{IntReg, ProgramBuilder};
+
+    fn r(i: u8) -> IntReg {
+        IntReg::new(i)
+    }
+
+    #[test]
+    fn uninitialised_use_reaches_the_entry_def() {
+        let mut b = ProgramBuilder::new();
+        b.add(r(2), r(1), r(1)); // r1 never written
+        b.halt();
+        let p = b.build().unwrap();
+        let flow = DataFlow::run(&p, &Cfg::build(&p));
+        let uses = flow.uses_of(0);
+        assert!(uses
+            .iter()
+            .all(|u| u.defs == vec![DefSite::Entry(Reg::Int(r(1)))]));
+    }
+
+    #[test]
+    fn defs_merge_at_join_points() {
+        let mut b = ProgramBuilder::new();
+        let other = b.new_label();
+        let join = b.new_label();
+        b.li(r(1), 1);
+        b.bgtz(r(1), other);
+        b.li(r(2), 5); // def A
+        b.j(join);
+        b.bind(other);
+        b.li(r(2), -5); // def B
+        b.bind(join);
+        b.add(r(3), r(2), r(2));
+        let end_label_uses_halt = b.new_label();
+        b.bind(end_label_uses_halt);
+        b.halt();
+        let p = b.build().unwrap();
+        let flow = DataFlow::run(&p, &Cfg::build(&p));
+        let add_idx = 5;
+        assert_eq!(p.inst(add_idx).op, fua_isa::Opcode::Add);
+        let uses = flow.uses_of(add_idx);
+        let defs = &uses[0].defs;
+        assert!(defs.contains(&DefSite::Inst(2)));
+        assert!(defs.contains(&DefSite::Inst(4)));
+        assert!(!defs.iter().any(|d| matches!(d, DefSite::Entry(_))));
+    }
+
+    #[test]
+    fn overwritten_value_is_dead() {
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), 5); // dead: overwritten below without a read
+        b.li(r(1), 6);
+        b.halt();
+        let p = b.build().unwrap();
+        let flow = DataFlow::run(&p, &Cfg::build(&p));
+        assert!(!flow.is_live_after(0, Reg::Int(r(1))));
+        assert!(flow.is_live_after(1, Reg::Int(r(1))), "live into halt");
+    }
+
+    #[test]
+    fn loop_carried_value_stays_live() {
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label();
+        b.li(r(1), 3);
+        b.bind(top);
+        b.addi(r(1), r(1), -1);
+        b.bgtz(r(1), top);
+        b.halt();
+        let p = b.build().unwrap();
+        let flow = DataFlow::run(&p, &Cfg::build(&p));
+        assert!(flow.is_live_after(0, Reg::Int(r(1))));
+        assert!(flow.is_live_after(1, Reg::Int(r(1))));
+    }
+}

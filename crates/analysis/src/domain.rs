@@ -1,0 +1,498 @@
+//! Abstract domains for the static information-bit analysis.
+//!
+//! The paper's steering hardware classifies every operand by a single
+//! *information bit*: the sign bit for integers, the OR of the low four
+//! mantissa bits for doubles ([`fua_isa::Word::info_bit`]). To predict
+//! that bit at compile time we track, per register, a small abstract
+//! value:
+//!
+//! * integers — a *sign-and-width lattice* `{⊥, Const(v),
+//!   NonNegBits(k), Neg, ⊤}`: the constant layer enables exact folding
+//!   through the VM's own ALU function; the width layer `NonNegBits(k)`
+//!   (`0 ≤ v < 2^k`, `k ≤ 31`) is what survives joins and loops, and —
+//!   beyond the sign bit — carries an *expected ones-density* estimate
+//!   the static swap pass orders operands by;
+//! * doubles — a *low-mantissa lattice* `{⊥, Const(bits), Zeros,
+//!   NonZero, ⊤}` over the four least-significant mantissa bits,
+//!   tracking the paper's trailing-zero sources (integer casts, round
+//!   constants, power-of-two scaling).
+//!
+//! Both lattices are finite once the join collapses the (unbounded)
+//! constant layer: the integer lattice's longest chain walks the 32
+//! widths (`⊥ < Const < NonNegBits(0) < … < NonNegBits(31) < ⊤`), the
+//! FP lattice has height 3, and joins only ever move up — so the
+//! fixpoint terminates without a separate widening operator. See
+//! DESIGN.md §"Static information-bit analysis".
+
+use fua_isa::Case;
+
+/// A single abstract bit: definitely 0, definitely 1, or unknown.
+///
+/// # Examples
+///
+/// ```
+/// use fua_analysis::AbsBit;
+///
+/// assert_eq!(AbsBit::Zero.join(AbsBit::Zero), AbsBit::Zero);
+/// assert_eq!(AbsBit::Zero.join(AbsBit::One), AbsBit::Unknown);
+/// assert_eq!(AbsBit::from_bool(true).definite(), Some(true));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbsBit {
+    /// The bit is 0 on every execution.
+    Zero,
+    /// The bit is 1 on every execution.
+    One,
+    /// The analysis cannot prove either value.
+    Unknown,
+}
+
+impl AbsBit {
+    /// Lifts a concrete bit.
+    #[inline]
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            AbsBit::One
+        } else {
+            AbsBit::Zero
+        }
+    }
+
+    /// The definite value, if the bit is not [`AbsBit::Unknown`].
+    #[inline]
+    pub fn definite(self) -> Option<bool> {
+        match self {
+            AbsBit::Zero => Some(false),
+            AbsBit::One => Some(true),
+            AbsBit::Unknown => None,
+        }
+    }
+
+    /// Least upper bound.
+    #[inline]
+    pub fn join(self, other: AbsBit) -> AbsBit {
+        if self == other {
+            self
+        } else {
+            AbsBit::Unknown
+        }
+    }
+
+    /// Abstract AND (`0 ∧ x = 0`).
+    #[inline]
+    pub fn and(self, other: AbsBit) -> AbsBit {
+        use AbsBit::*;
+        match (self, other) {
+            (Zero, _) | (_, Zero) => Zero,
+            (One, One) => One,
+            _ => Unknown,
+        }
+    }
+
+    /// Abstract OR (`1 ∨ x = 1`).
+    #[inline]
+    pub fn or(self, other: AbsBit) -> AbsBit {
+        use AbsBit::*;
+        match (self, other) {
+            (One, _) | (_, One) => One,
+            (Zero, Zero) => Zero,
+            _ => Unknown,
+        }
+    }
+
+    /// Abstract XOR.
+    #[inline]
+    pub fn xor(self, other: AbsBit) -> AbsBit {
+        match (self.definite(), other.definite()) {
+            (Some(a), Some(b)) => AbsBit::from_bool(a ^ b),
+            _ => AbsBit::Unknown,
+        }
+    }
+}
+
+impl std::ops::Not for AbsBit {
+    type Output = AbsBit;
+
+    /// Abstract NOT.
+    #[inline]
+    fn not(self) -> AbsBit {
+        match self {
+            AbsBit::Zero => AbsBit::One,
+            AbsBit::One => AbsBit::Zero,
+            AbsBit::Unknown => AbsBit::Unknown,
+        }
+    }
+}
+
+/// Combines two predicted operand bits into a predicted [`Case`], when
+/// both are definite.
+///
+/// # Examples
+///
+/// ```
+/// use fua_analysis::{predicted_case, AbsBit};
+/// use fua_isa::Case;
+///
+/// assert_eq!(predicted_case(AbsBit::Zero, AbsBit::One), Some(Case::C01));
+/// assert_eq!(predicted_case(AbsBit::Zero, AbsBit::Unknown), None);
+/// ```
+pub fn predicted_case(op1: AbsBit, op2: AbsBit) -> Option<Case> {
+    Some(Case::from_info_bits(op1.definite()?, op2.definite()?))
+}
+
+/// Abstract 32-bit integer: the sign-and-width lattice with a constant
+/// layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbsInt {
+    /// Unreachable (no execution produces a value here).
+    Bot,
+    /// Exactly this value on every execution.
+    Const(i32),
+    /// `0 <= v < 2^k` on every execution (`k <= 31`; `NonNegBits(31)`
+    /// is the plain "sign bit 0" fact, since every non-negative `i32`
+    /// is below `2^31`).
+    NonNegBits(u8),
+    /// Sign bit 1 on every execution (`v < 0`).
+    Neg,
+    /// Any value.
+    Top,
+}
+
+/// Width ceiling: `NonNegBits(31)` admits every non-negative `i32`.
+const MAX_BITS: u8 = 31;
+
+/// The number of bits needed to represent the non-negative value `v`
+/// (`bits_for(0) == 0`, `bits_for(5) == 3`).
+#[inline]
+fn bits_for(v: i32) -> u8 {
+    debug_assert!(v >= 0);
+    (32 - (v as u32).leading_zeros()) as u8
+}
+
+impl AbsInt {
+    /// The abstraction of a concrete value (kept at the constant layer).
+    #[inline]
+    pub fn of(v: i32) -> Self {
+        AbsInt::Const(v)
+    }
+
+    /// The widest non-negative abstraction (`v >= 0`, nothing more).
+    #[inline]
+    pub fn non_neg() -> Self {
+        AbsInt::NonNegBits(MAX_BITS)
+    }
+
+    /// `0 <= v < 2^k`, clamping `k` to the 31-bit ceiling.
+    #[inline]
+    pub fn bounded(k: u32) -> Self {
+        AbsInt::NonNegBits((k.min(MAX_BITS as u32)) as u8)
+    }
+
+    /// The exact value, if known.
+    #[inline]
+    pub fn constant(self) -> Option<i32> {
+        match self {
+            AbsInt::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The abstract sign (= information) bit.
+    #[inline]
+    pub fn sign_bit(self) -> AbsBit {
+        match self {
+            AbsInt::Const(v) => AbsBit::from_bool(v < 0),
+            AbsInt::NonNegBits(_) => AbsBit::Zero,
+            AbsInt::Neg => AbsBit::One,
+            // ⊥ carries no executions; Unknown is trivially sound.
+            AbsInt::Bot | AbsInt::Top => AbsBit::Unknown,
+        }
+    }
+
+    /// An upper bound on the value's bit width, when the abstraction
+    /// proves one (`Const(v >= 0)` and `NonNegBits` do; negative
+    /// constants, `Neg`, and ⊤ do not).
+    #[inline]
+    pub fn width_bound(self) -> Option<u8> {
+        match self {
+            AbsInt::Const(v) if v >= 0 => Some(bits_for(v)),
+            AbsInt::NonNegBits(k) => Some(k),
+            _ => None,
+        }
+    }
+
+    /// Expected number of 1 bits, where the abstraction supports an
+    /// estimate: exact for constants; `⌊k/2⌋` for a `k`-bit-bounded
+    /// value (each free bit is 1 at most half the time, and real
+    /// program values skew below their bound — the floor keeps
+    /// borderline swaps the profile-guided pass would decline from
+    /// firing). `Neg` and ⊤ return `None` — the static swap pass only
+    /// orders operands whose density it can actually argue about.
+    #[inline]
+    pub fn expected_ones(self) -> Option<f64> {
+        match self {
+            AbsInt::Const(v) => Some(v.count_ones() as f64),
+            AbsInt::NonNegBits(k) => Some((k / 2) as f64),
+            _ => None,
+        }
+    }
+
+    /// Collapses the constant layer to the sign/width layer (the
+    /// "widening" step applied by the join).
+    #[inline]
+    fn widen(v: i32) -> Self {
+        if v < 0 {
+            AbsInt::Neg
+        } else {
+            AbsInt::NonNegBits(bits_for(v))
+        }
+    }
+
+    /// Least upper bound.
+    pub fn join(self, other: AbsInt) -> AbsInt {
+        use AbsInt::*;
+        match (self, other) {
+            (Bot, x) | (x, Bot) => x,
+            (Top, _) | (_, Top) => Top,
+            (Const(a), Const(b)) if a == b => Const(a),
+            (a, b) => match (AbsInt::widen_non_const(a), AbsInt::widen_non_const(b)) {
+                (NonNegBits(x), NonNegBits(y)) => NonNegBits(x.max(y)),
+                (Neg, Neg) => Neg,
+                _ => Top,
+            },
+        }
+    }
+
+    /// Lifts a value to the sign/width layer for the join (constants
+    /// widen; everything else is already there).
+    #[inline]
+    fn widen_non_const(v: AbsInt) -> AbsInt {
+        match v {
+            AbsInt::Const(c) => AbsInt::widen(c),
+            other => other,
+        }
+    }
+
+    /// Whether the abstraction admits `v` (soundness predicate used by
+    /// the property tests).
+    pub fn admits(self, v: i32) -> bool {
+        match self {
+            AbsInt::Bot => false,
+            AbsInt::Const(c) => c == v,
+            AbsInt::NonNegBits(k) => v >= 0 && (k >= MAX_BITS || (v as u32) < (1u32 << k)),
+            AbsInt::Neg => v < 0,
+            AbsInt::Top => true,
+        }
+    }
+}
+
+const LOW4: u64 = 0xF;
+
+/// Abstract IEEE-754 double, tracked through its four least-significant
+/// mantissa bits (the FP information-bit window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbsFp {
+    /// Unreachable.
+    Bot,
+    /// Exactly this bit pattern on every execution.
+    Const(u64),
+    /// The low four mantissa bits are all 0 (trailing-zero-rich value).
+    Zeros,
+    /// At least one of the low four mantissa bits is 1.
+    NonZero,
+    /// Any value.
+    Top,
+}
+
+impl AbsFp {
+    /// The abstraction of a concrete double (kept at the constant layer).
+    #[inline]
+    pub fn of(v: f64) -> Self {
+        AbsFp::Const(v.to_bits())
+    }
+
+    /// The exact bit pattern, if known.
+    #[inline]
+    pub fn constant_bits(self) -> Option<u64> {
+        match self {
+            AbsFp::Const(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The abstract information bit (OR of the low four mantissa bits).
+    #[inline]
+    pub fn low4_bit(self) -> AbsBit {
+        match self {
+            AbsFp::Const(b) => AbsBit::from_bool(b & LOW4 != 0),
+            AbsFp::Zeros => AbsBit::Zero,
+            AbsFp::NonZero => AbsBit::One,
+            AbsFp::Bot | AbsFp::Top => AbsBit::Unknown,
+        }
+    }
+
+    #[inline]
+    fn low4_of(bits: u64) -> Self {
+        if bits & LOW4 == 0 {
+            AbsFp::Zeros
+        } else {
+            AbsFp::NonZero
+        }
+    }
+
+    /// Least upper bound.
+    pub fn join(self, other: AbsFp) -> AbsFp {
+        use AbsFp::*;
+        match (self, other) {
+            (Bot, x) | (x, Bot) => x,
+            (Top, _) | (_, Top) => Top,
+            (Const(a), Const(b)) if a == b => Const(a),
+            (Const(a), Const(b)) => {
+                if AbsFp::low4_of(a) == AbsFp::low4_of(b) {
+                    AbsFp::low4_of(a)
+                } else {
+                    Top
+                }
+            }
+            (Const(v), s) | (s, Const(v)) => {
+                if AbsFp::low4_of(v) == s {
+                    s
+                } else {
+                    Top
+                }
+            }
+            (a, b) if a == b => a,
+            _ => Top,
+        }
+    }
+
+    /// Whether the abstraction admits the bit pattern `bits`.
+    pub fn admits(self, bits: u64) -> bool {
+        match self {
+            AbsFp::Bot => false,
+            AbsFp::Const(c) => c == bits,
+            AbsFp::Zeros => bits & LOW4 == 0,
+            AbsFp::NonZero => bits & LOW4 != 0,
+            AbsFp::Top => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_ops_match_boolean_algebra() {
+        use AbsBit::*;
+        for (a, ca) in [(Zero, false), (One, true)] {
+            for (b, cb) in [(Zero, false), (One, true)] {
+                assert_eq!(a.and(b).definite(), Some(ca & cb));
+                assert_eq!(a.or(b).definite(), Some(ca | cb));
+                assert_eq!(a.xor(b).definite(), Some(ca ^ cb));
+            }
+        }
+        assert_eq!(Zero.and(Unknown), Zero, "0 ∧ ? = 0");
+        assert_eq!(One.or(Unknown), One, "1 ∨ ? = 1");
+        assert_eq!(Unknown.xor(Zero), Unknown);
+        assert_eq!(!Unknown, Unknown);
+    }
+
+    #[test]
+    fn int_join_is_commutative_and_sound() {
+        let samples = [
+            AbsInt::Bot,
+            AbsInt::Const(-3),
+            AbsInt::Const(0),
+            AbsInt::Const(7),
+            AbsInt::NonNegBits(0),
+            AbsInt::NonNegBits(4),
+            AbsInt::NonNegBits(12),
+            AbsInt::non_neg(),
+            AbsInt::Neg,
+            AbsInt::Top,
+        ];
+        let values = [-5i32, -1, 0, 1, 9, 100, 5000, i32::MIN, i32::MAX];
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(a.join(b), b.join(a), "{a:?} ⊔ {b:?}");
+                let j = a.join(b);
+                for &v in &values {
+                    if a.admits(v) || b.admits(v) {
+                        assert!(j.admits(v), "{a:?} ⊔ {b:?} = {j:?} drops {v}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn int_join_collapses_constants_to_widths() {
+        assert_eq!(
+            AbsInt::Const(2).join(AbsInt::Const(5)),
+            AbsInt::NonNegBits(3)
+        );
+        assert_eq!(AbsInt::Const(-2).join(AbsInt::Const(-5)), AbsInt::Neg);
+        assert_eq!(AbsInt::Const(-2).join(AbsInt::Const(5)), AbsInt::Top);
+        assert_eq!(AbsInt::Const(3).join(AbsInt::Const(3)), AbsInt::Const(3));
+        assert_eq!(
+            AbsInt::Const(9).join(AbsInt::NonNegBits(2)),
+            AbsInt::NonNegBits(4)
+        );
+    }
+
+    #[test]
+    fn width_bounds_and_density_estimates() {
+        assert_eq!(AbsInt::Const(6144).width_bound(), Some(13));
+        assert_eq!(AbsInt::NonNegBits(14).width_bound(), Some(14));
+        assert_eq!(AbsInt::Const(-1).width_bound(), None);
+        assert_eq!(AbsInt::Top.width_bound(), None);
+        assert_eq!(AbsInt::Const(6144).expected_ones(), Some(2.0));
+        assert_eq!(AbsInt::NonNegBits(14).expected_ones(), Some(7.0));
+        assert_eq!(AbsInt::Neg.expected_ones(), None);
+        // The width ceiling admits every non-negative value.
+        assert!(AbsInt::bounded(40).admits(i32::MAX));
+        assert!(!AbsInt::bounded(3).admits(8));
+        assert!(AbsInt::bounded(3).admits(7));
+    }
+
+    #[test]
+    fn fp_join_tracks_low_mantissa_bits() {
+        let round = AbsFp::of(2.0);
+        let full = AbsFp::of(0.1);
+        assert_eq!(round.low4_bit(), AbsBit::Zero);
+        assert_eq!(full.low4_bit(), AbsBit::One);
+        assert_eq!(round.join(AbsFp::of(0.5)), AbsFp::Zeros);
+        assert_eq!(round.join(full), AbsFp::Top);
+    }
+
+    #[test]
+    fn fp_join_is_sound_on_samples() {
+        let samples = [
+            AbsFp::Bot,
+            AbsFp::of(2.0),
+            AbsFp::of(0.1),
+            AbsFp::Zeros,
+            AbsFp::NonZero,
+            AbsFp::Top,
+        ];
+        let values = [2.0f64.to_bits(), 0.1f64.to_bits(), 0, u64::MAX];
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(a.join(b), b.join(a));
+                let j = a.join(b);
+                for &v in &values {
+                    if a.admits(v) || b.admits(v) {
+                        assert!(j.admits(v));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn predicted_case_requires_both_bits() {
+        assert_eq!(predicted_case(AbsBit::One, AbsBit::Zero), Some(Case::C10));
+        assert_eq!(predicted_case(AbsBit::Unknown, AbsBit::Zero), None);
+    }
+}

@@ -1,0 +1,58 @@
+//! Static analyses over [`fua_isa::Program`]s: information-bit
+//! prediction, a program linter, and a steering-LUT verifier.
+//!
+//! The paper's hardware classifies every operand pair into one of four
+//! *cases* from the operands' information bits (sign bit for integers,
+//! the OR of the low four mantissa bits for floating point). The
+//! dynamic pipeline observes those bits at issue time; this crate
+//! predicts them **statically**, by abstract interpretation over a
+//! small sign/low-mantissa lattice, so a compiler pass can canonicalise
+//! operand order without ever profiling the program.
+//!
+//! Three public surfaces:
+//!
+//! - [`InfoBitAnalysis`] — CFG + reaching-state fixpoint producing a
+//!   [`PortPrediction`] (two [`AbsBit`]s, hence an optional
+//!   [`fua_isa::Case`]) for every reachable instruction that occupies a
+//!   functional unit.
+//! - [`lint_program`] — hazard linter: uninitialised reads, dead
+//!   writes, unreachable blocks, control transfers that fault, and
+//!   loops that can only end at the execution limit.
+//! - [`verify_lut`] — exhaustive checker for steering tables and their
+//!   Quine–McCluskey covers.
+//!
+//! # Examples
+//!
+//! ```
+//! use fua_analysis::InfoBitAnalysis;
+//! use fua_isa::{Case, IntReg, ProgramBuilder};
+//!
+//! let (r1, r2, r3) = (IntReg::new(1), IntReg::new(2), IntReg::new(3));
+//! let mut b = ProgramBuilder::new();
+//! b.li(r1, 5); // non-negative constant
+//! b.li(r2, -3); // negative constant
+//! b.add(r3, r1, r2);
+//! b.halt();
+//! let program = b.build().unwrap();
+//!
+//! let analysis = InfoBitAnalysis::run(&program);
+//! // add r3, r1, r2 presents (sign 0, sign 1) => case C01.
+//! assert_eq!(analysis.predicted_case(2), Some(Case::C01));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod absint;
+mod cfg;
+mod dataflow;
+mod domain;
+mod lint;
+mod verify;
+
+pub use absint::{AbsState, InfoBitAnalysis, PortPrediction};
+pub use cfg::{Block, Cfg};
+pub use dataflow::{DataFlow, DefSite, UseInfo};
+pub use domain::{predicted_case, AbsBit, AbsFp, AbsInt};
+pub use lint::{lint_program, Lint, LintKind};
+pub use verify::{verify_lut, LutViolation};

@@ -1,0 +1,243 @@
+//! Static verification of steering lookup tables.
+//!
+//! A [`LutTable`] drives real (modelled) hardware, so defects in it are
+//! silent power or correctness bugs: an entry naming a module that does
+//! not exist, two slots steered to the same module in one cycle, a case
+//! that never reaches its home module, or a Quine–McCluskey cover that
+//! differs from the table it claims to implement. [`verify_lut`] checks
+//! all four statically, exhaustively over the table's vector space
+//! (≤ 256 vectors for the widths the paper considers).
+
+use std::fmt;
+
+use fua_isa::Case;
+use fua_steer::LutTable;
+use fua_synth::{minimize, TruthTable};
+
+/// One verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LutViolation {
+    /// An entry names a module index outside `0..modules`.
+    InvalidModule {
+        /// The offending vector.
+        vector: usize,
+        /// The slot within the entry.
+        slot: usize,
+        /// The out-of-range module index.
+        module: u8,
+    },
+    /// Two slots of one entry steer to the same module.
+    DuplicateModule {
+        /// The offending vector.
+        vector: usize,
+        /// The module assigned twice.
+        module: u8,
+    },
+    /// A case with a homed module is not routed home when it is the
+    /// only real instruction in the cycle.
+    HomeMiss {
+        /// The case that missed its home.
+        case: Case,
+        /// The module the table chose instead.
+        got: u8,
+    },
+    /// The minimised two-level cover disagrees with the table.
+    CoverMismatch {
+        /// The LUT output bit that disagrees.
+        output: usize,
+        /// The minterm (input vector) where it disagrees.
+        minterm: u16,
+    },
+}
+
+impl fmt::Display for LutViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LutViolation::InvalidModule {
+                vector,
+                slot,
+                module,
+            } => write!(
+                f,
+                "vector {vector:#x} slot {slot} names module {module}, which does not exist"
+            ),
+            LutViolation::DuplicateModule { vector, module } => write!(
+                f,
+                "vector {vector:#x} steers two slots to module {module}"
+            ),
+            LutViolation::HomeMiss { case, got } => write!(
+                f,
+                "case {case} alone in the cycle is routed to module {got}, not its home"
+            ),
+            LutViolation::CoverMismatch { output, minterm } => write!(
+                f,
+                "minimised cover of output {output} disagrees with the table at minterm {minterm:#x}"
+            ),
+        }
+    }
+}
+
+/// Verifies a steering table. Returns every violation found (empty =
+/// the table is well-formed).
+///
+/// # Examples
+///
+/// ```
+/// use fua_analysis::verify_lut;
+/// use fua_stats::CaseProfile;
+/// use fua_steer::{LutBuilder, PAPER_IALU_OCCUPANCY};
+///
+/// let lut = LutBuilder::new(CaseProfile::paper_ialu(), 32)
+///     .modules(4)
+///     .occupancy(&PAPER_IALU_OCCUPANCY)
+///     .build(2);
+/// assert!(verify_lut(&lut).is_empty());
+/// ```
+pub fn verify_lut(lut: &LutTable) -> Vec<LutViolation> {
+    let mut violations = Vec::new();
+    let vectors = 1usize << lut.vector_bits();
+    let modules = lut.modules() as u8;
+
+    // 1. Entry well-formedness: in-range and injective per vector.
+    for vector in 0..vectors {
+        let entry = lut.entry(vector);
+        let mut used = vec![false; lut.modules()];
+        for (slot, &m) in entry.iter().enumerate() {
+            if m >= modules {
+                violations.push(LutViolation::InvalidModule {
+                    vector,
+                    slot,
+                    module: m,
+                });
+                continue;
+            }
+            if used[m as usize] {
+                violations.push(LutViolation::DuplicateModule { vector, module: m });
+            }
+            used[m as usize] = true;
+        }
+    }
+
+    // 2. Home coverage: a case that has a home module must reach *a*
+    // module homed at it whenever it is the only real instruction in
+    // the cycle (the remaining slots hold least-case padding, which the
+    // encoder would emit for an idle slot).
+    for case in Case::ALL {
+        if !lut.homes().contains(&case) {
+            continue;
+        }
+        let mut cases = vec![lut.least_case(); lut.slots()];
+        cases[0] = case;
+        let entry = lut.entry(lut.encode(&cases));
+        let m = entry[0] as usize;
+        if m < lut.modules() && lut.homes()[m] != case {
+            violations.push(LutViolation::HomeMiss {
+                case,
+                got: entry[0],
+            });
+        }
+    }
+
+    // 3. The Quine–McCluskey cover of every output bit must equal the
+    // table exactly — the synthesised network computes what the table
+    // says, over the full vector space.
+    let tt = TruthTable::from_lut(lut);
+    for output in 0..tt.outputs() {
+        let sop = minimize(&tt, output);
+        for minterm in 0..(1u32 << tt.inputs()) as u16 {
+            if sop.eval(minterm) != tt.output(minterm, output) {
+                violations.push(LutViolation::CoverMismatch { output, minterm });
+            }
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fua_stats::CaseProfile;
+    use fua_steer::{LutBuilder, PAPER_FPAU_OCCUPANCY, PAPER_IALU_OCCUPANCY};
+
+    fn ialu_profile() -> CaseProfile {
+        CaseProfile::paper_ialu()
+    }
+
+    #[test]
+    fn paper_ialu_tables_verify_at_all_widths() {
+        for slots in [1, 2, 4] {
+            let lut = LutBuilder::new(ialu_profile(), 32)
+                .modules(4)
+                .occupancy(&PAPER_IALU_OCCUPANCY)
+                .build(slots);
+            let v = verify_lut(&lut);
+            assert!(v.is_empty(), "slots={slots}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn paper_fpau_tables_verify_at_all_widths() {
+        let profile = CaseProfile::paper_fpau();
+        for slots in [1, 2] {
+            let lut = LutBuilder::new(profile, 52)
+                .modules(2)
+                .occupancy(&PAPER_FPAU_OCCUPANCY)
+                .build(slots);
+            let v = verify_lut(&lut);
+            assert!(v.is_empty(), "slots={slots}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn corrupted_entry_is_caught() {
+        let lut = LutBuilder::new(ialu_profile(), 32)
+            .modules(4)
+            .occupancy(&PAPER_IALU_OCCUPANCY)
+            .build(2);
+        let tampered = tamper(&lut, 9); // module index out of range
+        let v = verify_lut(&tampered);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, LutViolation::InvalidModule { .. })));
+    }
+
+    #[test]
+    fn duplicate_assignment_is_caught() {
+        let lut = LutBuilder::new(ialu_profile(), 32)
+            .modules(4)
+            .occupancy(&PAPER_IALU_OCCUPANCY)
+            .build(2);
+        // Copy slot 0's module into slot 1 of some vector.
+        let entry0 = lut.entry(5)[0];
+        let tampered = tamper_at(&lut, 5, 1, entry0);
+        let v = verify_lut(&tampered);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, LutViolation::DuplicateModule { .. })));
+    }
+
+    /// Rebuilds a table with vector 0, slot 0 replaced by `module`.
+    fn tamper(lut: &LutTable, module: u8) -> LutTable {
+        tamper_at(lut, 0, 0, module)
+    }
+
+    fn tamper_at(lut: &LutTable, vector: usize, slot: usize, module: u8) -> LutTable {
+        let entries: Vec<Vec<u8>> = (0..(1usize << lut.vector_bits()))
+            .map(|v| {
+                let mut e = lut.entry(v).to_vec();
+                if v == vector {
+                    e[slot] = module;
+                }
+                e
+            })
+            .collect();
+        LutTable::from_parts(
+            lut.slots(),
+            lut.modules(),
+            lut.homes().to_vec(),
+            lut.least_case(),
+            entries,
+        )
+    }
+}

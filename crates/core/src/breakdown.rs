@@ -5,15 +5,15 @@
 //! original would have asked for.
 
 use fua_sim::{Simulator, SteeringConfig};
-use fua_steer::SteeringKind;
 use fua_stats::TextTable;
+use fua_steer::SteeringKind;
 use fua_workloads::{floating_point, integer};
 
 use crate::{ExperimentConfig, Unit};
 
 /// One workload's results under Original vs the 4-bit LUT + hardware
 /// swapping.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct BreakdownRow {
     /// Workload name.
     pub workload: String,
@@ -32,7 +32,7 @@ pub struct BreakdownRow {
 }
 
 /// Per-workload results for one unit.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct WorkloadBreakdown {
     /// The unit measured.
     pub unit: Unit,
@@ -44,7 +44,13 @@ impl WorkloadBreakdown {
     /// Renders the breakdown.
     pub fn render(&self) -> String {
         let mut t = TextTable::new([
-            "workload", "baseline", "steered", "reduction", "IPC", "mispredict", "D$ hit",
+            "workload",
+            "baseline",
+            "steered",
+            "reduction",
+            "IPC",
+            "mispredict",
+            "D$ hit",
         ]);
         for r in &self.rows {
             t.push_row([
@@ -75,8 +81,7 @@ pub fn workload_breakdown(unit: Unit, config: &ExperimentConfig) -> WorkloadBrea
     let rows = workloads
         .iter()
         .map(|w| {
-            let mut base_sim =
-                Simulator::new(config.machine.clone(), SteeringConfig::original());
+            let mut base_sim = Simulator::new(config.machine.clone(), SteeringConfig::original());
             let base = base_sim
                 .run_program(&w.program, config.inst_limit)
                 .unwrap_or_else(|e| panic!("workload {} faulted: {e}", w.name));

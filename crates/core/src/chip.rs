@@ -9,8 +9,8 @@
 use fua_isa::FuClass;
 use fua_power::EnergyLedger;
 use fua_sim::{Simulator, SteeringConfig};
-use fua_steer::SteeringKind;
 use fua_stats::TextTable;
+use fua_steer::SteeringKind;
 use fua_workloads::all;
 
 use crate::ExperimentConfig;
@@ -20,7 +20,7 @@ use crate::ExperimentConfig;
 pub const EXECUTION_UNIT_POWER_SHARE: f64 = 0.22;
 
 /// The chip-level power estimate.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct ChipEstimate {
     /// Measured switching reduction per FU class (fraction, 0..1).
     pub unit_reduction: [f64; 4],
@@ -93,8 +93,7 @@ pub fn chip_estimate(config: &ExperimentConfig) -> ChipEstimate {
         unit_share[i] = baseline.switched_bits(class) as f64 / total_base as f64;
         unit_reduction[i] = steered.reduction_vs(&baseline, class);
     }
-    let core_reduction =
-        1.0 - steered.total_switched_bits() as f64 / total_base as f64;
+    let core_reduction = 1.0 - steered.total_switched_bits() as f64 / total_base as f64;
     ChipEstimate {
         unit_reduction,
         unit_share,

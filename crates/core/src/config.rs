@@ -4,7 +4,7 @@ use fua_isa::FuClass;
 use fua_sim::MachineConfig;
 
 /// Which duplicated unit an experiment targets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Unit {
     /// The integer ALU pool (Figure 4(a), integer workloads).
     Ialu,

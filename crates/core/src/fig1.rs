@@ -2,13 +2,13 @@
 
 use fua_isa::{FuClass, Word};
 use fua_power::{pair_cost, ModulePorts};
-use fua_steer::{FullHamPolicy, SteeringPolicy};
 use fua_stats::TextTable;
+use fua_steer::{FullHamPolicy, SteeringPolicy};
 use fua_vm::FuOp;
 
 /// The regenerated Figure-1 example: per-routing switching energy for the
 /// paper's operand values.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct RoutingExample {
     /// Energy of the in-order ("default") routing, in switched bits.
     pub default_bits: u32,
@@ -86,7 +86,11 @@ pub fn routing_example() -> RoutingExample {
         [2, 1, 0],
     ];
     let default_bits = routing_cost(&perms[0]);
-    let worst_bits = perms.iter().map(|p| routing_cost(p)).max().expect("non-empty");
+    let worst_bits = perms
+        .iter()
+        .map(|p| routing_cost(p))
+        .max()
+        .expect("non-empty");
 
     let choices = FullHamPolicy::new(false).assign(&ops, &modules);
     let assignment: Vec<usize> = choices.iter().map(|c| c.module).collect();

@@ -3,15 +3,15 @@
 use fua_isa::FuClass;
 use fua_power::EnergyLedger;
 use fua_sim::{Simulator, SteeringConfig};
-use fua_steer::SteeringKind;
 use fua_stats::TextTable;
+use fua_steer::SteeringKind;
 use fua_swap::CompilerSwapPass;
 use fua_workloads::{floating_point, integer, Workload};
 
 use crate::{profile_suite, ExperimentConfig, Unit};
 
 /// The three stacked bars of each Figure-4 column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SwapVariant {
     /// Base: steering only, no operand swapping anywhere.
     Base,
@@ -36,7 +36,7 @@ impl SwapVariant {
 /// figure stacks three bars; `compiler_only_pct` adds the variant the
 /// paper describes but does not plot ("'Base + Compiler Swapping' (not
 /// shown) is nearly as effective as 'Base + Hardware + Compiler'").
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Figure4Row {
     /// The scheme label ("Full Ham", "4-bit LUT", ...).
     pub scheme: String,
@@ -52,7 +52,7 @@ pub struct Figure4Row {
 }
 
 /// A regenerated Figure 4(a) or 4(b).
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Figure4 {
     /// Which unit the figure measures.
     pub unit: Unit,
@@ -162,8 +162,9 @@ pub fn figure4(unit: Unit, config: &ExperimentConfig) -> Figure4 {
         )
     };
 
-    let baseline =
-        run_suite(config, &workloads, || make_scheme(SteeringKind::Original, false));
+    let baseline = run_suite(config, &workloads, || {
+        make_scheme(SteeringKind::Original, false)
+    });
     let base_bits = baseline.switched_bits(class);
 
     let pct = |ledger: &EnergyLedger| {
@@ -203,7 +204,7 @@ pub fn figure4(unit: Unit, config: &ExperimentConfig) -> Figure4 {
 /// The paper's headline numbers: IALU/FPAU reduction with the
 /// recommended 4-bit LUT + hardware swapping, and the IALU gain with
 /// compiler swapping added (paper: ≈17%, ≈18%, ≈26%).
-#[derive(Debug, Clone, Copy, serde::Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Headline {
     /// IALU reduction, 4-bit LUT + hardware swap (percent).
     pub ialu_pct: f64,

@@ -30,7 +30,10 @@ mod chip;
 mod config;
 mod fig1;
 mod figure4;
+#[cfg(feature = "json")]
+mod json;
 mod sensitivity;
+mod static_swap;
 mod suite;
 mod synthesis;
 
@@ -39,6 +42,9 @@ pub use chip::{chip_estimate, ChipEstimate, EXECUTION_UNIT_POWER_SHARE};
 pub use config::{ExperimentConfig, Unit};
 pub use fig1::{routing_example, RoutingExample};
 pub use figure4::{figure4, headline, Figure4, Figure4Row, Headline, SwapVariant};
+#[cfg(feature = "json")]
+pub use json::{Json, ToJson};
 pub use sensitivity::{swap_sensitivity, SensitivityRow, SwapSensitivity};
+pub use static_swap::{static_swap_comparison, StaticSwapComparison, StaticSwapRow};
 pub use suite::{profile_suite, SuiteProfile};
 pub use synthesis::{synthesis_report, SynthesisReport, SynthesisRow};

@@ -6,18 +6,23 @@
 //! and rewrite each integer workload on its *train* input, then evaluate
 //! the rewritten binary on an unseen *ref* input, against both the
 //! baseline and a self-profiled (oracle) rewrite.
+//!
+//! The static pass (`fua-swap::StaticSwapPass`) rides along as a
+//! control: its decisions are a pure function of the program text, so
+//! its swap set must be *identical* on both builds — input invariance
+//! by construction, checked here rather than assumed.
 
 use fua_isa::FuClass;
 use fua_sim::{Simulator, SteeringConfig};
-use fua_steer::SteeringKind;
 use fua_stats::TextTable;
-use fua_swap::CompilerSwapPass;
+use fua_steer::SteeringKind;
+use fua_swap::{CompilerSwapPass, StaticSwapPass};
 use fua_workloads::integer_with_input;
 
 use crate::ExperimentConfig;
 
 /// One workload's cross-input result.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct SensitivityRow {
     /// Workload name.
     pub workload: String,
@@ -27,12 +32,17 @@ pub struct SensitivityRow {
     pub cross_pct: f64,
     /// Reduction on the unseen input, self-profiled swaps (oracle).
     pub oracle_pct: f64,
+    /// Reduction on the unseen input, profile-free static swaps.
+    pub static_pct: f64,
     /// Static instructions swapped from the training profile.
     pub swapped: usize,
+    /// Whether the static pass chose the same swap set on both builds
+    /// (it must — its decisions cannot see the input data).
+    pub static_invariant: bool,
 }
 
 /// The full cross-input study.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct SwapSensitivity {
     /// Per-workload rows.
     pub rows: Vec<SensitivityRow>,
@@ -46,6 +56,7 @@ impl SwapSensitivity {
             "train input",
             "unseen input",
             "oracle (self-profiled)",
+            "static (profile-free)",
             "swaps",
         ]);
         for r in &self.rows {
@@ -54,22 +65,26 @@ impl SwapSensitivity {
                 format!("{:.2}%", r.train_pct),
                 format!("{:.2}%", r.cross_pct),
                 format!("{:.2}%", r.oracle_pct),
+                format!("{:.2}%", r.static_pct),
                 r.swapped.to_string(),
             ]);
         }
+        let invariant = self.rows.iter().all(|r| r.static_invariant);
         format!(
             "Compiler-swap cross-input sensitivity (IALU, 4-bit LUT + hw swap; \
-             paper §4.4 lists this sensitivity but does not measure it)\n{t}"
+             paper §4.4 lists this sensitivity but does not measure it)\n{t}\
+             static swap sets identical across inputs: {}\n",
+            if invariant {
+                "yes (input-invariant by construction)"
+            } else {
+                "NO — analysis bug"
+            }
         )
     }
 }
 
 /// IALU switched bits of `program` under the recommended design point.
-fn ialu_bits(
-    config: &ExperimentConfig,
-    program: &fua_isa::Program,
-    steered: bool,
-) -> u64 {
+fn ialu_bits(config: &ExperimentConfig, program: &fua_isa::Program, steered: bool) -> u64 {
     let steering = if steered {
         SteeringConfig::paper_scheme(SteeringKind::Lut { slots: 2 }, true)
     } else {
@@ -109,6 +124,8 @@ pub fn swap_sensitivity(config: &ExperimentConfig) -> SwapSensitivity {
             let oracle_outcome = CompilerSwapPass::with_limit(config.inst_limit)
                 .run(&wu.program)
                 .unwrap_or_else(|e| panic!("{}: oracle pass faulted: {e}", wu.name));
+            let static_train = StaticSwapPass::new().run(&wt.program);
+            let static_unseen = StaticSwapPass::new().run(&wu.program);
 
             let pct = |base: u64, opt: u64| {
                 if base == 0 {
@@ -127,13 +144,18 @@ pub fn swap_sensitivity(config: &ExperimentConfig) -> SwapSensitivity {
             let cross_opt = ialu_bits(config, &cross_program, true);
             // Oracle: profiled on the unseen input itself.
             let oracle_opt = ialu_bits(config, &oracle_outcome.program, true);
+            // Static: no training run to transfer — the pass sees only
+            // the text, so "train" vs "unseen" is the same rewrite.
+            let static_opt = ialu_bits(config, &static_unseen.program, true);
 
             SensitivityRow {
                 workload: wt.name.to_string(),
                 train_pct: pct(train_base, train_opt),
                 cross_pct: pct(unseen_base, cross_opt),
                 oracle_pct: pct(unseen_base, oracle_opt),
+                static_pct: pct(unseen_base, static_opt),
                 swapped: outcome.swapped.len(),
+                static_invariant: static_train.swapped == static_unseen.swapped,
             }
         })
         .collect();
@@ -153,12 +175,17 @@ mod tests {
             // (Note the oracle is *not* guaranteed to beat the transferred
             // profile: the pass optimises average bit counts, a heuristic
             // that does not map monotonically to switched energy.)
-            for v in [r.train_pct, r.cross_pct, r.oracle_pct] {
+            for v in [r.train_pct, r.cross_pct, r.oracle_pct, r.static_pct] {
                 assert!(v.is_finite() && v.abs() < 25.0, "{}: {v}", r.workload);
             }
+            // The static pass consults nothing but the text, so its
+            // swap set cannot differ between the two builds.
+            assert!(r.static_invariant, "{}: static swaps drifted", r.workload);
         }
         // At least one workload must have transferable swaps at all.
         assert!(s.rows.iter().any(|r| r.swapped > 0));
-        assert!(s.render().contains("cross-input"));
+        let rendered = s.render();
+        assert!(rendered.contains("cross-input"));
+        assert!(rendered.contains("input-invariant by construction"));
     }
 }

@@ -80,8 +80,15 @@ impl SuiteProfile {
     /// FPAU side by side, plus the paper's derived one-liners.
     pub fn table1(&self) -> String {
         let mut t = TextTable::new([
-            "OP1", "OP2", "Comm", "IALU freq%", "IALU p(OP1)", "IALU p(OP2)", "FPAU freq%",
-            "FPAU p(OP1)", "FPAU p(OP2)",
+            "OP1",
+            "OP2",
+            "Comm",
+            "IALU freq%",
+            "IALU p(OP1)",
+            "IALU p(OP2)",
+            "FPAU freq%",
+            "FPAU p(OP1)",
+            "FPAU p(OP2)",
         ]);
         let ialu_rows = self.ialu.rows();
         let fpau_rows = self.fpau.rows();
@@ -137,7 +144,13 @@ impl SuiteProfile {
     /// over commutativity, as in the paper) and the swap opportunity.
     pub fn table3(&self) -> String {
         let mut t = TextTable::new([
-            "Case", "INT freq%", "INT p(OP1)", "INT p(OP2)", "FP freq%", "FP p(OP1)", "FP p(OP2)",
+            "Case",
+            "INT freq%",
+            "INT p(OP1)",
+            "INT p(OP2)",
+            "FP freq%",
+            "FP p(OP1)",
+            "FP p(OP2)",
         ]);
         let int_profile = self.imul.case_profile();
         let fp_profile = self.fpmul.case_profile();
@@ -188,7 +201,11 @@ mod tests {
         // IALU: case 00 dominates (paper: 69.5%).
         let ialu = p.ialu.case_profile();
         assert_eq!(ialu.most_frequent_case(), fua_isa::Case::C00);
-        assert!(ialu.case_freq[0] > 0.4, "case 00 freq {}", ialu.case_freq[0]);
+        assert!(
+            ialu.case_freq[0] > 0.4,
+            "case 00 freq {}",
+            ialu.case_freq[0]
+        );
         // IALU sign-bit claim: info-bit-0 operands are mostly zeros.
         let info = p.ialu.operand_info_stats();
         assert!(info.ones_frac_info0 < 0.25);

@@ -162,7 +162,18 @@ impl Opcode {
         use Opcode::*;
         matches!(
             self,
-            Add | And | Or | Xor | Nor | Seq | Sne | Mul | FAdd | FMul | FCmpEq | FCmpNe | Beq
+            Add | And
+                | Or
+                | Xor
+                | Nor
+                | Seq
+                | Sne
+                | Mul
+                | FAdd
+                | FMul
+                | FCmpEq
+                | FCmpNe
+                | Beq
                 | Bne
         )
     }
@@ -206,7 +217,10 @@ impl Opcode {
 
     /// Whether this opcode is a conditional branch.
     pub fn is_branch(self) -> bool {
-        matches!(self, Opcode::Beq | Opcode::Bne | Opcode::Blez | Opcode::Bgtz)
+        matches!(
+            self,
+            Opcode::Beq | Opcode::Bne | Opcode::Blez | Opcode::Bgtz
+        )
     }
 
     /// Whether this opcode transfers control at all (branch, jump or halt).

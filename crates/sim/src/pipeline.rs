@@ -9,8 +9,8 @@ use fua_stats::{BitPatternProfiler, OccupancyProfiler};
 use fua_vm::{DynOp, Vm, VmError};
 
 use crate::{
-    BimodalPredictor, BranchStats, CacheStats, DataCache, MachineConfig, SimResult,
-    SteeringConfig, SwapStats,
+    BimodalPredictor, BranchStats, CacheStats, DataCache, MachineConfig, SimResult, SteeringConfig,
+    SwapStats,
 };
 
 /// How many cycles the engine tolerates with no commit, issue or dispatch
@@ -333,12 +333,13 @@ impl Simulator {
             if matches!(opcode, Opcode::Mul | Opcode::FMul) {
                 // Booth activity model (extension; see DESIGN.md). The
                 // latch already advanced, so reconstruct prev from cost.
-                self.booth_energy[class.index()] +=
-                    self.booth.pp_weight * fua_power::booth::nonzero_booth_digits(
+                self.booth_energy[class.index()] += self.booth.pp_weight
+                    * fua_power::booth::nonzero_booth_digits(
                         fua_power::booth::significand(op.op2).0,
                         fua_power::booth::significand(op.op2).1,
-                    ) as f64 * op.op1.power_width() as f64
-                        + self.booth.sw_weight * bits as f64;
+                    ) as f64
+                    * op.op1.power_width() as f64
+                    + self.booth.sw_weight * bits as f64;
             }
 
             let mut latency = self.config.latency(opcode);
@@ -355,8 +356,7 @@ impl Simulator {
             // A resolved mispredicted branch un-blocks fetch.
             if self.fetch_blocked_by == Some(entry.op.serial) {
                 self.fetch_blocked_by = None;
-                self.fetch_resume_cycle =
-                    entry.done_cycle + self.config.mispredict_penalty;
+                self.fetch_resume_cycle = entry.done_cycle + self.config.mispredict_penalty;
             }
         }
         selected.len()
@@ -531,10 +531,10 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let base = b.data_words(&[1, 2, 3, 4, 5, 6, 7, 8]);
         b.li(r(1), base);
-        // Two passes over one cache line.
-        for pass in 0..2 {
+        // Two passes over one cache line (same addresses both times).
+        for _pass in 0..2 {
             for i in 0..8 {
-                b.lw(r(2 + (i % 4) as u8), r(1), i * 4 + pass * 0);
+                b.lw(r(2 + (i % 4) as u8), r(1), i * 4);
             }
         }
         b.halt();
@@ -600,8 +600,7 @@ mod tests {
         let opt = opt_sim.run_program(&p, 1_000_000).expect("runs");
         assert_eq!(base.retired, opt.retired, "timing-independent retire count");
         assert!(
-            opt.ledger.switched_bits(FuClass::IntAlu)
-                <= base.ledger.switched_bits(FuClass::IntAlu),
+            opt.ledger.switched_bits(FuClass::IntAlu) <= base.ledger.switched_bits(FuClass::IntAlu),
             "Full Ham must not exceed FCFS switching"
         );
     }
@@ -696,7 +695,10 @@ mod in_order_tests {
             SteeringConfig::original(),
         );
         let ooo_result = ooo.run_program(&p, 100_000).expect("runs");
-        let mut vliw = Simulator::new(narrow(MachineConfig::in_order()), SteeringConfig::original());
+        let mut vliw = Simulator::new(
+            narrow(MachineConfig::in_order()),
+            SteeringConfig::original(),
+        );
         let vliw_result = vliw.run_program(&p, 100_000).expect("runs");
         assert_eq!(ooo_result.retired, vliw_result.retired);
         assert!(
@@ -712,7 +714,10 @@ mod in_order_tests {
         // The same program charges the same FU operation counts whether
         // issue is in-order or out-of-order.
         let p = shadow_program();
-        let mut vliw = Simulator::new(narrow(MachineConfig::in_order()), SteeringConfig::original());
+        let mut vliw = Simulator::new(
+            narrow(MachineConfig::in_order()),
+            SteeringConfig::original(),
+        );
         let in_order = vliw.run_program(&p, 100_000).expect("runs");
         let mut ooo = Simulator::new(
             narrow(MachineConfig::paper_default()),

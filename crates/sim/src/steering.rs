@@ -2,8 +2,8 @@
 
 use fua_isa::FuClass;
 use fua_steer::{
-    make_policy, FcfsPolicy, HardwareSwapRule, SteeringKind, SteeringPolicy,
-    PAPER_FPAU_OCCUPANCY, PAPER_IALU_OCCUPANCY,
+    make_policy, FcfsPolicy, HardwareSwapRule, SteeringKind, SteeringPolicy, PAPER_FPAU_OCCUPANCY,
+    PAPER_IALU_OCCUPANCY,
 };
 use fua_swap::MultiplierSwapRule;
 
@@ -148,7 +148,10 @@ impl SteeringConfig {
     }
 
     /// The steering policy for a duplicated class.
-    pub(crate) fn policy_mut(&mut self, class: FuClass) -> Option<&mut (dyn SteeringPolicy + Send)> {
+    pub(crate) fn policy_mut(
+        &mut self,
+        class: FuClass,
+    ) -> Option<&mut (dyn SteeringPolicy + Send)> {
         match class {
             FuClass::IntAlu => Some(self.ialu.as_mut()),
             FuClass::FpAlu => Some(self.fpau.as_mut()),

@@ -291,16 +291,37 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
     use fua_isa::{FuClass, Word};
-    use proptest::prelude::*;
 
-    proptest! {
-        #[test]
-        fn frequencies_always_partition(
-            ops in prop::collection::vec((any::<i32>(), any::<i32>(), any::<bool>()), 1..200),
-        ) {
+    /// SplitMix64 step: a tiny deterministic generator so these checks
+    /// sweep many operand mixes without an external test-case library.
+    fn next(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn random_ops(state: &mut u64, max_len: usize) -> Vec<(i32, i32, bool)> {
+        let len = (next(state) as usize) % max_len;
+        (0..len)
+            .map(|_| {
+                let a = next(state) as i32;
+                let b = next(state) as i32;
+                (a, b, next(state) & 1 == 1)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn frequencies_always_partition() {
+        let mut state = 0x5EED_0001u64;
+        for _ in 0..64 {
+            let mut ops = random_ops(&mut state, 200);
+            ops.push((next(&mut state) as i32, next(&mut state) as i32, true));
             let mut p = BitPatternProfiler::new();
             for (a, b, c) in &ops {
                 p.record(&FuOp {
@@ -311,38 +332,40 @@ mod proptests {
                 });
             }
             let total_pct: f64 = p.rows().iter().map(|r| r.freq_pct).sum();
-            prop_assert!((total_pct - 100.0).abs() < 1e-6);
+            assert!((total_pct - 100.0).abs() < 1e-6);
             let case_total: f64 = Case::ALL.iter().map(|&c| p.case_freq(c)).sum();
-            prop_assert!((case_total - 1.0).abs() < 1e-9);
+            assert!((case_total - 1.0).abs() < 1e-9);
             // Non-commutative frequency never exceeds the case frequency.
             for c in Case::ALL {
-                prop_assert!(p.noncommutative_case_freq(c) <= p.case_freq(c) + 1e-12);
+                assert!(p.noncommutative_case_freq(c) <= p.case_freq(c) + 1e-12);
             }
             // The distilled profile is a valid probability model.
             let profile = p.case_profile();
             let freq_sum: f64 = profile.case_freq.iter().sum();
-            prop_assert!((freq_sum - 1.0).abs() < 1e-9);
+            assert!((freq_sum - 1.0).abs() < 1e-9);
             for i in 0..4 {
-                prop_assert!((0.0..=1.0).contains(&profile.op1_ones_prob[i]));
-                prop_assert!((0.0..=1.0).contains(&profile.op2_ones_prob[i]));
+                assert!((0.0..=1.0).contains(&profile.op1_ones_prob[i]));
+                assert!((0.0..=1.0).contains(&profile.op2_ones_prob[i]));
             }
         }
+    }
 
-        #[test]
-        fn merge_commutes_with_recording(
-            left in prop::collection::vec((any::<i32>(), any::<i32>()), 0..50),
-            right in prop::collection::vec((any::<i32>(), any::<i32>()), 0..50),
-        ) {
-            let rec = |ops: &[(i32, i32)], p: &mut BitPatternProfiler| {
-                for (a, b) in ops {
-                    p.record(&FuOp {
-                        class: FuClass::IntAlu,
-                        op1: Word::int(*a),
-                        op2: Word::int(*b),
-                        commutative: true,
-                    });
-                }
-            };
+    #[test]
+    fn merge_commutes_with_recording() {
+        let rec = |ops: &[(i32, i32, bool)], p: &mut BitPatternProfiler| {
+            for (a, b, _) in ops {
+                p.record(&FuOp {
+                    class: FuClass::IntAlu,
+                    op1: Word::int(*a),
+                    op2: Word::int(*b),
+                    commutative: true,
+                });
+            }
+        };
+        let mut state = 0x5EED_0002u64;
+        for _ in 0..64 {
+            let left = random_ops(&mut state, 50);
+            let right = random_ops(&mut state, 50);
             let mut whole = BitPatternProfiler::new();
             rec(&left, &mut whole);
             rec(&right, &mut whole);
@@ -351,14 +374,14 @@ mod proptests {
             let mut b = BitPatternProfiler::new();
             rec(&right, &mut b);
             a.merge(&b);
-            prop_assert_eq!(a.total(), whole.total());
+            assert_eq!(a.total(), whole.total());
             for c in Case::ALL {
-                prop_assert!((a.case_freq(c) - whole.case_freq(c)).abs() < 1e-12);
+                assert!((a.case_freq(c) - whole.case_freq(c)).abs() < 1e-12);
             }
             let sa = a.operand_info_stats();
             let sw = whole.operand_info_stats();
-            prop_assert_eq!(sa.count_info0, sw.count_info0);
-            prop_assert!((sa.ones_frac_info1 - sw.ones_frac_info1).abs() < 1e-9);
+            assert_eq!(sa.count_info0, sw.count_info0);
+            assert!((sa.ones_frac_info1 - sw.ones_frac_info1).abs() < 1e-9);
         }
     }
 }

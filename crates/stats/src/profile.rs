@@ -216,9 +216,11 @@ mod tests {
 
     #[test]
     fn expected_cost_is_zero_for_identical_dense_profiles() {
-        let mut p = CaseProfile::default();
-        p.op1_ones_prob = [0.0; 4];
-        p.op2_ones_prob = [0.0; 4];
+        let p = CaseProfile {
+            op1_ones_prob: [0.0; 4],
+            op2_ones_prob: [0.0; 4],
+            ..Default::default()
+        };
         assert_eq!(p.expected_pair_cost(Case::C00, Case::C00, 32), 0.0);
     }
 

@@ -31,10 +31,7 @@ pub fn min_cost_assignment(cost: &[Vec<u32>]) -> Vec<usize> {
         return Vec::new();
     }
     let m = cost[0].len();
-    assert!(
-        cost.iter().all(|row| row.len() == m),
-        "ragged cost matrix"
-    );
+    assert!(cost.iter().all(|row| row.len() == m), "ragged cost matrix");
     assert!(n <= m, "more instructions than modules");
 
     // Explore each row's columns cheapest-first. Besides speeding up the
@@ -149,11 +146,7 @@ mod tests {
 
     #[test]
     fn square_case_matches_reference() {
-        let cost = vec![
-            vec![4, 2, 8],
-            vec![4, 3, 7],
-            vec![3, 1, 6],
-        ];
+        let cost = vec![vec![4, 2, 8], vec![4, 3, 7], vec![3, 1, 6]];
         let assign = min_cost_assignment(&cost);
         assert_eq!(total(&cost, &assign), reference_min(&cost));
         // All distinct.
@@ -174,7 +167,9 @@ mod tests {
         // Small deterministic LCG so the test needs no external crates.
         let mut state = 0x2545F491u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) % 100) as u32
         };
         for n in 1..=4 {

@@ -175,7 +175,11 @@ mod tests {
         // default. The figure does not label which cycle-2 operand pair
         // the default router sends to which FU, so we compare the optimal
         // routing against the worst and the in-order ones.
-        let modules = latched(&[(0x0A01, 0x0001), (0x7FFF, 0x0001), (0xFFF7u32 as i32, 0x7F00)]);
+        let modules = latched(&[
+            (0x0A01, 0x0001),
+            (0x7FFF, 0x0001),
+            (0xFFF7u32 as i32, 0x7F00),
+        ]);
         let cycle2 = [
             op(0x0A71, 0x0111, false),
             op(0x0A01, 0x0001, false),

@@ -100,7 +100,10 @@ mod tests {
 
     #[test]
     fn display_matches_figure4_labels() {
-        let labels: Vec<String> = SteeringKind::FIGURE4.iter().map(|k| k.to_string()).collect();
+        let labels: Vec<String> = SteeringKind::FIGURE4
+            .iter()
+            .map(|k| k.to_string())
+            .collect();
         assert_eq!(
             labels,
             vec![

@@ -59,6 +59,39 @@ pub struct LutTable {
 }
 
 impl LutTable {
+    /// Assembles a table directly from its parts, without rerunning the
+    /// builder. Intended for verifiers and tests that need to construct
+    /// (possibly deliberately malformed) tables; the module indices in
+    /// `entries` are **not** validated here — that is the verifier's
+    /// job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is inconsistent: `homes` must have one entry
+    /// per module and `entries` must hold `4^slots` rows of `slots`
+    /// assignments each.
+    pub fn from_parts(
+        slots: usize,
+        modules: usize,
+        homes: Vec<Case>,
+        least: Case,
+        entries: Vec<Vec<u8>>,
+    ) -> Self {
+        assert_eq!(homes.len(), modules, "one home case per module");
+        assert_eq!(entries.len(), 1 << (2 * slots), "4^slots vectors");
+        assert!(
+            entries.iter().all(|e| e.len() == slots),
+            "one module per slot in every entry"
+        );
+        LutTable {
+            slots,
+            modules,
+            homes,
+            least,
+            entries,
+        }
+    }
+
     /// Number of instructions encoded in the vector.
     pub fn slots(&self) -> usize {
         self.slots
@@ -232,8 +265,8 @@ impl LutBuilder {
     /// *cases*, and a small index-dependent term breaks ties between
     /// *replicated* homes so different cases spread over different copies.
     fn match_cost(&self, home: Case, case: Case, module: usize) -> u32 {
-        let info_dist = (home.op1_bit() != case.op1_bit()) as u32
-            + (home.op2_bit() != case.op2_bit()) as u32;
+        let info_dist =
+            (home.op1_bit() != case.op1_bit()) as u32 + (home.op2_bit() != case.op2_bit()) as u32;
         let expected =
             (self.profile.expected_pair_cost(home, case, self.width) * 10.0).round() as u32;
         let tie = if home == case {
@@ -450,7 +483,10 @@ impl SteeringPolicy for LutPolicy {
                 .position(|&u| !u)
                 .expect("ops never outnumber modules");
             used[m] = true;
-            out.push(ModuleChoice { module: m, swap: false });
+            out.push(ModuleChoice {
+                module: m,
+                swap: false,
+            });
         }
         out
     }
@@ -612,107 +648,117 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
-    use proptest::prelude::*;
+
+    /// SplitMix64 step — deterministic generator for sweeping random
+    /// profiles/occupancies without an external test-case library.
+    fn next(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    fn unit(state: &mut u64) -> f64 {
+        (next(state) >> 11) as f64 / (1u64 << 53) as f64
+    }
 
     /// An arbitrary, normalised case profile.
-    fn arb_profile() -> impl Strategy<Value = CaseProfile> {
-        (
-            prop::array::uniform4(1u32..1000),
-            prop::array::uniform4(0.0f64..1.0),
-            prop::array::uniform4(0.0f64..1.0),
-            prop::array::uniform4(0.0f64..1.0),
-        )
-            .prop_map(|(freq, noncomm_frac, p1, p2)| {
-                let total: u32 = freq.iter().sum();
-                let case_freq =
-                    std::array::from_fn(|i| freq[i] as f64 / total as f64);
-                let noncommutative_freq =
-                    std::array::from_fn(|i| case_freq[i] * noncomm_frac[i]);
-                CaseProfile {
-                    case_freq,
-                    noncommutative_freq,
-                    op1_ones_prob: p1,
-                    op2_ones_prob: p2,
-                }
-            })
+    fn random_profile(state: &mut u64) -> CaseProfile {
+        let freq: [u32; 4] = std::array::from_fn(|_| 1 + (next(state) % 999) as u32);
+        let total: u32 = freq.iter().sum();
+        let case_freq: [f64; 4] = std::array::from_fn(|i| freq[i] as f64 / total as f64);
+        let noncommutative_freq: [f64; 4] = std::array::from_fn(|i| case_freq[i] * unit(state));
+        CaseProfile {
+            case_freq,
+            noncommutative_freq,
+            op1_ones_prob: std::array::from_fn(|_| unit(state)),
+            op2_ones_prob: std::array::from_fn(|_| unit(state)),
+        }
     }
 
-    fn arb_occupancy() -> impl Strategy<Value = Vec<f64>> {
-        prop::collection::vec(0.01f64..1.0, 4).prop_map(|v| {
-            let total: f64 = v.iter().sum();
-            v.into_iter().map(|x| x / total).collect()
-        })
+    fn random_occupancy(state: &mut u64, n: usize) -> Vec<f64> {
+        let v: Vec<f64> = (0..n).map(|_| 0.01 + 0.99 * unit(state)).collect();
+        let total: f64 = v.iter().sum();
+        v.into_iter().map(|x| x / total).collect()
     }
 
-    proptest! {
-        // The Search strategy enumerates 4^modules home assignments per
-        // case; 48 random configurations give ample coverage without
-        // dominating the suite's runtime.
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        #[test]
-        fn entries_are_valid_for_any_profile(
-            profile in arb_profile(),
-            occupancy in arb_occupancy(),
-            slots in 1usize..=4,
-            modules in 1usize..=6,
-            strategy_idx in 0usize..4,
-        ) {
+    // The Search strategy enumerates 4^modules home assignments per
+    // case; 48 random configurations give ample coverage without
+    // dominating the suite's runtime.
+    #[test]
+    fn entries_are_valid_for_any_profile() {
+        let mut state = 0x5EED_1001u64;
+        for round in 0..48 {
+            let profile = random_profile(&mut state);
+            let occupancy = random_occupancy(&mut state, 4);
+            let slots = 1 + (next(&mut state) as usize) % 4;
+            let modules = 1 + (next(&mut state) as usize) % 6;
             let strategy = [
                 HomeStrategy::Auto,
                 HomeStrategy::Unique,
                 HomeStrategy::Proportional,
                 HomeStrategy::Search,
-            ][strategy_idx];
+            ][(next(&mut state) as usize) % 4];
             let lut = LutBuilder::new(profile, 32)
                 .occupancy(&occupancy)
                 .modules(modules)
                 .strategy(strategy)
                 .build(slots);
-            prop_assert_eq!(lut.slots(), slots.min(modules));
-            prop_assert_eq!(lut.homes().len(), modules);
+            assert_eq!(lut.slots(), slots.min(modules));
+            assert_eq!(lut.homes().len(), modules);
             for v in 0..(1usize << lut.vector_bits()) {
                 let entry = lut.entry(v);
-                prop_assert_eq!(entry.len(), lut.slots());
+                assert_eq!(entry.len(), lut.slots());
                 let mut sorted: Vec<u8> = entry.to_vec();
                 sorted.sort_unstable();
                 sorted.dedup();
-                prop_assert_eq!(sorted.len(), entry.len(), "entry {} not injective", v);
-                prop_assert!(entry.iter().all(|&m| (m as usize) < modules));
+                assert_eq!(
+                    sorted.len(),
+                    entry.len(),
+                    "round {round}: entry {v} not injective"
+                );
+                assert!(entry.iter().all(|&m| (m as usize) < modules));
             }
         }
+    }
 
-        #[test]
-        fn encode_is_total_and_in_range(
-            profile in arb_profile(),
-            cases in prop::collection::vec(0u8..4, 0..6),
-        ) {
+    #[test]
+    fn encode_is_total_and_in_range() {
+        let mut state = 0x5EED_1002u64;
+        for _ in 0..64 {
+            let profile = random_profile(&mut state);
             let lut = LutBuilder::new(profile, 32).build(2);
-            let cases: Vec<Case> = cases.into_iter().map(Case::from_index).collect();
+            let len = (next(&mut state) as usize) % 6;
+            let cases: Vec<Case> = (0..len)
+                .map(|_| Case::from_index((next(&mut state) % 4) as u8))
+                .collect();
             let v = lut.encode(&cases);
-            prop_assert!(v < (1 << lut.vector_bits()));
+            assert!(v < (1 << lut.vector_bits()));
         }
+    }
 
-        #[test]
-        fn policy_output_is_always_valid(
-            profile in arb_profile(),
-            occupancy in arb_occupancy(),
-            ops_raw in prop::collection::vec((any::<i32>(), any::<i32>(), any::<bool>()), 1..4),
-        ) {
+    #[test]
+    fn policy_output_is_always_valid() {
+        let mut state = 0x5EED_1003u64;
+        for _ in 0..64 {
+            let profile = random_profile(&mut state);
+            let occupancy = random_occupancy(&mut state, 4);
             let lut = LutBuilder::new(profile, 32)
                 .occupancy(&occupancy)
                 .modules(4)
                 .build(2);
             let mut policy = LutPolicy::new(lut);
-            let ops: Vec<FuOp> = ops_raw
-                .into_iter()
-                .map(|(a, b, c)| FuOp {
+            let nops = 1 + (next(&mut state) as usize) % 3;
+            let ops: Vec<FuOp> = (0..nops)
+                .map(|_| FuOp {
                     class: fua_isa::FuClass::IntAlu,
-                    op1: fua_isa::Word::int(a),
-                    op2: fua_isa::Word::int(b),
-                    commutative: c,
+                    op1: fua_isa::Word::int(next(&mut state) as i32),
+                    op2: fua_isa::Word::int(next(&mut state) as i32),
+                    commutative: next(&mut state) & 1 == 1,
                 })
                 .collect();
             let modules = vec![ModulePorts::new(); 4];

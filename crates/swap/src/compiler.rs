@@ -301,7 +301,9 @@ mod tests {
         b.halt();
         let p = b.build().expect("valid");
         // An infinite loop must still terminate under the budget.
-        let out = CompilerSwapPass::with_limit(1_000).run(&p).expect("bounded");
+        let out = CompilerSwapPass::with_limit(1_000)
+            .run(&p)
+            .expect("bounded");
         assert_eq!(out.swapped.len(), 0);
     }
 }

@@ -15,6 +15,13 @@
 //! multipliers: a Booth multiplier's power grows with the number of 1s in
 //! its second operand, so the rule puts the ones-sparse operand second.
 //!
+//! The static pass ([`StaticSwapPass`]) reaches the same canonical order
+//! without any profiling run: it predicts operand information bits by
+//! abstract interpretation (`fua-analysis`) and swaps only orders it can
+//! *prove* non-canonical. Its decisions depend on the program text
+//! alone, so — unlike the profile-guided pass — they cannot drift when
+//! the input data changes.
+//!
 //! # Examples
 //!
 //! ```
@@ -44,6 +51,8 @@
 
 mod compiler;
 mod multiplier;
+mod static_pass;
 
 pub use compiler::{CompilerSwapPass, SwapOutcome};
 pub use multiplier::{MultiplierSwapRule, SwapMetric};
+pub use static_pass::{StaticSwapOutcome, StaticSwapPass};

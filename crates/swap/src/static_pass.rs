@@ -1,0 +1,297 @@
+//! The profile-free static swap pass.
+//!
+//! Where [`crate::CompilerSwapPass`] profiles a training run and
+//! averages full bit counts, this pass never executes the program: it
+//! predicts each instruction's information bits by abstract
+//! interpretation ([`fua_analysis::InfoBitAnalysis`]) and canonicalises
+//! commutative operand order from those predictions alone. Its
+//! decisions are a pure function of the static text, so they cannot
+//! vary across input data sets — the input-sensitivity the paper lists
+//! as the profile-guided pass's weakness is absent *by construction*.
+
+use fua_analysis::{InfoBitAnalysis, PortPrediction};
+use fua_isa::{Case, FuClass, Program};
+use fua_stats::CaseProfile;
+
+/// Minimum expected-ones difference before a density swap is worth the
+/// perturbation — the same margin the profile-guided pass applies to
+/// its measured averages ([`crate::CompilerSwapPass`]).
+const SWAP_MARGIN_BITS: f64 = 2.0;
+
+/// Result of running [`StaticSwapPass`].
+#[derive(Debug, Clone)]
+pub struct StaticSwapOutcome {
+    /// The rewritten program.
+    pub program: Program,
+    /// Static indices whose operands were swapped (ascending).
+    pub swapped: Vec<usize>,
+    /// Reachable, software-swappable instructions the pass examined.
+    pub considered: usize,
+    /// Of those, how many had a definite (non-⊤) case prediction.
+    pub definite: usize,
+    /// Swaps decided by the mixed-case tier (predicted case equals the
+    /// class's swap-away case).
+    pub case_swaps: usize,
+    /// Swaps decided by the ones-density tier (same-case sites ordered
+    /// by expected ones).
+    pub density_swaps: usize,
+}
+
+impl StaticSwapOutcome {
+    /// Fraction of considered instructions with a definite prediction.
+    pub fn definite_rate(&self) -> f64 {
+        if self.considered == 0 {
+            0.0
+        } else {
+            self.definite as f64 / self.considered as f64
+        }
+    }
+}
+
+/// The profile-free static operand-swapping pass.
+///
+/// Two canonicalisation tiers, both decided purely from the abstract
+/// interpretation:
+///
+/// 1. **Mixed-case tier** — an instruction is swapped iff the analysis
+///    proves both operand information bits (so the predicted [`Case`]
+///    is definite) and that case is the one the hardware swap rule of
+///    Section 4.4 would swap away for the instruction's FU class. The
+///    per-class direction comes from the paper's published Table-1
+///    statistics — fixed constants, not a profile of the program under
+///    compilation — and can be overridden for ablations.
+/// 2. **Density tier** — for sites whose operands the analysis proved
+///    *width-bounded* (both non-negative, so the case cannot change),
+///    operands are ordered by expected ones-density, mirroring the
+///    full-bit-count ordering of the profile-guided pass: the ALUs put
+///    the denser operand first (the same direction the mixed-case
+///    canonicalisation leaves behind — base-plus-index addressing ends
+///    up with the wide index leading and the sparse constant base
+///    second), and the Booth multipliers put the ones-sparse operand
+///    second. Estimates come from
+///    [`fua_analysis::AbsInt::expected_ones`]; a site is only
+///    reordered when the estimated difference clears the same 2-bit
+///    margin the profile-guided pass uses.
+///
+/// # Examples
+///
+/// ```
+/// use fua_isa::{IntReg, ProgramBuilder};
+/// use fua_swap::StaticSwapPass;
+///
+/// let (r1, r2, r3) = (IntReg::new(1), IntReg::new(2), IntReg::new(3));
+/// let mut b = ProgramBuilder::new();
+/// b.li(r1, 5); // provably non-negative
+/// b.li(r2, -3); // provably negative
+/// b.add(r3, r1, r2); // predicted case 01: the IALU's swap-away case
+/// b.halt();
+/// let program = b.build().unwrap();
+///
+/// let outcome = StaticSwapPass::new().run(&program);
+/// assert_eq!(outcome.swapped, vec![2]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct StaticSwapPass {
+    /// Per FU class (by [`FuClass::index`]): the mixed case to swap away.
+    swap_away: [Case; 4],
+}
+
+impl StaticSwapPass {
+    /// Creates the pass with per-class directions derived from the
+    /// paper's Table-1/Table-3 profiles.
+    pub fn new() -> Self {
+        let mut swap_away = [Case::C01; 4];
+        swap_away[FuClass::IntAlu.index()] = CaseProfile::paper_ialu().hardware_swap_case();
+        swap_away[FuClass::FpAlu.index()] = CaseProfile::paper_fpau().hardware_swap_case();
+        swap_away[FuClass::IntMul.index()] = CaseProfile::paper_int_mul().hardware_swap_case();
+        swap_away[FuClass::FpMul.index()] = CaseProfile::paper_fp_mul().hardware_swap_case();
+        StaticSwapPass { swap_away }
+    }
+
+    /// Overrides the swap-away case for one FU class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `case` is not one of the two mixed cases.
+    pub fn with_swap_away(mut self, class: FuClass, case: Case) -> Self {
+        assert!(case.is_mixed(), "only mixed cases can be swapped away");
+        self.swap_away[class.index()] = case;
+        self
+    }
+
+    /// Whether the density tier wants this site's operands reordered.
+    fn density_swap(prediction: &PortPrediction) -> bool {
+        let Some((est1, est2)) = prediction.ones_estimates() else {
+            return false;
+        };
+        match prediction.class {
+            // Booth multipliers: ones-sparse operand second, always.
+            FuClass::IntMul | FuClass::FpMul => est1 + SWAP_MARGIN_BITS < est2,
+            // ALUs: denser operand first — the same direction the
+            // mixed-case tier canonicalises towards (swapping case 01
+            // away leaves 10: the information-dense operand leads).
+            FuClass::IntAlu | FuClass::FpAlu => est1 + SWAP_MARGIN_BITS < est2,
+        }
+    }
+
+    /// Analyses `program` and returns a rewritten copy with every
+    /// provably non-canonical commutative operand order swapped.
+    pub fn run(&self, program: &Program) -> StaticSwapOutcome {
+        let analysis = InfoBitAnalysis::run(program);
+        let mut rewritten = program.clone();
+        let mut swapped = Vec::new();
+        let mut considered = 0usize;
+        let mut definite = 0usize;
+        let mut case_swaps = 0usize;
+        let mut density_swaps = 0usize;
+        for (idx, inst) in program.insts().iter().enumerate() {
+            if !inst.software_swappable() || !analysis.is_reachable(idx) {
+                continue;
+            }
+            let Some(prediction) = analysis.prediction(idx) else {
+                continue;
+            };
+            considered += 1;
+            let Some(case) = prediction.case() else {
+                continue;
+            };
+            definite += 1;
+            let swap = if case == self.swap_away[prediction.class.index()] {
+                case_swaps += 1;
+                true
+            } else if case.is_mixed() {
+                // Provably the canonical mixed case: leave it alone.
+                false
+            } else if Self::density_swap(prediction) {
+                density_swaps += 1;
+                true
+            } else {
+                false
+            };
+            if swap {
+                if let Some(flipped) = inst.swapped() {
+                    rewritten.replace_inst(idx, flipped);
+                    swapped.push(idx);
+                }
+            }
+        }
+        StaticSwapOutcome {
+            program: rewritten,
+            swapped,
+            considered,
+            definite,
+            case_swaps,
+            density_swaps,
+        }
+    }
+}
+
+impl Default for StaticSwapPass {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fua_isa::{IntReg, Opcode, ProgramBuilder};
+    use fua_vm::Vm;
+
+    fn r(i: u8) -> IntReg {
+        IntReg::new(i)
+    }
+
+    #[test]
+    fn paper_directions_swap_away_case_01_on_the_ialu() {
+        let pass = StaticSwapPass::new();
+        assert_eq!(pass.swap_away[FuClass::IntAlu.index()], Case::C01);
+    }
+
+    #[test]
+    fn provable_mixed_case_is_swapped() {
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), 7);
+        b.li(r(2), -9);
+        b.add(r(3), r(1), r(2)); // case 01 → swap
+        b.add(r(4), r(2), r(1)); // case 10 → canonical, keep
+        b.halt();
+        let p = b.build().unwrap();
+        let out = StaticSwapPass::new().run(&p);
+        assert_eq!(out.swapped, vec![2]);
+        assert_eq!(out.considered, 2);
+        assert_eq!(out.definite, 2);
+        assert_eq!(out.program.inst(2).src1.reg(), Some(r(2).into()));
+        // Semantics preserved.
+        let mut vm = Vm::new(&out.program);
+        vm.run(100).expect("runs");
+        assert_eq!(vm.int_reg(r(3)), -2);
+        assert_eq!(vm.int_reg(r(4)), -2);
+    }
+
+    #[test]
+    fn compare_swap_flips_the_opcode() {
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), 2);
+        b.li(r(2), -5);
+        b.sgt(r(3), r(1), r(2)); // case 01 → swap, sgt becomes slt
+        b.halt();
+        let p = b.build().unwrap();
+        let out = StaticSwapPass::new().run(&p);
+        assert_eq!(out.swapped, vec![2]);
+        assert_eq!(out.program.inst(2).op, Opcode::Slt);
+        let mut vm = Vm::new(&out.program);
+        vm.run(100).expect("runs");
+        assert_eq!(vm.int_reg(r(3)), 1, "2 > -5 still holds after the flip");
+    }
+
+    #[test]
+    fn unprovable_operands_are_left_alone() {
+        let mut b = ProgramBuilder::new();
+        let slot = b.data_words(&[-17, 4]);
+        b.li(r(1), slot);
+        b.lw(r(2), r(1), 0); // loads are ⊤
+        b.li(r(3), 3);
+        b.add(r(4), r(3), r(2)); // op2 unknown: no definite case
+        b.halt();
+        let p = b.build().unwrap();
+        let out = StaticSwapPass::new().run(&p);
+        assert!(out.swapped.is_empty());
+        assert_eq!(out.considered, 1);
+        assert_eq!(out.definite, 0);
+        assert!(out.definite_rate() < 1e-9);
+    }
+
+    #[test]
+    fn decisions_are_a_function_of_the_text_alone() {
+        // Two identical programs (fresh builds) get identical swap sets —
+        // the pass has no hidden state and consults no execution.
+        let build = || {
+            let mut b = ProgramBuilder::new();
+            b.li(r(1), 1);
+            b.li(r(2), -2);
+            b.add(r(3), r(1), r(2));
+            b.xor(r(4), r(2), r(3));
+            b.halt();
+            b.build().unwrap()
+        };
+        let a = StaticSwapPass::new().run(&build());
+        let b = StaticSwapPass::new().run(&build());
+        assert_eq!(a.swapped, b.swapped);
+        assert_eq!(a.program, b.program);
+    }
+
+    #[test]
+    fn direction_override_flips_the_decision() {
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), 7);
+        b.li(r(2), -9);
+        b.add(r(3), r(1), r(2)); // case 01
+        b.halt();
+        let p = b.build().unwrap();
+        let out = StaticSwapPass::new()
+            .with_swap_away(FuClass::IntAlu, Case::C10)
+            .run(&p);
+        assert!(out.swapped.is_empty(), "case 01 is now the canonical one");
+    }
+}

@@ -142,9 +142,18 @@ mod tests {
 
     #[test]
     fn shared_terms_are_counted_once() {
-        let t = Implicant { value: 0b01, mask: 0b11 };
-        let a = Sop { terms: vec![t], inputs: 2 };
-        let b = Sop { terms: vec![t], inputs: 2 };
+        let t = Implicant {
+            value: 0b01,
+            mask: 0b11,
+        };
+        let a = Sop {
+            terms: vec![t],
+            inputs: 2,
+        };
+        let b = Sop {
+            terms: vec![t],
+            inputs: 2,
+        };
         let est = estimate_network(&[a, b], 4);
         assert_eq!(est.product_terms, 1);
     }

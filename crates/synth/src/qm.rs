@@ -236,30 +236,31 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
-    use proptest::prelude::*;
 
-    proptest! {
-        /// The fundamental QM contract: for any function over up to 6
-        /// inputs, the minimised SOP computes the same function, and every
-        /// term is a prime implicant (no literal can be dropped).
-        #[test]
-        fn minimised_sop_is_exact_and_prime(
-            inputs in 1usize..=6,
-            seed: u64,
-        ) {
+    /// The fundamental QM contract: for any function over up to 6
+    /// inputs, the minimised SOP computes the same function, and every
+    /// term is a prime implicant (no literal can be dropped). Sweeps a
+    /// deterministic family of random truth tables (LCG-seeded, as the
+    /// original property test did).
+    #[test]
+    fn minimised_sop_is_exact_and_prime() {
+        for round in 0u64..48 {
+            let inputs = 1 + (round % 6) as usize;
             let size = 1usize << inputs;
-            let mut state = seed | 1;
+            let mut state = round.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
             let mut bits = Vec::with_capacity(size);
             for _ in 0..size {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 bits.push((state >> 40) & 1 == 1);
             }
             let tt = crate::TruthTable::from_fn(inputs, 1, |m, _| bits[m as usize]);
             let sop = minimize(&tt, 0);
             for m in 0..size as u16 {
-                prop_assert_eq!(sop.eval(m), tt.output(m, 0), "wrong at {:b}", m);
+                assert_eq!(sop.eval(m), tt.output(m, 0), "wrong at {m:b}");
             }
             // Primality: dropping any tested literal must break the cover
             // (the widened term would cover an OFF minterm).
@@ -272,13 +273,11 @@ mod proptests {
                         value: term.value & !bit,
                         mask: term.mask & !bit,
                     };
-                    let covers_off = (0..size as u16)
-                        .any(|m| widened.covers(m) && !tt.output(m, 0));
-                    prop_assert!(
+                    let covers_off =
+                        (0..size as u16).any(|m| widened.covers(m) && !tt.output(m, 0));
+                    assert!(
                         covers_off,
-                        "term {:?} is not prime: literal {:#b} is redundant",
-                        term,
-                        bit
+                        "term {term:?} is not prime: literal {bit:#b} is redundant"
                     );
                 }
             }

@@ -99,12 +99,12 @@ mod tests {
         assert_eq!(tt.outputs(), 2 * 2);
         for vector in 0..16u16 {
             let entry = lut.entry(vector as usize);
-            for slot in 0..2 {
+            for (slot, &expected) in entry.iter().enumerate().take(2) {
                 let mut module = 0u8;
                 for bit in 0..2 {
                     module |= (tt.output(vector, slot * 2 + bit) as u8) << bit;
                 }
-                assert_eq!(module, entry[slot]);
+                assert_eq!(module, expected);
             }
         }
     }

@@ -158,11 +158,7 @@ impl<'p> Vm<'p> {
     /// # Errors
     ///
     /// Propagates the first [`VmError`] raised by any instruction.
-    pub fn run_with(
-        &mut self,
-        limit: u64,
-        mut sink: impl FnMut(DynOp),
-    ) -> Result<(), VmError> {
+    pub fn run_with(&mut self, limit: u64, mut sink: impl FnMut(DynOp)) -> Result<(), VmError> {
         for _ in 0..limit {
             match self.step()? {
                 Some(op) => sink(op),
@@ -387,11 +383,7 @@ impl<'p> Vm<'p> {
                         is_load: true,
                         width: 8,
                     });
-                    self.write_dst(
-                        pc,
-                        inst.dst,
-                        Word::Fp(u64::from_le_bytes(b)),
-                    )?;
+                    self.write_dst(pc, inst.dst, Word::Fp(u64::from_le_bytes(b)))?;
                 }
             }
             Sw => {
@@ -492,7 +484,14 @@ fn agu_op(base: i32, offset: i32) -> FuOp {
     }
 }
 
-fn int_alu(op: Opcode, a: i32, b: i32) -> i32 {
+/// The integer ALU/multiplier function, exposed so static analyses can
+/// constant-fold with exactly the interpreter's semantics (wrapping
+/// arithmetic, `div`-by-zero → 0, `rem`-by-zero → dividend).
+///
+/// # Panics
+///
+/// Panics if `op` is not an integer ALU/multiplier opcode.
+pub fn int_alu(op: Opcode, a: i32, b: i32) -> i32 {
     use Opcode::*;
     match op {
         Add | Li => a.wrapping_add(b),
@@ -690,13 +689,7 @@ mod tests {
         b.halt();
         let p = b.build().expect("valid");
         let err = Vm::new(&p).run(10).expect_err("faults");
-        assert_eq!(
-            err,
-            VmError::UnalignedAccess {
-                addr: 2,
-                width: 4
-            }
-        );
+        assert_eq!(err, VmError::UnalignedAccess { addr: 2, width: 4 });
     }
 
     #[test]

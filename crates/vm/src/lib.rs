@@ -46,4 +46,4 @@ mod semantics_tests;
 
 pub use dynop::{BranchInfo, DynOp, FuOp, MemAccess};
 pub use error::VmError;
-pub use interp::{Trace, Vm, DEFAULT_MEM_BYTES};
+pub use interp::{int_alu, Trace, Vm, DEFAULT_MEM_BYTES};

@@ -12,11 +12,6 @@ use crate::util;
 const BLOCK: i32 = 5;
 const BLOCKS: i32 = 64;
 
-/// Builds the workload.
-pub fn build(scale: u32) -> Program {
-    build_with_input(scale, 0)
-}
-
 /// Builds the workload with an alternative input data set (see
 /// [`crate::all_with_input`]).
 pub fn build_with_input(scale: u32, input: u32) -> Program {
@@ -116,15 +111,18 @@ mod tests {
 
     #[test]
     fn exercises_the_divider_and_stays_finite() {
-        let p = build(1);
+        let p = build_with_input(1, 0);
         let mut vm = Vm::new(&p);
         let trace = vm.run(5_000_000).expect("runs");
         assert!(trace.halted);
         assert!(trace.ops.len() > 50_000);
-        let divides = trace.ops.iter().filter(|o| o.opcode == Opcode::FDiv).count();
+        let divides = trace
+            .ops
+            .iter()
+            .filter(|o| o.opcode == Opcode::FDiv)
+            .count();
         assert!(divides > 500, "applu should use fdiv, saw {divides}");
-        let result =
-            ((BLOCKS * BLOCK * BLOCK) as u32 + 2 * (BLOCKS * BLOCK) as u32) * 8;
+        let result = ((BLOCKS * BLOCK * BLOCK) as u32 + 2 * (BLOCKS * BLOCK) as u32) * 8;
         assert!(vm.read_double(result).expect("in range").is_finite());
     }
 }

@@ -14,11 +14,6 @@ use crate::util;
 const COLUMNS: i32 = 256;
 const TERMS: i32 = 6;
 
-/// Builds the workload.
-pub fn build(scale: u32) -> Program {
-    build_with_input(scale, 0)
-}
-
 /// Builds the workload with an alternative input data set (see
 /// [`crate::all_with_input`]).
 pub fn build_with_input(scale: u32, input: u32) -> Program {
@@ -105,13 +100,21 @@ mod tests {
 
     #[test]
     fn series_terms_divide_by_cast_indices() {
-        let p = build(1);
+        let p = build_with_input(1, 0);
         let mut vm = Vm::new(&p);
         let trace = vm.run(8_000_000).expect("runs");
         assert!(trace.halted);
         assert!(trace.ops.len() > 50_000);
-        let casts = trace.ops.iter().filter(|o| o.opcode == Opcode::CvtIf).count();
-        let divs = trace.ops.iter().filter(|o| o.opcode == Opcode::FDiv).count();
+        let casts = trace
+            .ops
+            .iter()
+            .filter(|o| o.opcode == Opcode::CvtIf)
+            .count();
+        let divs = trace
+            .ops
+            .iter()
+            .filter(|o| o.opcode == Opcode::FDiv)
+            .count();
         assert!(casts > 10_000);
         assert_eq!(casts, divs, "every term divides by a cast index");
         let result = (2 * COLUMNS as u32) * 8;

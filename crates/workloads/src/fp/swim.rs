@@ -12,11 +12,6 @@ use crate::util;
 
 const SIDE: i32 = 32;
 
-/// Builds the workload.
-pub fn build(scale: u32) -> Program {
-    build_with_input(scale, 0)
-}
-
 /// Builds the workload with an alternative input data set (see
 /// [`crate::all_with_input`]).
 pub fn build_with_input(scale: u32, input: u32) -> Program {
@@ -108,7 +103,7 @@ mod tests {
 
     #[test]
     fn converges_without_blowing_up() {
-        let p = build(1);
+        let p = build_with_input(1, 0);
         let mut vm = Vm::new(&p);
         let trace = vm.run(5_000_000).expect("runs");
         assert!(trace.halted);

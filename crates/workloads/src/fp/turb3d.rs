@@ -13,11 +13,6 @@ use crate::util;
 const POINTS: i32 = 512; // complex points: 2 doubles each
 const STAGES: [i32; 4] = [1, 2, 4, 8];
 
-/// Builds the workload.
-pub fn build(scale: u32) -> Program {
-    build_with_input(scale, 0)
-}
-
 /// Builds the workload with an alternative input data set (see
 /// [`crate::all_with_input`]).
 pub fn build_with_input(scale: u32, input: u32) -> Program {
@@ -118,7 +113,7 @@ mod tests {
 
     #[test]
     fn multiplier_sees_dense_operands() {
-        let p = build(1);
+        let p = build_with_input(1, 0);
         let mut vm = Vm::new(&p);
         let trace = vm.run(8_000_000).expect("runs");
         assert!(trace.halted);

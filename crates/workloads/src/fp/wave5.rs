@@ -13,11 +13,6 @@ use crate::util;
 const PARTICLES: i32 = 512;
 const GRID: i32 = 64;
 
-/// Builds the workload.
-pub fn build(scale: u32) -> Program {
-    build_with_input(scale, 0)
-}
-
 /// Builds the workload with an alternative input data set (see
 /// [`crate::all_with_input`]).
 pub fn build_with_input(scale: u32, input: u32) -> Program {
@@ -116,13 +111,21 @@ mod tests {
 
     #[test]
     fn conversions_flow_both_ways() {
-        let p = build(1);
+        let p = build_with_input(1, 0);
         let mut vm = Vm::new(&p);
         let trace = vm.run(8_000_000).expect("runs");
         assert!(trace.halted);
         assert!(trace.ops.len() > 50_000);
-        let to_int = trace.ops.iter().filter(|o| o.opcode == Opcode::CvtFi).count();
-        let to_fp = trace.ops.iter().filter(|o| o.opcode == Opcode::CvtIf).count();
+        let to_int = trace
+            .ops
+            .iter()
+            .filter(|o| o.opcode == Opcode::CvtFi)
+            .count();
+        let to_fp = trace
+            .ops
+            .iter()
+            .filter(|o| o.opcode == Opcode::CvtIf)
+            .count();
         assert!(to_int > 5_000, "gather casts, saw {to_int}");
         assert!(to_fp > 0, "counter casts, saw {to_fp}");
     }

@@ -13,11 +13,6 @@ use crate::util;
 const KEYS: usize = 1536;
 const TABLE: i32 = 4096;
 
-/// Builds the workload.
-pub fn build(scale: u32) -> Program {
-    build_with_input(scale, 0)
-}
-
 /// Builds the workload with an alternative input data set (see
 /// [`crate::all_with_input`]).
 pub fn build_with_input(scale: u32, input: u32) -> Program {
@@ -69,7 +64,7 @@ pub fn build_with_input(scale: u32, input: u32) -> Program {
     b.lw(probe, addr, 0);
     b.beq(probe, key, found);
     b.blez(probe, insert); // empty slot (0) terminates the probe
-    // Linear probe with wraparound.
+                           // Linear probe with wraparound.
     b.addi(slot, slot, 1);
     b.alui(Opcode::Rem, slot, slot, TABLE);
     b.j(probe_loop);
@@ -99,7 +94,7 @@ mod tests {
 
     #[test]
     fn repeated_keys_hit_after_first_intern() {
-        let p = build(1);
+        let p = build_with_input(1, 0);
         let mut vm = Vm::new(&p);
         let trace = vm.run(5_000_000).expect("runs");
         assert!(trace.halted);

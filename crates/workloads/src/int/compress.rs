@@ -11,11 +11,6 @@ use fua_isa::{IntReg, Program, ProgramBuilder};
 
 use crate::util;
 
-/// Builds the workload; iteration count scales linearly with `scale`.
-pub fn build(scale: u32) -> Program {
-    build_with_input(scale, 0)
-}
-
 /// Builds the workload with an alternative input data set (see
 /// [`crate::all_with_input`]).
 pub fn build_with_input(scale: u32, input: u32) -> Program {
@@ -87,7 +82,7 @@ mod tests {
 
     #[test]
     fn runs_to_completion_and_produces_a_checksum() {
-        let p = build(1);
+        let p = build_with_input(1, 0);
         let mut vm = Vm::new(&p);
         let trace = vm.run(2_000_000).expect("runs");
         assert!(trace.halted);
@@ -102,6 +97,6 @@ mod tests {
 
     #[test]
     fn is_deterministic() {
-        assert_eq!(build(1), build(1));
+        assert_eq!(build_with_input(1, 0), build_with_input(1, 0));
     }
 }

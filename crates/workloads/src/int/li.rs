@@ -7,16 +7,10 @@
 //! tagged integers — the widest integer value spread of the suite.
 
 use fua_isa::{IntReg, Program, ProgramBuilder};
-use rand::seq::SliceRandom;
 
 use crate::util;
 
 const CELLS: usize = 512;
-
-/// Builds the workload.
-pub fn build(scale: u32) -> Program {
-    build_with_input(scale, 0)
-}
 
 /// Builds the workload with an alternative input data set (see
 /// [`crate::all_with_input`]).
@@ -33,7 +27,7 @@ pub fn build_with_input(scale: u32, input: u32) -> Program {
     // number), word 1 = absolute byte address of the next cell, 0
     // terminates.
     let mut order: Vec<usize> = (0..CELLS).collect();
-    order.shuffle(&mut rng);
+    rng.shuffle(&mut order);
     let mut words = vec![0i32; CELLS * 2];
     for w in order.windows(2) {
         let (cell, next) = (w[0], w[1]);
@@ -101,7 +95,7 @@ mod tests {
 
     #[test]
     fn walks_the_whole_list_every_pass() {
-        let p = build(1);
+        let p = build_with_input(1, 0);
         let mut vm = Vm::new(&p);
         let trace = vm.run(5_000_000).expect("runs");
         assert!(trace.halted);

@@ -13,18 +13,18 @@ use crate::util;
 const TEXT_WORDS: usize = 1024;
 const GUEST_REGS: i32 = 32;
 
-/// Builds the workload.
-pub fn build(scale: u32) -> Program {
-    build_with_input(scale, 0)
-}
-
 /// Builds the workload with an alternative input data set (see
 /// [`crate::all_with_input`]).
 pub fn build_with_input(scale: u32, input: u32) -> Program {
     let mut rng = util::seeded_rng_input("m88ksim", input);
     let mut b = ProgramBuilder::new();
 
-    let text = b.data_words(&util::random_words(&mut rng, TEXT_WORDS, i32::MIN, i32::MAX));
+    let text = b.data_words(&util::random_words(
+        &mut rng,
+        TEXT_WORDS,
+        i32::MIN,
+        i32::MAX,
+    ));
     let regs = b.alloc_data(GUEST_REGS as usize * 4);
     let result = b.alloc_data(8);
 
@@ -109,7 +109,7 @@ mod tests {
 
     #[test]
     fn decodes_and_retires_guest_instructions() {
-        let p = build(1);
+        let p = build_with_input(1, 0);
         let mut vm = Vm::new(&p);
         let trace = vm.run(5_000_000).expect("runs");
         assert!(trace.halted);

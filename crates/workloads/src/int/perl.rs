@@ -14,11 +14,6 @@ use crate::util;
 const TEXT_WORDS: usize = 1024;
 const BUCKETS: i32 = 64;
 
-/// Builds the workload.
-pub fn build(scale: u32) -> Program {
-    build_with_input(scale, 0)
-}
-
 /// Builds the workload with an alternative input data set (see
 /// [`crate::all_with_input`]).
 pub fn build_with_input(scale: u32, input: u32) -> Program {
@@ -123,7 +118,7 @@ mod tests {
 
     #[test]
     fn classifies_the_text() {
-        let p = build(1);
+        let p = build_with_input(1, 0);
         let mut vm = Vm::new(&p);
         let trace = vm.run(5_000_000).expect("runs");
         assert!(trace.halted);

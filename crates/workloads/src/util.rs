@@ -1,36 +1,36 @@
 //! Shared helpers for workload construction.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// Deterministic per-workload RNG: the seed is derived from the workload
 /// name so every build of a given workload is identical.
-pub fn seeded_rng(name: &str) -> StdRng {
+pub fn seeded_rng(name: &str) -> SplitMix64 {
     seeded_rng_input(name, 0)
 }
 
 /// As [`seeded_rng`], but additionally keyed by an *input set* number —
 /// the analogue of running a SPEC benchmark on its train vs ref inputs.
 /// Input 0 is the default data set.
-pub fn seeded_rng_input(name: &str, input: u32) -> StdRng {
-    let mut seed = [0u8; 32];
-    for (i, b) in name.bytes().cycle().take(32).enumerate() {
-        seed[i] = b.wrapping_mul(31).wrapping_add(i as u8);
+pub fn seeded_rng_input(name: &str, input: u32) -> SplitMix64 {
+    // FNV-1a over the name, mixed with the input number. Any decent hash
+    // works; what matters is that (name, input) pairs get distinct seeds.
+    let mut seed = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x1000_0000_01B3);
     }
-    for (i, b) in input.to_le_bytes().iter().enumerate() {
-        seed[28 + i] ^= b.wrapping_mul(167);
-    }
-    StdRng::from_seed(seed)
+    seed ^= (input as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    SplitMix64::new(seed)
 }
 
 /// `n` random words in `[lo, hi)`.
-pub fn random_words(rng: &mut StdRng, n: usize, lo: i32, hi: i32) -> Vec<i32> {
-    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+pub fn random_words(rng: &mut SplitMix64, n: usize, lo: i32, hi: i32) -> Vec<i32> {
+    (0..n).map(|_| rng.range_i32(lo, hi)).collect()
 }
 
 /// `n` small non-negative words (the sign-extension-friendly regime that
 /// dominates integer programs).
-pub fn small_words(rng: &mut StdRng, n: usize, max: i32) -> Vec<i32> {
+pub fn small_words(rng: &mut SplitMix64, n: usize, max: i32) -> Vec<i32> {
     random_words(rng, n, 0, max.max(1))
 }
 
@@ -39,11 +39,11 @@ pub fn small_words(rng: &mut StdRng, n: usize, max: i32) -> Vec<i32> {
 /// values — half "round" constants/integer casts, half single-precision
 /// values cast to double (29 trailing mantissa zeros) — and the rest
 /// full-precision.
-pub fn mixed_doubles(rng: &mut StdRng, n: usize, round_fraction: f64) -> Vec<f64> {
+pub fn mixed_doubles(rng: &mut SplitMix64, n: usize, round_fraction: f64) -> Vec<f64> {
     (0..n)
         .map(|_| {
-            if rng.gen_bool(round_fraction) {
-                if rng.gen_bool(0.5) {
+            if rng.chance(round_fraction) {
+                if rng.flip() {
                     round_double(rng)
                 } else {
                     single_precision_double(rng)
@@ -58,7 +58,7 @@ pub fn mixed_doubles(rng: &mut StdRng, n: usize, round_fraction: f64) -> Vec<f64
 /// A double that came through a 32-bit float — the paper's "casting of
 /// single precision numbers into double precision by the hardware":
 /// full 23-bit float mantissa, 29 trailing zeros after widening.
-pub fn single_precision_double(rng: &mut StdRng) -> f64 {
+pub fn single_precision_double(rng: &mut SplitMix64) -> f64 {
     (full_precision_double(rng) as f32) as f64
 }
 
@@ -69,11 +69,11 @@ pub fn single_precision_double(rng: &mut StdRng) -> f64 {
 /// operand order is arbitrary (whatever register allocation produced).
 /// Scrambling restores that property, which is precisely what the paper's
 /// profile-guided swap pass exists to clean up.
-pub fn scramble_commutative(program: &mut fua_isa::Program, rng: &mut StdRng) {
+pub fn scramble_commutative(program: &mut fua_isa::Program, rng: &mut SplitMix64) {
     for idx in 0..program.len() {
         let inst = *program.inst(idx);
         if let Some(swapped) = inst.swapped() {
-            if rng.gen_bool(0.5) {
+            if rng.flip() {
                 program.replace_inst(idx, swapped);
             }
         }
@@ -83,9 +83,9 @@ pub fn scramble_commutative(program: &mut fua_isa::Program, rng: &mut StdRng) {
 /// A "round" double: an integer in a small range, possibly scaled by a
 /// power of two — exactly the values produced by integer casts and round
 /// program constants.
-pub fn round_double(rng: &mut StdRng) -> f64 {
-    let base = rng.gen_range(-64i32..64) as f64;
-    let scale = match rng.gen_range(0..4) {
+pub fn round_double(rng: &mut SplitMix64) -> f64 {
+    let base = rng.range_i32(-64, 64) as f64;
+    let scale = match rng.bounded(4) {
         0 => 1.0,
         1 => 0.5,
         2 => 0.25,
@@ -97,14 +97,14 @@ pub fn round_double(rng: &mut StdRng) -> f64 {
 /// A full-precision double with magnitude in `[1/16, 2)` and a uniformly
 /// random 52-bit mantissa.
 ///
-/// Built from raw bits rather than `gen_range`: uniform float sampling
+/// Built from raw bits rather than a float range: uniform float sampling
 /// produces values of the form `k·2⁻⁵³`, which renormalise to mantissas
 /// with trailing zeros near zero — exactly the bias this helper must
 /// avoid.
-pub fn full_precision_double(rng: &mut StdRng) -> f64 {
-    let mantissa = rng.gen::<u64>() & ((1u64 << 52) - 1);
-    let exponent = rng.gen_range(1019u64..1024); // magnitude in [1/16, 2)
-    let sign = (rng.gen::<bool>() as u64) << 63;
+pub fn full_precision_double(rng: &mut SplitMix64) -> f64 {
+    let mantissa = rng.next_u64() & ((1u64 << 52) - 1);
+    let exponent = 1019 + rng.bounded(5); // magnitude in [1/16, 2)
+    let sign = (rng.flip() as u64) << 63;
     f64::from_bits(sign | (exponent << 52) | mantissa)
 }
 
@@ -120,6 +120,13 @@ mod tests {
         let c: Vec<i32> = random_words(&mut seeded_rng("y"), 8, 0, 100);
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn input_sets_get_distinct_streams() {
+        let a: Vec<i32> = random_words(&mut seeded_rng_input("x", 0), 8, 0, 100);
+        let b: Vec<i32> = random_words(&mut seeded_rng_input("x", 1), 8, 0, 100);
+        assert_ne!(a, b);
     }
 
     #[test]

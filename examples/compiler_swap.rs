@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let b = vm_b.run(10_000_000)?;
     assert!(a.halted && b.halted);
     assert_eq!(a.ops.len(), b.ops.len());
-    println!("semantics check: both programs retire {} instructions", a.ops.len());
+    println!(
+        "semantics check: both programs retire {} instructions",
+        a.ops.len()
+    );
 
     // Energy effect on the steered machine.
     let run = |program| -> Result<u64, fua::vm::VmError> {

@@ -12,7 +12,12 @@ use fua::steer::{LutBuilder, PAPER_FPAU_OCCUPANCY, PAPER_IALU_OCCUPANCY};
 
 fn main() {
     for (name, profile, width, occupancy) in [
-        ("IALU", CaseProfile::paper_ialu(), 32u32, &PAPER_IALU_OCCUPANCY),
+        (
+            "IALU",
+            CaseProfile::paper_ialu(),
+            32u32,
+            &PAPER_IALU_OCCUPANCY,
+        ),
         (
             "FPAU",
             CaseProfile::paper_fpau(),

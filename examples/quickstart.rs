@@ -54,8 +54,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let steered = steered_sim.run_program(&program, 1_000_000)?;
 
-    println!("retired {} instructions in {} cycles (IPC {:.2})",
-        baseline.retired, baseline.cycles, baseline.ipc());
+    println!(
+        "retired {} instructions in {} cycles (IPC {:.2})",
+        baseline.retired,
+        baseline.cycles,
+        baseline.ipc()
+    );
     println!(
         "IALU switched bits: baseline {}, 4-bit LUT + hw swap {}",
         baseline.ledger.switched_bits(FuClass::IntAlu),

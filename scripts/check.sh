@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Full local gate: format, lints, build, and the whole test suite.
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy --workspace --all-targets --features json -- -D warnings
+cargo build --release
+cargo test --workspace -q
+cargo test --workspace -q --features json
+echo "all checks passed"

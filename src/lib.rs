@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use fua_analysis as analysis;
 pub use fua_core as core;
 pub use fua_isa as isa;
 pub use fua_power as power;

@@ -9,6 +9,9 @@
 //! fua chip                    chip-level power extrapolation (§1)
 //! fua breakdown <ialu|fpau>   per-workload results
 //! fua sensitivity             compiler-swap cross-input study
+//! fua staticswap <ialu|fpau>  static vs profile-guided swapping
+//! fua analyze <workload>      static information-bit predictions
+//! fua lint [workload]         lint one workload (or all 15)
 //! fua workloads               list the bundled workloads
 //! fua run <workload>          simulate one workload under every scheme
 //!
@@ -20,8 +23,8 @@
 use std::process::ExitCode;
 
 use fua::core::{
-    chip_estimate, figure4, headline, profile_suite, routing_example, swap_sensitivity,
-    synthesis_report, workload_breakdown, ExperimentConfig, Unit,
+    chip_estimate, figure4, headline, profile_suite, routing_example, static_swap_comparison,
+    swap_sensitivity, synthesis_report, workload_breakdown, ExperimentConfig, Unit,
 };
 use fua::isa::FuClass;
 use fua::sim::{MachineConfig, Simulator, SteeringConfig};
@@ -38,7 +41,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: fua <command> [--limit N] [--scale N]\n\
          commands: tables | figure4 <ialu|fpau> | headline | fig1 | synth | \
-         chip | breakdown <ialu|fpau> | sensitivity | workloads | run <workload>"
+         chip | breakdown <ialu|fpau> | sensitivity | staticswap <ialu|fpau> | \
+         analyze <workload> | lint [workload] | workloads | run <workload>"
     );
     ExitCode::FAILURE
 }
@@ -82,15 +86,21 @@ fn cmd_tables(opts: &Options) {
     println!("{}", p.table3());
 }
 
-fn emit<T: serde::Serialize>(value: &T, rendered: String, json: bool) {
+#[cfg(feature = "json")]
+fn emit<T: fua::core::ToJson>(value: &T, rendered: String, json: bool) {
     if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(value).expect("results serialise")
-        );
+        println!("{}", value.to_json().pretty());
     } else {
         println!("{rendered}");
     }
+}
+
+#[cfg(not(feature = "json"))]
+fn emit<T>(_value: &T, rendered: String, json: bool) {
+    if json {
+        eprintln!("warning: this binary was built without the `json` feature; emitting text");
+    }
+    println!("{rendered}");
 }
 
 fn cmd_figure4(unit: Unit, opts: &Options) {
@@ -101,19 +111,13 @@ fn cmd_figure4(unit: Unit, opts: &Options) {
 
 fn cmd_headline(opts: &Options) {
     let h = headline(&config(opts));
-    if opts.json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&h).expect("results serialise")
-        );
-        return;
-    }
-    println!(
+    let rendered = format!(
         "IALU 4-bit LUT + hw swap:            {:>6.1}%   (paper ~17%)\n\
          FPAU 4-bit LUT + hw swap:            {:>6.1}%   (paper ~18%)\n\
          IALU 4-bit LUT + hw + compiler swap: {:>6.1}%   (paper ~26%)",
         h.ialu_pct, h.fpau_pct, h.ialu_compiler_pct
     );
+    emit(&h, rendered, opts.json);
 }
 
 fn cmd_workloads(opts: &Options) {
@@ -127,6 +131,84 @@ fn cmd_workloads(opts: &Options) {
         ]);
     }
     println!("{t}");
+}
+
+/// Renders an abstract bit as `0`, `1`, or `?`.
+fn bit_glyph(bit: fua::analysis::AbsBit) -> &'static str {
+    match bit.definite() {
+        Some(false) => "0",
+        Some(true) => "1",
+        None => "?",
+    }
+}
+
+fn cmd_analyze(name: &str, opts: &Options) -> Result<(), String> {
+    let w = fua::workloads::by_name(name, opts.scale)
+        .ok_or_else(|| format!("unknown workload: {name} (try `fua workloads`)"))?;
+    let analysis = fua::analysis::InfoBitAnalysis::run(&w.program);
+    let mut t = TextTable::new(["#", "op", "class", "op1", "op2", "case"]);
+    for idx in 0..w.program.len() {
+        let inst = w.program.inst(idx);
+        if !analysis.is_reachable(idx) {
+            t.push_row([
+                idx.to_string(),
+                inst.op.to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "unreachable".to_string(),
+            ]);
+            continue;
+        }
+        let Some(p) = analysis.prediction(idx) else {
+            continue; // j/halt/fli occupy no FU
+        };
+        t.push_row([
+            idx.to_string(),
+            inst.op.to_string(),
+            p.class.to_string(),
+            bit_glyph(p.op1).to_string(),
+            bit_glyph(p.op2).to_string(),
+            match p.case() {
+                Some(c) => c.to_string(),
+                None => "?".to_string(),
+            },
+        ]);
+    }
+    let (with_fu, definite) = analysis.coverage();
+    println!(
+        "{}: static information-bit predictions (sign / low-4-mantissa domains)\n{t}\
+         {definite}/{with_fu} FU instructions with a definite case",
+        w.name
+    );
+    Ok(())
+}
+
+fn lint_one(w: &fua::workloads::Workload) -> usize {
+    let lints = fua::analysis::lint_program(&w.program);
+    if lints.is_empty() {
+        println!("{}: clean", w.name);
+    } else {
+        for l in &lints {
+            println!("{}: {l}", w.name);
+        }
+    }
+    lints.len()
+}
+
+fn cmd_lint(name: Option<&str>, opts: &Options) -> Result<bool, String> {
+    let total = match name {
+        Some(n) => {
+            let w = fua::workloads::by_name(n, opts.scale)
+                .ok_or_else(|| format!("unknown workload: {n} (try `fua workloads`)"))?;
+            lint_one(&w)
+        }
+        None => fua::workloads::all(opts.scale).iter().map(lint_one).sum(),
+    };
+    if total > 0 {
+        println!("{total} finding(s)");
+    }
+    Ok(total == 0)
 }
 
 fn cmd_run(name: &str, opts: &Options) -> Result<(), String> {
@@ -231,6 +313,33 @@ fn main() -> ExitCode {
             let rendered = s.render();
             emit(&s, rendered, opts.json);
         }
+        ("staticswap", Some("ialu")) => {
+            let c = static_swap_comparison(Unit::Ialu, &config(&opts));
+            let rendered = c.render();
+            emit(&c, rendered, opts.json);
+        }
+        ("staticswap", Some("fpau")) => {
+            let c = static_swap_comparison(Unit::Fpau, &config(&opts));
+            let rendered = c.render();
+            emit(&c, rendered, opts.json);
+        }
+        ("analyze", Some(name)) => {
+            if let Err(e) = cmd_analyze(name, &opts) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        ("lint", name) => match cmd_lint(name, &opts) {
+            Ok(clean) => {
+                if !clean {
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
         ("workloads", None) => cmd_workloads(&opts),
         ("run", Some(name)) => {
             if let Err(e) = cmd_run(name, &opts) {

@@ -22,7 +22,11 @@ fn ialu_scheme_ordering_matches_the_paper() {
     assert!(hw("1-bit Ham") >= hw("8-bit LUT") - 0.5);
     assert!(hw("8-bit LUT") >= hw("4-bit LUT") - 0.5);
     assert!(hw("4-bit LUT") >= hw("2-bit LUT") - 0.5);
-    assert!(hw("4-bit LUT") > 3.0, "4-bit LUT too weak: {:.1}%", hw("4-bit LUT"));
+    assert!(
+        hw("4-bit LUT") > 3.0,
+        "4-bit LUT too weak: {:.1}%",
+        hw("4-bit LUT")
+    );
     assert!(hw("Original") < hw("4-bit LUT"));
 }
 

@@ -25,7 +25,10 @@ fn all_policies_execute_identical_work() {
         let baseline = run(workload, SteeringKind::Original, false);
         for kind in SteeringKind::FIGURE4 {
             let r = run(workload, kind, true);
-            assert_eq!(r.retired, baseline.retired, "{workload}/{kind}: retire count");
+            assert_eq!(
+                r.retired, baseline.retired,
+                "{workload}/{kind}: retire count"
+            );
             assert_eq!(r.cycles, baseline.cycles, "{workload}/{kind}: cycle count");
             for class in FuClass::ALL {
                 assert_eq!(

@@ -9,7 +9,12 @@ use fua::synth::{minimize, routing_cost, TruthTable};
 
 fn configurations() -> Vec<(&'static str, CaseProfile, u32, &'static [f64])> {
     vec![
-        ("IALU", CaseProfile::paper_ialu(), INT_BITS, &PAPER_IALU_OCCUPANCY),
+        (
+            "IALU",
+            CaseProfile::paper_ialu(),
+            INT_BITS,
+            &PAPER_IALU_OCCUPANCY,
+        ),
         (
             "FPAU",
             CaseProfile::paper_fpau(),
