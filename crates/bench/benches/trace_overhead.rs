@@ -1,0 +1,47 @@
+//! Overhead of the tracing hooks. The simulator is generic over its
+//! `TraceSink` and the default `NullSink` sets `ENABLED = false`, so the
+//! `null_sink` case must be indistinguishable from an uninstrumented
+//! build (<1% — the hooks and their event construction compile away);
+//! `ring_and_metrics` shows the real cost of leaving post-mortem
+//! observability on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fua_sim::{MachineConfig, Simulator, SteeringConfig};
+use fua_steer::SteeringKind;
+use fua_trace::{MetricsRecorder, NullSink, RingBufferSink};
+use fua_workloads::by_name;
+
+const LIMIT: u64 = 50_000;
+
+fn scheme() -> SteeringConfig {
+    SteeringConfig::paper_scheme(SteeringKind::Lut { slots: 2 }, true)
+}
+
+fn bench(c: &mut Criterion) {
+    let w = by_name("compress", 1).expect("bundled");
+    let mut g = c.benchmark_group("trace_overhead");
+    g.bench_function("null_sink", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::with_sink(MachineConfig::paper_default(), scheme(), NullSink);
+            sim.run_program(&w.program, LIMIT).expect("runs")
+        });
+    });
+    g.bench_function("ring_and_metrics", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::with_sink(
+                MachineConfig::paper_default(),
+                scheme(),
+                (RingBufferSink::default(), MetricsRecorder::new()),
+            );
+            sim.run_program(&w.program, LIMIT).expect("runs")
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

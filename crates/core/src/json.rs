@@ -1,187 +1,17 @@
-//! Dependency-free JSON emission for the CLI's `--json` flag.
+//! JSON emission for the CLI's `--json` flag.
 //!
-//! The build environment has no network access, so the workspace cannot
-//! depend on `serde`/`serde_json`. The reports this crate produces are
-//! small trees of numbers and strings; this module gives them a tiny
-//! value type ([`Json`]) with a pretty printer, and a [`ToJson`] trait
-//! each report implements by hand. Output matches `serde_json`'s
-//! pretty format (two-space indent) for the shapes used here.
+//! The value type and trait live in `fua-trace` (the bottom of the
+//! dependency stack) so the trace sinks and metrics registry can emit
+//! JSON too; this module re-exports them and keeps the hand-written
+//! conversions for every report the experiment layer produces.
 
-use std::fmt;
+pub use fua_trace::{Json, ToJson};
 
 use crate::{
     BreakdownRow, ChipEstimate, Figure4, Figure4Row, Headline, RoutingExample, SensitivityRow,
     StaticSwapComparison, StaticSwapRow, SwapSensitivity, SynthesisReport, SynthesisRow, Unit,
     WorkloadBreakdown,
 };
-
-/// A JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// An unsigned integer (kept exact; floats cannot hold all u64s).
-    UInt(u64),
-    /// A signed integer.
-    Int(i64),
-    /// A float. Non-finite values render as `null`, as `serde_json`
-    /// does for its lossy modes — JSON has no NaN/Inf.
-    Float(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object with insertion-ordered keys.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Builds an object from `(key, value)` pairs.
-    pub fn obj<const N: usize>(fields: [(&str, Json); N]) -> Json {
-        Json::Obj(
-            fields
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
-    }
-
-    /// Builds an array by converting each element.
-    pub fn arr<T: ToJson>(items: &[T]) -> Json {
-        Json::Arr(items.iter().map(ToJson::to_json).collect())
-    }
-
-    /// Pretty-prints with two-space indentation.
-    pub fn pretty(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out
-    }
-
-    fn write(&self, out: &mut String, indent: usize) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::UInt(v) => out.push_str(&v.to_string()),
-            Json::Int(v) => out.push_str(&v.to_string()),
-            Json::Float(v) => {
-                if v.is_finite() {
-                    // Rust's shortest round-trip formatting is valid JSON
-                    // except that it omits a fraction for whole numbers —
-                    // that is still a legal JSON number.
-                    out.push_str(&v.to_string());
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => write_escaped(out, s),
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    newline(out, indent + 1);
-                    item.write(out, indent + 1);
-                }
-                newline(out, indent);
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                if fields.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (i, (key, value)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    newline(out, indent + 1);
-                    write_escaped(out, key);
-                    out.push_str(": ");
-                    value.write(out, indent + 1);
-                }
-                newline(out, indent);
-                out.push('}');
-            }
-        }
-    }
-}
-
-fn newline(out: &mut String, indent: usize) {
-    out.push('\n');
-    for _ in 0..indent {
-        out.push_str("  ");
-    }
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-impl fmt::Display for Json {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.pretty())
-    }
-}
-
-/// Conversion into a [`Json`] tree. Implemented by every report the
-/// CLI can emit with `--json`.
-pub trait ToJson {
-    /// Converts `self` into a JSON value.
-    fn to_json(&self) -> Json;
-}
-
-impl ToJson for f64 {
-    fn to_json(&self) -> Json {
-        Json::Float(*self)
-    }
-}
-
-impl ToJson for u64 {
-    fn to_json(&self) -> Json {
-        Json::UInt(*self)
-    }
-}
-
-impl ToJson for usize {
-    fn to_json(&self) -> Json {
-        Json::UInt(*self as u64)
-    }
-}
-
-impl ToJson for str {
-    fn to_json(&self) -> Json {
-        Json::Str(self.to_string())
-    }
-}
-
-impl ToJson for String {
-    fn to_json(&self) -> Json {
-        Json::Str(self.clone())
-    }
-}
 
 impl ToJson for Unit {
     fn to_json(&self) -> Json {
@@ -347,35 +177,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn scalars_render_as_json() {
-        assert_eq!(Json::Null.pretty(), "null");
-        assert_eq!(Json::Bool(true).pretty(), "true");
-        assert_eq!(Json::UInt(u64::MAX).pretty(), u64::MAX.to_string());
-        assert_eq!(Json::Int(-5).pretty(), "-5");
-        assert_eq!(Json::Float(17.5).pretty(), "17.5");
-        assert_eq!(Json::Float(f64::NAN).pretty(), "null");
-    }
-
-    #[test]
-    fn strings_are_escaped() {
-        let s = Json::Str("a\"b\\c\nd\u{1}".into());
-        assert_eq!(s.pretty(), "\"a\\\"b\\\\c\\nd\\u0001\"");
-    }
-
-    #[test]
-    fn objects_pretty_print_with_two_space_indent() {
-        let v = Json::obj([
-            ("name", Json::Str("x".into())),
-            ("vals", Json::Arr(vec![Json::UInt(1), Json::UInt(2)])),
-            ("empty", Json::Arr(vec![])),
-        ]);
-        assert_eq!(
-            v.pretty(),
-            "{\n  \"name\": \"x\",\n  \"vals\": [\n    1,\n    2\n  ],\n  \"empty\": []\n}"
-        );
-    }
-
-    #[test]
     fn reports_serialise() {
         let h = Headline {
             ialu_pct: 17.0,
@@ -383,7 +184,7 @@ mod tests {
             ialu_compiler_pct: 26.0,
         };
         let text = h.to_json().pretty();
-        assert!(text.contains("\"ialu_pct\": 17"));
+        assert!(text.contains("\"ialu_pct\": 17.0"));
         assert!(text.contains("\"fpau_pct\": 18.25"));
     }
 }

@@ -32,6 +32,7 @@ mod fig1;
 mod figure4;
 #[cfg(feature = "json")]
 mod json;
+mod observe;
 mod sensitivity;
 mod static_swap;
 mod suite;
@@ -44,6 +45,7 @@ pub use fig1::{routing_example, RoutingExample};
 pub use figure4::{figure4, headline, Figure4, Figure4Row, Headline, SwapVariant};
 #[cfg(feature = "json")]
 pub use json::{Json, ToJson};
+pub use observe::{observed_scheme, suite_metrics};
 pub use sensitivity::{swap_sensitivity, SensitivityRow, SwapSensitivity};
 pub use static_swap::{static_swap_comparison, StaticSwapComparison, StaticSwapRow};
 pub use suite::{profile_suite, SuiteProfile};

@@ -1,0 +1,62 @@
+//! Observability: metrics-instrumented suite runs.
+//!
+//! The simulator is generic over a [`fua_trace::TraceSink`]; this module
+//! threads one [`MetricsRecorder`] through every workload of a unit's
+//! suite (the sink moves into each run and back out via
+//! [`Simulator::into_sink`]) so counters and histograms accumulate
+//! across the whole suite.
+
+use fua_sim::{Simulator, SteeringConfig};
+use fua_steer::SteeringKind;
+use fua_trace::{MetricsRecorder, MetricsRegistry};
+use fua_workloads::{floating_point, integer};
+
+use crate::{ExperimentConfig, Unit};
+
+/// The steering scheme the observability commands instrument: the
+/// paper's recommended 4-bit LUT with hardware swapping.
+pub fn observed_scheme() -> SteeringConfig {
+    SteeringConfig::paper_scheme(SteeringKind::Lut { slots: 2 }, true)
+}
+
+/// Runs `unit`'s workload suite under [`observed_scheme`] with a
+/// [`MetricsRecorder`] attached and returns the accumulated registry
+/// (stage counters, per-module switched-bit totals, Hamming-distance
+/// and occupancy histograms, ...).
+pub fn suite_metrics(unit: Unit, config: &ExperimentConfig) -> MetricsRegistry {
+    let workloads = match unit {
+        Unit::Ialu => integer(config.scale),
+        Unit::Fpau => floating_point(config.scale),
+    };
+    let mut recorder = MetricsRecorder::new();
+    for w in &workloads {
+        let mut sim = Simulator::with_sink(config.machine.clone(), observed_scheme(), recorder);
+        sim.run_program(&w.program, config.inst_limit)
+            .unwrap_or_else(|e| panic!("workload {} faulted: {e}", w.name));
+        recorder = sim.into_sink();
+    }
+    recorder.into_registry()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fua_isa::FuClass;
+
+    #[test]
+    fn suite_metrics_accumulate_across_workloads() {
+        let config = ExperimentConfig {
+            inst_limit: 2_000,
+            ..ExperimentConfig::quick()
+        };
+        let registry = suite_metrics(Unit::Ialu, &config);
+        let retired = registry
+            .counter_value("stage.retire")
+            .expect("retire counter registered");
+        assert!(retired > 0, "suite must retire instructions");
+        // Every steered IALU op charges the ledger exactly once, so the
+        // per-module energy counters must be non-trivial too.
+        let bits = registry.sum_counters(&format!("switched_bits.{}.", FuClass::IntAlu));
+        assert!(bits > 0, "IALU switched-bit counters must accumulate");
+    }
+}

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use fua_isa::FuClass;
+use fua_trace::{Json, ToJson};
 
 /// Accumulates switched input bits and operation counts per FU class.
 ///
@@ -86,6 +87,29 @@ impl EnergyLedger {
     }
 }
 
+impl ToJson for EnergyLedger {
+    fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = FuClass::ALL
+            .iter()
+            .map(|&class| {
+                (
+                    class.to_string(),
+                    Json::obj([
+                        ("ops", Json::UInt(self.ops(class))),
+                        ("switched_bits", Json::UInt(self.switched_bits(class))),
+                        ("bits_per_op", Json::Float(self.mean_bits_per_op(class))),
+                    ]),
+                )
+            })
+            .collect();
+        fields.push((
+            "total_switched_bits".to_string(),
+            Json::UInt(self.total_switched_bits()),
+        ));
+        Json::Obj(fields)
+    }
+}
+
 impl fmt::Display for EnergyLedger {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for class in FuClass::ALL {
@@ -135,5 +159,22 @@ mod tests {
         for name in ["IALU", "IMUL", "FPAU", "FPMUL"] {
             assert!(s.contains(name));
         }
+    }
+
+    #[test]
+    fn json_carries_per_class_and_total() {
+        let mut ledger = EnergyLedger::new();
+        ledger.charge(FuClass::IntAlu, 12);
+        ledger.charge(FuClass::IntAlu, 8);
+        ledger.charge(FuClass::IntMul, 5);
+        let json = ledger.to_json();
+        let Json::Obj(fields) = &json else {
+            panic!("expected object");
+        };
+        assert_eq!(fields.last().unwrap().0, "total_switched_bits");
+        assert_eq!(fields.last().unwrap().1, Json::UInt(25));
+        let rendered = json.pretty();
+        assert!(rendered.contains("\"switched_bits\": 20"));
+        assert!(rendered.contains("\"bits_per_op\": 10.0"));
     }
 }

@@ -6,6 +6,7 @@ use fua_isa::{FuClass, Opcode, Program};
 use fua_power::booth::BoothModel;
 use fua_power::{EnergyLedger, ModulePorts};
 use fua_stats::{BitPatternProfiler, OccupancyProfiler};
+use fua_trace::{NullSink, Stage, SwapKind, TraceEvent, TraceSink};
 use fua_vm::{DynOp, Vm, VmError};
 
 use crate::{
@@ -38,7 +39,14 @@ struct Entry {
 /// One `Simulator` owns the machine state (window, predictor, cache,
 /// module latches) for a single run; create a fresh one per run. See the
 /// crate-level docs for an example.
-pub struct Simulator {
+///
+/// The engine is generic over a [`TraceSink`]; [`Simulator::new`] uses
+/// the no-op [`NullSink`] (its hooks compile away entirely), while
+/// [`Simulator::with_sink`] delivers a cycle-stamped [`TraceEvent`]
+/// stream — pipeline stages, steering decisions, operand swaps,
+/// cache/branch outcomes, energy-ledger deltas — to any sink.
+pub struct Simulator<S: TraceSink = NullSink> {
+    sink: S,
     config: MachineConfig,
     steering: SteeringConfig,
     booth: BoothModel,
@@ -68,9 +76,16 @@ pub struct Simulator {
     branches: BranchStats,
 }
 
-impl Simulator {
-    /// Creates a simulator for one run.
+impl Simulator<NullSink> {
+    /// Creates an untraced simulator for one run.
     pub fn new(config: MachineConfig, steering: SteeringConfig) -> Self {
+        Simulator::with_sink(config, steering, NullSink)
+    }
+}
+
+impl<S: TraceSink> Simulator<S> {
+    /// Creates a simulator whose pipeline hooks feed `sink`.
+    pub fn with_sink(config: MachineConfig, steering: SteeringConfig, sink: S) -> Self {
         config.validate();
         let ports = FuClass::ALL
             .iter()
@@ -82,6 +97,7 @@ impl Simulator {
             .collect();
         let cache = DataCache::new(config.cache);
         Simulator {
+            sink,
             config,
             steering,
             booth: BoothModel::new(),
@@ -104,6 +120,18 @@ impl Simulator {
             swaps: SwapStats::default(),
             branches: BranchStats::default(),
         }
+    }
+
+    /// The attached trace sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Consumes the simulator, returning the sink (to read a ring buffer
+    /// or metrics registry after a run, or to thread one sink through a
+    /// sequence of runs).
+    pub fn into_sink(self) -> S {
+        self.sink
     }
 
     /// Runs a program end-to-end: interprets it with [`fua_vm::Vm`] and
@@ -155,6 +183,13 @@ impl Simulator {
                 fetched.0
             };
 
+            if S::ENABLED {
+                self.sink.record(&TraceEvent::CycleSummary {
+                    cycle: self.cycle,
+                    window: self.window.len() as u32,
+                    issued: progress_issue as u32,
+                });
+            }
             self.cycle += 1;
             if self.window.is_empty() && source_done && self.skid.is_none() {
                 break;
@@ -194,15 +229,25 @@ impl Simulator {
     fn commit(&mut self) -> usize {
         let mut committed = 0;
         while committed < self.config.commit_width {
-            match self.window.front() {
-                Some(e) if e.state == EntryState::Issued && e.done_cycle <= self.cycle => {
-                    self.window.pop_front();
-                    self.head_serial += 1;
-                    self.retired += 1;
-                    committed += 1;
-                }
-                _ => break,
+            let head_done = matches!(
+                self.window.front(),
+                Some(e) if e.state == EntryState::Issued && e.done_cycle <= self.cycle
+            );
+            if !head_done {
+                break;
             }
+            let entry = self.window.pop_front().expect("head checked above");
+            if S::ENABLED {
+                self.sink.record(&TraceEvent::Stage {
+                    stage: Stage::Retire,
+                    cycle: self.cycle,
+                    serial: entry.op.serial,
+                    opcode: entry.op.opcode,
+                });
+            }
+            self.head_serial += 1;
+            self.retired += 1;
+            committed += 1;
         }
         committed
     }
@@ -279,9 +324,18 @@ impl Simulator {
             .collect();
         if let Some(rule) = self.steering.swap_rule(class) {
             let rule = *rule;
-            for op in &mut ops {
+            for (op, &i) in ops.iter_mut().zip(selected) {
                 if rule.apply(op) {
                     self.swaps.rule_swaps += 1;
+                    if S::ENABLED {
+                        let serial = self.window[i].op.serial;
+                        self.sink.record(&TraceEvent::OperandSwap {
+                            cycle: self.cycle,
+                            serial,
+                            class,
+                            kind: SwapKind::Rule,
+                        });
+                    }
                 }
             }
         }
@@ -291,6 +345,15 @@ impl Simulator {
                     let opcode = self.window[i].op.opcode;
                     if matches!(opcode, Opcode::Mul | Opcode::FMul) && rule.apply(op) {
                         self.swaps.multiplier_swaps += 1;
+                        if S::ENABLED {
+                            let serial = self.window[i].op.serial;
+                            self.sink.record(&TraceEvent::OperandSwap {
+                                cycle: self.cycle,
+                                serial,
+                                class,
+                                kind: SwapKind::Multiplier,
+                            });
+                        }
                     }
                 }
             }
@@ -318,6 +381,9 @@ impl Simulator {
 
         // Latch, charge energy, schedule completion.
         for ((mut op, choice), &win_idx) in ops.into_iter().zip(choices).zip(selected) {
+            // The case the steering policy saw (post rule-swap,
+            // pre policy-swap) — what a Steer trace event reports.
+            let steer_case = op.case();
             if choice.swap {
                 debug_assert!(op.commutative);
                 op = op.swapped();
@@ -330,6 +396,7 @@ impl Simulator {
 
             let entry = &mut self.window[win_idx];
             let opcode = entry.op.opcode;
+            let serial = entry.op.serial;
             if matches!(opcode, Opcode::Mul | Opcode::FMul) {
                 // Booth activity model (extension; see DESIGN.md). The
                 // latch already advanced, so reconstruct prev from cost.
@@ -343,20 +410,83 @@ impl Simulator {
             }
 
             let mut latency = self.config.latency(opcode);
+            let mut cache_event = None;
             if let Some(mem) = entry.op.mem {
                 let mem_latency = self.cache.access(mem.addr);
                 if mem.is_load {
                     latency += mem_latency;
                 }
+                if S::ENABLED {
+                    cache_event = Some(TraceEvent::Cache {
+                        cycle: self.cycle,
+                        serial,
+                        addr: mem.addr,
+                        hit: mem_latency == self.cache.config().hit_latency,
+                        latency: mem_latency,
+                    });
+                }
             }
             entry.state = EntryState::Issued;
             entry.done_cycle = self.cycle + latency;
+            let done_cycle = entry.done_cycle;
             self.rs_used[class.index()] -= 1;
 
             // A resolved mispredicted branch un-blocks fetch.
-            if self.fetch_blocked_by == Some(entry.op.serial) {
+            if self.fetch_blocked_by == Some(serial) {
                 self.fetch_blocked_by = None;
-                self.fetch_resume_cycle = entry.done_cycle + self.config.mispredict_penalty;
+                self.fetch_resume_cycle = done_cycle + self.config.mispredict_penalty;
+            }
+
+            if S::ENABLED {
+                let module = choice.module as u8;
+                self.sink.record(&TraceEvent::Stage {
+                    stage: Stage::Issue,
+                    cycle: self.cycle,
+                    serial,
+                    opcode,
+                });
+                if modules > 1 {
+                    self.sink.record(&TraceEvent::Steer {
+                        cycle: self.cycle,
+                        serial,
+                        class,
+                        case: steer_case,
+                        module,
+                        swap: choice.swap,
+                        cost_bits: bits,
+                    });
+                }
+                if choice.swap {
+                    self.sink.record(&TraceEvent::OperandSwap {
+                        cycle: self.cycle,
+                        serial,
+                        class,
+                        kind: SwapKind::Policy,
+                    });
+                }
+                self.sink.record(&TraceEvent::Energy {
+                    cycle: self.cycle,
+                    class,
+                    module,
+                    bits,
+                });
+                if let Some(event) = cache_event {
+                    self.sink.record(&event);
+                }
+                self.sink.record(&TraceEvent::Execute {
+                    cycle: self.cycle,
+                    serial,
+                    class,
+                    module,
+                    latency,
+                    opcode,
+                });
+                self.sink.record(&TraceEvent::Stage {
+                    stage: Stage::Writeback,
+                    cycle: done_cycle,
+                    serial,
+                    opcode,
+                });
             }
         }
         selected.len()
@@ -382,7 +512,17 @@ impl Simulator {
             let op = match self.skid.take() {
                 Some(op) => op,
                 None => match next_op()? {
-                    Some(op) => op,
+                    Some(op) => {
+                        if S::ENABLED {
+                            self.sink.record(&TraceEvent::Stage {
+                                stage: Stage::Fetch,
+                                cycle: self.cycle,
+                                serial: op.serial,
+                                opcode: op.opcode,
+                            });
+                        }
+                        op
+                    }
                     None => return Ok((dispatched, true)),
                 },
             };
@@ -404,6 +544,14 @@ impl Simulator {
     }
 
     fn dispatch(&mut self, op: DynOp) {
+        if S::ENABLED {
+            self.sink.record(&TraceEvent::Stage {
+                stage: Stage::Decode,
+                cycle: self.cycle,
+                serial: op.serial,
+                opcode: op.opcode,
+            });
+        }
         let deps = [
             op.srcs[0].and_then(|r| self.last_writer[r.dense_index()]),
             op.srcs[1].and_then(|r| self.last_writer[r.dense_index()]),
@@ -416,6 +564,14 @@ impl Simulator {
                 self.branches.branches += 1;
                 let predicted = self.predictor.predict(op.static_idx);
                 self.predictor.update(op.static_idx, branch.taken);
+                if S::ENABLED {
+                    self.sink.record(&TraceEvent::Branch {
+                        cycle: self.cycle,
+                        serial: op.serial,
+                        taken: branch.taken,
+                        predicted,
+                    });
+                }
                 if predicted != branch.taken {
                     self.branches.mispredicts += 1;
                     self.fetch_blocked_by = Some(op.serial);

@@ -3,6 +3,7 @@
 use fua_isa::FuClass;
 use fua_power::EnergyLedger;
 use fua_stats::{BitPatternProfiler, OccupancyProfiler};
+use fua_trace::{Json, ToJson};
 
 /// Branch-predictor statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -21,6 +22,16 @@ impl BranchStats {
         } else {
             self.mispredicts as f64 / self.branches as f64
         }
+    }
+}
+
+impl ToJson for BranchStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("branches", Json::UInt(self.branches)),
+            ("mispredicts", Json::UInt(self.mispredicts)),
+            ("mispredict_rate", Json::Float(self.mispredict_rate())),
+        ])
     }
 }
 
@@ -45,6 +56,16 @@ impl CacheStats {
     }
 }
 
+impl ToJson for CacheStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("hits", Json::UInt(self.hits)),
+            ("misses", Json::UInt(self.misses)),
+            ("hit_rate", Json::Float(self.hit_rate())),
+        ])
+    }
+}
+
 /// Operand-swap counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SwapStats {
@@ -54,6 +75,16 @@ pub struct SwapStats {
     pub policy_swaps: u64,
     /// Swaps applied by the multiplier rule.
     pub multiplier_swaps: u64,
+}
+
+impl ToJson for SwapStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("rule_swaps", Json::UInt(self.rule_swaps)),
+            ("policy_swaps", Json::UInt(self.policy_swaps)),
+            ("multiplier_swaps", Json::UInt(self.multiplier_swaps)),
+        ])
+    }
 }
 
 /// Everything one simulation run produces.

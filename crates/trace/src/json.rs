@@ -1,0 +1,316 @@
+//! Dependency-free JSON emission.
+//!
+//! The build environment has no network access, so the workspace cannot
+//! depend on `serde`/`serde_json`. Reports, metrics snapshots and trace
+//! exports are small-to-medium trees of numbers and strings; this module
+//! gives them a tiny value type ([`Json`]) with pretty and compact
+//! printers, and a [`ToJson`] trait implemented by hand. Output matches
+//! `serde_json`'s pretty format (two-space indent) for the shapes used
+//! here; compact output matches `serde_json::to_string` except for a
+//! space after `:` in pretty mode only.
+//!
+//! This module used to live in `fua-core`; it moved down the stack so the
+//! trace sinks (which `fua-sim` depends on) can emit JSON without a
+//! dependency cycle through the experiment layer.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (kept exact; floats cannot hold all u64s).
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A float. Non-finite values render as `null`, as `serde_json`
+    /// does for its lossy modes — JSON has no NaN/Inf.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj<const N: usize>(fields: [(&str, Json); N]) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Builds an array by converting each element.
+    pub fn arr<T: ToJson>(items: &[T]) -> Json {
+        Json::Arr(items.iter().map(ToJson::to_json).collect())
+    }
+
+    /// Pretty-prints with two-space indentation.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, true);
+        out
+    }
+
+    /// Prints without any whitespace (for large machine-read files such
+    /// as Chrome trace exports).
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0, false);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize, pretty: bool) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(v) => out.push_str(&v.to_string()),
+            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::Float(v) => write_float(out, *v),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if pretty {
+                        newline(out, indent + 1);
+                    }
+                    item.write(out, indent + 1, pretty);
+                }
+                if pretty {
+                    newline(out, indent);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if pretty {
+                        newline(out, indent + 1);
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    value.write(out, indent + 1, pretty);
+                }
+                if pretty {
+                    newline(out, indent);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Renders a float the way `serde_json` (via `ryu`) does: shortest
+/// round-trip representation, with a `.0` appended when the shortest form
+/// has neither fraction nor exponent — so `1.0` renders as `"1.0"`, not
+/// `"1"`, and `-0.0` keeps its sign as `"-0.0"`.
+fn write_float(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = v.to_string();
+    out.push_str(&s);
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.pretty())
+    }
+}
+
+/// Conversion into a [`Json`] tree. Implemented by every report the
+/// CLI can emit with `--json` and by the observability snapshots.
+pub trait ToJson {
+    /// Converts `self` into a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        Json::UInt(*self)
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        Json::UInt(*self as u64)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render_as_json() {
+        assert_eq!(Json::Null.pretty(), "null");
+        assert_eq!(Json::Bool(true).pretty(), "true");
+        assert_eq!(Json::UInt(u64::MAX).pretty(), u64::MAX.to_string());
+        assert_eq!(Json::Int(-5).pretty(), "-5");
+        assert_eq!(Json::Float(17.5).pretty(), "17.5");
+        assert_eq!(Json::Float(f64::NAN).pretty(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).pretty(), "null");
+        assert_eq!(Json::Float(f64::NEG_INFINITY).pretty(), "null");
+    }
+
+    #[test]
+    fn whole_floats_keep_a_fraction_like_serde_json() {
+        // serde_json (ryu) prints integral floats with a trailing `.0`.
+        assert_eq!(Json::Float(1.0).pretty(), "1.0");
+        assert_eq!(Json::Float(0.0).pretty(), "0.0");
+        assert_eq!(Json::Float(-17.0).pretty(), "-17.0");
+        assert_eq!(Json::Float(1e6).pretty(), "1000000.0");
+    }
+
+    #[test]
+    fn negative_zero_keeps_its_sign() {
+        assert_eq!(Json::Float(-0.0).pretty(), "-0.0");
+    }
+
+    #[test]
+    fn subnormals_and_extremes_round_trip() {
+        // Smallest positive subnormal and f64::MAX use e-notation, which
+        // needs no `.0` suffix; both must parse back to the same value.
+        for v in [
+            f64::MIN_POSITIVE, // smallest normal
+            5e-324,            // smallest subnormal
+            -5e-324,
+            f64::MAX,
+            f64::MIN,
+            1e-310, // another subnormal
+        ] {
+            let s = Json::Float(v).pretty();
+            let back: f64 = s.parse().expect("rendered float parses");
+            assert_eq!(back, v, "{s} did not round-trip");
+        }
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = Json::Str("a\"b\\c\nd\u{1}".into());
+        assert_eq!(s.pretty(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn control_characters_escape_as_unicode() {
+        // Everything below 0x20 must be escaped; \n \r \t get short
+        // forms, the rest \u00XX — exactly serde_json's behaviour.
+        for c in (0u32..0x20).filter_map(char::from_u32) {
+            let rendered = Json::Str(c.to_string()).pretty();
+            let expected = match c {
+                '\n' => "\"\\n\"".to_string(),
+                '\r' => "\"\\r\"".to_string(),
+                '\t' => "\"\\t\"".to_string(),
+                c => format!("\"\\u{:04x}\"", c as u32),
+            };
+            assert_eq!(rendered, expected, "control char {:#x}", c as u32);
+        }
+    }
+
+    #[test]
+    fn non_ascii_passes_through_unescaped() {
+        // serde_json emits non-ASCII as raw UTF-8, not \uXXXX.
+        let s = Json::Str("héllo → 世界 🚀".into());
+        assert_eq!(s.pretty(), "\"héllo → 世界 🚀\"");
+    }
+
+    #[test]
+    fn quotes_and_backslashes_in_keys_are_escaped() {
+        let v = Json::obj([("a\"b\\", Json::Null)]);
+        assert_eq!(v.compact(), "{\"a\\\"b\\\\\":null}");
+    }
+
+    #[test]
+    fn objects_pretty_print_with_two_space_indent() {
+        let v = Json::obj([
+            ("name", Json::Str("x".into())),
+            ("vals", Json::Arr(vec![Json::UInt(1), Json::UInt(2)])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        assert_eq!(
+            v.pretty(),
+            "{\n  \"name\": \"x\",\n  \"vals\": [\n    1,\n    2\n  ],\n  \"empty\": []\n}"
+        );
+    }
+
+    #[test]
+    fn compact_output_has_no_whitespace() {
+        let v = Json::obj([
+            ("a", Json::Arr(vec![Json::UInt(1), Json::Float(2.0)])),
+            ("b", Json::Obj(vec![])),
+        ]);
+        assert_eq!(v.compact(), "{\"a\":[1,2.0],\"b\":{}}");
+    }
+}

@@ -1,0 +1,376 @@
+//! Chrome trace-event / Perfetto JSON export.
+//!
+//! Produces the classic Chrome `traceEvents` JSON ("JSON trace format"),
+//! which `ui.perfetto.dev` and `chrome://tracing` both load directly.
+//! One simulated cycle maps to one microsecond of trace time. The export
+//! lays out two processes:
+//!
+//! * **pid 1 "pipeline"** — one thread (track) per pipeline stage plus
+//!   tracks for steering decisions, operand swaps, cache accesses and
+//!   branch resolutions;
+//! * **pid 2 "functional units"** — one thread per FU module (e.g.
+//!   `IALU.m2`), carrying `X` (complete) events whose duration is the
+//!   operation's latency, plus per-class cumulative switched-bit counter
+//!   tracks and the window-occupancy counter.
+
+use fua_isa::FuClass;
+
+use crate::{Json, Stage, TraceEvent, TraceSink};
+
+const PID_PIPELINE: u64 = 1;
+const PID_UNITS: u64 = 2;
+
+// Pipeline-process thread ids: the six stages, then the decision tracks.
+const TID_STEER: u64 = 6;
+const TID_SWAP: u64 = 7;
+const TID_CACHE: u64 = 8;
+const TID_BRANCH: u64 = 9;
+
+/// A [`TraceSink`] that accumulates Chrome trace events; call
+/// [`into_json`](ChromeTraceSink::into_json) after the run and write the
+/// result to a `.json` file for Perfetto.
+#[derive(Debug, Clone, Default)]
+pub struct ChromeTraceSink {
+    events: Vec<Json>,
+    cumulative_bits: [u64; 4],
+    stage_named: [bool; 6],
+    module_named: [[bool; 16]; 4],
+}
+
+fn module_tid(class: FuClass, module: u8) -> u64 {
+    (class.index() as u64) * 16 + module as u64
+}
+
+fn meta(name: &str, pid: u64, tid: Option<u64>, value: &str) -> Json {
+    let mut fields = vec![
+        ("name".to_string(), Json::Str(name.into())),
+        ("ph".to_string(), Json::Str("M".into())),
+        ("pid".to_string(), Json::UInt(pid)),
+    ];
+    if let Some(tid) = tid {
+        fields.push(("tid".to_string(), Json::UInt(tid)));
+    }
+    fields.push((
+        "args".to_string(),
+        Json::obj([("name", Json::Str(value.into()))]),
+    ));
+    Json::Obj(fields)
+}
+
+fn complete(name: String, cat: &str, ts: u64, dur: u64, pid: u64, tid: u64, args: Json) -> Json {
+    Json::obj([
+        ("name", Json::Str(name)),
+        ("cat", Json::Str(cat.into())),
+        ("ph", Json::Str("X".into())),
+        ("ts", Json::UInt(ts)),
+        ("dur", Json::UInt(dur.max(1))),
+        ("pid", Json::UInt(pid)),
+        ("tid", Json::UInt(tid)),
+        ("args", args),
+    ])
+}
+
+fn counter(name: String, ts: u64, pid: u64, key: &str, value: u64) -> Json {
+    Json::obj([
+        ("name", Json::Str(name)),
+        ("ph", Json::Str("C".into())),
+        ("ts", Json::UInt(ts)),
+        ("pid", Json::UInt(pid)),
+        ("args", Json::obj([(key, Json::UInt(value))])),
+    ])
+}
+
+impl ChromeTraceSink {
+    /// An empty exporter with the process metadata pre-recorded.
+    pub fn new() -> Self {
+        let mut sink = ChromeTraceSink::default();
+        sink.events
+            .push(meta("process_name", PID_PIPELINE, None, "pipeline"));
+        sink.events
+            .push(meta("process_name", PID_UNITS, None, "functional units"));
+        for (tid, label) in [
+            (TID_STEER, "steer"),
+            (TID_SWAP, "operand-swap"),
+            (TID_CACHE, "d-cache"),
+            (TID_BRANCH, "branch"),
+        ] {
+            sink.events
+                .push(meta("thread_name", PID_PIPELINE, Some(tid), label));
+        }
+        sink
+    }
+
+    /// Events accumulated so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing beyond metadata has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.len() <= 6
+    }
+
+    fn name_stage(&mut self, stage: Stage) {
+        if !self.stage_named[stage as usize] {
+            self.stage_named[stage as usize] = true;
+            self.events.push(meta(
+                "thread_name",
+                PID_PIPELINE,
+                Some(stage as u64),
+                stage.name(),
+            ));
+        }
+    }
+
+    fn name_module(&mut self, class: FuClass, module: u8) {
+        let m = (module as usize).min(15);
+        if !self.module_named[class.index()][m] {
+            self.module_named[class.index()][m] = true;
+            self.events.push(meta(
+                "thread_name",
+                PID_UNITS,
+                Some(module_tid(class, module)),
+                &format!("{class}.m{m}"),
+            ));
+        }
+    }
+
+    /// The complete trace as a `{"traceEvents": [...]}` JSON document.
+    pub fn into_json(self) -> Json {
+        Json::obj([
+            ("traceEvents", Json::Arr(self.events)),
+            ("displayTimeUnit", Json::Str("ms".into())),
+            (
+                "otherData",
+                Json::obj([("producer", Json::Str("fua-trace".into()))]),
+            ),
+        ])
+    }
+}
+
+impl TraceSink for ChromeTraceSink {
+    fn record(&mut self, event: &TraceEvent) {
+        match *event {
+            TraceEvent::Stage {
+                stage,
+                cycle,
+                serial,
+                opcode,
+            } => {
+                self.name_stage(stage);
+                self.events.push(complete(
+                    opcode.to_string(),
+                    "stage",
+                    cycle,
+                    1,
+                    PID_PIPELINE,
+                    stage as u64,
+                    Json::obj([("serial", Json::UInt(serial))]),
+                ));
+            }
+            TraceEvent::Steer {
+                cycle,
+                serial,
+                class,
+                case,
+                module,
+                swap,
+                cost_bits,
+            } => {
+                self.events.push(complete(
+                    format!("{class} case{case}→m{module}"),
+                    "steer",
+                    cycle,
+                    1,
+                    PID_PIPELINE,
+                    TID_STEER,
+                    Json::obj([
+                        ("serial", Json::UInt(serial)),
+                        ("case", Json::Str(case.to_string())),
+                        ("module", Json::UInt(module.into())),
+                        ("swap", Json::Bool(swap)),
+                        ("cost_bits", Json::UInt(cost_bits.into())),
+                    ]),
+                ));
+            }
+            TraceEvent::OperandSwap {
+                cycle,
+                serial,
+                class,
+                kind,
+            } => {
+                self.events.push(complete(
+                    format!("{} swap ({class})", kind.name()),
+                    "swap",
+                    cycle,
+                    1,
+                    PID_PIPELINE,
+                    TID_SWAP,
+                    Json::obj([("serial", Json::UInt(serial))]),
+                ));
+            }
+            TraceEvent::Energy {
+                cycle, class, bits, ..
+            } => {
+                self.cumulative_bits[class.index()] += bits as u64;
+                self.events.push(counter(
+                    format!("switched_bits.{class}"),
+                    cycle,
+                    PID_UNITS,
+                    "bits",
+                    self.cumulative_bits[class.index()],
+                ));
+            }
+            TraceEvent::Execute {
+                cycle,
+                serial,
+                class,
+                module,
+                latency,
+                opcode,
+            } => {
+                self.name_module(class, module);
+                self.events.push(complete(
+                    opcode.to_string(),
+                    "execute",
+                    cycle,
+                    latency,
+                    PID_UNITS,
+                    module_tid(class, module),
+                    Json::obj([("serial", Json::UInt(serial))]),
+                ));
+            }
+            TraceEvent::Cache {
+                cycle,
+                serial,
+                addr,
+                hit,
+                latency,
+            } => {
+                self.events.push(complete(
+                    (if hit { "hit" } else { "miss" }).to_string(),
+                    "cache",
+                    cycle,
+                    latency,
+                    PID_PIPELINE,
+                    TID_CACHE,
+                    Json::obj([
+                        ("serial", Json::UInt(serial)),
+                        ("addr", Json::UInt(addr.into())),
+                    ]),
+                ));
+            }
+            TraceEvent::Branch {
+                cycle,
+                serial,
+                taken,
+                predicted,
+            } => {
+                let mispredicted = taken != predicted;
+                self.events.push(complete(
+                    (if mispredicted {
+                        "mispredict"
+                    } else {
+                        "predict"
+                    })
+                    .to_string(),
+                    "branch",
+                    cycle,
+                    1,
+                    PID_PIPELINE,
+                    TID_BRANCH,
+                    Json::obj([
+                        ("serial", Json::UInt(serial)),
+                        ("taken", Json::Bool(taken)),
+                        ("predicted", Json::Bool(predicted)),
+                    ]),
+                ));
+            }
+            TraceEvent::CycleSummary { cycle, window, .. } => {
+                self.events.push(counter(
+                    "window".to_string(),
+                    cycle,
+                    PID_UNITS,
+                    "entries",
+                    window as u64,
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fua_isa::{Case, Opcode};
+
+    #[test]
+    fn export_has_the_chrome_trace_shape() {
+        let mut sink = ChromeTraceSink::new();
+        assert!(sink.is_empty());
+        sink.record(&TraceEvent::Stage {
+            stage: Stage::Fetch,
+            cycle: 3,
+            serial: 0,
+            opcode: Opcode::Add,
+        });
+        sink.record(&TraceEvent::Execute {
+            cycle: 4,
+            serial: 0,
+            class: FuClass::IntAlu,
+            module: 2,
+            latency: 3,
+            opcode: Opcode::Add,
+        });
+        sink.record(&TraceEvent::Steer {
+            cycle: 4,
+            serial: 0,
+            class: FuClass::IntAlu,
+            case: Case::C11,
+            module: 2,
+            swap: false,
+            cost_bits: 9,
+        });
+        assert!(!sink.is_empty());
+        let json = sink.into_json().pretty();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"ph\": \"M\""));
+        assert!(json.contains("\"ts\": 3"));
+        assert!(json.contains("\"dur\": 3"));
+        assert!(json.contains("IALU.m2"));
+        assert!(json.contains("case11"));
+    }
+
+    #[test]
+    fn energy_events_become_cumulative_counters() {
+        let mut sink = ChromeTraceSink::new();
+        for bits in [5u32, 7] {
+            sink.record(&TraceEvent::Energy {
+                cycle: 1,
+                class: FuClass::FpAlu,
+                module: 0,
+                bits,
+            });
+        }
+        let json = sink.into_json().compact();
+        assert!(json.contains("\"bits\":5"));
+        assert!(json.contains("\"bits\":12"));
+        assert!(json.contains("switched_bits.FPAU"));
+    }
+
+    #[test]
+    fn zero_latency_operations_still_render() {
+        let mut sink = ChromeTraceSink::new();
+        sink.record(&TraceEvent::Execute {
+            cycle: 0,
+            serial: 1,
+            class: FuClass::IntMul,
+            module: 0,
+            latency: 0,
+            opcode: Opcode::Mul,
+        });
+        let json = sink.into_json().compact();
+        assert!(json.contains("\"dur\":1"), "durations are clamped to ≥1");
+    }
+}

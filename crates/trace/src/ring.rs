@@ -1,0 +1,119 @@
+//! Bounded ring-buffer sink for post-mortem inspection.
+
+use std::collections::VecDeque;
+
+use crate::{TraceEvent, TraceSink};
+
+/// Keeps the last `capacity` events of a run — cheap enough to leave on
+/// for long simulations, and exactly what you want when a run ends in a
+/// watchdog panic or a ledger regression: the tail of the event stream
+/// is the post-mortem.
+///
+/// # Examples
+///
+/// ```
+/// use fua_trace::{RingBufferSink, TraceEvent, TraceSink};
+///
+/// let mut ring = RingBufferSink::new(2);
+/// for cycle in 0..5 {
+///     ring.record(&TraceEvent::CycleSummary { cycle, window: 0, issued: 0 });
+/// }
+/// let cycles: Vec<u64> = ring.events().iter().map(|e| e.cycle()).collect();
+/// assert_eq!(cycles, [3, 4]);
+/// assert_eq!(ring.recorded(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RingBufferSink {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    recorded: u64,
+}
+
+impl RingBufferSink {
+    /// A ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a ring buffer needs capacity");
+        RingBufferSink {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            recorded: 0,
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> &VecDeque<TraceEvent> {
+        &self.buf
+    }
+
+    /// The last `n` retained events, oldest first.
+    pub fn tail(&self, n: usize) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter().skip(self.buf.len().saturating_sub(n))
+    }
+
+    /// Total events ever recorded (≥ retained count).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl Default for RingBufferSink {
+    /// A 4096-event ring.
+    fn default() -> Self {
+        RingBufferSink::new(4096)
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn record(&mut self, event: &TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(*event);
+        self.recorded += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent::CycleSummary {
+            cycle,
+            window: 0,
+            issued: 0,
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_the_tail() {
+        let mut ring = RingBufferSink::new(3);
+        for c in 0..10 {
+            ring.record(&ev(c));
+        }
+        assert_eq!(ring.events().len(), 3);
+        assert_eq!(ring.recorded(), 10);
+        let cycles: Vec<u64> = ring.events().iter().map(TraceEvent::cycle).collect();
+        assert_eq!(cycles, [7, 8, 9]);
+    }
+
+    #[test]
+    fn tail_returns_at_most_n() {
+        let mut ring = RingBufferSink::new(8);
+        for c in 0..4 {
+            ring.record(&ev(c));
+        }
+        let last2: Vec<u64> = ring.tail(2).map(TraceEvent::cycle).collect();
+        assert_eq!(last2, [2, 3]);
+        assert_eq!(ring.tail(100).count(), 4);
+    }
+}

@@ -7,7 +7,12 @@ cd "$(dirname "$0")/.."
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo clippy --workspace --all-targets --features json -- -D warnings
+# The facade's `trace` feature only gates CLI surface; build it both
+# ways so neither half of the cfg matrix rots.
+cargo clippy --workspace --all-targets --no-default-features -- -D warnings
+cargo clippy --workspace --all-targets --no-default-features --features trace -- -D warnings
 cargo build --release
 cargo test --workspace -q
 cargo test --workspace -q --features json
+cargo test --workspace -q --no-default-features
 echo "all checks passed"

@@ -23,5 +23,6 @@ pub use fua_stats as stats;
 pub use fua_steer as steer;
 pub use fua_swap as swap;
 pub use fua_synth as synth;
+pub use fua_trace as trace;
 pub use fua_vm as vm;
 pub use fua_workloads as workloads;

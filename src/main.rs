@@ -14,10 +14,17 @@
 //! fua lint [workload]         lint one workload (or all 15)
 //! fua workloads               list the bundled workloads
 //! fua run <workload>          simulate one workload under every scheme
+//! fua trace <workload>        cycle-level trace of one workload
 //!
-//! options: --limit <N>   retired-instruction cap per run (default 150000)
+//! options: --limit <N>   retired-instruction cap per run
+//!                        (default 150000; 20000 for `trace`)
 //!          --scale <N>   workload scale factor (default 1)
 //!          --json        emit machine-readable JSON instead of tables
+//!          --metrics     print a metrics snapshot (run/figure4/headline/trace)
+//!          --out <FILE>  write Chrome trace-event JSON (trace only)
+//!          --last <N>    print the last N trace events (trace only)
+//!          --version     print the version and exit
+//!          --help        print the command table and exit
 //! ```
 
 use std::process::ExitCode;
@@ -31,40 +38,97 @@ use fua::sim::{MachineConfig, Simulator, SteeringConfig};
 use fua::stats::TextTable;
 use fua::steer::SteeringKind;
 
+/// Default retired-instruction cap for simulation commands.
+const DEFAULT_LIMIT: u64 = 150_000;
+/// Default cap for `fua trace` — full runs would emit millions of
+/// events; 20k instructions already gives Perfetto a rich timeline.
+const TRACE_DEFAULT_LIMIT: u64 = 20_000;
+
 struct Options {
-    limit: u64,
+    limit: Option<u64>,
     scale: u32,
     json: bool,
+    metrics: bool,
+    out: Option<String>,
+    last: Option<usize>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: fua <command> [--limit N] [--scale N]\n\
+        "usage: fua <command> [--limit N] [--scale N] [--json] [--metrics]\n\
          commands: tables | figure4 <ialu|fpau> | headline | fig1 | synth | \
          chip | breakdown <ialu|fpau> | sensitivity | staticswap <ialu|fpau> | \
-         analyze <workload> | lint [workload] | workloads | run <workload>"
+         analyze <workload> | lint [workload] | workloads | run <workload> | \
+         trace <workload> [--out FILE] [--last N]\n\
+         try `fua --help` for details"
     );
     ExitCode::FAILURE
 }
 
+fn help() {
+    println!(
+        "fua {} — dynamic functional unit assignment for low power\n\
+         \n\
+         commands:\n\
+         \x20 tables                  regenerate Tables 1-3\n\
+         \x20 figure4 <ialu|fpau>     regenerate Figure 4(a)/(b)\n\
+         \x20 headline                the paper's headline numbers\n\
+         \x20 fig1                    Figure 1 routing example\n\
+         \x20 synth                   Section-5 gate-cost report\n\
+         \x20 chip                    chip-level power extrapolation (Section 1)\n\
+         \x20 breakdown <ialu|fpau>   per-workload results\n\
+         \x20 sensitivity             compiler-swap cross-input study\n\
+         \x20 staticswap <ialu|fpau>  static vs profile-guided swapping\n\
+         \x20 analyze <workload>      static information-bit predictions\n\
+         \x20 lint [workload]         lint one workload (or all)\n\
+         \x20 workloads               list the bundled workloads\n\
+         \x20 run <workload>          simulate one workload under every scheme\n\
+         \x20 trace <workload>        cycle-level trace under 4-bit LUT + hw swap\n\
+         \n\
+         options:\n\
+         \x20 --limit <N>    retired-instruction cap per run\n\
+         \x20                (default {DEFAULT_LIMIT}; {TRACE_DEFAULT_LIMIT} for trace)\n\
+         \x20 --scale <N>    workload scale factor (default 1)\n\
+         \x20 --json         emit machine-readable JSON instead of tables\n\
+         \x20 --metrics      print a metrics snapshot (run/figure4/headline/trace)\n\
+         \x20 --out <FILE>   write Chrome trace-event JSON for Perfetto (trace)\n\
+         \x20 --last <N>     print the last N trace events (trace)\n\
+         \x20 --version, -V  print the version and exit\n\
+         \x20 --help, -h     print this help and exit",
+        env!("CARGO_PKG_VERSION")
+    );
+}
+
 fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
-        limit: 150_000,
+        limit: None,
         scale: 1,
         json: false,
+        metrics: false,
+        out: None,
+        last: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--limit" => {
                 let v = it.next().ok_or("--limit needs a value")?;
-                opts.limit = v.parse().map_err(|_| format!("bad --limit: {v}"))?;
+                opts.limit = Some(v.parse().map_err(|_| format!("bad --limit: {v}"))?);
             }
             "--scale" => {
                 let v = it.next().ok_or("--scale needs a value")?;
                 opts.scale = v.parse().map_err(|_| format!("bad --scale: {v}"))?;
             }
             "--json" => opts.json = true,
+            "--metrics" => opts.metrics = true,
+            "--out" => {
+                let v = it.next().ok_or("--out needs a file path")?;
+                opts.out = Some(v.clone());
+            }
+            "--last" => {
+                let v = it.next().ok_or("--last needs a value")?;
+                opts.last = Some(v.parse().map_err(|_| format!("bad --last: {v}"))?);
+            }
             other => return Err(format!("unknown option: {other}")),
         }
     }
@@ -74,10 +138,23 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 fn config(opts: &Options) -> ExperimentConfig {
     ExperimentConfig {
         scale: opts.scale,
-        inst_limit: opts.limit,
+        inst_limit: opts.limit.unwrap_or(DEFAULT_LIMIT),
         machine: MachineConfig::paper_default(),
     }
 }
+
+#[cfg(not(feature = "trace"))]
+fn warn_missing_trace_feature(opts: &Options) {
+    if opts.metrics || opts.out.is_some() || opts.last.is_some() {
+        eprintln!(
+            "warning: this binary was built without the `trace` feature; \
+             --metrics/--out/--last are ignored"
+        );
+    }
+}
+
+#[cfg(feature = "trace")]
+fn warn_missing_trace_feature(_opts: &Options) {}
 
 fn cmd_tables(opts: &Options) {
     let p = profile_suite(&config(opts));
@@ -103,20 +180,93 @@ fn emit<T>(_value: &T, rendered: String, json: bool) {
     println!("{rendered}");
 }
 
+/// Runs each unit's suite with a metrics recorder attached.
+#[cfg(feature = "trace")]
+fn unit_metrics(
+    units: &[Unit],
+    cfg: &ExperimentConfig,
+) -> Vec<(Unit, fua::trace::MetricsRegistry)> {
+    units
+        .iter()
+        .map(|&u| (u, fua::core::suite_metrics(u, cfg)))
+        .collect()
+}
+
+#[cfg(feature = "trace")]
+fn print_metrics_text(metrics: &[(Unit, fua::trace::MetricsRegistry)]) {
+    for (unit, registry) in metrics {
+        println!("\nmetrics — {unit} suite under 4-bit LUT + hardware swap:\n{registry}");
+    }
+}
+
+/// Like [`emit`], but carries per-unit metrics snapshots: JSON output
+/// wraps the report as `{"report": ..., "metrics": {...}}`, text output
+/// appends the rendered registries.
+#[cfg(all(feature = "json", feature = "trace"))]
+fn emit_with_metrics<T: fua::core::ToJson>(
+    value: &T,
+    rendered: String,
+    metrics: &[(Unit, fua::trace::MetricsRegistry)],
+    json: bool,
+) {
+    use fua::core::{Json, ToJson};
+    if json {
+        let m = Json::Obj(
+            metrics
+                .iter()
+                .map(|(u, r)| (u.to_string(), r.to_json()))
+                .collect(),
+        );
+        let doc = Json::obj([("report", value.to_json()), ("metrics", m)]);
+        println!("{}", doc.pretty());
+    } else {
+        println!("{rendered}");
+        print_metrics_text(metrics);
+    }
+}
+
+#[cfg(all(not(feature = "json"), feature = "trace"))]
+fn emit_with_metrics<T>(
+    _value: &T,
+    rendered: String,
+    metrics: &[(Unit, fua::trace::MetricsRegistry)],
+    json: bool,
+) {
+    if json {
+        eprintln!("warning: this binary was built without the `json` feature; emitting text");
+    }
+    println!("{rendered}");
+    print_metrics_text(metrics);
+}
+
 fn cmd_figure4(unit: Unit, opts: &Options) {
-    let fig = figure4(unit, &config(opts));
+    let cfg = config(opts);
+    let fig = figure4(unit, &cfg);
     let rendered = fig.render();
+    #[cfg(feature = "trace")]
+    if opts.metrics {
+        let metrics = unit_metrics(&[unit], &cfg);
+        emit_with_metrics(&fig, rendered, &metrics, opts.json);
+        return;
+    }
     emit(&fig, rendered, opts.json);
 }
 
 fn cmd_headline(opts: &Options) {
-    let h = headline(&config(opts));
+    let cfg = config(opts);
+    let h = headline(&cfg);
     let rendered = format!(
         "IALU 4-bit LUT + hw swap:            {:>6.1}%   (paper ~17%)\n\
          FPAU 4-bit LUT + hw swap:            {:>6.1}%   (paper ~18%)\n\
          IALU 4-bit LUT + hw + compiler swap: {:>6.1}%   (paper ~26%)",
         h.ialu_pct, h.fpau_pct, h.ialu_compiler_pct
     );
+    #[cfg(feature = "trace")]
+    if opts.metrics {
+        let metrics = unit_metrics(&[Unit::Ialu, Unit::Fpau], &cfg);
+        emit_with_metrics(&h, rendered, &metrics, opts.json);
+        return;
+    }
     emit(&h, rendered, opts.json);
 }
 
@@ -218,12 +368,105 @@ fn cmd_run(name: &str, opts: &Options) -> Result<(), String> {
         fua::workloads::Category::Integer => FuClass::IntAlu,
         fua::workloads::Category::FloatingPoint => FuClass::FpAlu,
     };
+    let limit = opts.limit.unwrap_or(DEFAULT_LIMIT);
 
-    let mut baseline_sim =
-        Simulator::new(MachineConfig::paper_default(), SteeringConfig::original());
-    let baseline = baseline_sim
-        .run_program(&w.program, opts.limit)
-        .map_err(|e| e.to_string())?;
+    // Baseline run — with `--metrics` it carries a recorder so the
+    // snapshot can be cross-checked against the ledger.
+    let baseline;
+    #[cfg(feature = "trace")]
+    let mut registry: Option<fua::trace::MetricsRegistry> = None;
+    #[cfg(feature = "trace")]
+    {
+        if opts.metrics {
+            let mut sim = Simulator::with_sink(
+                MachineConfig::paper_default(),
+                SteeringConfig::original(),
+                fua::trace::MetricsRecorder::new(),
+            );
+            baseline = sim
+                .run_program(&w.program, limit)
+                .map_err(|e| e.to_string())?;
+            registry = Some(sim.into_sink().into_registry());
+        } else {
+            let mut sim =
+                Simulator::new(MachineConfig::paper_default(), SteeringConfig::original());
+            baseline = sim
+                .run_program(&w.program, limit)
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        let mut sim = Simulator::new(MachineConfig::paper_default(), SteeringConfig::original());
+        baseline = sim
+            .run_program(&w.program, limit)
+            .map_err(|e| e.to_string())?;
+    }
+
+    // (label, switched bits, reduction vs baseline) per scheme.
+    let mut rows: Vec<(String, u64, Option<f64>)> = vec![(
+        "Original".to_string(),
+        baseline.ledger.switched_bits(class),
+        None,
+    )];
+    for kind in SteeringKind::FIGURE4 {
+        if kind == SteeringKind::Original {
+            continue;
+        }
+        let mut sim = Simulator::new(
+            MachineConfig::paper_default(),
+            SteeringConfig::paper_scheme(kind, true),
+        );
+        let r = sim
+            .run_program(&w.program, limit)
+            .map_err(|e| e.to_string())?;
+        rows.push((
+            format!("{kind} + hw swap"),
+            r.ledger.switched_bits(class),
+            Some(100.0 * r.reduction_vs(&baseline, class)),
+        ));
+    }
+
+    #[cfg(feature = "json")]
+    if opts.json {
+        use fua::core::{Json, ToJson};
+        let schemes = Json::Arr(
+            rows.iter()
+                .map(|(label, bits, red)| {
+                    Json::obj([
+                        ("scheme", Json::Str(label.clone())),
+                        ("switched_bits", Json::UInt(*bits)),
+                        ("reduction_pct", red.map(Json::Float).unwrap_or(Json::Null)),
+                    ])
+                })
+                .collect(),
+        );
+        #[cfg_attr(not(feature = "trace"), allow(unused_mut))]
+        let mut fields = vec![
+            ("workload".to_string(), Json::Str(w.name.to_string())),
+            ("class".to_string(), Json::Str(class.to_string())),
+            ("retired".to_string(), Json::UInt(baseline.retired)),
+            ("cycles".to_string(), Json::UInt(baseline.cycles)),
+            ("ipc".to_string(), Json::Float(baseline.ipc())),
+            ("halted".to_string(), Json::Bool(baseline.halted)),
+            ("branches".to_string(), baseline.branches.to_json()),
+            ("cache".to_string(), baseline.cache.to_json()),
+            ("swaps".to_string(), baseline.swaps.to_json()),
+            ("ledger".to_string(), baseline.ledger.to_json()),
+            ("schemes".to_string(), schemes),
+        ];
+        #[cfg(feature = "trace")]
+        if let Some(reg) = &registry {
+            fields.push(("metrics".to_string(), reg.to_json()));
+        }
+        println!("{}", Json::Obj(fields).pretty());
+        return Ok(());
+    }
+    #[cfg(not(feature = "json"))]
+    if opts.json {
+        eprintln!("warning: this binary was built without the `json` feature; emitting text");
+    }
+
     println!(
         "{}: retired {} in {} cycles (IPC {:.2}), branch mispredict {:.1}%, \
          D-cache hit {:.1}%",
@@ -234,31 +477,148 @@ fn cmd_run(name: &str, opts: &Options) -> Result<(), String> {
         100.0 * baseline.branches.mispredict_rate(),
         100.0 * baseline.cache.hit_rate(),
     );
-
     let mut t = TextTable::new(["scheme", format!("{class} bits").as_str(), "reduction"]);
-    t.push_row([
-        "Original".to_string(),
-        baseline.ledger.switched_bits(class).to_string(),
-        "-".to_string(),
-    ]);
-    for kind in SteeringKind::FIGURE4 {
-        if kind == SteeringKind::Original {
-            continue;
-        }
-        let mut sim = Simulator::new(
-            MachineConfig::paper_default(),
-            SteeringConfig::paper_scheme(kind, true),
-        );
-        let r = sim
-            .run_program(&w.program, opts.limit)
-            .map_err(|e| e.to_string())?;
+    for (label, bits, red) in &rows {
         t.push_row([
-            format!("{kind} + hw swap"),
-            r.ledger.switched_bits(class).to_string(),
-            format!("{:.1}%", 100.0 * r.reduction_vs(&baseline, class)),
+            label.clone(),
+            bits.to_string(),
+            match red {
+                Some(r) => format!("{r:.1}%"),
+                None => "-".to_string(),
+            },
         ]);
     }
     println!("{t}");
+    #[cfg(feature = "trace")]
+    if let Some(reg) = &registry {
+        println!("metrics — baseline (Original) run:\n{reg}");
+    }
+    Ok(())
+}
+
+/// One-line rendering of a trace event for the terminal tail view.
+#[cfg(feature = "trace")]
+fn fmt_event(e: &fua::trace::TraceEvent) -> String {
+    use fua::trace::TraceEvent as E;
+    match *e {
+        E::Stage {
+            stage,
+            cycle,
+            serial,
+            opcode,
+        } => format!("[{cycle:>7}] {:<9} #{serial} {opcode}", stage.name()),
+        E::Steer {
+            cycle,
+            serial,
+            class,
+            case,
+            module,
+            swap,
+            cost_bits,
+        } => format!(
+            "[{cycle:>7}] steer     #{serial} {class} case{case} -> m{module}{} ({cost_bits} bits)",
+            if swap { " swapped" } else { "" }
+        ),
+        E::OperandSwap {
+            cycle,
+            serial,
+            class,
+            kind,
+        } => format!("[{cycle:>7}] swap      #{serial} {class} ({})", kind.name()),
+        E::Energy {
+            cycle,
+            class,
+            module,
+            bits,
+        } => format!("[{cycle:>7}] energy    {class}.m{module} +{bits} bits"),
+        E::Execute {
+            cycle,
+            serial,
+            class,
+            module,
+            latency,
+            opcode,
+        } => {
+            format!("[{cycle:>7}] execute   #{serial} {opcode} on {class}.m{module} ({latency} cy)")
+        }
+        E::Cache {
+            cycle,
+            serial,
+            addr,
+            hit,
+            latency,
+        } => format!(
+            "[{cycle:>7}] d-cache   #{serial} @{addr:#010x} {} ({latency} cy)",
+            if hit { "hit" } else { "miss" }
+        ),
+        E::Branch {
+            cycle,
+            serial,
+            taken,
+            predicted,
+        } => format!("[{cycle:>7}] branch    #{serial} taken={taken} predicted={predicted}"),
+        E::CycleSummary {
+            cycle,
+            window,
+            issued,
+        } => format!("[{cycle:>7}] cycle     window={window} issued={issued}"),
+    }
+}
+
+#[cfg(feature = "trace")]
+fn cmd_trace(name: &str, opts: &Options) -> Result<(), String> {
+    use fua::trace::{ChromeTraceSink, MetricsRecorder, RingBufferSink};
+
+    let w = fua::workloads::by_name(name, opts.scale)
+        .ok_or_else(|| format!("unknown workload: {name} (try `fua workloads`)"))?;
+    let limit = opts.limit.unwrap_or(TRACE_DEFAULT_LIMIT);
+    let mut sim = Simulator::with_sink(
+        MachineConfig::paper_default(),
+        fua::core::observed_scheme(),
+        (
+            ChromeTraceSink::new(),
+            (RingBufferSink::default(), MetricsRecorder::new()),
+        ),
+    );
+    let result = sim
+        .run_program(&w.program, limit)
+        .map_err(|e| e.to_string())?;
+    let (chrome, (ring, recorder)) = sim.into_sink();
+    let registry = recorder.into_registry();
+
+    println!(
+        "{}: retired {} in {} cycles (IPC {:.2}) under 4-bit LUT + hw swap; \
+         {} trace events ({} retained in ring)",
+        w.name,
+        result.retired,
+        result.cycles,
+        result.ipc(),
+        ring.recorded(),
+        ring.events().len(),
+    );
+
+    if let Some(path) = &opts.out {
+        std::fs::write(path, chrome.into_json().compact())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote Chrome trace JSON to {path} — load it at https://ui.perfetto.dev");
+    }
+
+    let tail = opts.last.unwrap_or(16);
+    if opts.last.is_some() || opts.out.is_none() {
+        println!("last {} events:", tail.min(ring.events().len()));
+        for e in ring.tail(tail) {
+            println!("{}", fmt_event(e));
+        }
+    }
+
+    if opts.metrics {
+        println!("\nmetrics:\n{registry}");
+    } else {
+        println!(
+            "(--metrics prints the counter/histogram snapshot; \
+             --out FILE exports Perfetto JSON; --last N sizes the tail)"
+        );
+    }
     Ok(())
 }
 
@@ -267,7 +627,18 @@ fn main() -> ExitCode {
     let Some(command) = args.first() else {
         return usage();
     };
-    // Sub-argument (for figure4/run) precedes the -- options.
+    match command.as_str() {
+        "--version" | "-V" => {
+            println!("fua {}", env!("CARGO_PKG_VERSION"));
+            return ExitCode::SUCCESS;
+        }
+        "--help" | "-h" | "help" => {
+            help();
+            return ExitCode::SUCCESS;
+        }
+        _ => {}
+    }
+    // Sub-argument (for figure4/run/trace) precedes the -- options.
     let sub = args.get(1).filter(|a| !a.starts_with("--")).cloned();
     let opt_start = 1 + sub.is_some() as usize;
     let opts = match parse_options(&args[opt_start..]) {
@@ -277,6 +648,7 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+    warn_missing_trace_feature(&opts);
 
     match (command.as_str(), sub.as_deref()) {
         ("tables", None) => cmd_tables(&opts),
@@ -346,6 +718,21 @@ fn main() -> ExitCode {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }
+        }
+        #[cfg(feature = "trace")]
+        ("trace", Some(name)) => {
+            if let Err(e) = cmd_trace(name, &opts) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        #[cfg(not(feature = "trace"))]
+        ("trace", Some(_)) => {
+            eprintln!(
+                "error: `fua trace` requires the `trace` feature \
+                 (rebuild with `--features trace`)"
+            );
+            return ExitCode::FAILURE;
         }
         _ => return usage(),
     }
