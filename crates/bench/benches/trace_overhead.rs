@@ -3,18 +3,45 @@
 //! `null_sink` case must be indistinguishable from an uninstrumented
 //! build (<1% — the hooks and their event construction compile away);
 //! `ring_and_metrics` shows the real cost of leaving post-mortem
-//! observability on.
+//! observability on, and `windowed_sink` the cost of interval telemetry.
+//!
+//! Besides recording the three cases for Criterion's reports, the group
+//! asserts that the windowed run stays within a small factor of the
+//! null-sink run: the sink only does a handful of array adds per event,
+//! so a blowup here means an accidental allocation or hash on the hot
+//! path.
+
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fua_sim::{MachineConfig, Simulator, SteeringConfig};
 use fua_steer::SteeringKind;
-use fua_trace::{MetricsRecorder, NullSink, RingBufferSink};
+use fua_trace::{MetricsRecorder, NullSink, RingBufferSink, WindowedSink};
 use fua_workloads::by_name;
 
 const LIMIT: u64 = 50_000;
 
+/// A windowed run may cost at most this factor of the null-sink run.
+/// Generous — the point is catching asymptotic mistakes, not cache
+/// noise.
+const WINDOWED_MAX_FACTOR: f64 = 8.0;
+
 fn scheme() -> SteeringConfig {
     SteeringConfig::paper_scheme(SteeringKind::Lut { slots: 2 }, true)
+}
+
+fn run_null(w: &fua_workloads::Workload) {
+    let mut sim = Simulator::with_sink(MachineConfig::paper_default(), scheme(), NullSink);
+    sim.run_program(&w.program, LIMIT).expect("runs");
+}
+
+fn run_windowed(w: &fua_workloads::Workload) {
+    let mut sim = Simulator::with_sink(
+        MachineConfig::paper_default(),
+        scheme(),
+        WindowedSink::new(1024),
+    );
+    sim.run_program(&w.program, LIMIT).expect("runs");
 }
 
 fn bench(c: &mut Criterion) {
@@ -36,7 +63,38 @@ fn bench(c: &mut Criterion) {
             sim.run_program(&w.program, LIMIT).expect("runs")
         });
     });
+    g.bench_function("windowed_sink", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::with_sink(
+                MachineConfig::paper_default(),
+                scheme(),
+                WindowedSink::new(1024),
+            );
+            sim.run_program(&w.program, LIMIT).expect("runs")
+        });
+    });
     g.finish();
+
+    // Overhead assertion: best-of-N wall-clock, windowed vs null.
+    const ROUNDS: usize = 5;
+    let best = |f: &dyn Fn(&fua_workloads::Workload)| {
+        (0..ROUNDS)
+            .map(|_| {
+                let start = Instant::now();
+                f(&w);
+                start.elapsed()
+            })
+            .min()
+            .expect("rounds > 0")
+    };
+    let null = best(&run_null);
+    let windowed = best(&run_windowed);
+    let factor = windowed.as_secs_f64() / null.as_secs_f64();
+    println!("windowed/null overhead factor: {factor:.2}x ({windowed:?} vs {null:?})");
+    assert!(
+        factor < WINDOWED_MAX_FACTOR,
+        "WindowedSink overhead {factor:.2}x exceeds {WINDOWED_MAX_FACTOR}x of NullSink"
+    );
 }
 
 criterion_group! {

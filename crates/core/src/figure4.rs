@@ -8,7 +8,7 @@ use fua_steer::SteeringKind;
 use fua_swap::CompilerSwapPass;
 use fua_workloads::{floating_point, integer, Workload};
 
-use crate::{profile_suite, ExperimentConfig, Unit};
+use crate::{profile_suite, ExperimentConfig, SuiteProfile, Unit};
 
 /// The three stacked bars of each Figure-4 column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,7 +36,7 @@ impl SwapVariant {
 /// figure stacks three bars; `compiler_only_pct` adds the variant the
 /// paper describes but does not plot ("'Base + Compiler Swapping' (not
 /// shown) is nearly as effective as 'Base + Hardware + Compiler'").
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Figure4Row {
     /// The scheme label ("Full Ham", "4-bit LUT", ...).
     pub scheme: String,
@@ -126,8 +126,19 @@ fn run_suite(
 /// (as the paper's authors did from their profiling runs), and measures
 /// switched bits per scheme × swap variant.
 pub fn figure4(unit: Unit, config: &ExperimentConfig) -> Figure4 {
+    figure4_with_profile(unit, config, &profile_suite(config))
+}
+
+/// As [`figure4`], reusing an already-measured [`SuiteProfile`] — the
+/// profiling pass runs the whole suite, so callers producing both
+/// figures (e.g. the `fua-report` bench ledger) should profile once and
+/// share it.
+pub fn figure4_with_profile(
+    unit: Unit,
+    config: &ExperimentConfig,
+    profile: &SuiteProfile,
+) -> Figure4 {
     let class = unit.fu_class();
-    let profile = profile_suite(config);
     let ialu_profile = profile.case_profile(FuClass::IntAlu);
     let fpau_profile = profile.case_profile(FuClass::FpAlu);
     let ialu_occ = profile.ialu_occupancy.distribution();
@@ -214,10 +225,23 @@ pub struct Headline {
     pub ialu_compiler_pct: f64,
 }
 
-/// Computes the headline numbers from both Figure-4 runs.
+/// Computes the headline numbers from both Figure-4 runs (one shared
+/// profiling pass).
 pub fn headline(config: &ExperimentConfig) -> Headline {
-    let a = figure4(Unit::Ialu, config);
-    let b = figure4(Unit::Fpau, config);
+    let profile = profile_suite(config);
+    headline_from(
+        &figure4_with_profile(Unit::Ialu, config, &profile),
+        &figure4_with_profile(Unit::Fpau, config, &profile),
+    )
+}
+
+/// Derives the headline numbers from already-computed figures (`a` must
+/// be the IALU figure, `b` the FPAU one).
+///
+/// # Panics
+///
+/// Panics if either figure lacks the "4-bit LUT" scheme row.
+pub fn headline_from(a: &Figure4, b: &Figure4) -> Headline {
     let lut_a = a.row("4-bit LUT").expect("scheme present");
     let lut_b = b.row("4-bit LUT").expect("scheme present");
     Headline {

@@ -42,7 +42,10 @@ pub use breakdown::{workload_breakdown, BreakdownRow, WorkloadBreakdown};
 pub use chip::{chip_estimate, ChipEstimate, EXECUTION_UNIT_POWER_SHARE};
 pub use config::{ExperimentConfig, Unit};
 pub use fig1::{routing_example, RoutingExample};
-pub use figure4::{figure4, headline, Figure4, Figure4Row, Headline, SwapVariant};
+pub use figure4::{
+    figure4, figure4_with_profile, headline, headline_from, Figure4, Figure4Row, Headline,
+    SwapVariant,
+};
 #[cfg(feature = "json")]
 pub use json::{Json, ToJson};
 pub use observe::{observed_scheme, suite_metrics};

@@ -85,6 +85,67 @@ impl EnergyLedger {
             self.ops[i] += other.ops[i];
         }
     }
+
+    /// The delta accumulated since `snapshot` was taken (interval
+    /// telemetry: snapshot the ledger at a window boundary, subtract at
+    /// the next one). `snapshot` must be an earlier state of this
+    /// ledger's history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component of `snapshot` exceeds the corresponding
+    /// component of `self` — that means `snapshot` is not an earlier
+    /// state and the "delta" would be meaningless.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fua_isa::FuClass;
+    /// use fua_power::EnergyLedger;
+    ///
+    /// let mut ledger = EnergyLedger::new();
+    /// ledger.charge(FuClass::IntAlu, 10);
+    /// let snap = ledger; // Copy
+    /// ledger.charge(FuClass::IntAlu, 7);
+    /// let delta = ledger.delta_since(&snap);
+    /// assert_eq!(delta.switched_bits(FuClass::IntAlu), 7);
+    /// assert_eq!(delta.ops(FuClass::IntAlu), 1);
+    /// ```
+    pub fn delta_since(&self, snapshot: &EnergyLedger) -> EnergyLedger {
+        let mut delta = EnergyLedger::new();
+        for i in 0..4 {
+            delta.switched[i] = self.switched[i]
+                .checked_sub(snapshot.switched[i])
+                .expect("snapshot is not an earlier state of this ledger");
+            delta.ops[i] = self.ops[i]
+                .checked_sub(snapshot.ops[i])
+                .expect("snapshot is not an earlier state of this ledger");
+        }
+        delta
+    }
+
+    /// Adds raw per-class totals, e.g. re-assembling a ledger from an
+    /// externally-accumulated decomposition such as the windowed
+    /// time-series (`fua-trace` cannot name this type, so its sinks
+    /// carry `[u64; 4]` arrays indexed by [`FuClass::index`]).
+    pub fn accumulate(&mut self, switched_bits: [u64; 4], ops: [u64; 4]) {
+        for i in 0..4 {
+            self.switched[i] += switched_bits[i];
+            self.ops[i] += ops[i];
+        }
+    }
+
+    /// Per-class switched-bit totals as a raw array indexed by
+    /// [`FuClass::index`] (the same layout the trace-layer sinks use).
+    pub fn switched_array(&self) -> [u64; 4] {
+        self.switched
+    }
+
+    /// Per-class operation counts as a raw array indexed by
+    /// [`FuClass::index`].
+    pub fn ops_array(&self) -> [u64; 4] {
+        self.ops
+    }
 }
 
 impl ToJson for EnergyLedger {
@@ -151,6 +212,47 @@ mod tests {
         assert_eq!(a.switched_bits(FuClass::FpAlu), 12);
         assert_eq!(a.ops(FuClass::FpAlu), 2);
         assert_eq!(a.switched_bits(FuClass::IntMul), 3);
+    }
+
+    #[test]
+    fn delta_since_subtracts_componentwise() {
+        let mut ledger = EnergyLedger::new();
+        ledger.charge(FuClass::IntAlu, 10);
+        ledger.charge(FuClass::FpAlu, 4);
+        let snap = ledger;
+        ledger.charge(FuClass::IntAlu, 6);
+        ledger.charge(FuClass::IntMul, 2);
+        let delta = ledger.delta_since(&snap);
+        assert_eq!(delta.switched_bits(FuClass::IntAlu), 6);
+        assert_eq!(delta.ops(FuClass::IntAlu), 1);
+        assert_eq!(delta.switched_bits(FuClass::IntMul), 2);
+        assert_eq!(delta.switched_bits(FuClass::FpAlu), 0);
+        assert_eq!(delta.ops(FuClass::FpAlu), 0);
+        // Snapshot + delta reassembles the final ledger.
+        let mut rebuilt = snap;
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt, ledger);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier state")]
+    fn delta_since_rejects_a_later_snapshot() {
+        let mut later = EnergyLedger::new();
+        later.charge(FuClass::IntAlu, 5);
+        EnergyLedger::new().delta_since(&later);
+    }
+
+    #[test]
+    fn accumulate_reassembles_from_raw_arrays() {
+        let mut direct = EnergyLedger::new();
+        direct.charge(FuClass::IntAlu, 9);
+        direct.charge(FuClass::IntAlu, 1);
+        direct.charge(FuClass::FpMul, 3);
+        let mut rebuilt = EnergyLedger::new();
+        rebuilt.accumulate(direct.switched_array(), direct.ops_array());
+        assert_eq!(rebuilt, direct);
+        assert_eq!(rebuilt.switched_array(), [10, 0, 0, 3]);
+        assert_eq!(rebuilt.ops_array(), [2, 0, 0, 1]);
     }
 
     #[test]

@@ -1,0 +1,487 @@
+//! BENCH artifacts: one durable, diffable JSON ledger per suite run.
+//!
+//! [`bench_suite`] runs the paper's quick experiment suite end to end —
+//! the Figure-4 scheme sweep for both duplicated units, the Table-1/2
+//! aggregate statistics, a phase-timed + windowed telemetry pass over
+//! every workload — and packages everything, with its [`RunManifest`],
+//! into a [`BenchReport`] serialised as `BENCH_<tag>.json`. The windowed
+//! pass also *proves* the interval-telemetry exactness invariant on the
+//! spot: the time-series column sums are reassembled into an
+//! [`EnergyLedger`](fua_power::EnergyLedger) and compared bit-for-bit
+//! with the simulator's own ledger; the verdict is recorded in the
+//! artifact (`telemetry.exact`).
+
+use fua_power::EnergyLedger;
+use fua_sim::{PhaseTimers, SimPhase, Simulator};
+use fua_trace::{Json, ToJson, WindowedSink};
+use fua_workloads::all;
+
+use fua_core::{
+    figure4_with_profile, headline_from, observed_scheme, profile_suite, ExperimentConfig, Figure4,
+    Figure4Row, Unit,
+};
+
+use crate::{expect_f64, expect_str, expect_u64, ReportError, RunManifest};
+
+/// The artifact schema identifier; bump on any breaking shape change.
+pub const BENCH_SCHEMA: &str = "fua-bench/1";
+
+/// Default telemetry window for the bench suite, in cycles.
+pub const DEFAULT_WINDOW_CYCLES: u64 = 1024;
+
+/// One unit's Figure-4 measurement: baseline denominator plus the
+/// per-scheme reduction rows in the paper's bar order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitFigure {
+    /// Total baseline switched bits (denominator of every percentage).
+    pub baseline_switched_bits: u64,
+    /// One row per scheme.
+    pub rows: Vec<Figure4Row>,
+}
+
+impl UnitFigure {
+    fn from_figure(fig: &Figure4) -> Self {
+        UnitFigure {
+            baseline_switched_bits: fig.baseline_switched_bits,
+            rows: fig.rows.clone(),
+        }
+    }
+
+    /// The row for a scheme, if present.
+    pub fn row(&self, scheme: &str) -> Option<&Figure4Row> {
+        self.rows.iter().find(|r| r.scheme == scheme)
+    }
+}
+
+/// Table-1 aggregate operand statistics (the paper's derived one-liners).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperandAggregates {
+    /// IALU: mean fraction of 1 bits among info-bit-0 operands.
+    pub ialu_ones_frac_info0: f64,
+    /// IALU: mean fraction of 1 bits among info-bit-1 operands.
+    pub ialu_ones_frac_info1: f64,
+    /// FPAU: fraction of operands with a 0 information bit.
+    pub fpau_info0_fraction: f64,
+    /// FPAU: mean fraction of 1 bits among info-bit-0 operands.
+    pub fpau_ones_frac_info0: f64,
+}
+
+/// The windowed-telemetry summary recorded in the artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySummary {
+    /// Window size used, in cycles.
+    pub window_cycles: u64,
+    /// Windows accumulated across the telemetry pass.
+    pub windows: u64,
+    /// Per-class switched-bit totals reassembled from the time-series.
+    pub switched_bits: [u64; 4],
+    /// Whether the reassembled totals equalled the simulator's own
+    /// [`EnergyLedger`](fua_power::EnergyLedger) bit-for-bit.
+    pub exact: bool,
+}
+
+/// Per-phase wall-clock of the telemetry pass, in nanoseconds, in
+/// [`SimPhase::ALL`] order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseNanos(pub [u64; 5]);
+
+impl PhaseNanos {
+    /// Nanoseconds for one phase.
+    pub fn of(&self, phase: SimPhase) -> u64 {
+        self.0[phase as usize]
+    }
+}
+
+/// A complete `BENCH_<tag>.json` artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Provenance: tag, configuration, workload seeds.
+    pub manifest: RunManifest,
+    /// Figure 4(a): the IALU scheme sweep.
+    pub ialu: UnitFigure,
+    /// Figure 4(b): the FPAU scheme sweep.
+    pub fpau: UnitFigure,
+    /// Headline reductions (4-bit LUT + hw swap; + compiler on IALU).
+    pub headline_ialu_pct: f64,
+    /// FPAU headline reduction.
+    pub headline_fpau_pct: f64,
+    /// IALU headline with compiler swapping added.
+    pub headline_ialu_compiler_pct: f64,
+    /// Table-1 aggregates.
+    pub operands: OperandAggregates,
+    /// Table-2 row 1: `P(Num(I)=k)` for the IALU, k = 1….
+    pub ialu_occupancy: Vec<f64>,
+    /// Table-2 row 2: the FPAU occupancy distribution.
+    pub fpau_occupancy: Vec<f64>,
+    /// Wall-clock per simulator hot-loop phase (telemetry pass).
+    pub phase_nanos: PhaseNanos,
+    /// Windowed-telemetry summary and exactness verdict.
+    pub telemetry: TelemetrySummary,
+}
+
+/// Runs the full bench suite under `config` and assembles the artifact.
+///
+/// The model metrics (figures, tables) are deterministic — two runs
+/// under the same manifest produce identical values; only `phase_nanos`
+/// is wall-clock and varies run to run.
+pub fn bench_suite(tag: &str, config: &ExperimentConfig, window_cycles: u64) -> BenchReport {
+    let manifest = RunManifest::capture(tag, config);
+
+    // One shared profiling pass feeds both figures (and the tables).
+    let profile = profile_suite(config);
+    let fig_a = figure4_with_profile(Unit::Ialu, config, &profile);
+    let fig_b = figure4_with_profile(Unit::Fpau, config, &profile);
+    let headline = headline_from(&fig_a, &fig_b);
+
+    let ialu_info = profile.ialu.operand_info_stats();
+    let fpau_info = profile.fpau.operand_info_stats();
+
+    // Telemetry pass: every workload under the recommended scheme with
+    // a windowed sink and phase timers attached; prove the exactness
+    // invariant against the simulator's own ledger.
+    let mut sink = WindowedSink::new(window_cycles);
+    let mut timers = PhaseTimers::new();
+    let mut ledger = EnergyLedger::new();
+    for w in all(config.scale) {
+        let mut sim = Simulator::with_parts(
+            config.machine.clone(),
+            observed_scheme(),
+            sink,
+            PhaseTimers::new(),
+        );
+        let result = sim
+            .run_program(&w.program, config.inst_limit)
+            .unwrap_or_else(|e| panic!("workload {} faulted: {e}", w.name));
+        ledger.merge(&result.ledger);
+        let (s, t) = sim.into_parts();
+        sink = s;
+        timers.merge(&t);
+    }
+    let series = sink.into_series();
+    let mut reassembled = EnergyLedger::new();
+    reassembled.accumulate(series.total_switched_bits(), series.total_ops());
+    let telemetry = TelemetrySummary {
+        window_cycles,
+        windows: series.len() as u64,
+        switched_bits: series.total_switched_bits(),
+        exact: reassembled == ledger,
+    };
+
+    BenchReport {
+        manifest,
+        ialu: UnitFigure::from_figure(&fig_a),
+        fpau: UnitFigure::from_figure(&fig_b),
+        headline_ialu_pct: headline.ialu_pct,
+        headline_fpau_pct: headline.fpau_pct,
+        headline_ialu_compiler_pct: headline.ialu_compiler_pct,
+        operands: OperandAggregates {
+            ialu_ones_frac_info0: ialu_info.ones_frac_info0,
+            ialu_ones_frac_info1: ialu_info.ones_frac_info1,
+            fpau_info0_fraction: fpau_info.info0_fraction(),
+            fpau_ones_frac_info0: fpau_info.ones_frac_info0,
+        },
+        ialu_occupancy: profile.ialu_occupancy.distribution(),
+        fpau_occupancy: profile.fpau_occupancy.distribution(),
+        phase_nanos: PhaseNanos(timers.nanos()),
+        telemetry,
+    }
+}
+
+fn unit_to_json(unit: &UnitFigure) -> Json {
+    Json::obj([
+        (
+            "baseline_switched_bits",
+            Json::UInt(unit.baseline_switched_bits),
+        ),
+        (
+            "rows",
+            Json::Arr(
+                unit.rows
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("scheme", Json::Str(r.scheme.clone())),
+                            ("base_pct", Json::Float(r.base_pct)),
+                            ("hardware_pct", Json::Float(r.hardware_pct)),
+                            (
+                                "hardware_compiler_pct",
+                                Json::Float(r.hardware_compiler_pct),
+                            ),
+                            ("compiler_only_pct", Json::Float(r.compiler_only_pct)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn unit_from_json(json: &Json, field: &str) -> Result<UnitFigure, ReportError> {
+    let unit = json.get(field).ok_or_else(|| ReportError::missing(field))?;
+    let rows = unit
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ReportError::missing("rows"))?
+        .iter()
+        .map(|r| {
+            Ok(Figure4Row {
+                scheme: expect_str(r, "scheme")?.to_string(),
+                base_pct: expect_f64(r, "base_pct")?,
+                hardware_pct: expect_f64(r, "hardware_pct")?,
+                hardware_compiler_pct: expect_f64(r, "hardware_compiler_pct")?,
+                compiler_only_pct: expect_f64(r, "compiler_only_pct")?,
+            })
+        })
+        .collect::<Result<Vec<_>, ReportError>>()?;
+    Ok(UnitFigure {
+        baseline_switched_bits: expect_u64(unit, "baseline_switched_bits")?,
+        rows,
+    })
+}
+
+fn f64_array(json: &Json, field: &str) -> Result<Vec<f64>, ReportError> {
+    json.get(field)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ReportError::missing(field))?
+        .iter()
+        .map(|v| v.as_f64().ok_or_else(|| ReportError::mistyped(field)))
+        .collect()
+}
+
+impl BenchReport {
+    /// Serialises the artifact (stable schema [`BENCH_SCHEMA`]).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::Str(BENCH_SCHEMA.into())),
+            ("manifest", self.manifest.to_json()),
+            ("figure4_ialu", unit_to_json(&self.ialu)),
+            ("figure4_fpau", unit_to_json(&self.fpau)),
+            (
+                "headline",
+                Json::obj([
+                    ("ialu_pct", Json::Float(self.headline_ialu_pct)),
+                    ("fpau_pct", Json::Float(self.headline_fpau_pct)),
+                    (
+                        "ialu_compiler_pct",
+                        Json::Float(self.headline_ialu_compiler_pct),
+                    ),
+                ]),
+            ),
+            (
+                "table1",
+                Json::obj([
+                    (
+                        "ialu_ones_frac_info0",
+                        Json::Float(self.operands.ialu_ones_frac_info0),
+                    ),
+                    (
+                        "ialu_ones_frac_info1",
+                        Json::Float(self.operands.ialu_ones_frac_info1),
+                    ),
+                    (
+                        "fpau_info0_fraction",
+                        Json::Float(self.operands.fpau_info0_fraction),
+                    ),
+                    (
+                        "fpau_ones_frac_info0",
+                        Json::Float(self.operands.fpau_ones_frac_info0),
+                    ),
+                ]),
+            ),
+            (
+                "table2",
+                Json::obj([
+                    (
+                        "ialu_occupancy",
+                        Json::Arr(
+                            self.ialu_occupancy
+                                .iter()
+                                .map(|&p| Json::Float(p))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "fpau_occupancy",
+                        Json::Arr(
+                            self.fpau_occupancy
+                                .iter()
+                                .map(|&p| Json::Float(p))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "phase_nanos",
+                Json::Obj(
+                    SimPhase::ALL
+                        .iter()
+                        .map(|&p| (p.name().to_string(), Json::UInt(self.phase_nanos.of(p))))
+                        .collect(),
+                ),
+            ),
+            (
+                "telemetry",
+                Json::obj([
+                    ("window_cycles", Json::UInt(self.telemetry.window_cycles)),
+                    ("windows", Json::UInt(self.telemetry.windows)),
+                    (
+                        "switched_bits",
+                        Json::Arr(
+                            self.telemetry
+                                .switched_bits
+                                .iter()
+                                .map(|&b| Json::UInt(b))
+                                .collect(),
+                        ),
+                    ),
+                    ("exact", Json::Bool(self.telemetry.exact)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Reconstructs an artifact from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ReportError`] on schema mismatch or the first missing
+    /// or mistyped field.
+    pub fn from_json(json: &Json) -> Result<Self, ReportError> {
+        let schema = expect_str(json, "schema")?;
+        if schema != BENCH_SCHEMA {
+            return Err(ReportError::Schema {
+                found: schema.to_string(),
+                expected: BENCH_SCHEMA,
+            });
+        }
+        let manifest = RunManifest::from_json(
+            json.get("manifest")
+                .ok_or_else(|| ReportError::missing("manifest"))?,
+        )?;
+        let headline = json
+            .get("headline")
+            .ok_or_else(|| ReportError::missing("headline"))?;
+        let table1 = json
+            .get("table1")
+            .ok_or_else(|| ReportError::missing("table1"))?;
+        let table2 = json
+            .get("table2")
+            .ok_or_else(|| ReportError::missing("table2"))?;
+        let phases = json
+            .get("phase_nanos")
+            .ok_or_else(|| ReportError::missing("phase_nanos"))?;
+        let mut phase_nanos = [0u64; 5];
+        for (slot, phase) in phase_nanos.iter_mut().zip(SimPhase::ALL) {
+            *slot = expect_u64(phases, phase.name())?;
+        }
+        let telemetry = json
+            .get("telemetry")
+            .ok_or_else(|| ReportError::missing("telemetry"))?;
+        let bits = telemetry
+            .get("switched_bits")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ReportError::missing("telemetry.switched_bits"))?
+            .iter()
+            .map(Json::as_u64)
+            .collect::<Option<Vec<u64>>>()
+            .ok_or_else(|| ReportError::mistyped("telemetry.switched_bits"))?;
+        if bits.len() != 4 {
+            return Err(ReportError::mistyped("telemetry.switched_bits"));
+        }
+        Ok(BenchReport {
+            manifest,
+            ialu: unit_from_json(json, "figure4_ialu")?,
+            fpau: unit_from_json(json, "figure4_fpau")?,
+            headline_ialu_pct: expect_f64(headline, "ialu_pct")?,
+            headline_fpau_pct: expect_f64(headline, "fpau_pct")?,
+            headline_ialu_compiler_pct: expect_f64(headline, "ialu_compiler_pct")?,
+            operands: OperandAggregates {
+                ialu_ones_frac_info0: expect_f64(table1, "ialu_ones_frac_info0")?,
+                ialu_ones_frac_info1: expect_f64(table1, "ialu_ones_frac_info1")?,
+                fpau_info0_fraction: expect_f64(table1, "fpau_info0_fraction")?,
+                fpau_ones_frac_info0: expect_f64(table1, "fpau_ones_frac_info0")?,
+            },
+            ialu_occupancy: f64_array(table2, "ialu_occupancy")?,
+            fpau_occupancy: f64_array(table2, "fpau_occupancy")?,
+            phase_nanos: PhaseNanos(phase_nanos),
+            telemetry: TelemetrySummary {
+                window_cycles: expect_u64(telemetry, "window_cycles")?,
+                windows: expect_u64(telemetry, "windows")?,
+                switched_bits: [bits[0], bits[1], bits[2], bits[3]],
+                exact: telemetry
+                    .get("exact")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| ReportError::missing("telemetry.exact"))?,
+            },
+        })
+    }
+}
+
+impl std::str::FromStr for BenchReport {
+    type Err = ReportError;
+
+    /// Parses an artifact from raw file contents.
+    fn from_str(contents: &str) -> Result<Self, ReportError> {
+        Self::from_json(&Json::parse(contents).map_err(ReportError::Parse)?)
+    }
+}
+
+impl ToJson for BenchReport {
+    fn to_json(&self) -> Json {
+        BenchReport::to_json(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ExperimentConfig {
+        // Small enough for unit tests; bench-suite proper uses quick().
+        ExperimentConfig {
+            inst_limit: 1_500,
+            ..ExperimentConfig::quick()
+        }
+    }
+
+    #[test]
+    fn bench_suite_produces_a_round_trippable_artifact() {
+        let report = bench_suite("test", &tiny_config(), 512);
+        assert_eq!(report.manifest.tag, "test");
+        assert_eq!(report.ialu.rows.len(), 6);
+        assert_eq!(report.fpau.rows.len(), 6);
+        assert!(report.telemetry.exact, "windowed sums must equal ledger");
+        assert!(report.telemetry.windows > 0);
+        assert!(report.phase_nanos.of(SimPhase::Issue) > 0);
+        let rendered = report.to_json().pretty();
+        assert!(rendered.contains("\"schema\": \"fua-bench/1\""));
+        let parsed: BenchReport = rendered.parse().unwrap();
+        // Everything round-trips exactly (floats use shortest-exact
+        // rendering, so equality is bit-for-bit).
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn model_metrics_are_deterministic_across_runs() {
+        let a = bench_suite("a", &tiny_config(), 512);
+        let b = bench_suite("b", &tiny_config(), 512);
+        assert_eq!(a.ialu, b.ialu);
+        assert_eq!(a.fpau, b.fpau);
+        assert_eq!(a.operands, b.operands);
+        assert_eq!(a.ialu_occupancy, b.ialu_occupancy);
+        assert_eq!(a.telemetry.switched_bits, b.telemetry.switched_bits);
+        // Only the wall-clock differs (and the tag).
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let report = bench_suite("x", &tiny_config(), 512);
+        let mut json = report.to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields[0].1 = Json::Str("fua-bench/999".into());
+        }
+        let err = BenchReport::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("fua-bench/999"), "{err}");
+    }
+}

@@ -1,0 +1,504 @@
+//! Baseline comparison with tolerance bands.
+//!
+//! [`compare`] diffs a current [`BenchReport`] against a baseline and
+//! classifies every difference as [`Severity::Info`] (within band) or
+//! [`Severity::Regression`] (actionable). The checks:
+//!
+//! - **Manifest** — configurations must be comparable; diffing a quick
+//!   run against a full run is meaningless and is itself a regression.
+//! - **Metric drift** — every Figure-4 percentage, headline number and
+//!   Table-1/2 aggregate must stay within `metric_pct` points of the
+//!   baseline. The model is deterministic, so an identical re-run drifts
+//!   by exactly zero.
+//! - **Scheme ordering** — the paper's qualitative result is a *shape*:
+//!   on the hardware-swap bars, e.g. 8-bit LUT saves more than 2-bit
+//!   LUT. The expected order is derived from the baseline itself (not
+//!   hardcoded), pairs closer than `ordering_margin_pct` are skipped as
+//!   statistical ties, and any surviving inversion is a regression.
+//! - **Phase timers** — wall-clock per simulator phase may vary between
+//!   machines; only a slowdown beyond `timer_factor` of a phase that
+//!   took at least `timer_floor_nanos` in the baseline is flagged.
+//! - **Telemetry exactness** — the artifact records whether windowed
+//!   sums reproduced the energy ledger; `exact: false` on either side
+//!   is a regression regardless of tolerances.
+
+use crate::bench::BenchReport;
+use fua_sim::SimPhase;
+
+/// Finding severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Within tolerance; reported for visibility only.
+    Info,
+    /// Out of tolerance; fails the gate.
+    Regression,
+}
+
+/// One comparison finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// [`Severity::Info`] or [`Severity::Regression`].
+    pub severity: Severity,
+    /// Short machine-greppable category, e.g. `"metric-drift"`.
+    pub category: &'static str,
+    /// Human-readable description with both values.
+    pub message: String,
+}
+
+/// Tolerance bands for [`compare`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Maximum absolute drift, in percentage points, for any reduction
+    /// percentage or Table-1/2 aggregate (aggregates are scaled to
+    /// percent before banding).
+    pub metric_pct: f64,
+    /// Scheme pairs whose baseline reductions differ by less than this
+    /// are treated as ties and exempt from ordering checks.
+    pub ordering_margin_pct: f64,
+    /// A phase may take up to this factor of its baseline wall-clock.
+    pub timer_factor: f64,
+    /// Phases faster than this in the baseline are never timer-checked
+    /// (sub-millisecond noise would dominate).
+    pub timer_floor_nanos: u64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance {
+            // The model is deterministic; the band exists so future
+            // intentional small model changes can be waved through by
+            // retagging rather than forcing a baseline refresh for
+            // sub-point noise.
+            metric_pct: 0.75,
+            ordering_margin_pct: 0.5,
+            // Generous: CI machines differ wildly; this catches
+            // asymptotic blowups, not cache effects.
+            timer_factor: 25.0,
+            timer_floor_nanos: 5_000_000,
+        }
+    }
+}
+
+/// The outcome of a baseline diff.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Every finding, regressions first.
+    pub findings: Vec<Finding>,
+}
+
+impl Comparison {
+    /// Whether the current run passes the gate.
+    pub fn passed(&self) -> bool {
+        self.regressions() == 0
+    }
+
+    /// Number of regression-severity findings.
+    pub fn regressions(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Regression)
+            .count()
+    }
+}
+
+struct Checker<'a> {
+    tol: &'a Tolerance,
+    findings: Vec<Finding>,
+}
+
+impl Checker<'_> {
+    fn regression(&mut self, category: &'static str, message: String) {
+        self.findings.push(Finding {
+            severity: Severity::Regression,
+            category,
+            message,
+        });
+    }
+
+    fn info(&mut self, category: &'static str, message: String) {
+        self.findings.push(Finding {
+            severity: Severity::Info,
+            category,
+            message,
+        });
+    }
+
+    /// Bands an absolute drift in percentage points.
+    fn metric(&mut self, name: &str, baseline: f64, current: f64) {
+        let drift = (current - baseline).abs();
+        if drift > self.tol.metric_pct {
+            self.regression(
+                "metric-drift",
+                format!(
+                    "{name}: {current:.3} vs baseline {baseline:.3} \
+                     (drift {drift:.3} pts > {:.3})",
+                    self.tol.metric_pct
+                ),
+            );
+        } else if drift > 0.0 {
+            self.info(
+                "metric-drift",
+                format!("{name}: {current:.3} vs baseline {baseline:.3} (within band)"),
+            );
+        }
+    }
+}
+
+fn check_unit(
+    chk: &mut Checker<'_>,
+    unit: &str,
+    baseline: &crate::UnitFigure,
+    current: &crate::UnitFigure,
+) {
+    // Row-by-row drift. The row set itself is part of the schema shape:
+    // a missing or renamed scheme is a structural regression.
+    for brow in &baseline.rows {
+        let Some(crow) = current.row(&brow.scheme) else {
+            chk.regression(
+                "schema-shape",
+                format!(
+                    "{unit}: scheme \"{}\" missing from current run",
+                    brow.scheme
+                ),
+            );
+            continue;
+        };
+        for (metric, b, c) in [
+            ("base", brow.base_pct, crow.base_pct),
+            ("hw", brow.hardware_pct, crow.hardware_pct),
+            (
+                "hw+comp",
+                brow.hardware_compiler_pct,
+                crow.hardware_compiler_pct,
+            ),
+            ("comp", brow.compiler_only_pct, crow.compiler_only_pct),
+        ] {
+            chk.metric(&format!("{unit} {} {metric}", brow.scheme), b, c);
+        }
+    }
+    for crow in &current.rows {
+        if baseline.row(&crow.scheme).is_none() {
+            chk.regression(
+                "schema-shape",
+                format!("{unit}: scheme \"{}\" absent from baseline", crow.scheme),
+            );
+        }
+    }
+
+    // Ordering: derive the expected ranking from the baseline's
+    // hardware-swap column and require the current run to preserve it
+    // for every pair the baseline separates by more than the margin.
+    for (i, a) in baseline.rows.iter().enumerate() {
+        for b in baseline.rows.iter().skip(i + 1) {
+            let gap = a.hardware_pct - b.hardware_pct;
+            if gap.abs() <= chk.tol.ordering_margin_pct {
+                continue; // tie in the baseline; no order to preserve
+            }
+            let (hi, lo) = if gap > 0.0 { (a, b) } else { (b, a) };
+            let (Some(chi), Some(clo)) = (current.row(&hi.scheme), current.row(&lo.scheme)) else {
+                continue; // already reported as schema-shape above
+            };
+            if chi.hardware_pct < clo.hardware_pct {
+                chk.regression(
+                    "scheme-ordering",
+                    format!(
+                        "{unit}: \"{}\" ({:.2}%) fell below \"{}\" ({:.2}%); \
+                         baseline had {:.2}% vs {:.2}%",
+                        hi.scheme,
+                        chi.hardware_pct,
+                        lo.scheme,
+                        clo.hardware_pct,
+                        hi.hardware_pct,
+                        lo.hardware_pct
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn check_distribution(chk: &mut Checker<'_>, name: &str, baseline: &[f64], current: &[f64]) {
+    if baseline.len() != current.len() {
+        chk.regression(
+            "schema-shape",
+            format!(
+                "{name}: {} entries vs baseline {}",
+                current.len(),
+                baseline.len()
+            ),
+        );
+        return;
+    }
+    for (k, (b, c)) in baseline.iter().zip(current).enumerate() {
+        // Occupancy distributions are fractions; band them in percent
+        // like every other metric.
+        chk.metric(&format!("{name} P(k={})", k + 1), b * 100.0, c * 100.0);
+    }
+}
+
+/// Diffs `current` against `baseline` under `tol`.
+pub fn compare(baseline: &BenchReport, current: &BenchReport, tol: &Tolerance) -> Comparison {
+    let mut chk = Checker {
+        tol,
+        findings: Vec::new(),
+    };
+
+    if !baseline.manifest.comparable_with(&current.manifest) {
+        chk.regression(
+            "manifest",
+            format!(
+                "configurations differ (baseline tag \"{}\", current tag \"{}\"); \
+                 a diff across configurations is not meaningful",
+                baseline.manifest.tag, current.manifest.tag
+            ),
+        );
+        // Metric diffs against a different configuration would be pure
+        // noise — stop here.
+        chk.findings
+            .sort_by_key(|f| f.severity != Severity::Regression);
+        return Comparison {
+            findings: chk.findings,
+        };
+    }
+
+    check_unit(&mut chk, "IALU", &baseline.ialu, &current.ialu);
+    check_unit(&mut chk, "FPAU", &baseline.fpau, &current.fpau);
+
+    chk.metric(
+        "headline IALU",
+        baseline.headline_ialu_pct,
+        current.headline_ialu_pct,
+    );
+    chk.metric(
+        "headline FPAU",
+        baseline.headline_fpau_pct,
+        current.headline_fpau_pct,
+    );
+    chk.metric(
+        "headline IALU+compiler",
+        baseline.headline_ialu_compiler_pct,
+        current.headline_ialu_compiler_pct,
+    );
+
+    for (name, b, c) in [
+        (
+            "table1 IALU ones|info0",
+            baseline.operands.ialu_ones_frac_info0,
+            current.operands.ialu_ones_frac_info0,
+        ),
+        (
+            "table1 IALU ones|info1",
+            baseline.operands.ialu_ones_frac_info1,
+            current.operands.ialu_ones_frac_info1,
+        ),
+        (
+            "table1 FPAU P(info=0)",
+            baseline.operands.fpau_info0_fraction,
+            current.operands.fpau_info0_fraction,
+        ),
+        (
+            "table1 FPAU ones|info0",
+            baseline.operands.fpau_ones_frac_info0,
+            current.operands.fpau_ones_frac_info0,
+        ),
+    ] {
+        // Fractions → percent before banding.
+        chk.metric(name, b * 100.0, c * 100.0);
+    }
+
+    check_distribution(
+        &mut chk,
+        "table2 IALU",
+        &baseline.ialu_occupancy,
+        &current.ialu_occupancy,
+    );
+    check_distribution(
+        &mut chk,
+        "table2 FPAU",
+        &baseline.fpau_occupancy,
+        &current.fpau_occupancy,
+    );
+
+    for phase in SimPhase::ALL {
+        let b = baseline.phase_nanos.of(phase);
+        let c = current.phase_nanos.of(phase);
+        if b < tol.timer_floor_nanos {
+            continue;
+        }
+        let factor = c as f64 / b as f64;
+        if factor > tol.timer_factor {
+            chk.regression(
+                "phase-timer",
+                format!(
+                    "{} phase took {:.1}x baseline ({} ns vs {} ns, limit {:.0}x)",
+                    phase.name(),
+                    factor,
+                    c,
+                    b,
+                    tol.timer_factor
+                ),
+            );
+        }
+    }
+
+    for (side, report) in [("baseline", baseline), ("current", current)] {
+        if !report.telemetry.exact {
+            chk.regression(
+                "telemetry-exactness",
+                format!("{side} artifact records inexact windowed telemetry sums"),
+            );
+        }
+    }
+
+    chk.findings
+        .sort_by_key(|f| f.severity != Severity::Regression);
+    Comparison {
+        findings: chk.findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench::bench_suite;
+    use fua_core::ExperimentConfig;
+
+    fn tiny() -> crate::BenchReport {
+        let config = ExperimentConfig {
+            inst_limit: 1_500,
+            ..ExperimentConfig::quick()
+        };
+        bench_suite("tiny", &config, 512)
+    }
+
+    #[test]
+    fn identical_rerun_passes_the_gate() {
+        let baseline = tiny();
+        let current = tiny();
+        let cmp = compare(&baseline, &current, &Tolerance::default());
+        assert!(cmp.passed(), "findings: {:#?}", cmp.findings);
+        // Determinism means zero drift — not even Info findings on
+        // the model metrics (timers are only checked for slowdown).
+        assert!(cmp
+            .findings
+            .iter()
+            .all(|f| f.category != "metric-drift" || f.severity == Severity::Info));
+    }
+
+    #[test]
+    fn seeded_ordering_inversion_is_detected() {
+        let baseline = tiny();
+        let mut corrupt = baseline.clone();
+        // Find the two IALU schemes the baseline separates most and
+        // swap their hardware columns — a deliberate shape regression.
+        let mut rows: Vec<(usize, f64)> = corrupt
+            .ialu
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i, r.hardware_pct))
+            .collect();
+        rows.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let (lo, hi) = (rows[0].0, rows[rows.len() - 1].0);
+        corrupt.ialu.rows[lo].hardware_pct = rows[rows.len() - 1].1;
+        corrupt.ialu.rows[hi].hardware_pct = rows[0].1;
+        let cmp = compare(&baseline, &corrupt, &Tolerance::default());
+        assert!(!cmp.passed());
+        assert!(
+            cmp.findings
+                .iter()
+                .any(|f| f.category == "scheme-ordering" && f.severity == Severity::Regression),
+            "findings: {:#?}",
+            cmp.findings
+        );
+    }
+
+    #[test]
+    fn metric_drift_beyond_band_is_a_regression() {
+        let baseline = tiny();
+        let mut drifted = baseline.clone();
+        drifted.headline_ialu_pct += 5.0;
+        let cmp = compare(&baseline, &drifted, &Tolerance::default());
+        assert!(!cmp.passed());
+        assert!(cmp.findings.iter().any(|f| f.category == "metric-drift"
+            && f.severity == Severity::Regression
+            && f.message.contains("headline IALU")));
+
+        // The same drift within a wider band is only informational.
+        let wide = Tolerance {
+            metric_pct: 10.0,
+            ..Tolerance::default()
+        };
+        assert!(compare(&baseline, &drifted, &wide).passed());
+    }
+
+    #[test]
+    fn incomparable_manifests_short_circuit() {
+        let baseline = tiny();
+        let mut other = baseline.clone();
+        other.manifest.inst_limit += 1;
+        let cmp = compare(&baseline, &other, &Tolerance::default());
+        assert!(!cmp.passed());
+        assert_eq!(cmp.findings.len(), 1);
+        assert_eq!(cmp.findings[0].category, "manifest");
+    }
+
+    #[test]
+    fn timer_slowdown_past_factor_is_flagged_and_noise_is_not() {
+        let baseline = tiny();
+        let mut slow = baseline.clone();
+        // Every phase 30x slower than a baseline comfortably above the
+        // floor: flagged.
+        for slot in &mut slow.phase_nanos.0 {
+            *slot = 300_000_000;
+        }
+        let mut base = baseline.clone();
+        for slot in &mut base.phase_nanos.0 {
+            *slot = 10_000_000;
+        }
+        let cmp = compare(&base, &slow, &Tolerance::default());
+        assert!(cmp
+            .findings
+            .iter()
+            .any(|f| f.category == "phase-timer" && f.severity == Severity::Regression));
+
+        // Below the floor the same factor is ignored.
+        for slot in &mut base.phase_nanos.0 {
+            *slot = 100;
+        }
+        for slot in &mut slow.phase_nanos.0 {
+            *slot = 3_000;
+        }
+        let cmp = compare(&base, &slow, &Tolerance::default());
+        assert!(
+            !cmp.findings.iter().any(|f| f.category == "phase-timer"),
+            "sub-floor timers must not be checked"
+        );
+    }
+
+    #[test]
+    fn inexact_telemetry_fails_the_gate() {
+        let baseline = tiny();
+        let mut bad = baseline.clone();
+        bad.telemetry.exact = false;
+        let cmp = compare(&baseline, &bad, &Tolerance::default());
+        assert!(!cmp.passed());
+        assert!(cmp
+            .findings
+            .iter()
+            .any(|f| f.category == "telemetry-exactness"));
+    }
+
+    #[test]
+    fn missing_scheme_is_a_schema_shape_regression() {
+        let baseline = tiny();
+        let mut pruned = baseline.clone();
+        pruned.fpau.rows.pop();
+        let cmp = compare(&baseline, &pruned, &Tolerance::default());
+        assert!(!cmp.passed());
+        assert!(cmp
+            .findings
+            .iter()
+            .any(|f| f.category == "schema-shape" && f.message.contains("FPAU")));
+    }
+}

@@ -1,0 +1,107 @@
+//! Experiment ledger: run manifests, BENCH artifacts, and
+//! regression-gated baseline comparison.
+//!
+//! The model crates compute numbers; this crate makes them *durable and
+//! comparable*. Three layers:
+//!
+//! 1. [`RunManifest`] — the exact configuration a measurement was taken
+//!    under: experiment knobs, the full machine description, and each
+//!    workload's deterministic data seed. Two artifacts are only diffed
+//!    when their manifests agree (tag aside).
+//! 2. [`BenchReport`] / [`bench_suite`] — one suite run captured as a
+//!    schema-stable JSON artifact (`BENCH_<tag>.json`): the Figure-4
+//!    scheme sweeps, headline reductions, Table-1/2 aggregates,
+//!    per-phase wall-clock of the simulator hot loop, and a windowed
+//!    telemetry summary whose exactness against the energy ledger is
+//!    verified at capture time.
+//! 3. [`compare`] / [`Comparison`] — a tolerance-banded diff of two
+//!    artifacts that flags metric drift, scheme-ordering inversions,
+//!    and phase-timer slowdowns. `fua report --baseline` turns the
+//!    verdict into an exit code for CI gating.
+//!
+//! Everything is dependency-free: JSON parsing and emission come from
+//! the in-tree [`fua_trace`] value type.
+
+mod bench;
+mod compare;
+mod manifest;
+
+pub use bench::{
+    bench_suite, BenchReport, OperandAggregates, PhaseNanos, TelemetrySummary, UnitFigure,
+    BENCH_SCHEMA, DEFAULT_WINDOW_CYCLES,
+};
+pub use compare::{compare, Comparison, Finding, Severity, Tolerance};
+pub use manifest::{RunManifest, WorkloadEntry};
+
+use fua_trace::{Json, JsonParseError};
+use std::fmt;
+
+/// An error loading or decoding a BENCH artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReportError {
+    /// The raw text was not valid JSON.
+    Parse(JsonParseError),
+    /// A required field was absent.
+    MissingField(String),
+    /// A field was present with the wrong type or shape.
+    MistypedField(String),
+    /// The artifact declared an unknown schema version.
+    Schema {
+        /// What the artifact declared.
+        found: String,
+        /// What this build understands.
+        expected: &'static str,
+    },
+}
+
+impl ReportError {
+    pub(crate) fn missing(field: &str) -> Self {
+        ReportError::MissingField(field.to_string())
+    }
+
+    pub(crate) fn mistyped(field: &str) -> Self {
+        ReportError::MistypedField(field.to_string())
+    }
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportError::Parse(e) => write!(f, "malformed JSON: {e}"),
+            ReportError::MissingField(field) => write!(f, "missing field `{field}`"),
+            ReportError::MistypedField(field) => write!(f, "field `{field}` has the wrong type"),
+            ReportError::Schema { found, expected } => {
+                write!(
+                    f,
+                    "unknown schema `{found}` (this build reads `{expected}`)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+/// Fetches a required string field.
+pub(crate) fn expect_str<'a>(json: &'a Json, field: &str) -> Result<&'a str, ReportError> {
+    json.get(field)
+        .ok_or_else(|| ReportError::missing(field))?
+        .as_str()
+        .ok_or_else(|| ReportError::mistyped(field))
+}
+
+/// Fetches a required unsigned-integer field.
+pub(crate) fn expect_u64(json: &Json, field: &str) -> Result<u64, ReportError> {
+    json.get(field)
+        .ok_or_else(|| ReportError::missing(field))?
+        .as_u64()
+        .ok_or_else(|| ReportError::mistyped(field))
+}
+
+/// Fetches a required numeric field as a float.
+pub(crate) fn expect_f64(json: &Json, field: &str) -> Result<f64, ReportError> {
+    json.get(field)
+        .ok_or_else(|| ReportError::missing(field))?
+        .as_f64()
+        .ok_or_else(|| ReportError::mistyped(field))
+}

@@ -44,6 +44,7 @@ mod cache;
 mod config;
 mod pipeline;
 mod predictor;
+mod profiler;
 mod result;
 mod steering;
 
@@ -51,5 +52,6 @@ pub use cache::{CacheConfig, DataCache};
 pub use config::MachineConfig;
 pub use pipeline::Simulator;
 pub use predictor::BimodalPredictor;
+pub use profiler::{NullProfiler, PhaseProfiler, PhaseTimers, SimPhase};
 pub use result::{BranchStats, CacheStats, SimResult, SwapStats};
 pub use steering::SteeringConfig;

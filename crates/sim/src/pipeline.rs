@@ -1,6 +1,7 @@
 //! The cycle-driven out-of-order engine.
 
 use std::collections::VecDeque;
+use std::time::Instant;
 
 use fua_isa::{FuClass, Opcode, Program};
 use fua_power::booth::BoothModel;
@@ -10,9 +11,25 @@ use fua_trace::{NullSink, Stage, SwapKind, TraceEvent, TraceSink};
 use fua_vm::{DynOp, Vm, VmError};
 
 use crate::{
-    BimodalPredictor, BranchStats, CacheStats, DataCache, MachineConfig, SimResult, SteeringConfig,
-    SwapStats,
+    BimodalPredictor, BranchStats, CacheStats, DataCache, MachineConfig, NullProfiler,
+    PhaseProfiler, SimPhase, SimResult, SteeringConfig, SwapStats,
 };
+
+/// Times `$body` and charges it to `$phase` — expands to bare `$body`
+/// when the profiler type is disabled, so the untimed hot loop contains
+/// no clock reads at all (same contract as the trace hooks).
+macro_rules! timed {
+    ($self:ident, $phase:expr, $body:expr) => {
+        if P::ENABLED {
+            let __start = Instant::now();
+            let __result = $body;
+            $self.profiler.add($phase, __start.elapsed());
+            __result
+        } else {
+            $body
+        }
+    };
+}
 
 /// How many cycles the engine tolerates with no commit, issue or dispatch
 /// before declaring itself wedged (a model bug, not a program property).
@@ -45,8 +62,17 @@ struct Entry {
 /// [`Simulator::with_sink`] delivers a cycle-stamped [`TraceEvent`]
 /// stream — pipeline stages, steering decisions, operand swaps,
 /// cache/branch outcomes, energy-ledger deltas — to any sink.
-pub struct Simulator<S: TraceSink = NullSink> {
+///
+/// It is likewise generic over a [`PhaseProfiler`]; the default
+/// [`NullProfiler`] compiles every wall-clock read away, while
+/// [`Simulator::with_parts`] + [`PhaseTimers`](crate::PhaseTimers)
+/// accounts hot-loop time to fetch/rename/steer/issue/writeback for the
+/// `fua bench-suite` performance ledger. Profiling never feeds back into
+/// simulation state: a profiled run is cycle-identical to an unprofiled
+/// one.
+pub struct Simulator<S: TraceSink = NullSink, P: PhaseProfiler = NullProfiler> {
     sink: S,
+    profiler: P,
     config: MachineConfig,
     steering: SteeringConfig,
     booth: BoothModel,
@@ -84,8 +110,23 @@ impl Simulator<NullSink> {
 }
 
 impl<S: TraceSink> Simulator<S> {
-    /// Creates a simulator whose pipeline hooks feed `sink`.
+    /// Creates a simulator whose pipeline hooks feed `sink` (without
+    /// phase profiling).
     pub fn with_sink(config: MachineConfig, steering: SteeringConfig, sink: S) -> Self {
+        Simulator::with_parts(config, steering, sink, NullProfiler)
+    }
+}
+
+impl<S: TraceSink, P: PhaseProfiler> Simulator<S, P> {
+    /// Creates a simulator with both a trace sink and a phase profiler
+    /// attached; recover them after the run with
+    /// [`into_parts`](Simulator::into_parts).
+    pub fn with_parts(
+        config: MachineConfig,
+        steering: SteeringConfig,
+        sink: S,
+        profiler: P,
+    ) -> Self {
         config.validate();
         let ports = FuClass::ALL
             .iter()
@@ -98,6 +139,7 @@ impl<S: TraceSink> Simulator<S> {
         let cache = DataCache::new(config.cache);
         Simulator {
             sink,
+            profiler,
             config,
             steering,
             booth: BoothModel::new(),
@@ -132,6 +174,16 @@ impl<S: TraceSink> Simulator<S> {
     /// sequence of runs).
     pub fn into_sink(self) -> S {
         self.sink
+    }
+
+    /// The attached phase profiler.
+    pub fn profiler(&self) -> &P {
+        &self.profiler
+    }
+
+    /// Consumes the simulator, returning sink and profiler together.
+    pub fn into_parts(self) -> (S, P) {
+        (self.sink, self.profiler)
     }
 
     /// Runs a program end-to-end: interprets it with [`fua_vm::Vm`] and
@@ -171,12 +223,12 @@ impl<S: TraceSink> Simulator<S> {
         let mut source_done = false;
         let mut idle_cycles = 0u64;
         loop {
-            let progress_commit = self.commit();
-            let progress_issue = self.issue();
+            let progress_commit = timed!(self, SimPhase::Writeback, self.commit());
+            let progress_issue = timed!(self, SimPhase::Issue, self.issue());
             let progress_fetch = if source_done && self.skid.is_none() {
                 0
             } else {
-                let fetched = self.fetch(&mut next_op)?;
+                let fetched = timed!(self, SimPhase::Fetch, self.fetch(&mut next_op))?;
                 if fetched.1 {
                     source_done = true;
                 }
@@ -362,11 +414,13 @@ impl<S: TraceSink> Simulator<S> {
         // Steer: duplicated classes consult the policy, single-module
         // classes trivially use module 0.
         let choices: Vec<fua_steer::ModuleChoice> = if modules > 1 {
-            let policy = self
-                .steering
-                .policy_mut(class)
-                .expect("duplicated classes have a policy");
-            policy.assign(&ops, &self.ports[class.index()])
+            timed!(self, SimPhase::Steer, {
+                let policy = self
+                    .steering
+                    .policy_mut(class)
+                    .expect("duplicated classes have a policy");
+                policy.assign(&ops, &self.ports[class.index()])
+            })
         } else {
             ops.iter()
                 .map(|_| fua_steer::ModuleChoice {
@@ -534,7 +588,7 @@ impl<S: TraceSink> Simulator<S> {
                 }
                 self.rs_used[fu.class.index()] += 1;
             }
-            self.dispatch(op);
+            timed!(self, SimPhase::Rename, self.dispatch(op));
             dispatched += 1;
             if self.fetch_blocked_by.is_some() {
                 break; // mispredicted branch ends the fetch group
@@ -775,6 +829,48 @@ mod tests {
         let res = run(&p);
         assert!(res.halted);
         assert_eq!(res.retired, 32);
+    }
+
+    #[test]
+    fn profiled_run_is_cycle_identical_and_accumulates_time() {
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label();
+        b.li(r(1), 200);
+        b.bind(top);
+        b.add(r(2), r(1), r(1));
+        b.addi(r(1), r(1), -1);
+        b.bgtz(r(1), top);
+        b.halt();
+        let p = b.build().expect("valid");
+        let plain = run(&p);
+        let mut sim = Simulator::with_parts(
+            MachineConfig::default(),
+            SteeringConfig::original(),
+            NullSink,
+            crate::PhaseTimers::new(),
+        );
+        let profiled = sim.run_program(&p, 1_000_000).expect("runs");
+        // The profiler never perturbs simulation state.
+        assert_eq!(plain.cycles, profiled.cycles);
+        assert_eq!(plain.retired, profiled.retired);
+        assert_eq!(plain.ledger, profiled.ledger);
+        let (_, timers) = sim.into_parts();
+        for phase in [
+            SimPhase::Fetch,
+            SimPhase::Rename,
+            SimPhase::Issue,
+            SimPhase::Writeback,
+        ] {
+            assert!(
+                timers.intervals(phase) > 0,
+                "no intervals recorded for {}",
+                phase.name()
+            );
+        }
+        // FCFS steering still solves an assignment for the IALU group.
+        assert!(timers.intervals(SimPhase::Steer) > 0);
+        // Nesting: steer time is a component of issue time.
+        assert!(timers.total(SimPhase::Issue) >= timers.total(SimPhase::Steer));
     }
 
     #[test]

@@ -19,12 +19,17 @@
 //!   Hamming-distance and occupancy distributions);
 //! * [`ChromeTraceSink`] — Chrome trace-event JSON that loads directly in
 //!   Perfetto (`ui.perfetto.dev`) or `chrome://tracing`;
+//! * [`WindowedSink`] — per-K-cycle interval telemetry whose column sums
+//!   reproduce the final energy ledger exactly (CSV + Perfetto counter
+//!   export);
 //! * [`VecSink`] — unbounded capture for tests;
 //! * tuples `(A, B)` — fan-out to several sinks at once.
 //!
 //! This crate also hosts the workspace's dependency-free JSON emitter
 //! ([`Json`]/[`ToJson`]), which moved here from `fua-core` so sinks can
-//! serialise without a dependency cycle through the experiment layer.
+//! serialise without a dependency cycle through the experiment layer,
+//! and its matching parser ([`Json::parse`]) used by the baseline-
+//! comparison tooling in `fua-report`.
 //!
 //! # Examples
 //!
@@ -43,13 +48,17 @@
 mod event;
 mod json;
 mod metrics;
+mod parse;
 mod perfetto;
 mod recorder;
 mod ring;
+mod windowed;
 
 pub use event::{NullSink, Stage, SwapKind, TraceEvent, TraceSink, VecSink};
 pub use json::{Json, ToJson};
 pub use metrics::{Histogram, Metric, MetricId, MetricsRegistry};
+pub use parse::JsonParseError;
 pub use perfetto::ChromeTraceSink;
 pub use recorder::MetricsRecorder;
 pub use ring::RingBufferSink;
+pub use windowed::{WindowRecord, WindowedSeries, WindowedSink, MAX_MODULES};

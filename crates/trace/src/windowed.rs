@@ -1,0 +1,688 @@
+//! Interval telemetry: per-K-cycle snapshots of the event stream.
+//!
+//! End-of-run aggregates hide phase behaviour — a steering policy that
+//! wins on average can still lose badly during a pointer-chasing phase.
+//! [`WindowedSink`] buckets every event into fixed windows of `K` cycles
+//! and accumulates per-window deltas: switched bits per class and per
+//! module, operation counts, steering-case mix, swap counts, retired/
+//! issued instructions, window occupancy, cache and branch outcomes.
+//!
+//! The sink is **exact, not sampled**: every [`TraceEvent::Energy`]
+//! charge lands in exactly one window (by its stamped cycle), so summing
+//! any column over all windows reproduces the run total bit-for-bit.
+//! That invariant is what lets `fua report` treat the time-series as an
+//! alternative decomposition of the final `EnergyLedger` rather than an
+//! approximation of it. Events may arrive out of cycle order (writeback
+//! events are emitted eagerly with future cycles); the window store grows
+//! on demand and attribution is by stamped cycle, so ordering does not
+//! matter.
+//!
+//! # Examples
+//!
+//! ```
+//! use fua_isa::FuClass;
+//! use fua_trace::{TraceEvent, TraceSink, WindowedSink};
+//!
+//! let mut sink = WindowedSink::new(100);
+//! sink.record(&TraceEvent::Energy { cycle: 5, class: FuClass::IntAlu, module: 1, bits: 9 });
+//! sink.record(&TraceEvent::Energy { cycle: 150, class: FuClass::IntAlu, module: 0, bits: 4 });
+//! let series = sink.into_series();
+//! assert_eq!(series.len(), 2);
+//! assert_eq!(series.total_switched_bits(), [13, 0, 0, 0]);
+//! ```
+
+use fua_isa::FuClass;
+
+use crate::{Json, Stage, ToJson, TraceEvent, TraceSink};
+
+/// Per-class module capacity tracked by the windowed sink — matches
+/// [`MetricsRecorder`](crate::MetricsRecorder)'s bound; modules past it
+/// fold into the last slot (the paper's machine uses at most 4).
+pub const MAX_MODULES: usize = 8;
+
+/// The telemetry process id in Chrome trace exports (pid 1 is the
+/// pipeline, pid 2 the functional units — see [`crate::ChromeTraceSink`]).
+const PID_TELEMETRY: u64 = 3;
+
+/// Accumulated deltas for one window of `K` cycles.
+///
+/// All fields are *deltas within the window*, never cumulative values;
+/// cumulative series are recovered by prefix sums, and run totals by
+/// column sums (exactly — see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowRecord {
+    /// Switched input bits charged per FU class (indexed by
+    /// [`FuClass::index`]).
+    pub switched_bits: [u64; 4],
+    /// Switched bits per class × module (modules ≥ [`MAX_MODULES`] fold
+    /// into the last slot).
+    pub module_bits: [[u64; MAX_MODULES]; 4],
+    /// Operations latched (energy charges) per FU class.
+    pub ops: [u64; 4],
+    /// Steering decisions per class × information-bit case.
+    pub steer_cases: [[u64; 4]; 4],
+    /// Operand swaps by mechanism (indexed rule/policy/multiplier, the
+    /// [`crate::SwapKind`] order).
+    pub swaps: [u64; 3],
+    /// Instructions retired (commit-stage events).
+    pub retired: u64,
+    /// Instructions issued (summed from cycle summaries).
+    pub issued: u64,
+    /// Cycles summarised in this window (< K only for the last window).
+    pub cycles: u64,
+    /// Sum of end-of-cycle window occupancies (divide by `cycles` for
+    /// the mean).
+    pub occupancy_sum: u64,
+    /// D-cache hits.
+    pub cache_hits: u64,
+    /// D-cache misses.
+    pub cache_misses: u64,
+    /// Conditional branches resolved.
+    pub branches: u64,
+    /// Branches the bimodal predictor got wrong.
+    pub mispredicts: u64,
+}
+
+impl WindowRecord {
+    const ZERO: WindowRecord = WindowRecord {
+        switched_bits: [0; 4],
+        module_bits: [[0; MAX_MODULES]; 4],
+        ops: [0; 4],
+        steer_cases: [[0; 4]; 4],
+        swaps: [0; 3],
+        retired: 0,
+        issued: 0,
+        cycles: 0,
+        occupancy_sum: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+        branches: 0,
+        mispredicts: 0,
+    };
+
+    /// Retired instructions per summarised cycle (0 for an empty window).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean end-of-cycle window occupancy (0 for an empty window).
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// A [`TraceSink`] that folds the event stream into per-K-cycle
+/// [`WindowRecord`]s; call [`into_series`](WindowedSink::into_series)
+/// after the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowedSink {
+    window_cycles: u64,
+    windows: Vec<WindowRecord>,
+}
+
+impl WindowedSink {
+    /// A sink bucketing by `window_cycles`-cycle windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_cycles` is 0.
+    pub fn new(window_cycles: u64) -> Self {
+        assert!(window_cycles > 0, "window size must be at least one cycle");
+        WindowedSink {
+            window_cycles,
+            windows: Vec::new(),
+        }
+    }
+
+    /// The configured window size in cycles.
+    pub fn window_cycles(&self) -> u64 {
+        self.window_cycles
+    }
+
+    #[inline]
+    fn window(&mut self, cycle: u64) -> &mut WindowRecord {
+        let idx = (cycle / self.window_cycles) as usize;
+        if idx >= self.windows.len() {
+            self.windows.resize(idx + 1, WindowRecord::ZERO);
+        }
+        &mut self.windows[idx]
+    }
+
+    /// Finishes the run and yields the time-series.
+    pub fn into_series(self) -> WindowedSeries {
+        WindowedSeries {
+            window_cycles: self.window_cycles,
+            windows: self.windows,
+        }
+    }
+}
+
+impl Default for WindowedSink {
+    /// A sink with a 1 024-cycle window.
+    fn default() -> Self {
+        WindowedSink::new(1024)
+    }
+}
+
+impl TraceSink for WindowedSink {
+    fn record(&mut self, event: &TraceEvent) {
+        let w = self.window(event.cycle());
+        match *event {
+            TraceEvent::Stage { stage, .. } => {
+                if stage == Stage::Retire {
+                    w.retired += 1;
+                }
+            }
+            TraceEvent::Steer { class, case, .. } => {
+                w.steer_cases[class.index()][case.index()] += 1;
+            }
+            TraceEvent::OperandSwap { kind, .. } => {
+                w.swaps[kind as usize] += 1;
+            }
+            TraceEvent::Energy {
+                class,
+                module,
+                bits,
+                ..
+            } => {
+                let c = class.index();
+                w.switched_bits[c] += bits as u64;
+                w.module_bits[c][(module as usize).min(MAX_MODULES - 1)] += bits as u64;
+                w.ops[c] += 1;
+            }
+            TraceEvent::Execute { .. } => {}
+            TraceEvent::Cache { hit, .. } => {
+                if hit {
+                    w.cache_hits += 1;
+                } else {
+                    w.cache_misses += 1;
+                }
+            }
+            TraceEvent::Branch {
+                taken, predicted, ..
+            } => {
+                w.branches += 1;
+                if taken != predicted {
+                    w.mispredicts += 1;
+                }
+            }
+            TraceEvent::CycleSummary { window, issued, .. } => {
+                w.cycles += 1;
+                w.issued += issued as u64;
+                w.occupancy_sum += window as u64;
+            }
+        }
+    }
+}
+
+/// The finished per-window time-series of one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowedSeries {
+    window_cycles: u64,
+    windows: Vec<WindowRecord>,
+}
+
+impl WindowedSeries {
+    /// The window size in cycles.
+    pub fn window_cycles(&self) -> u64 {
+        self.window_cycles
+    }
+
+    /// Number of windows (including interior all-zero windows).
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether no window was ever touched.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The window records, in time order.
+    pub fn windows(&self) -> &[WindowRecord] {
+        &self.windows
+    }
+
+    /// Per-class switched-bit totals summed over every window. By the
+    /// exactness invariant this equals the final `EnergyLedger`'s
+    /// per-class `switched_bits` exactly.
+    pub fn total_switched_bits(&self) -> [u64; 4] {
+        let mut t = [0u64; 4];
+        for w in &self.windows {
+            for (acc, v) in t.iter_mut().zip(w.switched_bits) {
+                *acc += v;
+            }
+        }
+        t
+    }
+
+    /// Per-class operation totals summed over every window (equals the
+    /// ledger's per-class `ops`).
+    pub fn total_ops(&self) -> [u64; 4] {
+        let mut t = [0u64; 4];
+        for w in &self.windows {
+            for (acc, v) in t.iter_mut().zip(w.ops) {
+                *acc += v;
+            }
+        }
+        t
+    }
+
+    /// Per-class × per-module switched-bit totals (equals the metrics
+    /// registry's `switched_bits.{class}.m{N}` counters).
+    pub fn total_module_bits(&self) -> [[u64; MAX_MODULES]; 4] {
+        let mut t = [[0u64; MAX_MODULES]; 4];
+        for w in &self.windows {
+            for (tc, wc) in t.iter_mut().zip(w.module_bits) {
+                for (acc, v) in tc.iter_mut().zip(wc) {
+                    *acc += v;
+                }
+            }
+        }
+        t
+    }
+
+    /// Total retired instructions.
+    pub fn total_retired(&self) -> u64 {
+        self.windows.iter().map(|w| w.retired).sum()
+    }
+
+    /// Total summarised cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.windows.iter().map(|w| w.cycles).sum()
+    }
+
+    /// Highest module index that saw traffic in `class`, or `None`.
+    fn max_module(&self, class: usize) -> Option<usize> {
+        self.windows
+            .iter()
+            .flat_map(|w| {
+                w.module_bits[class]
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, b)| **b > 0)
+                    .map(|(m, _)| m)
+            })
+            .max()
+    }
+
+    /// Renders the series as CSV: one row per window, a fixed header of
+    /// per-class aggregates plus per-module columns for every module
+    /// that saw traffic (so the column set is a function of the machine
+    /// configuration, not of the run length).
+    pub fn to_csv(&self) -> String {
+        let module_cols: Vec<(usize, usize)> = FuClass::ALL
+            .iter()
+            .flat_map(|class| {
+                let c = class.index();
+                (0..=self.max_module(c).map_or(0, |m| m)).map(move |m| (c, m))
+            })
+            .collect();
+
+        let mut out = String::from("window,start_cycle,cycles,retired,issued,ipc,occupancy_avg");
+        for class in FuClass::ALL {
+            out.push_str(&format!(",bits_{class},ops_{class}"));
+        }
+        for &(c, m) in &module_cols {
+            out.push_str(&format!(",bits_{}_m{m}", FuClass::ALL[c]));
+        }
+        for class in FuClass::ALL {
+            for case in 0..4 {
+                out.push_str(&format!(",steer_{class}_case{case:02b}"));
+            }
+        }
+        out.push_str(
+            ",swaps_rule,swaps_policy,swaps_multiplier,\
+             cache_hits,cache_misses,branches,mispredicts\n",
+        );
+
+        for (i, w) in self.windows.iter().enumerate() {
+            out.push_str(&format!(
+                "{i},{},{},{},{},{:.4},{:.4}",
+                i as u64 * self.window_cycles,
+                w.cycles,
+                w.retired,
+                w.issued,
+                w.ipc(),
+                w.mean_occupancy(),
+            ));
+            for c in 0..4 {
+                out.push_str(&format!(",{},{}", w.switched_bits[c], w.ops[c]));
+            }
+            for &(c, m) in &module_cols {
+                out.push_str(&format!(",{}", w.module_bits[c][m]));
+            }
+            for c in 0..4 {
+                for case in 0..4 {
+                    out.push_str(&format!(",{}", w.steer_cases[c][case]));
+                }
+            }
+            out.push_str(&format!(
+                ",{},{},{},{},{},{},{}\n",
+                w.swaps[0],
+                w.swaps[1],
+                w.swaps[2],
+                w.cache_hits,
+                w.cache_misses,
+                w.branches,
+                w.mispredicts,
+            ));
+        }
+        out
+    }
+
+    /// Chrome trace-event counter tracks (`ph: "C"`) for the series,
+    /// one sample per window at the window's start cycle (1 cycle =
+    /// 1 µs), under a dedicated *telemetry* process. Concatenate with
+    /// [`ChromeTraceSink`](crate::ChromeTraceSink) events or wrap with
+    /// [`into_chrome_json`](WindowedSeries::into_chrome_json).
+    pub fn counter_events(&self) -> Vec<Json> {
+        let mut events = vec![Json::obj([
+            ("name", Json::Str("process_name".into())),
+            ("ph", Json::Str("M".into())),
+            ("pid", Json::UInt(PID_TELEMETRY)),
+            ("args", Json::obj([("name", Json::Str("telemetry".into()))])),
+        ])];
+        let counter = |name: &str, ts: u64, args: Json| {
+            Json::obj([
+                ("name", Json::Str(name.into())),
+                ("ph", Json::Str("C".into())),
+                ("ts", Json::UInt(ts)),
+                ("pid", Json::UInt(PID_TELEMETRY)),
+                ("args", args),
+            ])
+        };
+        for (i, w) in self.windows.iter().enumerate() {
+            let ts = i as u64 * self.window_cycles;
+            events.push(counter(
+                "window.switched_bits",
+                ts,
+                Json::Obj(
+                    FuClass::ALL
+                        .iter()
+                        .map(|c| (c.to_string(), Json::UInt(w.switched_bits[c.index()])))
+                        .collect(),
+                ),
+            ));
+            events.push(counter(
+                "window.ipc",
+                ts,
+                Json::obj([("ipc", Json::Float(w.ipc()))]),
+            ));
+            events.push(counter(
+                "window.occupancy",
+                ts,
+                Json::obj([("entries", Json::Float(w.mean_occupancy()))]),
+            ));
+            for class in FuClass::ALL {
+                let cases = w.steer_cases[class.index()];
+                if cases.iter().all(|&n| n == 0) {
+                    continue;
+                }
+                events.push(counter(
+                    &format!("window.steer.{class}"),
+                    ts,
+                    Json::Obj(
+                        (0..4)
+                            .map(|k| (format!("case{k:02b}"), Json::UInt(cases[k])))
+                            .collect(),
+                    ),
+                ));
+            }
+        }
+        events
+    }
+
+    /// The counter tracks wrapped as a standalone Chrome trace JSON
+    /// document, loadable at `ui.perfetto.dev`.
+    pub fn into_chrome_json(self) -> Json {
+        Json::obj([
+            ("traceEvents", Json::Arr(self.counter_events())),
+            ("displayTimeUnit", Json::Str("ms".into())),
+            (
+                "otherData",
+                Json::obj([("producer", Json::Str("fua-trace windowed".into()))]),
+            ),
+        ])
+    }
+}
+
+impl ToJson for WindowedSeries {
+    /// A compact JSON form: window size plus per-window rows of the
+    /// headline columns (bits/ops per class, retired, cycles, IPC).
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("window_cycles", Json::UInt(self.window_cycles)),
+            (
+                "windows",
+                Json::Arr(
+                    self.windows
+                        .iter()
+                        .map(|w| {
+                            Json::obj([
+                                (
+                                    "switched_bits",
+                                    Json::Arr(
+                                        w.switched_bits.iter().map(|&b| Json::UInt(b)).collect(),
+                                    ),
+                                ),
+                                (
+                                    "ops",
+                                    Json::Arr(w.ops.iter().map(|&b| Json::UInt(b)).collect()),
+                                ),
+                                ("retired", Json::UInt(w.retired)),
+                                ("issued", Json::UInt(w.issued)),
+                                ("cycles", Json::UInt(w.cycles)),
+                                ("ipc", Json::Float(w.ipc())),
+                                ("occupancy", Json::Float(w.mean_occupancy())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SwapKind;
+    use fua_isa::{Case, Opcode};
+
+    fn energy(cycle: u64, class: FuClass, module: u8, bits: u32) -> TraceEvent {
+        TraceEvent::Energy {
+            cycle,
+            class,
+            module,
+            bits,
+        }
+    }
+
+    #[test]
+    fn events_bucket_by_stamped_cycle() {
+        let mut sink = WindowedSink::new(10);
+        sink.record(&energy(0, FuClass::IntAlu, 0, 3));
+        sink.record(&energy(9, FuClass::IntAlu, 1, 4));
+        sink.record(&energy(10, FuClass::FpAlu, 0, 5));
+        let series = sink.into_series();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series.windows()[0].switched_bits[0], 7);
+        assert_eq!(series.windows()[1].switched_bits[FuClass::FpAlu.index()], 5);
+    }
+
+    #[test]
+    fn out_of_order_future_cycles_land_in_the_right_window() {
+        let mut sink = WindowedSink::new(100);
+        // Eagerly-emitted writeback for a far-future cycle, then an
+        // earlier energy charge: both must land where stamped.
+        sink.record(&TraceEvent::Stage {
+            stage: Stage::Writeback,
+            cycle: 950,
+            serial: 1,
+            opcode: Opcode::Add,
+        });
+        sink.record(&energy(350, FuClass::IntAlu, 2, 8));
+        sink.record(&energy(955, FuClass::IntAlu, 2, 6));
+        let series = sink.into_series();
+        assert_eq!(series.len(), 10);
+        assert_eq!(series.windows()[3].switched_bits[0], 8);
+        assert_eq!(series.windows()[9].switched_bits[0], 6);
+        assert_eq!(series.total_switched_bits(), [14, 0, 0, 0]);
+    }
+
+    #[test]
+    fn totals_sum_every_window_exactly() {
+        let mut sink = WindowedSink::new(7);
+        let mut expect_bits = [0u64; 4];
+        let mut expect_ops = [0u64; 4];
+        // A deterministic pseudo-stream across all classes and modules.
+        for i in 0..1000u64 {
+            let class = FuClass::ALL[(i % 4) as usize];
+            let module = (i % 5) as u8;
+            let bits = (i * 7 % 33) as u32;
+            sink.record(&energy(i * 3 % 400, class, module, bits));
+            expect_bits[class.index()] += bits as u64;
+            expect_ops[class.index()] += 1;
+        }
+        let series = sink.into_series();
+        assert_eq!(series.total_switched_bits(), expect_bits);
+        assert_eq!(series.total_ops(), expect_ops);
+        let module_totals = series.total_module_bits();
+        for c in 0..4 {
+            assert_eq!(
+                module_totals[c].iter().sum::<u64>(),
+                expect_bits[c],
+                "module partition of class {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn ipc_and_occupancy_derive_from_cycle_summaries() {
+        let mut sink = WindowedSink::new(4);
+        for cycle in 0..4 {
+            sink.record(&TraceEvent::CycleSummary {
+                cycle,
+                window: 6,
+                issued: 2,
+            });
+            sink.record(&TraceEvent::Stage {
+                stage: Stage::Retire,
+                cycle,
+                serial: cycle,
+                opcode: Opcode::Add,
+            });
+        }
+        let series = sink.into_series();
+        let w = &series.windows()[0];
+        assert_eq!(w.cycles, 4);
+        assert_eq!(w.issued, 8);
+        assert_eq!(w.retired, 4);
+        assert!((w.ipc() - 1.0).abs() < 1e-12);
+        assert!((w.mean_occupancy() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steering_swap_cache_branch_mixes_accumulate() {
+        let mut sink = WindowedSink::new(100);
+        sink.record(&TraceEvent::Steer {
+            cycle: 1,
+            serial: 0,
+            class: FuClass::IntAlu,
+            case: Case::C10,
+            module: 1,
+            swap: false,
+            cost_bits: 2,
+        });
+        sink.record(&TraceEvent::OperandSwap {
+            cycle: 1,
+            serial: 0,
+            class: FuClass::IntAlu,
+            kind: SwapKind::Rule,
+        });
+        sink.record(&TraceEvent::Cache {
+            cycle: 2,
+            serial: 1,
+            addr: 64,
+            hit: false,
+            latency: 10,
+        });
+        sink.record(&TraceEvent::Branch {
+            cycle: 3,
+            serial: 2,
+            taken: true,
+            predicted: false,
+        });
+        let w = sink.into_series().windows()[0];
+        assert_eq!(w.steer_cases[FuClass::IntAlu.index()][Case::C10.index()], 1);
+        assert_eq!(w.swaps[SwapKind::Rule as usize], 1);
+        assert_eq!(w.cache_misses, 1);
+        assert_eq!(w.branches, 1);
+        assert_eq!(w.mispredicts, 1);
+    }
+
+    #[test]
+    fn csv_has_one_row_per_window_and_a_stable_header() {
+        let mut sink = WindowedSink::new(10);
+        sink.record(&energy(0, FuClass::IntAlu, 3, 5));
+        sink.record(&energy(25, FuClass::IntAlu, 0, 2));
+        let csv = sink.into_series().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4, "header + 3 windows");
+        assert!(lines[0].starts_with("window,start_cycle,cycles"));
+        assert!(lines[0].contains("bits_IALU_m3"), "{}", lines[0]);
+        assert!(lines[0].contains("steer_IALU_case00"));
+        assert!(lines[1].starts_with("0,0,"));
+        assert!(lines[2].starts_with("1,10,"));
+        // Every row has the same column count as the header.
+        let cols = lines[0].split(',').count();
+        for row in &lines[1..] {
+            assert_eq!(row.split(',').count(), cols);
+        }
+    }
+
+    #[test]
+    fn counter_events_form_a_loadable_chrome_trace() {
+        let mut sink = WindowedSink::new(50);
+        sink.record(&energy(10, FuClass::IntAlu, 0, 4));
+        sink.record(&TraceEvent::CycleSummary {
+            cycle: 10,
+            window: 3,
+            issued: 1,
+        });
+        let json = sink.into_series().into_chrome_json().compact();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("window.switched_bits"));
+        assert!(json.contains("\"telemetry\""));
+        // And the document round-trips through our own parser.
+        assert!(Json::parse(&json).is_ok());
+    }
+
+    #[test]
+    fn oversized_module_indices_fold_into_the_last_slot() {
+        let mut sink = WindowedSink::new(10);
+        sink.record(&energy(0, FuClass::IntMul, 200, 7));
+        let series = sink.into_series();
+        assert_eq!(
+            series.windows()[0].module_bits[FuClass::IntMul.index()][MAX_MODULES - 1],
+            7
+        );
+        assert_eq!(series.total_switched_bits()[FuClass::IntMul.index()], 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "window size")]
+    fn zero_window_size_panics() {
+        WindowedSink::new(0);
+    }
+}

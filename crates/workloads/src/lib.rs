@@ -254,6 +254,15 @@ pub fn by_name(name: &str, scale: u32) -> Option<Workload> {
     all(scale).into_iter().find(|w| w.name == name)
 }
 
+/// The deterministic data-generation seed of a workload on input set
+/// `input` — the value recorded in run manifests so an artifact pins the
+/// exact data its numbers were measured on. Derived from the workload
+/// name (FNV-1a) mixed with the input number; input 0 is the default
+/// data set.
+pub fn seed_of(name: &str, input: u32) -> u64 {
+    util::seeded_rng_input(name, input).seed()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

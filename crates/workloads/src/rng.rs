@@ -34,6 +34,12 @@ impl SplitMix64 {
         SplitMix64 { state: seed }
     }
 
+    /// The current state — for a freshly-seeded generator, the seed
+    /// itself (recorded in run manifests for reproducibility).
+    pub fn seed(&self) -> u64 {
+        self.state
+    }
+
     /// The next 64 pseudo-random bits.
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);

@@ -49,8 +49,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The metrics partition the energy ledger exactly.
     let recorded = registry.sum_counters(&format!("switched_bits.{}.", FuClass::IntAlu));
     assert_eq!(recorded, result.ledger.switched_bits(FuClass::IntAlu));
-    println!(
-        "per-module counters sum to the IALU ledger total: {recorded} switched bits"
-    );
+    println!("per-module counters sum to the IALU ledger total: {recorded} switched bits");
     Ok(())
 }

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Full local gate: format, lints, build, and the whole test suite.
+# Full local gate: format, lints, build, the whole test suite, and the
+# BENCH regression gate against the committed seed baseline.
 # Usage: scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -15,4 +16,16 @@ cargo build --release
 cargo test --workspace -q
 cargo test --workspace -q --features json
 cargo test --workspace -q --no-default-features
+
+# Observability gate: a fresh quick-suite BENCH artifact must pass the
+# tolerance-banded comparison against the committed seed baseline.
+repo="$(pwd)"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+(
+  cd "$tmpdir"
+  "$repo/target/release/fua" bench-suite --tag check
+  "$repo/target/release/fua" report \
+    --baseline "$repo/BENCH_seed.json" --current BENCH_check.json
+)
 echo "all checks passed"

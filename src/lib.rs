@@ -18,6 +18,7 @@ pub use fua_analysis as analysis;
 pub use fua_core as core;
 pub use fua_isa as isa;
 pub use fua_power as power;
+pub use fua_report as report;
 pub use fua_sim as sim;
 pub use fua_stats as stats;
 pub use fua_steer as steer;

@@ -15,17 +15,30 @@
 //! fua workloads               list the bundled workloads
 //! fua run <workload>          simulate one workload under every scheme
 //! fua trace <workload>        cycle-level trace of one workload
+//! fua bench-suite             run the quick suite, write BENCH_<tag>.json
+//! fua report                  diff a BENCH artifact against a baseline
 //!
-//! options: --limit <N>   retired-instruction cap per run
-//!                        (default 150000; 20000 for `trace`)
-//!          --scale <N>   workload scale factor (default 1)
-//!          --json        emit machine-readable JSON instead of tables
-//!          --metrics     print a metrics snapshot (run/figure4/headline/trace)
-//!          --out <FILE>  write Chrome trace-event JSON (trace only)
-//!          --last <N>    print the last N trace events (trace only)
-//!          --version     print the version and exit
-//!          --help        print the command table and exit
+//! options: --limit <N>      retired-instruction cap per run
+//!                           (default 150000; 20000 for `trace`;
+//!                           25000 for `bench-suite`/`report`)
+//!          --scale <N>      workload scale factor (default 1)
+//!          --json           emit machine-readable JSON instead of tables
+//!          --metrics        print a metrics snapshot (run/figure4/headline/trace)
+//!          --out <FILE>     write Chrome trace-event JSON (trace only)
+//!          --last <N>       print the last N trace events (trace only)
+//!          --window <N>     telemetry window in cycles (trace/bench-suite/report)
+//!          --csv <FILE>     write windowed telemetry CSV (trace only)
+//!          --tag <T>        artifact tag for bench-suite (default "local")
+//!          --baseline <F>   baseline BENCH json for report (required)
+//!          --current <F>    current BENCH json for report (default: fresh run)
+//!          --version        print the version and exit
+//!          --help           print the command table and exit
 //! ```
+//!
+//! Human-readable progress and log lines go to **stderr**; stdout carries
+//! only the command's actual output (tables, JSON, trace tails, report
+//! findings), so `fua run --json`, `fua trace --out` and the report
+//! commands compose cleanly with pipes.
 
 use std::process::ExitCode;
 
@@ -34,6 +47,7 @@ use fua::core::{
     swap_sensitivity, synthesis_report, workload_breakdown, ExperimentConfig, Unit,
 };
 use fua::isa::FuClass;
+use fua::report::{bench_suite, compare, BenchReport, Severity, Tolerance, DEFAULT_WINDOW_CYCLES};
 use fua::sim::{MachineConfig, Simulator, SteeringConfig};
 use fua::stats::TextTable;
 use fua::steer::SteeringKind;
@@ -51,6 +65,11 @@ struct Options {
     metrics: bool,
     out: Option<String>,
     last: Option<usize>,
+    window: Option<u64>,
+    csv: Option<String>,
+    tag: Option<String>,
+    baseline: Option<String>,
+    current: Option<String>,
 }
 
 fn usage() -> ExitCode {
@@ -59,7 +78,9 @@ fn usage() -> ExitCode {
          commands: tables | figure4 <ialu|fpau> | headline | fig1 | synth | \
          chip | breakdown <ialu|fpau> | sensitivity | staticswap <ialu|fpau> | \
          analyze <workload> | lint [workload] | workloads | run <workload> | \
-         trace <workload> [--out FILE] [--last N]\n\
+         trace <workload> [--out FILE] [--last N] [--window N] [--csv FILE] | \
+         bench-suite [--tag T] [--window N] | \
+         report --baseline FILE [--current FILE]\n\
          try `fua --help` for details"
     );
     ExitCode::FAILURE
@@ -84,19 +105,39 @@ fn help() {
          \x20 workloads               list the bundled workloads\n\
          \x20 run <workload>          simulate one workload under every scheme\n\
          \x20 trace <workload>        cycle-level trace under 4-bit LUT + hw swap\n\
+         \x20 bench-suite             quick suite -> BENCH_<tag>.json artifact\n\
+         \x20 report                  tolerance-banded diff vs a BENCH baseline\n\
          \n\
          options:\n\
-         \x20 --limit <N>    retired-instruction cap per run\n\
-         \x20                (default {DEFAULT_LIMIT}; {TRACE_DEFAULT_LIMIT} for trace)\n\
-         \x20 --scale <N>    workload scale factor (default 1)\n\
-         \x20 --json         emit machine-readable JSON instead of tables\n\
-         \x20 --metrics      print a metrics snapshot (run/figure4/headline/trace)\n\
-         \x20 --out <FILE>   write Chrome trace-event JSON for Perfetto (trace)\n\
-         \x20 --last <N>     print the last N trace events (trace)\n\
-         \x20 --version, -V  print the version and exit\n\
-         \x20 --help, -h     print this help and exit",
+         \x20 --limit <N>     retired-instruction cap per run\n\
+         \x20                 (default {DEFAULT_LIMIT}; {TRACE_DEFAULT_LIMIT} for trace;\n\
+         \x20                 quick-config 25000 for bench-suite/report)\n\
+         \x20 --scale <N>     workload scale factor (default 1)\n\
+         \x20 --json          emit machine-readable JSON instead of tables\n\
+         \x20 --metrics       print a metrics snapshot (run/figure4/headline/trace)\n\
+         \x20 --out <FILE>    write Chrome trace-event JSON for Perfetto (trace)\n\
+         \x20 --last <N>      print the last N trace events (trace)\n\
+         \x20 --window <N>    telemetry window in cycles (default {DEFAULT_WINDOW_CYCLES})\n\
+         \x20 --csv <FILE>    write the windowed telemetry time-series CSV (trace)\n\
+         \x20 --tag <T>       artifact tag: bench-suite writes BENCH_<T>.json\n\
+         \x20 --baseline <F>  baseline artifact for `report` (required)\n\
+         \x20 --current <F>   current artifact for `report` (default: fresh run)\n\
+         \x20 --version, -V   print the version and exit\n\
+         \x20 --help, -h      print this help and exit",
         env!("CARGO_PKG_VERSION")
     );
+}
+
+/// Parses a flag value as a positive integer; 0 and non-numeric input
+/// are rejected with an error naming the flag.
+fn positive_u64(flag: &str, value: &str) -> Result<u64, String> {
+    let n: u64 = value
+        .parse()
+        .map_err(|_| format!("{flag} expects a positive integer, got `{value}`"))?;
+    if n == 0 {
+        return Err(format!("{flag} must be at least 1, got 0"));
+    }
+    Ok(n)
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -107,17 +148,23 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         metrics: false,
         out: None,
         last: None,
+        window: None,
+        csv: None,
+        tag: None,
+        baseline: None,
+        current: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--limit" => {
                 let v = it.next().ok_or("--limit needs a value")?;
-                opts.limit = Some(v.parse().map_err(|_| format!("bad --limit: {v}"))?);
+                opts.limit = Some(positive_u64("--limit", v)?);
             }
             "--scale" => {
                 let v = it.next().ok_or("--scale needs a value")?;
-                opts.scale = v.parse().map_err(|_| format!("bad --scale: {v}"))?;
+                let n = positive_u64("--scale", v)?;
+                opts.scale = u32::try_from(n).map_err(|_| format!("--scale is too large: {v}"))?;
             }
             "--json" => opts.json = true,
             "--metrics" => opts.metrics = true,
@@ -127,7 +174,27 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--last" => {
                 let v = it.next().ok_or("--last needs a value")?;
-                opts.last = Some(v.parse().map_err(|_| format!("bad --last: {v}"))?);
+                opts.last = Some(positive_u64("--last", v)? as usize);
+            }
+            "--window" => {
+                let v = it.next().ok_or("--window needs a value")?;
+                opts.window = Some(positive_u64("--window", v)?);
+            }
+            "--csv" => {
+                let v = it.next().ok_or("--csv needs a file path")?;
+                opts.csv = Some(v.clone());
+            }
+            "--tag" => {
+                let v = it.next().ok_or("--tag needs a value")?;
+                opts.tag = Some(v.clone());
+            }
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline needs a file path")?;
+                opts.baseline = Some(v.clone());
+            }
+            "--current" => {
+                let v = it.next().ok_or("--current needs a file path")?;
+                opts.current = Some(v.clone());
             }
             other => return Err(format!("unknown option: {other}")),
         }
@@ -141,6 +208,27 @@ fn config(opts: &Options) -> ExperimentConfig {
         inst_limit: opts.limit.unwrap_or(DEFAULT_LIMIT),
         machine: MachineConfig::paper_default(),
     }
+}
+
+/// The configuration `bench-suite`/`report` measure under: the quick
+/// experiment config unless `--limit`/`--scale` override it.
+fn bench_config(opts: &Options) -> ExperimentConfig {
+    let quick = ExperimentConfig::quick();
+    ExperimentConfig {
+        scale: opts.scale,
+        inst_limit: opts.limit.unwrap_or(quick.inst_limit),
+        machine: quick.machine,
+    }
+}
+
+/// The error for a workload name that does not exist, listing the names
+/// that do (the same list `fua workloads` prints).
+fn unknown_workload(name: &str, scale: u32) -> String {
+    let names: Vec<&str> = fua::workloads::all(scale).iter().map(|w| w.name).collect();
+    format!(
+        "unknown workload: {name}\navailable workloads: {}",
+        names.join(", ")
+    )
 }
 
 #[cfg(not(feature = "trace"))]
@@ -294,7 +382,7 @@ fn bit_glyph(bit: fua::analysis::AbsBit) -> &'static str {
 
 fn cmd_analyze(name: &str, opts: &Options) -> Result<(), String> {
     let w = fua::workloads::by_name(name, opts.scale)
-        .ok_or_else(|| format!("unknown workload: {name} (try `fua workloads`)"))?;
+        .ok_or_else(|| unknown_workload(name, opts.scale))?;
     let analysis = fua::analysis::InfoBitAnalysis::run(&w.program);
     let mut t = TextTable::new(["#", "op", "class", "op1", "op2", "case"]);
     for idx in 0..w.program.len() {
@@ -350,7 +438,7 @@ fn cmd_lint(name: Option<&str>, opts: &Options) -> Result<bool, String> {
     let total = match name {
         Some(n) => {
             let w = fua::workloads::by_name(n, opts.scale)
-                .ok_or_else(|| format!("unknown workload: {n} (try `fua workloads`)"))?;
+                .ok_or_else(|| unknown_workload(n, opts.scale))?;
             lint_one(&w)
         }
         None => fua::workloads::all(opts.scale).iter().map(lint_one).sum(),
@@ -363,7 +451,7 @@ fn cmd_lint(name: Option<&str>, opts: &Options) -> Result<bool, String> {
 
 fn cmd_run(name: &str, opts: &Options) -> Result<(), String> {
     let w = fua::workloads::by_name(name, opts.scale)
-        .ok_or_else(|| format!("unknown workload: {name} (try `fua workloads`)"))?;
+        .ok_or_else(|| unknown_workload(name, opts.scale))?;
     let class = match w.category {
         fua::workloads::Category::Integer => FuClass::IntAlu,
         fua::workloads::Category::FloatingPoint => FuClass::FpAlu,
@@ -567,44 +655,67 @@ fn fmt_event(e: &fua::trace::TraceEvent) -> String {
 
 #[cfg(feature = "trace")]
 fn cmd_trace(name: &str, opts: &Options) -> Result<(), String> {
-    use fua::trace::{ChromeTraceSink, MetricsRecorder, RingBufferSink};
+    use fua::trace::{ChromeTraceSink, Json, MetricsRecorder, RingBufferSink, WindowedSink};
 
     let w = fua::workloads::by_name(name, opts.scale)
-        .ok_or_else(|| format!("unknown workload: {name} (try `fua workloads`)"))?;
+        .ok_or_else(|| unknown_workload(name, opts.scale))?;
     let limit = opts.limit.unwrap_or(TRACE_DEFAULT_LIMIT);
+    let window = opts.window.unwrap_or(DEFAULT_WINDOW_CYCLES);
     let mut sim = Simulator::with_sink(
         MachineConfig::paper_default(),
         fua::core::observed_scheme(),
         (
             ChromeTraceSink::new(),
-            (RingBufferSink::default(), MetricsRecorder::new()),
+            (
+                RingBufferSink::default(),
+                (MetricsRecorder::new(), WindowedSink::new(window)),
+            ),
         ),
     );
     let result = sim
         .run_program(&w.program, limit)
         .map_err(|e| e.to_string())?;
-    let (chrome, (ring, recorder)) = sim.into_sink();
+    let (chrome, (ring, (recorder, windowed))) = sim.into_sink();
     let registry = recorder.into_registry();
+    let series = windowed.into_series();
 
-    println!(
+    // Progress lines go to stderr; stdout stays machine-clean for
+    // `--out`/`--csv` pipelines.
+    eprintln!(
         "{}: retired {} in {} cycles (IPC {:.2}) under 4-bit LUT + hw swap; \
-         {} trace events ({} retained in ring)",
+         {} trace events ({} retained in ring), {} telemetry windows of {} cycles",
         w.name,
         result.retired,
         result.cycles,
         result.ipc(),
         ring.recorded(),
         ring.events().len(),
+        series.len(),
+        series.window_cycles(),
     );
 
     if let Some(path) = &opts.out {
-        std::fs::write(path, chrome.into_json().compact())
-            .map_err(|e| format!("writing {path}: {e}"))?;
-        println!("wrote Chrome trace JSON to {path} — load it at https://ui.perfetto.dev");
+        // Merge the windowed counter tracks into the Chrome document so
+        // Perfetto shows counters alongside the per-instruction slices.
+        let mut doc = chrome.into_json();
+        if let Json::Obj(fields) = &mut doc {
+            if let Some((_, Json::Arr(events))) =
+                fields.iter_mut().find(|(k, _)| k == "traceEvents")
+            {
+                events.extend(series.counter_events());
+            }
+        }
+        std::fs::write(path, doc.compact()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote Chrome trace JSON to {path} — load it at https://ui.perfetto.dev");
+    }
+
+    if let Some(path) = &opts.csv {
+        std::fs::write(path, series.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote windowed telemetry CSV to {path}");
     }
 
     let tail = opts.last.unwrap_or(16);
-    if opts.last.is_some() || opts.out.is_none() {
+    if opts.last.is_some() || (opts.out.is_none() && opts.csv.is_none()) {
         println!("last {} events:", tail.min(ring.events().len()));
         for e in ring.tail(tail) {
             println!("{}", fmt_event(e));
@@ -614,12 +725,89 @@ fn cmd_trace(name: &str, opts: &Options) -> Result<(), String> {
     if opts.metrics {
         println!("\nmetrics:\n{registry}");
     } else {
-        println!(
+        eprintln!(
             "(--metrics prints the counter/histogram snapshot; \
-             --out FILE exports Perfetto JSON; --last N sizes the tail)"
+             --out FILE exports Perfetto JSON; --csv FILE the telemetry series; \
+             --last N sizes the tail)"
         );
     }
     Ok(())
+}
+
+#[cfg(not(feature = "trace"))]
+fn cmd_trace(_name: &str, _opts: &Options) -> Result<(), String> {
+    Err("`fua trace` requires the `trace` feature (rebuild with `--features trace`)".into())
+}
+
+fn load_bench(path: &str) -> Result<BenchReport, String> {
+    let contents = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    contents
+        .parse::<BenchReport>()
+        .map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_bench_suite(opts: &Options) -> Result<(), String> {
+    let tag = opts.tag.as_deref().unwrap_or("local");
+    let cfg = bench_config(opts);
+    let window = opts.window.unwrap_or(DEFAULT_WINDOW_CYCLES);
+    eprintln!(
+        "bench-suite: measuring quick suite (scale {}, limit {}, window {} cycles) ...",
+        cfg.scale, cfg.inst_limit, window
+    );
+    let report = bench_suite(tag, &cfg, window);
+    let path = format!("BENCH_{tag}.json");
+    let mut rendered = report.to_json().pretty();
+    rendered.push('\n');
+    std::fs::write(&path, rendered).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!(
+        "bench-suite: wrote {path} (IALU {:.1}%, FPAU {:.1}%, {} windows, telemetry exact: {})",
+        report.headline_ialu_pct,
+        report.headline_fpau_pct,
+        report.telemetry.windows,
+        report.telemetry.exact
+    );
+    if !report.telemetry.exact {
+        return Err("windowed telemetry sums did not reproduce the energy ledger".into());
+    }
+    Ok(())
+}
+
+fn cmd_report(opts: &Options) -> Result<bool, String> {
+    let baseline_path = opts
+        .baseline
+        .as_deref()
+        .ok_or("report needs --baseline <FILE> (a BENCH_<tag>.json artifact)")?;
+    let baseline = load_bench(baseline_path)?;
+    let current = match opts.current.as_deref() {
+        Some(path) => load_bench(path)?,
+        None => {
+            let cfg = bench_config(opts);
+            let window = opts.window.unwrap_or(DEFAULT_WINDOW_CYCLES);
+            eprintln!(
+                "report: no --current given; running a fresh bench-suite \
+                 (scale {}, limit {}) ...",
+                cfg.scale, cfg.inst_limit
+            );
+            bench_suite("current", &cfg, window)
+        }
+    };
+
+    let cmp = compare(&baseline, &current, &Tolerance::default());
+    for f in &cmp.findings {
+        let tag = match f.severity {
+            Severity::Regression => "REGRESSION",
+            Severity::Info => "info",
+        };
+        println!("{tag:<10} [{}] {}", f.category, f.message);
+    }
+    println!(
+        "{}: {} finding(s), {} regression(s) vs baseline \"{}\"",
+        if cmp.passed() { "PASS" } else { "FAIL" },
+        cmp.findings.len(),
+        cmp.regressions(),
+        baseline.manifest.tag
+    );
+    Ok(cmp.passed())
 }
 
 fn main() -> ExitCode {
@@ -719,21 +907,29 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
-        #[cfg(feature = "trace")]
         ("trace", Some(name)) => {
             if let Err(e) = cmd_trace(name, &opts) {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }
         }
-        #[cfg(not(feature = "trace"))]
-        ("trace", Some(_)) => {
-            eprintln!(
-                "error: `fua trace` requires the `trace` feature \
-                 (rebuild with `--features trace`)"
-            );
-            return ExitCode::FAILURE;
+        ("bench-suite", None) => {
+            if let Err(e) = cmd_bench_suite(&opts) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
+        ("report", None) => match cmd_report(&opts) {
+            Ok(passed) => {
+                if !passed {
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
         _ => return usage(),
     }
     ExitCode::SUCCESS

@@ -1,0 +1,131 @@
+//! Integration: interval telemetry must be *exact* — the windowed
+//! time-series is a partition of the run, so its column sums must
+//! reproduce the final `EnergyLedger` and the metrics-registry totals
+//! bit-for-bit, for every steering scheme × swap variant. And like every
+//! other sink, windowing must not perturb the simulation.
+
+use fua::core::{observed_scheme, ExperimentConfig};
+use fua::isa::FuClass;
+use fua::power::EnergyLedger;
+use fua::sim::{Simulator, SteeringConfig};
+use fua::steer::SteeringKind;
+use fua::trace::{MetricsRecorder, WindowedSink};
+use fua::workloads::Workload;
+
+fn workload(name: &str) -> Workload {
+    fua::workloads::by_name(name, 1).expect("bundled workload")
+}
+
+/// One integer and one floating-point workload exercise all four FU
+/// classes (the FP programs still run integer address arithmetic).
+fn sample_pair() -> [Workload; 2] {
+    [workload("compress"), workload("turb3d")]
+}
+
+#[test]
+fn windowed_sums_equal_ledger_and_metrics_for_every_scheme_and_swap() {
+    let config = ExperimentConfig::quick();
+    for kind in SteeringKind::FIGURE4 {
+        for hw_swap in [false, true] {
+            let mut sink = WindowedSink::new(512);
+            let mut recorder = MetricsRecorder::new();
+            let mut ledger = EnergyLedger::new();
+            for w in sample_pair() {
+                let mut sim = Simulator::with_sink(
+                    config.machine.clone(),
+                    SteeringConfig::paper_scheme(kind, hw_swap),
+                    (sink, recorder),
+                );
+                let result = sim
+                    .run_program(&w.program, config.inst_limit)
+                    .expect("runs");
+                ledger.merge(&result.ledger);
+                (sink, recorder) = sim.into_sink();
+            }
+            let registry = recorder.into_registry();
+            let series = sink.into_series();
+
+            // Exactness against the simulator's own energy ledger.
+            let mut reassembled = EnergyLedger::new();
+            reassembled.accumulate(series.total_switched_bits(), series.total_ops());
+            assert_eq!(
+                reassembled, ledger,
+                "{kind:?} hw_swap={hw_swap}: windowed sums must reproduce the ledger"
+            );
+
+            // Exactness against the metrics-registry totals.
+            for class in FuClass::ALL {
+                assert_eq!(
+                    registry.sum_counters(&format!("switched_bits.{class}.")),
+                    series.total_switched_bits()[class.index()],
+                    "{kind:?} hw_swap={hw_swap} {class}: switched bits vs metrics"
+                );
+                assert_eq!(
+                    registry.sum_counters(&format!("ops.{class}.")),
+                    series.total_ops()[class.index()],
+                    "{kind:?} hw_swap={hw_swap} {class}: op counts vs metrics"
+                );
+            }
+
+            // The per-module split must itself re-sum to the per-class
+            // totals (the windows partition by module and by window).
+            for class in FuClass::ALL {
+                let module_sum: u64 = series.total_module_bits()[class.index()].iter().sum();
+                assert_eq!(
+                    module_sum,
+                    series.total_switched_bits()[class.index()],
+                    "{kind:?} hw_swap={hw_swap} {class}: module split"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn windowing_does_not_perturb_the_simulation() {
+    for name in ["compress", "turb3d"] {
+        let w = workload(name);
+        let limit = ExperimentConfig::quick().inst_limit;
+        let mut plain = Simulator::new(fua::sim::MachineConfig::paper_default(), observed_scheme());
+        let a = plain.run_program(&w.program, limit).expect("runs");
+        let mut windowed = Simulator::with_sink(
+            fua::sim::MachineConfig::paper_default(),
+            observed_scheme(),
+            WindowedSink::new(1024),
+        );
+        let b = windowed.run_program(&w.program, limit).expect("runs");
+        assert_eq!(a.cycles, b.cycles, "{name}: cycles");
+        assert_eq!(a.retired, b.retired, "{name}: retired");
+        assert_eq!(a.halted, b.halted, "{name}: halted");
+        assert_eq!(a.ledger, b.ledger, "{name}: energy ledger");
+        assert_eq!(a.swaps, b.swaps, "{name}: swap counters");
+        assert_eq!(a.branches, b.branches, "{name}: branch stats");
+        assert_eq!(a.cache, b.cache, "{name}: cache stats");
+
+        let series = windowed.into_sink().into_series();
+        assert!(!series.is_empty(), "{name}: windows recorded");
+        assert_eq!(series.total_retired(), b.retired, "{name}: retired sum");
+        let mut reassembled = EnergyLedger::new();
+        reassembled.accumulate(series.total_switched_bits(), series.total_ops());
+        assert_eq!(reassembled, b.ledger, "{name}: ledger reassembly");
+    }
+}
+
+#[test]
+fn csv_and_counter_exports_cover_every_window() {
+    let w = workload("compress");
+    let mut sim = Simulator::with_sink(
+        fua::sim::MachineConfig::paper_default(),
+        observed_scheme(),
+        WindowedSink::new(256),
+    );
+    sim.run_program(&w.program, 10_000).expect("runs");
+    let series = sim.into_sink().into_series();
+    let csv = series.to_csv();
+    // Header + one line per window.
+    assert_eq!(csv.lines().count(), 1 + series.len());
+    assert!(csv.starts_with("window,start_cycle,cycles,retired"));
+    let chrome = series.into_chrome_json().compact();
+    assert!(chrome.contains("\"ph\":\"C\""), "counter events present");
+    assert!(chrome.contains("window.ipc"));
+}
