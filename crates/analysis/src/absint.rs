@@ -40,7 +40,7 @@ impl AbsState {
         }
     }
 
-    /// The empty state (⊥ everywhere), the identity of [`AbsState::join`].
+    /// The empty state (⊥ everywhere), the identity of [`AbsState::join_from`].
     pub fn bottom() -> Self {
         AbsState {
             ints: [AbsInt::Bot; 32],

@@ -7,7 +7,7 @@
 //! recorded paper-vs-measured results.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use fua_core::ExperimentConfig;
 use fua_sim::{MachineConfig, Simulator, SteeringConfig};

@@ -1,12 +1,13 @@
 //! Figure 4: energy reduction per steering scheme and swap variant.
 
+use fua_exec::{map_indexed_timed, ExecReport, Jobs};
 use fua_isa::FuClass;
 use fua_power::EnergyLedger;
 use fua_sim::{Simulator, SteeringConfig};
 use fua_stats::TextTable;
 use fua_steer::SteeringKind;
 use fua_swap::CompilerSwapPass;
-use fua_workloads::{floating_point, integer, Workload};
+use fua_workloads::{Workload, WorkloadArena};
 
 use crate::{profile_suite, ExperimentConfig, SuiteProfile, Unit};
 
@@ -98,27 +99,21 @@ impl Figure4 {
     }
 }
 
-fn workloads_for(unit: Unit, scale: u32) -> Vec<Workload> {
+fn workloads_for(unit: Unit, arena: &WorkloadArena) -> &[Workload] {
     match unit {
-        Unit::Ialu => integer(scale),
-        Unit::Fpau => floating_point(scale),
+        Unit::Ialu => arena.integer(),
+        Unit::Fpau => arena.floating_point(),
     }
 }
 
-fn run_suite(
-    config: &ExperimentConfig,
-    workloads: &[Workload],
-    make: impl Fn() -> SteeringConfig,
-) -> EnergyLedger {
-    let mut total = EnergyLedger::new();
-    for w in workloads {
-        let mut sim = Simulator::new(config.machine.clone(), make());
-        let result = sim
-            .run_program(&w.program, config.inst_limit)
-            .unwrap_or_else(|e| panic!("workload {} faulted: {e}", w.name));
-        total.merge(&result.ledger);
-    }
-    total
+/// One suite-wide measurement of the sweep: a steering scheme, a swap
+/// variant, and which program set (original or compiler-swapped) it runs
+/// over. A suite expands into one *cell* per workload.
+#[derive(Debug, Clone, Copy)]
+struct SuiteSpec {
+    kind: SteeringKind,
+    hw_swap: bool,
+    compiler_swapped: bool,
 }
 
 /// Regenerates Figure 4(a) (`Unit::Ialu`) or 4(b) (`Unit::Fpau`):
@@ -127,6 +122,13 @@ fn run_suite(
 /// switched bits per scheme × swap variant.
 pub fn figure4(unit: Unit, config: &ExperimentConfig) -> Figure4 {
     figure4_with_profile(unit, config, &profile_suite(config))
+}
+
+/// As [`figure4`], fanning the sweep's cells out across `jobs` workers.
+pub fn figure4_jobs(unit: Unit, config: &ExperimentConfig, jobs: Jobs) -> Figure4 {
+    let arena = WorkloadArena::build(config.scale);
+    let (profile, _) = crate::profile_suite_jobs(config, &arena, jobs);
+    figure4_with_profile_jobs(unit, config, &arena, &profile, jobs).0
 }
 
 /// As [`figure4`], reusing an already-measured [`SuiteProfile`] — the
@@ -138,26 +140,50 @@ pub fn figure4_with_profile(
     config: &ExperimentConfig,
     profile: &SuiteProfile,
 ) -> Figure4 {
+    let arena = WorkloadArena::build(config.scale);
+    figure4_with_profile_jobs(unit, config, &arena, profile, Jobs::serial()).0
+}
+
+/// The parallel core of the figure: fans every (scheme × swap-variant ×
+/// workload) cell of the sweep out across `jobs` workers over a shared
+/// read-only [`WorkloadArena`], then folds per-cell energy ledgers **in
+/// cell-index order** — so the figure is identical to the serial one
+/// regardless of worker count or scheduling.
+///
+/// # Panics
+///
+/// Panics if a workload faults or the arena's scale differs from the
+/// configuration's.
+pub fn figure4_with_profile_jobs(
+    unit: Unit,
+    config: &ExperimentConfig,
+    arena: &WorkloadArena,
+    profile: &SuiteProfile,
+    jobs: Jobs,
+) -> (Figure4, ExecReport) {
+    assert_eq!(
+        arena.scale(),
+        config.scale,
+        "arena scale must match the experiment configuration"
+    );
     let class = unit.fu_class();
     let ialu_profile = profile.case_profile(FuClass::IntAlu);
     let fpau_profile = profile.case_profile(FuClass::FpAlu);
     let ialu_occ = profile.ialu_occupancy.distribution();
     let fpau_occ = profile.fpau_occupancy.distribution();
 
-    let workloads = workloads_for(unit, config.scale);
-    // Compiler-swapped twins, shared by every scheme.
-    let swapped: Vec<Workload> = workloads
-        .iter()
-        .map(|w| {
-            let outcome = CompilerSwapPass::with_limit(config.inst_limit)
-                .run(&w.program)
-                .unwrap_or_else(|e| panic!("swap pass on {} faulted: {e}", w.name));
-            Workload {
-                program: outcome.program,
-                ..w.clone()
-            }
-        })
-        .collect();
+    let workloads = workloads_for(unit, arena);
+    // Compiler-swapped twins, shared by every scheme — one independent
+    // cell per workload.
+    let (swapped, mut report) = map_indexed_timed(jobs, workloads, |_, w| {
+        let outcome = CompilerSwapPass::with_limit(config.inst_limit)
+            .run(&w.program)
+            .unwrap_or_else(|e| panic!("swap pass on {} faulted: {e}", w.name));
+        Workload {
+            program: outcome.program,
+            ..w.clone()
+        }
+    });
 
     let machine = &config.machine;
     let make_scheme = |kind: SteeringKind, hw_swap: bool| {
@@ -173,11 +199,75 @@ pub fn figure4_with_profile(
         )
     };
 
-    let baseline = run_suite(config, &workloads, || {
-        make_scheme(SteeringKind::Original, false)
-    });
-    let base_bits = baseline.switched_bits(class);
+    // Suite 0 is the Original/no-swap baseline (the denominator); the
+    // rest cover every scheme × swap variant. Original's no-swap suite
+    // is not re-run — its row reuses the baseline, like the serial code
+    // always did.
+    let mut suites = vec![SuiteSpec {
+        kind: SteeringKind::Original,
+        hw_swap: false,
+        compiler_swapped: false,
+    }];
+    for kind in SteeringKind::FIGURE4 {
+        if kind != SteeringKind::Original {
+            suites.push(SuiteSpec {
+                kind,
+                hw_swap: false,
+                compiler_swapped: false,
+            });
+        }
+        suites.push(SuiteSpec {
+            kind,
+            hw_swap: true,
+            compiler_swapped: false,
+        });
+        suites.push(SuiteSpec {
+            kind,
+            hw_swap: true,
+            compiler_swapped: true,
+        });
+        suites.push(SuiteSpec {
+            kind,
+            hw_swap: false,
+            compiler_swapped: true,
+        });
+    }
 
+    // Flatten to cells — one (suite, workload) simulation each — and fan
+    // out. Workers return one ledger per cell; nothing is merged off the
+    // calling thread.
+    let cells: Vec<(usize, usize)> = suites
+        .iter()
+        .enumerate()
+        .flat_map(|(s, _)| (0..workloads.len()).map(move |w| (s, w)))
+        .collect();
+    let (ledgers, sweep_report) = map_indexed_timed(jobs, &cells, |_, &(s, w)| {
+        let spec = suites[s];
+        let workload = if spec.compiler_swapped {
+            &swapped[w]
+        } else {
+            &workloads[w]
+        };
+        let mut sim = Simulator::new(config.machine.clone(), make_scheme(spec.kind, spec.hw_swap));
+        let result = sim
+            .run_program(&workload.program, config.inst_limit)
+            .unwrap_or_else(|e| panic!("workload {} faulted: {e}", workload.name));
+        result.ledger
+    });
+    report.merge(&sweep_report);
+
+    // Deterministic reduction: per suite, merge cell ledgers in workload
+    // order — the exact fold the serial loop performed.
+    let suite_ledger = |s: usize| {
+        let mut total = EnergyLedger::new();
+        for w in 0..workloads.len() {
+            total.merge(&ledgers[s * workloads.len() + w]);
+        }
+        total
+    };
+
+    let baseline = suite_ledger(0);
+    let base_bits = baseline.switched_bits(class);
     let pct = |ledger: &EnergyLedger| {
         if base_bits == 0 {
             0.0
@@ -187,15 +277,19 @@ pub fn figure4_with_profile(
     };
 
     let mut rows = Vec::new();
+    let mut next = 1; // suite 0 is the baseline
     for kind in SteeringKind::FIGURE4 {
         let base = if kind == SteeringKind::Original {
             pct(&baseline)
         } else {
-            pct(&run_suite(config, &workloads, || make_scheme(kind, false)))
+            let l = suite_ledger(next);
+            next += 1;
+            pct(&l)
         };
-        let hardware = pct(&run_suite(config, &workloads, || make_scheme(kind, true)));
-        let compiler = pct(&run_suite(config, &swapped, || make_scheme(kind, true)));
-        let compiler_only = pct(&run_suite(config, &swapped, || make_scheme(kind, false)));
+        let hardware = pct(&suite_ledger(next));
+        let compiler = pct(&suite_ledger(next + 1));
+        let compiler_only = pct(&suite_ledger(next + 2));
+        next += 3;
         rows.push(Figure4Row {
             scheme: kind.to_string(),
             base_pct: base,
@@ -205,11 +299,14 @@ pub fn figure4_with_profile(
         });
     }
 
-    Figure4 {
-        unit,
-        rows,
-        baseline_switched_bits: base_bits,
-    }
+    (
+        Figure4 {
+            unit,
+            rows,
+            baseline_switched_bits: base_bits,
+        },
+        report,
+    )
 }
 
 /// The paper's headline numbers: IALU/FPAU reduction with the
@@ -232,6 +329,18 @@ pub fn headline(config: &ExperimentConfig) -> Headline {
     headline_from(
         &figure4_with_profile(Unit::Ialu, config, &profile),
         &figure4_with_profile(Unit::Fpau, config, &profile),
+    )
+}
+
+/// As [`headline`], fanning the profiling pass and both figures' sweep
+/// cells out across `jobs` workers. The result is identical to the
+/// serial [`headline`] for any worker count.
+pub fn headline_jobs(config: &ExperimentConfig, jobs: Jobs) -> Headline {
+    let arena = WorkloadArena::build(config.scale);
+    let (profile, _) = crate::profile_suite_jobs(config, &arena, jobs);
+    headline_from(
+        &figure4_with_profile_jobs(Unit::Ialu, config, &arena, &profile, jobs).0,
+        &figure4_with_profile_jobs(Unit::Fpau, config, &arena, &profile, jobs).0,
     )
 }
 
@@ -273,5 +382,22 @@ mod tests {
         assert!(original.abs() < 1e-9, "Original/Base is the zero point");
         let render = fig.render();
         assert!(render.contains("Figure 4(a)"));
+    }
+
+    #[test]
+    fn parallel_figure_is_bit_identical_to_serial() {
+        let config = ExperimentConfig {
+            inst_limit: 1_500,
+            ..ExperimentConfig::quick()
+        };
+        let serial = figure4(Unit::Fpau, &config);
+        let parallel = figure4_jobs(Unit::Fpau, &config, Jobs::new(3).unwrap());
+        assert_eq!(
+            serial.baseline_switched_bits,
+            parallel.baseline_switched_bits
+        );
+        // Exact float equality on purpose: the parallel fold must follow
+        // the serial merge order, so every percentage is bit-identical.
+        assert_eq!(serial.rows, parallel.rows);
     }
 }

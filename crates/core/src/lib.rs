@@ -23,7 +23,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod breakdown;
 mod chip;
@@ -43,13 +43,13 @@ pub use chip::{chip_estimate, ChipEstimate, EXECUTION_UNIT_POWER_SHARE};
 pub use config::{ExperimentConfig, Unit};
 pub use fig1::{routing_example, RoutingExample};
 pub use figure4::{
-    figure4, figure4_with_profile, headline, headline_from, Figure4, Figure4Row, Headline,
-    SwapVariant,
+    figure4, figure4_jobs, figure4_with_profile, figure4_with_profile_jobs, headline,
+    headline_from, headline_jobs, Figure4, Figure4Row, Headline, SwapVariant,
 };
 #[cfg(feature = "json")]
 pub use json::{Json, ToJson};
 pub use observe::{observed_scheme, suite_metrics};
 pub use sensitivity::{swap_sensitivity, SensitivityRow, SwapSensitivity};
 pub use static_swap::{static_swap_comparison, StaticSwapComparison, StaticSwapRow};
-pub use suite::{profile_suite, SuiteProfile};
+pub use suite::{profile_suite, profile_suite_jobs, SuiteProfile};
 pub use synthesis::{synthesis_report, SynthesisReport, SynthesisRow};

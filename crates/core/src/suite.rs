@@ -1,9 +1,10 @@
 //! The profiling pass behind Tables 1, 2 and 3.
 
+use fua_exec::{map_indexed_timed, ExecReport, Jobs};
 use fua_isa::FuClass;
 use fua_sim::{SimResult, Simulator, SteeringConfig};
 use fua_stats::{BitPatternProfiler, CaseProfile, OccupancyProfiler, TextTable};
-use fua_workloads::{all, Category};
+use fua_workloads::{Category, WorkloadArena};
 
 use crate::ExperimentConfig;
 
@@ -29,6 +30,38 @@ pub struct SuiteProfile {
 /// Runs the whole suite on the baseline machine and collects the paper's
 /// measurement tables.
 pub fn profile_suite(config: &ExperimentConfig) -> SuiteProfile {
+    let arena = WorkloadArena::build(config.scale);
+    profile_suite_jobs(config, &arena, Jobs::serial()).0
+}
+
+/// As [`profile_suite`], fanning the per-workload profiling runs out
+/// across `jobs` workers over an already-decoded [`WorkloadArena`].
+///
+/// Each workload's run is an independent cell; the per-category profiler
+/// merges happen afterwards on the calling thread **in suite order**, so
+/// the resulting [`SuiteProfile`] is identical to the serial pass no
+/// matter how the cells were scheduled.
+///
+/// # Panics
+///
+/// Panics if a workload faults or the arena's scale differs from the
+/// configuration's.
+pub fn profile_suite_jobs(
+    config: &ExperimentConfig,
+    arena: &WorkloadArena,
+    jobs: Jobs,
+) -> (SuiteProfile, ExecReport) {
+    assert_eq!(
+        arena.scale(),
+        config.scale,
+        "arena scale must match the experiment configuration"
+    );
+    let (results, report) = map_indexed_timed(jobs, arena.all(), |_, w| {
+        let mut sim = Simulator::new(config.machine.clone(), SteeringConfig::original());
+        sim.run_program(&w.program, config.inst_limit)
+            .unwrap_or_else(|e| panic!("workload {} faulted: {e}", w.name))
+    });
+
     let modules_ialu = config.machine.modules(FuClass::IntAlu);
     let modules_fpau = config.machine.modules(FuClass::FpAlu);
     let mut profile = SuiteProfile {
@@ -39,11 +72,8 @@ pub fn profile_suite(config: &ExperimentConfig) -> SuiteProfile {
         ialu_occupancy: OccupancyProfiler::new(modules_ialu),
         fpau_occupancy: OccupancyProfiler::new(modules_fpau),
     };
-    for w in all(config.scale) {
-        let mut sim = Simulator::new(config.machine.clone(), SteeringConfig::original());
-        let result: SimResult = sim
-            .run_program(&w.program, config.inst_limit)
-            .unwrap_or_else(|e| panic!("workload {} faulted: {e}", w.name));
+    let results: &[SimResult] = &results;
+    for (w, result) in arena.all().iter().zip(results) {
         match w.category {
             Category::Integer => {
                 profile.ialu.merge(result.bit_patterns_of(FuClass::IntAlu));
@@ -61,7 +91,7 @@ pub fn profile_suite(config: &ExperimentConfig) -> SuiteProfile {
             }
         }
     }
-    profile
+    (profile, report)
 }
 
 impl SuiteProfile {

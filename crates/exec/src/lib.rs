@@ -1,0 +1,391 @@
+//! Deterministic parallel experiment executor.
+//!
+//! Every experiment cell of the suite — one (unit × scheme × workload ×
+//! swap-variant) simulation — is independent given the run manifest's
+//! seeds, so a sweep can fan out across OS threads without changing a
+//! single number. This crate provides the minimal machinery to do that
+//! **deterministically**: [`map_indexed`] runs a closure over a slice of
+//! cells on a scoped [`std::thread`] pool with a chunked work queue and
+//! returns the results **in cell-index order**, regardless of which
+//! worker finished which cell first. Callers then merge results with a
+//! plain serial fold, so a parallel sweep is byte-identical to the
+//! serial one by construction — only wall-clock differs.
+//!
+//! Dependency-free on purpose: the workspace builds offline, so the pool
+//! is `std::thread::scope` + one `AtomicUsize` cursor, not an external
+//! runtime. Cells are coarse (one full simulation each, milliseconds to
+//! seconds), so a lock around the result slots is negligible next to the
+//! work itself.
+//!
+//! [`Jobs::serial()`] (or `--jobs 1` on the CLI) bypasses the pool
+//! entirely and runs the cells in order on the calling thread — exactly
+//! the pre-parallel code path.
+//!
+//! # Examples
+//!
+//! ```
+//! use fua_exec::{map_indexed, Jobs};
+//!
+//! let cells: Vec<u64> = (0..100).collect();
+//! let serial = map_indexed(Jobs::serial(), &cells, |i, &c| (i as u64) * c);
+//! let parallel = map_indexed(Jobs::new(4).unwrap(), &cells, |i, &c| (i as u64) * c);
+//! assert_eq!(serial, parallel); // order and values, not just the set
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Worker count for a parallel sweep.
+///
+/// Always at least 1. [`Jobs::auto()`] asks the OS for the machine's
+/// available parallelism; [`Jobs::serial()`] pins the sweep to the
+/// calling thread (the reference path every parallel run must reproduce
+/// bit-for-bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Jobs(NonZeroUsize);
+
+impl Jobs {
+    /// Exactly one worker: cells run in order on the calling thread with
+    /// no pool, no atomics and no locks.
+    pub fn serial() -> Self {
+        Jobs(NonZeroUsize::MIN)
+    }
+
+    /// `n` workers; `None` if `n` is 0.
+    pub fn new(n: usize) -> Option<Self> {
+        NonZeroUsize::new(n).map(Jobs)
+    }
+
+    /// The machine's available parallelism (falls back to 1 when the OS
+    /// cannot say).
+    pub fn auto() -> Self {
+        Jobs(std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN))
+    }
+
+    /// The worker count.
+    pub fn get(self) -> usize {
+        self.0.get()
+    }
+
+    /// Whether this is the single-threaded reference path.
+    pub fn is_serial(self) -> bool {
+        self.get() == 1
+    }
+}
+
+impl Default for Jobs {
+    /// [`Jobs::auto()`].
+    fn default() -> Self {
+        Jobs::auto()
+    }
+}
+
+impl fmt::Display for Jobs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.get())
+    }
+}
+
+impl std::str::FromStr for Jobs {
+    type Err = String;
+
+    /// Parses a `--jobs` value: a positive integer.
+    fn from_str(s: &str) -> Result<Self, String> {
+        let n: usize = s
+            .parse()
+            .map_err(|_| format!("expected a positive integer, got `{s}`"))?;
+        Jobs::new(n).ok_or_else(|| "job count must be at least 1".to_string())
+    }
+}
+
+/// One worker's share of a sweep: how many cells it claimed and how long
+/// it was busy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStat {
+    /// Cells this worker executed.
+    pub cells: u64,
+    /// Wall-clock the worker spent executing cells, in nanoseconds.
+    pub nanos: u64,
+}
+
+/// Telemetry of one parallel sweep (or of several merged sweeps): the
+/// configured worker count, the sweep's wall-clock, and per-worker busy
+/// time. Everything here is *measurement*, never model state — two runs
+/// differ in these numbers while agreeing on every simulated bit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecReport {
+    /// Workers the sweep was configured with.
+    pub jobs: usize,
+    /// Wall-clock of the whole sweep, in nanoseconds.
+    pub wall_nanos: u64,
+    /// Per-worker busy time, indexed by worker id.
+    pub workers: Vec<WorkerStat>,
+}
+
+impl ExecReport {
+    /// Total cells executed across all workers.
+    pub fn cells(&self) -> u64 {
+        self.workers.iter().map(|w| w.cells).sum()
+    }
+
+    /// Total busy nanoseconds across all workers (≈ serial wall-clock of
+    /// the same sweep).
+    pub fn busy_nanos(&self) -> u64 {
+        self.workers.iter().map(|w| w.nanos).sum()
+    }
+
+    /// Folds another sweep's telemetry into this one: worker stats add
+    /// index-wise, wall-clocks add (sequential sweeps), and the job
+    /// count takes the maximum (the pool size the run was granted).
+    pub fn merge(&mut self, other: &ExecReport) {
+        self.jobs = self.jobs.max(other.jobs);
+        self.wall_nanos += other.wall_nanos;
+        if self.workers.len() < other.workers.len() {
+            self.workers
+                .resize(other.workers.len(), WorkerStat::default());
+        }
+        for (slot, w) in self.workers.iter_mut().zip(&other.workers) {
+            slot.cells += w.cells;
+            slot.nanos += w.nanos;
+        }
+    }
+}
+
+/// How many cells a worker claims per queue visit: enough to amortise
+/// the (already tiny) cursor contention on fine-grained sweeps, small
+/// enough to keep the tail balanced on coarse ones.
+fn chunk_size(cells: usize, jobs: usize) -> usize {
+    // Aim for ~4 claims per worker so a slow chunk cannot strand more
+    // than a quarter of one worker's share at the tail.
+    (cells / (jobs * 4)).max(1)
+}
+
+/// Maps `f` over `items` with `jobs` workers, returning results in
+/// **item-index order** — the order, not just the multiset, matches the
+/// serial `items.iter().enumerate().map(...)` exactly, so any serial
+/// fold over the returned vector is deterministic regardless of worker
+/// scheduling.
+///
+/// With [`Jobs::serial()`] no thread, atomic or lock is involved; the
+/// closure runs in order on the calling thread.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins every worker first).
+pub fn map_indexed<T, R, F>(jobs: Jobs, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    map_indexed_timed(jobs, items, f).0
+}
+
+/// As [`map_indexed`], additionally returning the sweep's [`ExecReport`]
+/// (wall-clock, per-worker busy time and cell counts).
+pub fn map_indexed_timed<T, R, F>(jobs: Jobs, items: &[T], f: F) -> (Vec<R>, ExecReport)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let sweep = Instant::now();
+    // The serial path is the reference semantics: plain in-order
+    // iteration on the calling thread.
+    if jobs.is_serial() || items.len() <= 1 {
+        let start = Instant::now();
+        let results: Vec<R> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let nanos = elapsed_nanos(start);
+        let report = ExecReport {
+            jobs: 1,
+            wall_nanos: elapsed_nanos(sweep),
+            workers: vec![WorkerStat {
+                cells: items.len() as u64,
+                nanos,
+            }],
+        };
+        return (results, report);
+    }
+
+    let workers = jobs.get().min(items.len());
+    let chunk = chunk_size(items.len(), workers);
+    let cursor = AtomicUsize::new(0);
+    // One slot per cell; workers fill slots by index, so completion
+    // order is irrelevant to the returned ordering.
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    let stats: Mutex<Vec<WorkerStat>> = Mutex::new(vec![WorkerStat::default(); workers]);
+
+    std::thread::scope(|scope| {
+        for worker in 0..workers {
+            let cursor = &cursor;
+            let slots = &slots;
+            let stats = &stats;
+            let f = &f;
+            scope.spawn(move || {
+                let start = Instant::now();
+                let mut cells = 0u64;
+                loop {
+                    let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if lo >= items.len() {
+                        break;
+                    }
+                    let hi = (lo + chunk).min(items.len());
+                    // Compute the whole chunk outside the lock …
+                    let batch: Vec<(usize, R)> = (lo..hi).map(|i| (i, f(i, &items[i]))).collect();
+                    cells += (hi - lo) as u64;
+                    // … then file the results into their index slots.
+                    let mut guard = slots.lock().expect("result slots poisoned");
+                    for (i, r) in batch {
+                        guard[i] = Some(r);
+                    }
+                }
+                stats.lock().expect("worker stats poisoned")[worker] = WorkerStat {
+                    cells,
+                    nanos: elapsed_nanos(start),
+                };
+            });
+        }
+    });
+
+    let results: Vec<R> = slots
+        .into_inner()
+        .expect("result slots poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("every cell index was claimed exactly once"))
+        .collect();
+    let report = ExecReport {
+        jobs: workers,
+        wall_nanos: elapsed_nanos(sweep),
+        workers: stats.into_inner().expect("worker stats poisoned"),
+    };
+    (results, report)
+}
+
+fn elapsed_nanos(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree_in_order_and_value() {
+        let items: Vec<u64> = (0..257).map(|i| i * 31 % 97).collect();
+        let f = |i: usize, &x: &u64| (i as u64) ^ (x << 3);
+        let serial = map_indexed(Jobs::serial(), &items, f);
+        for jobs in [2, 3, 4, 7, 64] {
+            let parallel = map_indexed(Jobs::new(jobs).unwrap(), &items, f);
+            assert_eq!(serial, parallel, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn an_order_sensitive_fold_is_reproduced() {
+        // Floating-point summation is not associative, so this fold only
+        // agrees if the returned order is exactly the serial order.
+        let items: Vec<f64> = (0..1000).map(|i| 1.0 / (i as f64 + 0.1)).collect();
+        let serial: f64 = map_indexed(Jobs::serial(), &items, |_, &x| x * 1.0000001)
+            .iter()
+            .sum();
+        let parallel: f64 = map_indexed(Jobs::new(8).unwrap(), &items, |_, &x| x * 1.0000001)
+            .iter()
+            .sum();
+        assert_eq!(serial.to_bits(), parallel.to_bits());
+    }
+
+    #[test]
+    fn every_cell_runs_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        map_indexed(Jobs::new(5).unwrap(), &hits, |_, h| {
+            h.fetch_add(1, Ordering::Relaxed)
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "cell {i}");
+        }
+    }
+
+    #[test]
+    fn report_accounts_for_every_cell() {
+        let items: Vec<u32> = (0..64).collect();
+        let (_, report) = map_indexed_timed(Jobs::new(4).unwrap(), &items, |_, &x| x + 1);
+        assert_eq!(report.jobs, 4);
+        assert_eq!(report.cells(), 64);
+        assert_eq!(report.workers.len(), 4);
+
+        let (_, serial) = map_indexed_timed(Jobs::serial(), &items, |_, &x| x + 1);
+        assert_eq!(serial.jobs, 1);
+        assert_eq!(serial.workers.len(), 1);
+        assert_eq!(serial.cells(), 64);
+    }
+
+    #[test]
+    fn pool_never_exceeds_the_cell_count() {
+        let items = [1u8, 2];
+        let (_, report) = map_indexed_timed(Jobs::new(16).unwrap(), &items, |_, &x| x);
+        assert!(report.jobs <= 2, "jobs={}", report.jobs);
+        assert_eq!(report.cells(), 2);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let items: [u8; 0] = [];
+        let (out, report) = map_indexed_timed(Jobs::new(8).unwrap(), &items, |_, &x| x);
+        assert!(out.is_empty());
+        assert_eq!(report.cells(), 0);
+    }
+
+    #[test]
+    fn reports_merge_index_wise() {
+        let mut a = ExecReport {
+            jobs: 2,
+            wall_nanos: 10,
+            workers: vec![
+                WorkerStat { cells: 3, nanos: 7 },
+                WorkerStat { cells: 1, nanos: 2 },
+            ],
+        };
+        let b = ExecReport {
+            jobs: 4,
+            wall_nanos: 5,
+            workers: vec![
+                WorkerStat { cells: 1, nanos: 1 },
+                WorkerStat { cells: 1, nanos: 1 },
+                WorkerStat { cells: 2, nanos: 4 },
+                WorkerStat { cells: 0, nanos: 0 },
+            ],
+        };
+        a.merge(&b);
+        assert_eq!(a.jobs, 4);
+        assert_eq!(a.wall_nanos, 15);
+        assert_eq!(a.workers.len(), 4);
+        assert_eq!(a.workers[0], WorkerStat { cells: 4, nanos: 8 });
+        assert_eq!(a.workers[2], WorkerStat { cells: 2, nanos: 4 });
+        assert_eq!(a.cells(), 8);
+        assert_eq!(a.busy_nanos(), 15);
+    }
+
+    #[test]
+    fn jobs_parse_and_render() {
+        assert_eq!("4".parse::<Jobs>().unwrap().get(), 4);
+        assert!("0".parse::<Jobs>().is_err());
+        assert!("four".parse::<Jobs>().is_err());
+        assert_eq!(Jobs::new(3).unwrap().to_string(), "3");
+        assert!(Jobs::serial().is_serial());
+        assert!(Jobs::auto().get() >= 1);
+        assert!(!Jobs::new(2).unwrap().is_serial());
+    }
+
+    #[test]
+    fn chunking_covers_the_range() {
+        assert_eq!(chunk_size(0, 4), 1);
+        assert_eq!(chunk_size(7, 4), 1);
+        assert_eq!(chunk_size(160, 4), 10);
+    }
+}

@@ -11,20 +11,27 @@
 //! with the simulator's own ledger; the verdict is recorded in the
 //! artifact (`telemetry.exact`).
 
+use fua_exec::{map_indexed_timed, ExecReport, Jobs};
 use fua_power::EnergyLedger;
 use fua_sim::{PhaseTimers, SimPhase, Simulator};
 use fua_trace::{Json, ToJson, WindowedSink};
-use fua_workloads::all;
+use fua_workloads::WorkloadArena;
 
 use fua_core::{
-    figure4_with_profile, headline_from, observed_scheme, profile_suite, ExperimentConfig, Figure4,
-    Figure4Row, Unit,
+    figure4_with_profile_jobs, headline_from, observed_scheme, profile_suite_jobs,
+    ExperimentConfig, Figure4, Figure4Row, Unit,
 };
 
 use crate::{expect_f64, expect_str, expect_u64, ReportError, RunManifest};
 
 /// The artifact schema identifier; bump on any breaking shape change.
-pub const BENCH_SCHEMA: &str = "fua-bench/1";
+/// Minor bumps (`/1` → `/1.1`) add optional sections only; this build
+/// still reads every schema in [`BENCH_SCHEMAS_READ`].
+pub const BENCH_SCHEMA: &str = "fua-bench/1.1";
+
+/// Every schema version this build can read. `fua-bench/1` artifacts
+/// (pre-`parallel` section) parse with `parallel: None`.
+pub const BENCH_SCHEMAS_READ: [&str; 2] = ["fua-bench/1", "fua-bench/1.1"];
 
 /// Default telemetry window for the bench suite, in cycles.
 pub const DEFAULT_WINDOW_CYCLES: u64 = 1024;
@@ -80,6 +87,47 @@ pub struct TelemetrySummary {
     pub exact: bool,
 }
 
+/// One executor worker's wall-clock accounting in the `parallel`
+/// section of the artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerNanos {
+    /// Sweep cells this worker executed across all stages.
+    pub cells: u64,
+    /// Nanoseconds this worker spent busy.
+    pub nanos: u64,
+}
+
+/// The `parallel` section of the artifact: how the suite's cells were
+/// fanned out and what it cost in wall-clock. Purely observational —
+/// [`compare`](crate::compare) never diffs it, since the model metrics
+/// are identical for every worker count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParallelSummary {
+    /// Worker count the suite ran with (1 = the serial reference path).
+    pub jobs: u64,
+    /// End-to-end wall-clock of the whole suite, in nanoseconds.
+    pub wall_nanos: u64,
+    /// Per-worker busy time, summed across the suite's stages.
+    pub workers: Vec<WorkerNanos>,
+}
+
+impl ParallelSummary {
+    fn from_report(jobs: Jobs, wall_nanos: u64, report: &ExecReport) -> Self {
+        ParallelSummary {
+            jobs: jobs.get() as u64,
+            wall_nanos,
+            workers: report
+                .workers
+                .iter()
+                .map(|w| WorkerNanos {
+                    cells: w.cells,
+                    nanos: w.nanos,
+                })
+                .collect(),
+        }
+    }
+}
+
 /// Per-phase wall-clock of the telemetry pass, in nanoseconds, in
 /// [`SimPhase::ALL`] order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,20 +165,45 @@ pub struct BenchReport {
     pub phase_nanos: PhaseNanos,
     /// Windowed-telemetry summary and exactness verdict.
     pub telemetry: TelemetrySummary,
+    /// Executor accounting (`None` for pre-1.1 artifacts).
+    pub parallel: Option<ParallelSummary>,
 }
 
-/// Runs the full bench suite under `config` and assembles the artifact.
+/// Runs the full bench suite under `config` and assembles the artifact,
+/// on the serial reference path (`--jobs 1`).
 ///
 /// The model metrics (figures, tables) are deterministic — two runs
 /// under the same manifest produce identical values; only `phase_nanos`
-/// is wall-clock and varies run to run.
+/// and the `parallel` section are wall-clock and vary run to run.
 pub fn bench_suite(tag: &str, config: &ExperimentConfig, window_cycles: u64) -> BenchReport {
+    bench_suite_jobs(tag, config, window_cycles, Jobs::serial())
+}
+
+/// As [`bench_suite`], fanning every stage's cells out across `jobs`
+/// workers over a shared, decode-once [`WorkloadArena`].
+///
+/// Each cell runs with its own [`WindowedSink`], [`PhaseTimers`] and
+/// [`EnergyLedger`]; the calling thread merges them **in cell-index
+/// order**, so every model metric in the artifact — and therefore every
+/// rendered table and export derived from it — is byte-identical to the
+/// serial run for any worker count. Only the `parallel` section (and
+/// `phase_nanos`, already wall-clock) reflects the fan-out.
+pub fn bench_suite_jobs(
+    tag: &str,
+    config: &ExperimentConfig,
+    window_cycles: u64,
+    jobs: Jobs,
+) -> BenchReport {
+    let started = std::time::Instant::now();
     let manifest = RunManifest::capture(tag, config);
+    let arena = WorkloadArena::build(config.scale);
 
     // One shared profiling pass feeds both figures (and the tables).
-    let profile = profile_suite(config);
-    let fig_a = figure4_with_profile(Unit::Ialu, config, &profile);
-    let fig_b = figure4_with_profile(Unit::Fpau, config, &profile);
+    let (profile, mut exec) = profile_suite_jobs(config, &arena, jobs);
+    let (fig_a, exec_a) = figure4_with_profile_jobs(Unit::Ialu, config, &arena, &profile, jobs);
+    let (fig_b, exec_b) = figure4_with_profile_jobs(Unit::Fpau, config, &arena, &profile, jobs);
+    exec.merge(&exec_a);
+    exec.merge(&exec_b);
     let headline = headline_from(&fig_a, &fig_b);
 
     let ialu_info = profile.ialu.operand_info_stats();
@@ -138,24 +211,33 @@ pub fn bench_suite(tag: &str, config: &ExperimentConfig, window_cycles: u64) -> 
 
     // Telemetry pass: every workload under the recommended scheme with
     // a windowed sink and phase timers attached; prove the exactness
-    // invariant against the simulator's own ledger.
-    let mut sink = WindowedSink::new(window_cycles);
-    let mut timers = PhaseTimers::new();
-    let mut ledger = EnergyLedger::new();
-    for w in all(config.scale) {
+    // invariant against the simulator's own ledger. Each cell gets its
+    // own sink/timers/ledger; the in-order merge below reproduces the
+    // serial pass that threaded one sink through every run (every run
+    // restarts at cycle 0, so window i covers the same interval in every
+    // cell).
+    let (cells, exec_t) = map_indexed_timed(jobs, arena.all(), |_, w| {
         let mut sim = Simulator::with_parts(
             config.machine.clone(),
             observed_scheme(),
-            sink,
+            WindowedSink::new(window_cycles),
             PhaseTimers::new(),
         );
         let result = sim
             .run_program(&w.program, config.inst_limit)
             .unwrap_or_else(|e| panic!("workload {} faulted: {e}", w.name));
-        ledger.merge(&result.ledger);
-        let (s, t) = sim.into_parts();
-        sink = s;
-        timers.merge(&t);
+        let ledger = result.ledger;
+        let (sink, timers) = sim.into_parts();
+        (sink, timers, ledger)
+    });
+    exec.merge(&exec_t);
+    let mut sink = WindowedSink::new(window_cycles);
+    let mut timers = PhaseTimers::new();
+    let mut ledger = EnergyLedger::new();
+    for (s, t, l) in &cells {
+        sink.merge(s);
+        timers.merge(t);
+        ledger.merge(l);
     }
     let series = sink.into_series();
     let mut reassembled = EnergyLedger::new();
@@ -184,6 +266,11 @@ pub fn bench_suite(tag: &str, config: &ExperimentConfig, window_cycles: u64) -> 
         fpau_occupancy: profile.fpau_occupancy.distribution(),
         phase_nanos: PhaseNanos(timers.nanos()),
         telemetry,
+        parallel: Some(ParallelSummary::from_report(
+            jobs,
+            started.elapsed().as_nanos() as u64,
+            &exec,
+        )),
     }
 }
 
@@ -248,10 +335,54 @@ fn f64_array(json: &Json, field: &str) -> Result<Vec<f64>, ReportError> {
         .collect()
 }
 
+fn parallel_to_json(p: &ParallelSummary) -> Json {
+    Json::obj([
+        ("jobs", Json::UInt(p.jobs)),
+        ("wall_nanos", Json::UInt(p.wall_nanos)),
+        (
+            "workers",
+            Json::Arr(
+                p.workers
+                    .iter()
+                    .map(|w| {
+                        Json::obj([
+                            ("cells", Json::UInt(w.cells)),
+                            ("nanos", Json::UInt(w.nanos)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn parallel_from_json(json: &Json) -> Result<Option<ParallelSummary>, ReportError> {
+    let Some(p) = json.get("parallel") else {
+        return Ok(None);
+    };
+    let workers = p
+        .get("workers")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ReportError::missing("parallel.workers"))?
+        .iter()
+        .map(|w| {
+            Ok(WorkerNanos {
+                cells: expect_u64(w, "cells")?,
+                nanos: expect_u64(w, "nanos")?,
+            })
+        })
+        .collect::<Result<Vec<_>, ReportError>>()?;
+    Ok(Some(ParallelSummary {
+        jobs: expect_u64(p, "jobs")?,
+        wall_nanos: expect_u64(p, "wall_nanos")?,
+        workers,
+    }))
+}
+
 impl BenchReport {
     /// Serialises the artifact (stable schema [`BENCH_SCHEMA`]).
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut json = Json::obj([
             ("schema", Json::Str(BENCH_SCHEMA.into())),
             ("manifest", self.manifest.to_json()),
             ("figure4_ialu", unit_to_json(&self.ialu)),
@@ -338,7 +469,13 @@ impl BenchReport {
                     ("exact", Json::Bool(self.telemetry.exact)),
                 ]),
             ),
-        ])
+        ]);
+        if let Some(p) = &self.parallel {
+            if let Json::Obj(fields) = &mut json {
+                fields.push(("parallel".to_string(), parallel_to_json(p)));
+            }
+        }
+        json
     }
 
     /// Reconstructs an artifact from its JSON form.
@@ -349,7 +486,7 @@ impl BenchReport {
     /// or mistyped field.
     pub fn from_json(json: &Json) -> Result<Self, ReportError> {
         let schema = expect_str(json, "schema")?;
-        if schema != BENCH_SCHEMA {
+        if !BENCH_SCHEMAS_READ.contains(&schema) {
             return Err(ReportError::Schema {
                 found: schema.to_string(),
                 expected: BENCH_SCHEMA,
@@ -414,6 +551,7 @@ impl BenchReport {
                     .and_then(Json::as_bool)
                     .ok_or_else(|| ReportError::missing("telemetry.exact"))?,
             },
+            parallel: parallel_from_json(json)?,
         })
     }
 }
@@ -454,8 +592,12 @@ mod tests {
         assert!(report.telemetry.exact, "windowed sums must equal ledger");
         assert!(report.telemetry.windows > 0);
         assert!(report.phase_nanos.of(SimPhase::Issue) > 0);
+        let p = report.parallel.as_ref().expect("parallel section present");
+        assert_eq!(p.jobs, 1, "bench_suite is the serial reference path");
+        assert!(p.wall_nanos > 0);
+        assert!(p.workers.iter().map(|w| w.cells).sum::<u64>() > 0);
         let rendered = report.to_json().pretty();
-        assert!(rendered.contains("\"schema\": \"fua-bench/1\""));
+        assert!(rendered.contains("\"schema\": \"fua-bench/1.1\""));
         let parsed: BenchReport = rendered.parse().unwrap();
         // Everything round-trips exactly (floats use shortest-exact
         // rendering, so equality is bit-for-bit).
@@ -463,15 +605,30 @@ mod tests {
     }
 
     #[test]
-    fn model_metrics_are_deterministic_across_runs() {
+    fn model_metrics_are_deterministic_across_runs_and_job_counts() {
         let a = bench_suite("a", &tiny_config(), 512);
-        let b = bench_suite("b", &tiny_config(), 512);
+        let b = bench_suite_jobs("b", &tiny_config(), 512, Jobs::new(3).unwrap());
         assert_eq!(a.ialu, b.ialu);
         assert_eq!(a.fpau, b.fpau);
         assert_eq!(a.operands, b.operands);
         assert_eq!(a.ialu_occupancy, b.ialu_occupancy);
-        assert_eq!(a.telemetry.switched_bits, b.telemetry.switched_bits);
-        // Only the wall-clock differs (and the tag).
+        assert_eq!(a.telemetry, b.telemetry);
+        assert_eq!(a.headline_ialu_pct.to_bits(), b.headline_ialu_pct.to_bits());
+        // Only the wall-clock sections differ (and the tag).
+        assert_eq!(b.parallel.as_ref().unwrap().jobs, 3);
+    }
+
+    #[test]
+    fn schema_1_artifacts_without_a_parallel_section_still_parse() {
+        let report = bench_suite("old", &tiny_config(), 512);
+        let mut json = report.to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields[0].1 = Json::Str("fua-bench/1".into());
+            fields.retain(|(name, _)| name != "parallel");
+        }
+        let parsed = BenchReport::from_json(&json).unwrap();
+        assert_eq!(parsed.parallel, None);
+        assert_eq!(parsed.ialu, report.ialu);
     }
 
     #[test]

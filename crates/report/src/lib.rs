@@ -22,13 +22,17 @@
 //! Everything is dependency-free: JSON parsing and emission come from
 //! the in-tree [`fua_trace`] value type.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 mod bench;
 mod compare;
 mod manifest;
 
 pub use bench::{
-    bench_suite, BenchReport, OperandAggregates, PhaseNanos, TelemetrySummary, UnitFigure,
-    BENCH_SCHEMA, DEFAULT_WINDOW_CYCLES,
+    bench_suite, bench_suite_jobs, BenchReport, OperandAggregates, ParallelSummary, PhaseNanos,
+    TelemetrySummary, UnitFigure, WorkerNanos, BENCH_SCHEMA, BENCH_SCHEMAS_READ,
+    DEFAULT_WINDOW_CYCLES,
 };
 pub use compare::{compare, Comparison, Finding, Severity, Tolerance};
 pub use manifest::{RunManifest, WorkloadEntry};

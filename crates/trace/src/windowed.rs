@@ -100,6 +100,41 @@ impl WindowRecord {
         mispredicts: 0,
     };
 
+    /// Adds another window's deltas into this one, field-wise. Window
+    /// deltas are unsigned counters, so accumulation is associative and
+    /// commutative — merging per-run sinks window-by-window yields the
+    /// identical record a single sink threaded through the same runs
+    /// would hold.
+    pub fn merge(&mut self, other: &WindowRecord) {
+        for (acc, v) in self.switched_bits.iter_mut().zip(other.switched_bits) {
+            *acc += v;
+        }
+        for (accs, vs) in self.module_bits.iter_mut().zip(other.module_bits) {
+            for (acc, v) in accs.iter_mut().zip(vs) {
+                *acc += v;
+            }
+        }
+        for (acc, v) in self.ops.iter_mut().zip(other.ops) {
+            *acc += v;
+        }
+        for (accs, vs) in self.steer_cases.iter_mut().zip(other.steer_cases) {
+            for (acc, v) in accs.iter_mut().zip(vs) {
+                *acc += v;
+            }
+        }
+        for (acc, v) in self.swaps.iter_mut().zip(other.swaps) {
+            *acc += v;
+        }
+        self.retired += other.retired;
+        self.issued += other.issued;
+        self.cycles += other.cycles;
+        self.occupancy_sum += other.occupancy_sum;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.branches += other.branches;
+        self.mispredicts += other.mispredicts;
+    }
+
     /// Retired instructions per summarised cycle (0 for an empty window).
     pub fn ipc(&self) -> f64 {
         if self.cycles == 0 {
@@ -154,6 +189,32 @@ impl WindowedSink {
             self.windows.resize(idx + 1, WindowRecord::ZERO);
         }
         &mut self.windows[idx]
+    }
+
+    /// Merges another sink's windows into this one, index-aligned.
+    ///
+    /// Every run starts at cycle 0, so window *i* of each sink covers
+    /// the same cycle interval; adding them window-by-window produces
+    /// exactly the store a single sink moved through the same sequence
+    /// of runs would have accumulated. This is what lets a parallel
+    /// sweep give each cell its own sink and still emit a byte-identical
+    /// time-series: cell sinks are merged in cell-index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window sizes differ — the bucketing would be
+    /// incomparable.
+    pub fn merge(&mut self, other: &WindowedSink) {
+        assert_eq!(
+            self.window_cycles, other.window_cycles,
+            "cannot merge windowed sinks with different window sizes"
+        );
+        if self.windows.len() < other.windows.len() {
+            self.windows.resize(other.windows.len(), WindowRecord::ZERO);
+        }
+        for (acc, w) in self.windows.iter_mut().zip(&other.windows) {
+            acc.merge(w);
+        }
     }
 
     /// Finishes the run and yields the time-series.
@@ -684,5 +745,64 @@ mod tests {
     #[should_panic(expected = "window size")]
     fn zero_window_size_panics() {
         WindowedSink::new(0);
+    }
+
+    #[test]
+    fn merged_sinks_equal_one_threaded_sink() {
+        // Reference: one sink fed two "runs" back to back (both starting
+        // at cycle 0, as runs do).
+        let runs: [Vec<TraceEvent>; 2] = [
+            vec![
+                energy(0, FuClass::IntAlu, 0, 3),
+                energy(25, FuClass::FpAlu, 1, 9),
+                TraceEvent::CycleSummary {
+                    cycle: 3,
+                    window: 2,
+                    issued: 1,
+                },
+            ],
+            vec![
+                energy(7, FuClass::IntAlu, 2, 5),
+                energy(31, FuClass::IntMul, 0, 2),
+            ],
+        ];
+        let mut threaded = WindowedSink::new(10);
+        for run in &runs {
+            for e in run {
+                threaded.record(e);
+            }
+        }
+        // Candidate: one sink per run, merged in run order.
+        let mut merged = WindowedSink::new(10);
+        for run in &runs {
+            let mut own = WindowedSink::new(10);
+            for e in run {
+                own.record(e);
+            }
+            merged.merge(&own);
+        }
+        assert_eq!(merged, threaded);
+        assert_eq!(
+            merged.clone().into_series().to_csv(),
+            threaded.clone().into_series().to_csv()
+        );
+    }
+
+    #[test]
+    fn merge_grows_the_window_store() {
+        let mut short = WindowedSink::new(10);
+        short.record(&energy(5, FuClass::IntAlu, 0, 1));
+        let mut long = WindowedSink::new(10);
+        long.record(&energy(95, FuClass::IntAlu, 0, 4));
+        short.merge(&long);
+        let series = short.into_series();
+        assert_eq!(series.len(), 10);
+        assert_eq!(series.total_switched_bits(), [5, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different window sizes")]
+    fn mismatched_window_sizes_cannot_merge() {
+        WindowedSink::new(10).merge(&WindowedSink::new(20));
     }
 }

@@ -26,7 +26,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod fp;
 mod int;
@@ -254,6 +254,80 @@ pub fn by_name(name: &str, scale: u32) -> Option<Workload> {
     all(scale).into_iter().find(|w| w.name == name)
 }
 
+/// A shared, read-only pool of decoded workloads.
+///
+/// Building a workload decodes its whole program (and generates its data
+/// segment) from the per-workload seed; a full experiment suite touches
+/// every workload dozens of times — once per (scheme × swap-variant)
+/// cell. The arena decodes each program **once** and hands out shared
+/// slices, so sweep cells (including parallel ones — `&WorkloadArena` is
+/// `Sync`, programs contain no interior mutability) borrow instead of
+/// rebuilding. Arena-served programs are bit-identical to freshly built
+/// ones (property-tested per workload × scale).
+///
+/// # Examples
+///
+/// ```
+/// use fua_workloads::{by_name, WorkloadArena};
+///
+/// let arena = WorkloadArena::build(1);
+/// assert_eq!(arena.all().len(), 15);
+/// assert_eq!(arena.integer().len(), 7);
+/// assert_eq!(arena.floating_point().len(), 8);
+/// let fresh = by_name("compress", 1).unwrap();
+/// assert_eq!(arena.by_name("compress").unwrap().program, fresh.program);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadArena {
+    scale: u32,
+    /// All 15 workloads in suite order: the integer half first, then the
+    /// floating-point half (the same order [`all`] returns).
+    workloads: Vec<Workload>,
+    /// Index of the first floating-point workload.
+    fp_start: usize,
+}
+
+impl WorkloadArena {
+    /// Decodes the full 15-benchmark suite at `scale`, once.
+    pub fn build(scale: u32) -> Self {
+        let workloads = all(scale);
+        let fp_start = workloads
+            .iter()
+            .position(|w| w.category == Category::FloatingPoint)
+            .unwrap_or(workloads.len());
+        WorkloadArena {
+            scale,
+            workloads,
+            fp_start,
+        }
+    }
+
+    /// The scale the arena was decoded at.
+    pub fn scale(&self) -> u32 {
+        self.scale
+    }
+
+    /// Every workload, in suite order (integer half first).
+    pub fn all(&self) -> &[Workload] {
+        &self.workloads
+    }
+
+    /// The integer workloads (drive the IALU experiments).
+    pub fn integer(&self) -> &[Workload] {
+        &self.workloads[..self.fp_start]
+    }
+
+    /// The floating-point workloads (drive the FPAU experiments).
+    pub fn floating_point(&self) -> &[Workload] {
+        &self.workloads[self.fp_start..]
+    }
+
+    /// A workload by benchmark name, if bundled.
+    pub fn by_name(&self, name: &str) -> Option<&Workload> {
+        self.workloads.iter().find(|w| w.name == name)
+    }
+}
+
 /// The deterministic data-generation seed of a workload on input set
 /// `input` — the value recorded in run manifests so an artifact pins the
 /// exact data its numbers were measured on. Derived from the workload
@@ -380,6 +454,29 @@ mod tests {
             });
             assert!(trace.halted, "workload {} (input 2) did not halt", w.name);
         }
+    }
+
+    #[test]
+    fn arena_partitions_the_suite_in_order() {
+        let arena = WorkloadArena::build(1);
+        assert_eq!(arena.scale(), 1);
+        assert_eq!(arena.all().len(), 15);
+        assert_eq!(arena.integer().len(), 7);
+        assert_eq!(arena.floating_point().len(), 8);
+        assert!(arena
+            .integer()
+            .iter()
+            .all(|w| w.category == Category::Integer));
+        assert!(arena
+            .floating_point()
+            .iter()
+            .all(|w| w.category == Category::FloatingPoint));
+        // Arena order is exactly `all` order.
+        let names: Vec<&str> = arena.all().iter().map(|w| w.name).collect();
+        let fresh: Vec<&str> = all(1).iter().map(|w| w.name).collect();
+        assert_eq!(names, fresh);
+        assert!(arena.by_name("turb3d").is_some());
+        assert!(arena.by_name("nonesuch").is_none());
     }
 
     #[test]

@@ -17,6 +17,10 @@ cargo test --workspace -q
 cargo test --workspace -q --features json
 cargo test --workspace -q --no-default-features
 
+# Docs gate: every public item is documented (deny(missing_docs)) and
+# rustdoc itself is warning-clean (broken intra-doc links, bad HTML).
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 # Observability gate: a fresh quick-suite BENCH artifact must pass the
 # tolerance-banded comparison against the committed seed baseline.
 repo="$(pwd)"
@@ -27,5 +31,21 @@ trap 'rm -rf "$tmpdir"' EXIT
   "$repo/target/release/fua" bench-suite --tag check
   "$repo/target/release/fua" report \
     --baseline "$repo/BENCH_seed.json" --current BENCH_check.json
+)
+
+# Parallel-determinism gate: a --jobs 4 artifact must diff to exactly
+# zero findings against the serial (--jobs 1) artifact of the same
+# configuration — byte-identical model output, wall-clock aside.
+(
+  cd "$tmpdir"
+  "$repo/target/release/fua" bench-suite --jobs 1 --tag serial
+  "$repo/target/release/fua" bench-suite --jobs 4 --tag parallel
+  out="$("$repo/target/release/fua" report \
+    --baseline BENCH_serial.json --current BENCH_parallel.json)"
+  echo "$out"
+  if [[ "$out" != *"PASS: 0 finding(s)"* ]]; then
+    echo "serial-vs-parallel diff produced findings" >&2
+    exit 1
+  fi
 )
 echo "all checks passed"

@@ -12,10 +12,11 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use fua_analysis as analysis;
 pub use fua_core as core;
+pub use fua_exec as exec;
 pub use fua_isa as isa;
 pub use fua_power as power;
 pub use fua_report as report;

@@ -22,6 +22,9 @@
 //!                           (default 150000; 20000 for `trace`;
 //!                           25000 for `bench-suite`/`report`)
 //!          --scale <N>      workload scale factor (default 1)
+//!          --jobs <N>       worker threads for the parallel sweeps
+//!                           (figure4/headline/bench-suite/report;
+//!                           default: available parallelism; 1 = serial)
 //!          --json           emit machine-readable JSON instead of tables
 //!          --metrics        print a metrics snapshot (run/figure4/headline/trace)
 //!          --out <FILE>     write Chrome trace-event JSON (trace only)
@@ -35,6 +38,9 @@
 //!          --help           print the command table and exit
 //! ```
 //!
+//! Parallel runs are deterministic: `--jobs N` produces byte-identical
+//! tables, artifacts and exports for every `N` (see EXPERIMENTS.md).
+//!
 //! Human-readable progress and log lines go to **stderr**; stdout carries
 //! only the command's actual output (tables, JSON, trace tails, report
 //! findings), so `fua run --json`, `fua trace --out` and the report
@@ -43,11 +49,15 @@
 use std::process::ExitCode;
 
 use fua::core::{
-    chip_estimate, figure4, headline, profile_suite, routing_example, static_swap_comparison,
-    swap_sensitivity, synthesis_report, workload_breakdown, ExperimentConfig, Unit,
+    chip_estimate, figure4_jobs, headline_jobs, profile_suite, routing_example,
+    static_swap_comparison, swap_sensitivity, synthesis_report, workload_breakdown,
+    ExperimentConfig, Unit,
 };
+use fua::exec::Jobs;
 use fua::isa::FuClass;
-use fua::report::{bench_suite, compare, BenchReport, Severity, Tolerance, DEFAULT_WINDOW_CYCLES};
+use fua::report::{
+    bench_suite_jobs, compare, BenchReport, Severity, Tolerance, DEFAULT_WINDOW_CYCLES,
+};
 use fua::sim::{MachineConfig, Simulator, SteeringConfig};
 use fua::stats::TextTable;
 use fua::steer::SteeringKind;
@@ -61,6 +71,7 @@ const TRACE_DEFAULT_LIMIT: u64 = 20_000;
 struct Options {
     limit: Option<u64>,
     scale: u32,
+    jobs: Jobs,
     json: bool,
     metrics: bool,
     out: Option<String>,
@@ -74,56 +85,80 @@ struct Options {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: fua <command> [--limit N] [--scale N] [--json] [--metrics]\n\
+        "usage: fua <command> [sub] [options]\n\
          commands: tables | figure4 <ialu|fpau> | headline | fig1 | synth | \
          chip | breakdown <ialu|fpau> | sensitivity | staticswap <ialu|fpau> | \
          analyze <workload> | lint [workload] | workloads | run <workload> | \
          trace <workload> [--out FILE] [--last N] [--window N] [--csv FILE] | \
-         bench-suite [--tag T] [--window N] | \
+         bench-suite [--tag T] [--window N] [--jobs N] | \
          report --baseline FILE [--current FILE]\n\
-         try `fua --help` for details"
+         try `fua --help` for the full reference"
     );
     ExitCode::FAILURE
 }
 
+/// The full CLI reference: every subcommand with its arguments, then
+/// every flag with which commands consume it. Mirrored as the command
+/// table in README.md — keep the two in sync.
 fn help() {
     println!(
         "fua {} — dynamic functional unit assignment for low power\n\
          \n\
-         commands:\n\
-         \x20 tables                  regenerate Tables 1-3\n\
-         \x20 figure4 <ialu|fpau>     regenerate Figure 4(a)/(b)\n\
-         \x20 headline                the paper's headline numbers\n\
+         usage: fua <command> [sub] [options]\n\
+         \n\
+         paper artefacts:\n\
+         \x20 tables                  regenerate Tables 1-3 (bit patterns, occupancy)\n\
+         \x20 figure4 <ialu|fpau>     regenerate Figure 4(a)/(b), the scheme sweep\n\
+         \x20 headline                headline numbers (paper: ~17% / ~18% / ~26%)\n\
          \x20 fig1                    Figure 1 routing example\n\
-         \x20 synth                   Section-5 gate-cost report\n\
+         \x20 synth                   Section-5 gate-cost report (58 gates / 6 levels)\n\
          \x20 chip                    chip-level power extrapolation (Section 1)\n\
-         \x20 breakdown <ialu|fpau>   per-workload results\n\
-         \x20 sensitivity             compiler-swap cross-input study\n\
-         \x20 staticswap <ialu|fpau>  static vs profile-guided swapping\n\
+         \n\
+         studies:\n\
+         \x20 breakdown <ialu|fpau>   per-workload reduction results\n\
+         \x20 sensitivity             compiler-swap cross-input sensitivity study\n\
+         \x20 staticswap <ialu|fpau>  static analysis vs profile-guided swapping\n\
          \x20 analyze <workload>      static information-bit predictions\n\
-         \x20 lint [workload]         lint one workload (or all)\n\
+         \x20 lint [workload]         lint one workload (or all; nonzero exit on findings)\n\
+         \n\
+         simulation and observability:\n\
          \x20 workloads               list the bundled workloads\n\
          \x20 run <workload>          simulate one workload under every scheme\n\
          \x20 trace <workload>        cycle-level trace under 4-bit LUT + hw swap\n\
+         \n\
+         experiment ledger:\n\
          \x20 bench-suite             quick suite -> BENCH_<tag>.json artifact\n\
          \x20 report                  tolerance-banded diff vs a BENCH baseline\n\
+         \x20                         (nonzero exit on regression — the CI gate)\n\
          \n\
-         options:\n\
-         \x20 --limit <N>     retired-instruction cap per run\n\
+         options (in [] the commands that consume each):\n\
+         \x20 --limit <N>     retired-instruction cap per run [all simulating]\n\
          \x20                 (default {DEFAULT_LIMIT}; {TRACE_DEFAULT_LIMIT} for trace;\n\
          \x20                 quick-config 25000 for bench-suite/report)\n\
-         \x20 --scale <N>     workload scale factor (default 1)\n\
+         \x20 --scale <N>     workload scale factor, default 1 [all simulating]\n\
+         \x20 --jobs <N>      worker threads for the sweep [figure4, headline,\n\
+         \x20                 bench-suite, report]; default: available parallelism;\n\
+         \x20                 1 = serial reference path. Output is byte-identical\n\
+         \x20                 for every N — parallelism only changes wall-clock\n\
          \x20 --json          emit machine-readable JSON instead of tables\n\
-         \x20 --metrics       print a metrics snapshot (run/figure4/headline/trace)\n\
-         \x20 --out <FILE>    write Chrome trace-event JSON for Perfetto (trace)\n\
-         \x20 --last <N>      print the last N trace events (trace)\n\
-         \x20 --window <N>    telemetry window in cycles (default {DEFAULT_WINDOW_CYCLES})\n\
-         \x20 --csv <FILE>    write the windowed telemetry time-series CSV (trace)\n\
-         \x20 --tag <T>       artifact tag: bench-suite writes BENCH_<T>.json\n\
-         \x20 --baseline <F>  baseline artifact for `report` (required)\n\
-         \x20 --current <F>   current artifact for `report` (default: fresh run)\n\
+         \x20                 [figure4, headline, fig1, synth, chip, breakdown,\n\
+         \x20                 sensitivity, staticswap, run]\n\
+         \x20 --metrics       print a metrics snapshot [run, figure4, headline, trace]\n\
+         \x20 --out <FILE>    write Chrome trace-event JSON for Perfetto [trace]\n\
+         \x20 --last <N>      print the last N trace events, default 16 [trace]\n\
+         \x20 --window <N>    telemetry window in cycles, default {DEFAULT_WINDOW_CYCLES}\n\
+         \x20                 [trace, bench-suite, report]\n\
+         \x20 --csv <FILE>    write the windowed telemetry time-series CSV [trace]\n\
+         \x20 --tag <T>       artifact tag, default \"local\": bench-suite writes\n\
+         \x20                 BENCH_<T>.json [bench-suite]\n\
+         \x20 --baseline <F>  baseline artifact, required [report]\n\
+         \x20 --current <F>   current artifact; omitted = run a fresh bench-suite\n\
+         \x20                 and diff that [report]\n\
          \x20 --version, -V   print the version and exit\n\
-         \x20 --help, -h      print this help and exit",
+         \x20 --help, -h      print this help and exit\n\
+         \n\
+         stdout carries only the command's output (tables, JSON, findings);\n\
+         progress and log lines go to stderr, so pipelines compose cleanly.",
         env!("CARGO_PKG_VERSION")
     );
 }
@@ -144,6 +179,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         limit: None,
         scale: 1,
+        jobs: Jobs::auto(),
         json: false,
         metrics: false,
         out: None,
@@ -165,6 +201,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--scale needs a value")?;
                 let n = positive_u64("--scale", v)?;
                 opts.scale = u32::try_from(n).map_err(|_| format!("--scale is too large: {v}"))?;
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                opts.jobs = v.parse().map_err(|e| format!("--jobs: {e}"))?;
             }
             "--json" => opts.json = true,
             "--metrics" => opts.metrics = true,
@@ -329,7 +369,7 @@ fn emit_with_metrics<T>(
 
 fn cmd_figure4(unit: Unit, opts: &Options) {
     let cfg = config(opts);
-    let fig = figure4(unit, &cfg);
+    let fig = figure4_jobs(unit, &cfg, opts.jobs);
     let rendered = fig.render();
     #[cfg(feature = "trace")]
     if opts.metrics {
@@ -342,7 +382,7 @@ fn cmd_figure4(unit: Unit, opts: &Options) {
 
 fn cmd_headline(opts: &Options) {
     let cfg = config(opts);
-    let h = headline(&cfg);
+    let h = headline_jobs(&cfg, opts.jobs);
     let rendered = format!(
         "IALU 4-bit LUT + hw swap:            {:>6.1}%   (paper ~17%)\n\
          FPAU 4-bit LUT + hw swap:            {:>6.1}%   (paper ~18%)\n\
@@ -751,10 +791,11 @@ fn cmd_bench_suite(opts: &Options) -> Result<(), String> {
     let cfg = bench_config(opts);
     let window = opts.window.unwrap_or(DEFAULT_WINDOW_CYCLES);
     eprintln!(
-        "bench-suite: measuring quick suite (scale {}, limit {}, window {} cycles) ...",
-        cfg.scale, cfg.inst_limit, window
+        "bench-suite: measuring quick suite (scale {}, limit {}, window {} cycles, \
+         {} job(s)) ...",
+        cfg.scale, cfg.inst_limit, window, opts.jobs
     );
-    let report = bench_suite(tag, &cfg, window);
+    let report = bench_suite_jobs(tag, &cfg, window, opts.jobs);
     let path = format!("BENCH_{tag}.json");
     let mut rendered = report.to_json().pretty();
     rendered.push('\n');
@@ -766,6 +807,13 @@ fn cmd_bench_suite(opts: &Options) -> Result<(), String> {
         report.telemetry.windows,
         report.telemetry.exact
     );
+    if let Some(p) = &report.parallel {
+        eprintln!(
+            "bench-suite: {} job(s), {:.2}s wall",
+            p.jobs,
+            p.wall_nanos as f64 / 1e9
+        );
+    }
     if !report.telemetry.exact {
         return Err("windowed telemetry sums did not reproduce the energy ledger".into());
     }
@@ -785,10 +833,10 @@ fn cmd_report(opts: &Options) -> Result<bool, String> {
             let window = opts.window.unwrap_or(DEFAULT_WINDOW_CYCLES);
             eprintln!(
                 "report: no --current given; running a fresh bench-suite \
-                 (scale {}, limit {}) ...",
-                cfg.scale, cfg.inst_limit
+                 (scale {}, limit {}, {} job(s)) ...",
+                cfg.scale, cfg.inst_limit, opts.jobs
             );
-            bench_suite("current", &cfg, window)
+            bench_suite_jobs("current", &cfg, window, opts.jobs)
         }
     };
 

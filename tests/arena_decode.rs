@@ -1,0 +1,58 @@
+//! Property: the shared [`WorkloadArena`](fua::workloads::WorkloadArena)
+//! — decoded once per suite and borrowed read-only by every executor
+//! worker — must hold exactly the programs a fresh decode produces, for
+//! every bundled workload at every scale. If this drifts, parallel runs
+//! would silently measure different programs than serial ones.
+
+use fua::workloads::{all, by_name, WorkloadArena};
+
+#[test]
+fn arena_programs_equal_fresh_decodes_at_every_scale() {
+    for scale in 1..=3u32 {
+        let arena = WorkloadArena::build(scale);
+        let fresh = all(scale);
+        assert_eq!(arena.all().len(), fresh.len(), "scale {scale}");
+        for (cached, decoded) in arena.all().iter().zip(&fresh) {
+            assert_eq!(cached.name, decoded.name, "scale {scale}");
+            assert_eq!(cached.category, decoded.category);
+            assert_eq!(
+                cached.program, decoded.program,
+                "arena program for {} diverges from a fresh decode at scale {scale}",
+                cached.name
+            );
+        }
+    }
+}
+
+#[test]
+fn arena_lookup_agrees_with_the_free_function() {
+    for scale in 1..=2u32 {
+        let arena = WorkloadArena::build(scale);
+        for w in all(scale) {
+            let hit = arena
+                .by_name(w.name)
+                .unwrap_or_else(|| panic!("{} missing from arena", w.name));
+            let fresh = by_name(w.name, scale).expect("fresh lookup");
+            assert_eq!(hit.program, fresh.program, "{} at scale {scale}", w.name);
+        }
+        assert!(arena.by_name("no-such-workload").is_none());
+    }
+}
+
+#[test]
+fn arena_partitions_cover_the_suite_exactly() {
+    let arena = WorkloadArena::build(1);
+    let total = arena.integer().len() + arena.floating_point().len();
+    assert_eq!(total, arena.all().len());
+    // The unit slices are contiguous views of the same decode — no
+    // workload is duplicated or re-decoded for the per-unit sweeps.
+    for (slice_w, all_w) in arena
+        .integer()
+        .iter()
+        .chain(arena.floating_point())
+        .zip(arena.all())
+    {
+        assert_eq!(slice_w.name, all_w.name);
+        assert_eq!(slice_w.program, all_w.program);
+    }
+}
