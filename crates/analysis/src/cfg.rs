@@ -160,6 +160,26 @@ impl Cfg {
         self.block_of[idx]
     }
 
+    /// The block owning instruction `idx`, or `None` if `idx` is outside
+    /// the program text. The non-panicking variant of
+    /// [`block_of`](Cfg::block_of), for callers mapping externally
+    /// sourced PCs (e.g. trace events) back onto the CFG.
+    pub fn try_block_of(&self, idx: usize) -> Option<usize> {
+        self.block_of.get(idx).copied()
+    }
+
+    /// A short, stable, human-readable label for block `b`:
+    /// `"bb{b}@{start}..{end}"` (instruction-index range, half-open).
+    /// Used by profilers to name blocks in reports and flamegraph frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not a valid block id.
+    pub fn block_label(&self, b: usize) -> String {
+        let blk = &self.blocks[b];
+        format!("bb{b}@{}..{}", blk.start, blk.end)
+    }
+
     /// Forward reachability from the entry block.
     pub fn reachable(&self) -> Vec<bool> {
         self.flood(&[0], |b| &self.blocks[b].succs)
@@ -239,6 +259,39 @@ mod tests {
         assert_eq!(entry.succs.len(), 2, "taken + fall-through");
         let halt_block = cfg.block_of(p.len() - 1);
         assert_eq!(cfg.blocks()[halt_block].preds.len(), 2);
+    }
+
+    #[test]
+    fn try_block_of_covers_the_text_and_nothing_more() {
+        let mut b = ProgramBuilder::new();
+        let skip = b.new_label();
+        b.li(r(1), 1);
+        b.bgtz(r(1), skip);
+        b.li(r(2), 9);
+        b.bind(skip);
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p);
+        for idx in 0..p.len() {
+            assert_eq!(cfg.try_block_of(idx), Some(cfg.block_of(idx)));
+        }
+        assert_eq!(cfg.try_block_of(p.len()), None);
+    }
+
+    #[test]
+    fn block_labels_carry_the_instruction_range() {
+        let mut b = ProgramBuilder::new();
+        let skip = b.new_label();
+        b.li(r(1), 1);
+        b.bgtz(r(1), skip);
+        b.li(r(2), 9);
+        b.bind(skip);
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.block_label(0), "bb0@0..2");
+        let last = cfg.block_of(p.len() - 1);
+        assert!(cfg.block_label(last).starts_with(&format!("bb{last}@")));
     }
 
     #[test]

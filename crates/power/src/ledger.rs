@@ -256,6 +256,61 @@ mod tests {
     }
 
     #[test]
+    fn an_empty_ledger_is_a_fixed_point_of_every_operation() {
+        let empty = EnergyLedger::new();
+        assert_eq!(empty.total_switched_bits(), 0);
+        assert_eq!(empty.switched_array(), [0; 4]);
+        assert_eq!(empty.ops_array(), [0; 4]);
+        for class in FuClass::ALL {
+            assert_eq!(empty.mean_bits_per_op(class), 0.0);
+        }
+
+        // A snapshot of an empty ledger is the ledger itself, and the
+        // delta against it is empty again.
+        let snap = empty;
+        assert_eq!(snap, empty);
+        assert_eq!(empty.delta_since(&snap), EnergyLedger::new());
+
+        // Merging and accumulating zeros are no-ops.
+        let mut merged = empty;
+        merged.merge(&EnergyLedger::new());
+        merged.accumulate([0; 4], [0; 4]);
+        assert_eq!(merged, empty);
+    }
+
+    #[test]
+    fn a_zero_bit_charge_still_counts_the_operation() {
+        let mut ledger = EnergyLedger::new();
+        ledger.charge(FuClass::IntAlu, 0);
+        assert_eq!(ledger.ops(FuClass::IntAlu), 1);
+        assert_eq!(ledger.switched_bits(FuClass::IntAlu), 0);
+        assert_eq!(ledger.total_switched_bits(), 0);
+        assert_eq!(ledger.mean_bits_per_op(FuClass::IntAlu), 0.0);
+        // ...and the ledger is no longer equal to an empty one, so an
+        // idle interval is distinguishable from a zero-switching one.
+        assert_ne!(ledger, EnergyLedger::new());
+    }
+
+    #[test]
+    fn a_single_charge_round_trips_through_snapshot_and_delta() {
+        let empty = EnergyLedger::new();
+        let mut ledger = empty;
+        ledger.charge(FuClass::FpMul, 17);
+
+        // delta since the empty snapshot is the whole single-op history.
+        let delta = ledger.delta_since(&empty);
+        assert_eq!(delta, ledger);
+        assert_eq!(delta.ops(FuClass::FpMul), 1);
+        assert_eq!(delta.switched_bits(FuClass::FpMul), 17);
+
+        // delta since itself is empty, and accumulate rebuilds it.
+        assert_eq!(ledger.delta_since(&ledger), empty);
+        let mut rebuilt = EnergyLedger::new();
+        rebuilt.accumulate(delta.switched_array(), delta.ops_array());
+        assert_eq!(rebuilt, ledger);
+    }
+
+    #[test]
     fn display_lists_all_classes() {
         let s = EnergyLedger::new().to_string();
         for name in ["IALU", "IMUL", "FPAU", "FPMUL"] {

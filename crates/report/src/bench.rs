@@ -11,6 +11,7 @@
 //! with the simulator's own ledger; the verdict is recorded in the
 //! artifact (`telemetry.exact`).
 
+use fua_attr::{AttributionSink, EnergyAttribution, Scheme};
 use fua_exec::{map_indexed_timed, ExecReport, Jobs};
 use fua_power::EnergyLedger;
 use fua_sim::{PhaseTimers, SimPhase, Simulator};
@@ -25,13 +26,18 @@ use fua_core::{
 use crate::{expect_f64, expect_str, expect_u64, ReportError, RunManifest};
 
 /// The artifact schema identifier; bump on any breaking shape change.
-/// Minor bumps (`/1` → `/1.1`) add optional sections only; this build
-/// still reads every schema in [`BENCH_SCHEMAS_READ`].
-pub const BENCH_SCHEMA: &str = "fua-bench/1.1";
+/// Minor bumps (`/1` → `/1.1` → `/1.2`) add optional sections only; this
+/// build still reads every schema in [`BENCH_SCHEMAS_READ`].
+pub const BENCH_SCHEMA: &str = "fua-bench/1.2";
 
 /// Every schema version this build can read. `fua-bench/1` artifacts
-/// (pre-`parallel` section) parse with `parallel: None`.
-pub const BENCH_SCHEMAS_READ: [&str; 2] = ["fua-bench/1", "fua-bench/1.1"];
+/// (pre-`parallel` section) parse with `parallel: None`; pre-1.2
+/// artifacts parse with `attribution: None`.
+pub const BENCH_SCHEMAS_READ: [&str; 3] = ["fua-bench/1", "fua-bench/1.1", "fua-bench/1.2"];
+
+/// Hotspots recorded in the artifact's `attribution` section (the
+/// suite-wide top-N by switched bits).
+pub const ATTRIBUTION_HOTSPOTS: usize = 10;
 
 /// Default telemetry window for the bench suite, in cycles.
 pub const DEFAULT_WINDOW_CYCLES: u64 = 1024;
@@ -85,6 +91,42 @@ pub struct TelemetrySummary {
     /// Whether the reassembled totals equalled the simulator's own
     /// [`EnergyLedger`](fua_power::EnergyLedger) bit-for-bit.
     pub exact: bool,
+}
+
+/// One suite-wide energy hotspot in the artifact's `attribution`
+/// section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotspotEntry {
+    /// The workload the PC belongs to.
+    pub workload: String,
+    /// Static program counter within the workload.
+    pub pc: u64,
+    /// Basic-block label of the PC.
+    pub block: String,
+    /// Switched bits attributed to the PC.
+    pub bits: u64,
+    /// Share of the whole suite's switched bits, in percent.
+    pub share_pct: f64,
+}
+
+/// The `attribution` section of the artifact: the energy-attribution
+/// digest of the telemetry pass. The per-PC partition itself stays out
+/// of the artifact (it is large and workload-addressed); what is
+/// recorded is the exactness verdict and the suite-wide hotspot ranking
+/// [`compare`](crate::compare) gates on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributionSummary {
+    /// Label of the steering scheme the pass ran under.
+    pub scheme: String,
+    /// Distinct (pc, class, module, case) charge sites across the suite.
+    pub sites: u64,
+    /// Per-class switched-bit totals reassembled from the partition.
+    pub switched_bits: [u64; 4],
+    /// Whether every workload's partition — and their sum — reproduced
+    /// the simulator ledgers bit-for-bit.
+    pub exact: bool,
+    /// The suite-wide top-[`ATTRIBUTION_HOTSPOTS`] PCs by switched bits.
+    pub top_hotspots: Vec<HotspotEntry>,
 }
 
 /// One executor worker's wall-clock accounting in the `parallel`
@@ -165,6 +207,8 @@ pub struct BenchReport {
     pub phase_nanos: PhaseNanos,
     /// Windowed-telemetry summary and exactness verdict.
     pub telemetry: TelemetrySummary,
+    /// Energy-attribution digest (`None` for pre-1.2 artifacts).
+    pub attribution: Option<AttributionSummary>,
     /// Executor accounting (`None` for pre-1.1 artifacts).
     pub parallel: Option<ParallelSummary>,
 }
@@ -210,34 +254,52 @@ pub fn bench_suite_jobs(
     let fpau_info = profile.fpau.operand_info_stats();
 
     // Telemetry pass: every workload under the recommended scheme with
-    // a windowed sink and phase timers attached; prove the exactness
-    // invariant against the simulator's own ledger. Each cell gets its
-    // own sink/timers/ledger; the in-order merge below reproduces the
-    // serial pass that threaded one sink through every run (every run
-    // restarts at cycle 0, so window i covers the same interval in every
-    // cell).
+    // a windowed sink, an attribution sink and phase timers attached;
+    // prove both exactness invariants against the simulator's own
+    // ledger. Each cell gets its own sinks/timers/ledger; the in-order
+    // merge below reproduces the serial pass that threaded one sink
+    // through every run (every run restarts at cycle 0, so window i
+    // covers the same interval in every cell).
     let (cells, exec_t) = map_indexed_timed(jobs, arena.all(), |_, w| {
         let mut sim = Simulator::with_parts(
             config.machine.clone(),
             observed_scheme(),
-            WindowedSink::new(window_cycles),
+            (WindowedSink::new(window_cycles), AttributionSink::new()),
             PhaseTimers::new(),
         );
         let result = sim
             .run_program(&w.program, config.inst_limit)
             .unwrap_or_else(|e| panic!("workload {} faulted: {e}", w.name));
         let ledger = result.ledger;
-        let (sink, timers) = sim.into_parts();
-        (sink, timers, ledger)
+        let ((sink, attr), timers) = sim.into_parts();
+        let attribution = EnergyAttribution::build(w.name, Scheme::Lut4.label(), &w.program, &attr);
+        (sink, attribution, timers, ledger)
     });
     exec.merge(&exec_t);
     let mut sink = WindowedSink::new(window_cycles);
     let mut timers = PhaseTimers::new();
     let mut ledger = EnergyLedger::new();
-    for (s, t, l) in &cells {
+    let mut attr_ledger = EnergyLedger::new();
+    let mut attr_exact = true;
+    let mut attr_sites = 0u64;
+    let mut spots: Vec<HotspotEntry> = Vec::new();
+    for (s, attribution, t, l) in &cells {
         sink.merge(s);
         timers.merge(t);
         ledger.merge(l);
+        let reassembled = attribution.ledger();
+        attr_exact &= reassembled == *l;
+        attr_ledger.merge(&reassembled);
+        attr_sites += attribution.rows().len() as u64;
+        for h in attribution.hotspots(ATTRIBUTION_HOTSPOTS) {
+            spots.push(HotspotEntry {
+                workload: attribution.workload.clone(),
+                pc: h.pc as u64,
+                block: h.block,
+                bits: h.bits,
+                share_pct: 0.0, // filled in once the suite total is known
+            });
+        }
     }
     let series = sink.into_series();
     let mut reassembled = EnergyLedger::new();
@@ -247,6 +309,29 @@ pub fn bench_suite_jobs(
         windows: series.len() as u64,
         switched_bits: series.total_switched_bits(),
         exact: reassembled == ledger,
+    };
+    // The attribution partition must reassemble per workload *and* in
+    // aggregate; hotspot shares are fractions of the suite total.
+    attr_exact &= attr_ledger == ledger;
+    let suite_bits = ledger.total_switched_bits();
+    for spot in &mut spots {
+        if suite_bits > 0 {
+            spot.share_pct = 100.0 * spot.bits as f64 / suite_bits as f64;
+        }
+    }
+    spots.sort_by(|a, b| {
+        b.bits
+            .cmp(&a.bits)
+            .then_with(|| a.workload.cmp(&b.workload))
+            .then(a.pc.cmp(&b.pc))
+    });
+    spots.truncate(ATTRIBUTION_HOTSPOTS);
+    let attribution = AttributionSummary {
+        scheme: Scheme::Lut4.label().to_string(),
+        sites: attr_sites,
+        switched_bits: attr_ledger.switched_array(),
+        exact: attr_exact,
+        top_hotspots: spots,
     };
 
     BenchReport {
@@ -266,6 +351,7 @@ pub fn bench_suite_jobs(
         fpau_occupancy: profile.fpau_occupancy.distribution(),
         phase_nanos: PhaseNanos(timers.nanos()),
         telemetry,
+        attribution: Some(attribution),
         parallel: Some(ParallelSummary::from_report(
             jobs,
             started.elapsed().as_nanos() as u64,
@@ -333,6 +419,77 @@ fn f64_array(json: &Json, field: &str) -> Result<Vec<f64>, ReportError> {
         .iter()
         .map(|v| v.as_f64().ok_or_else(|| ReportError::mistyped(field)))
         .collect()
+}
+
+fn attribution_to_json(a: &AttributionSummary) -> Json {
+    Json::obj([
+        ("scheme", Json::Str(a.scheme.clone())),
+        ("sites", Json::UInt(a.sites)),
+        (
+            "switched_bits",
+            Json::Arr(a.switched_bits.iter().map(|&b| Json::UInt(b)).collect()),
+        ),
+        ("exact", Json::Bool(a.exact)),
+        (
+            "top_hotspots",
+            Json::Arr(
+                a.top_hotspots
+                    .iter()
+                    .map(|h| {
+                        Json::obj([
+                            ("workload", Json::Str(h.workload.clone())),
+                            ("pc", Json::UInt(h.pc)),
+                            ("block", Json::Str(h.block.clone())),
+                            ("bits", Json::UInt(h.bits)),
+                            ("share_pct", Json::Float(h.share_pct)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn attribution_from_json(json: &Json) -> Result<Option<AttributionSummary>, ReportError> {
+    let Some(a) = json.get("attribution") else {
+        return Ok(None);
+    };
+    let bits = a
+        .get("switched_bits")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ReportError::missing("attribution.switched_bits"))?
+        .iter()
+        .map(Json::as_u64)
+        .collect::<Option<Vec<u64>>>()
+        .ok_or_else(|| ReportError::mistyped("attribution.switched_bits"))?;
+    if bits.len() != 4 {
+        return Err(ReportError::mistyped("attribution.switched_bits"));
+    }
+    let top_hotspots = a
+        .get("top_hotspots")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ReportError::missing("attribution.top_hotspots"))?
+        .iter()
+        .map(|h| {
+            Ok(HotspotEntry {
+                workload: expect_str(h, "workload")?.to_string(),
+                pc: expect_u64(h, "pc")?,
+                block: expect_str(h, "block")?.to_string(),
+                bits: expect_u64(h, "bits")?,
+                share_pct: expect_f64(h, "share_pct")?,
+            })
+        })
+        .collect::<Result<Vec<_>, ReportError>>()?;
+    Ok(Some(AttributionSummary {
+        scheme: expect_str(a, "scheme")?.to_string(),
+        sites: expect_u64(a, "sites")?,
+        switched_bits: [bits[0], bits[1], bits[2], bits[3]],
+        exact: a
+            .get("exact")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| ReportError::missing("attribution.exact"))?,
+        top_hotspots,
+    }))
 }
 
 fn parallel_to_json(p: &ParallelSummary) -> Json {
@@ -470,8 +627,11 @@ impl BenchReport {
                 ]),
             ),
         ]);
-        if let Some(p) = &self.parallel {
-            if let Json::Obj(fields) = &mut json {
+        if let Json::Obj(fields) = &mut json {
+            if let Some(a) = &self.attribution {
+                fields.push(("attribution".to_string(), attribution_to_json(a)));
+            }
+            if let Some(p) = &self.parallel {
                 fields.push(("parallel".to_string(), parallel_to_json(p)));
             }
         }
@@ -551,6 +711,7 @@ impl BenchReport {
                     .and_then(Json::as_bool)
                     .ok_or_else(|| ReportError::missing("telemetry.exact"))?,
             },
+            attribution: attribution_from_json(json)?,
             parallel: parallel_from_json(json)?,
         })
     }
@@ -592,12 +753,23 @@ mod tests {
         assert!(report.telemetry.exact, "windowed sums must equal ledger");
         assert!(report.telemetry.windows > 0);
         assert!(report.phase_nanos.of(SimPhase::Issue) > 0);
+        let a = report
+            .attribution
+            .as_ref()
+            .expect("attribution section present");
+        assert!(a.exact, "attributed sums must equal the ledgers");
+        assert!(a.sites > 0);
+        assert!(!a.top_hotspots.is_empty());
+        assert_eq!(
+            a.switched_bits, report.telemetry.switched_bits,
+            "two exact partitions of the same ledger agree"
+        );
         let p = report.parallel.as_ref().expect("parallel section present");
         assert_eq!(p.jobs, 1, "bench_suite is the serial reference path");
         assert!(p.wall_nanos > 0);
         assert!(p.workers.iter().map(|w| w.cells).sum::<u64>() > 0);
         let rendered = report.to_json().pretty();
-        assert!(rendered.contains("\"schema\": \"fua-bench/1.1\""));
+        assert!(rendered.contains("\"schema\": \"fua-bench/1.2\""));
         let parsed: BenchReport = rendered.parse().unwrap();
         // Everything round-trips exactly (floats use shortest-exact
         // rendering, so equality is bit-for-bit).
@@ -613,6 +785,10 @@ mod tests {
         assert_eq!(a.operands, b.operands);
         assert_eq!(a.ialu_occupancy, b.ialu_occupancy);
         assert_eq!(a.telemetry, b.telemetry);
+        assert_eq!(
+            a.attribution, b.attribution,
+            "the attribution digest is byte-identical across job counts"
+        );
         assert_eq!(a.headline_ialu_pct.to_bits(), b.headline_ialu_pct.to_bits());
         // Only the wall-clock sections differ (and the tag).
         assert_eq!(b.parallel.as_ref().unwrap().jobs, 3);
@@ -624,11 +800,26 @@ mod tests {
         let mut json = report.to_json();
         if let Json::Obj(fields) = &mut json {
             fields[0].1 = Json::Str("fua-bench/1".into());
-            fields.retain(|(name, _)| name != "parallel");
+            fields.retain(|(name, _)| name != "parallel" && name != "attribution");
         }
         let parsed = BenchReport::from_json(&json).unwrap();
         assert_eq!(parsed.parallel, None);
+        assert_eq!(parsed.attribution, None);
         assert_eq!(parsed.ialu, report.ialu);
+    }
+
+    #[test]
+    fn schema_1_1_artifacts_without_an_attribution_section_still_parse() {
+        let report = bench_suite("mid", &tiny_config(), 512);
+        let mut json = report.to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields[0].1 = Json::Str("fua-bench/1.1".into());
+            fields.retain(|(name, _)| name != "attribution");
+        }
+        let parsed = BenchReport::from_json(&json).unwrap();
+        assert_eq!(parsed.attribution, None);
+        assert!(parsed.parallel.is_some(), "1.1 already had parallel");
+        assert_eq!(parsed.telemetry, report.telemetry);
     }
 
     #[test]

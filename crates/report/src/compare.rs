@@ -21,6 +21,12 @@
 //! - **Telemetry exactness** — the artifact records whether windowed
 //!   sums reproduced the energy ledger; `exact: false` on either side
 //!   is a regression regardless of tolerances.
+//! - **Attribution exactness & hotspot drift** — likewise for the
+//!   energy-attribution digest: an inexact partition is a regression,
+//!   and when both artifacts carry the section, every baseline top
+//!   hotspot must still rank in the current list with its share of the
+//!   suite's switched bits inside the metric band. A missing section
+//!   (pre-1.2 artifact) on either side is informational only.
 
 use crate::bench::BenchReport;
 use fua_sim::SimPhase;
@@ -348,6 +354,74 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, tol: &Tolerance) -
                 format!("{side} artifact records inexact windowed telemetry sums"),
             );
         }
+        if let Some(a) = &report.attribution {
+            if !a.exact {
+                chk.regression(
+                    "attribution-exactness",
+                    format!("{side} artifact records an inexact energy-attribution partition"),
+                );
+            }
+        }
+    }
+
+    // Hotspot drift: the energy-attribution digest names the suite's
+    // hottest PCs; a hotspot vanishing from the top list, or its share
+    // of the suite's switched bits drifting past the metric band, means
+    // the *location* of the energy changed even if the totals did not.
+    match (&baseline.attribution, &current.attribution) {
+        (Some(b), Some(c)) => {
+            for bh in &b.top_hotspots {
+                let found = c
+                    .top_hotspots
+                    .iter()
+                    .find(|ch| ch.workload == bh.workload && ch.pc == bh.pc);
+                match found {
+                    None => chk.regression(
+                        "hotspot-drift",
+                        format!(
+                            "hotspot {} pc{} ({:.3}% of suite bits in baseline) \
+                             left the current top-{} list",
+                            bh.workload,
+                            bh.pc,
+                            bh.share_pct,
+                            c.top_hotspots.len()
+                        ),
+                    ),
+                    Some(ch) => {
+                        let drift = (ch.share_pct - bh.share_pct).abs();
+                        if drift > tol.metric_pct {
+                            chk.regression(
+                                "hotspot-drift",
+                                format!(
+                                    "hotspot {} pc{}: {:.3}% of suite bits vs baseline \
+                                     {:.3}% (drift {drift:.3} pts > {:.3})",
+                                    bh.workload, bh.pc, ch.share_pct, bh.share_pct, tol.metric_pct
+                                ),
+                            );
+                        } else if drift > 0.0 {
+                            chk.info(
+                                "hotspot-drift",
+                                format!(
+                                    "hotspot {} pc{}: {:.3}% of suite bits vs baseline \
+                                     {:.3}% (within band)",
+                                    bh.workload, bh.pc, ch.share_pct, bh.share_pct
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // One side predates schema 1.2: nothing to diff, note it only.
+        (Some(_), None) => chk.info(
+            "hotspot-drift",
+            "current artifact has no attribution section (pre-1.2 schema)".to_string(),
+        ),
+        (None, Some(_)) => chk.info(
+            "hotspot-drift",
+            "baseline artifact has no attribution section (pre-1.2 schema)".to_string(),
+        ),
+        (None, None) => {}
     }
 
     chk.findings
@@ -487,6 +561,64 @@ mod tests {
             .findings
             .iter()
             .any(|f| f.category == "telemetry-exactness"));
+    }
+
+    #[test]
+    fn inexact_attribution_fails_the_gate() {
+        let baseline = tiny();
+        let mut bad = baseline.clone();
+        bad.attribution.as_mut().unwrap().exact = false;
+        let cmp = compare(&baseline, &bad, &Tolerance::default());
+        assert!(!cmp.passed());
+        assert!(cmp
+            .findings
+            .iter()
+            .any(|f| f.category == "attribution-exactness"));
+    }
+
+    #[test]
+    fn vanished_or_drifted_hotspots_are_regressions() {
+        let baseline = tiny();
+
+        // A baseline hotspot absent from the current top list.
+        let mut moved = baseline.clone();
+        let gone = moved.attribution.as_mut().unwrap().top_hotspots.remove(0);
+        let cmp = compare(&baseline, &moved, &Tolerance::default());
+        assert!(!cmp.passed());
+        assert!(cmp.findings.iter().any(|f| {
+            f.category == "hotspot-drift"
+                && f.severity == Severity::Regression
+                && f.message.contains(&format!("pc{}", gone.pc))
+        }));
+
+        // A hotspot still present but with its share far out of band.
+        let mut drifted = baseline.clone();
+        drifted.attribution.as_mut().unwrap().top_hotspots[0].share_pct += 5.0;
+        let cmp = compare(&baseline, &drifted, &Tolerance::default());
+        assert!(!cmp.passed());
+        assert!(cmp
+            .findings
+            .iter()
+            .any(|f| f.category == "hotspot-drift" && f.severity == Severity::Regression));
+    }
+
+    #[test]
+    fn a_pre_1_2_artifact_without_attribution_is_informational_only() {
+        let baseline = tiny();
+        let mut old = baseline.clone();
+        old.attribution = None;
+        for (b, c) in [(&baseline, &old), (&old, &baseline)] {
+            let cmp = compare(b, c, &Tolerance::default());
+            assert!(cmp.passed(), "findings: {:#?}", cmp.findings);
+            assert!(cmp
+                .findings
+                .iter()
+                .any(|f| f.category == "hotspot-drift" && f.severity == Severity::Info));
+        }
+        let mut both_old = baseline.clone();
+        both_old.attribution = None;
+        let cmp = compare(&both_old, &old, &Tolerance::default());
+        assert!(!cmp.findings.iter().any(|f| f.category == "hotspot-drift"));
     }
 
     #[test]

@@ -451,6 +451,7 @@ impl<S: TraceSink, P: PhaseProfiler> Simulator<S, P> {
             let entry = &mut self.window[win_idx];
             let opcode = entry.op.opcode;
             let serial = entry.op.serial;
+            let entry_pc = entry.op.static_idx;
             if matches!(opcode, Opcode::Mul | Opcode::FMul) {
                 // Booth activity model (extension; see DESIGN.md). The
                 // latch already advanced, so reconstruct prev from cost.
@@ -520,8 +521,11 @@ impl<S: TraceSink, P: PhaseProfiler> Simulator<S, P> {
                 }
                 self.sink.record(&TraceEvent::Energy {
                     cycle: self.cycle,
+                    serial,
+                    pc: entry_pc,
                     class,
                     module,
+                    case: steer_case,
                     bits,
                 });
                 if let Some(event) = cache_event {

@@ -117,13 +117,26 @@ pub enum TraceEvent {
         kind: SwapKind,
     },
     /// An energy-ledger delta: one operation latched onto a module.
+    ///
+    /// Carries full provenance — the dynamic serial, the static program
+    /// counter and the information-bit case of the issuing instruction —
+    /// so attribution sinks can partition the ledger by static site
+    /// without any engine state.
     Energy {
         /// Cycle of the charge.
         cycle: u64,
+        /// Dynamic serial of the issuing instruction.
+        serial: u64,
+        /// Static program counter (instruction index) of the issuing
+        /// instruction.
+        pc: u32,
         /// The FU class charged.
         class: FuClass,
         /// The module whose input latches toggled.
         module: u8,
+        /// The instruction's information-bit case (post rule-swap, pre
+        /// policy-swap — the same view a [`TraceEvent::Steer`] reports).
+        case: Case,
         /// Switched input bits charged to the ledger.
         bits: u32,
     },

@@ -83,11 +83,29 @@ fn counter(name: String, ts: u64, pid: u64, key: &str, value: u64) -> Json {
 impl ChromeTraceSink {
     /// An empty exporter with the process metadata pre-recorded.
     pub fn new() -> Self {
+        Self::with_process_labels("pipeline", "functional units")
+    }
+
+    /// As [`new`](ChromeTraceSink::new), labelling both processes with
+    /// the workload name so multi-workload exports stay distinguishable
+    /// in the Perfetto process list.
+    ///
+    /// The label travels through the JSON layer like every other string,
+    /// so workload names containing quotes, backslashes or control
+    /// characters are escaped, never spliced into the document raw.
+    pub fn for_workload(workload: &str) -> Self {
+        Self::with_process_labels(
+            &format!("pipeline [{workload}]"),
+            &format!("functional units [{workload}]"),
+        )
+    }
+
+    fn with_process_labels(pipeline: &str, units: &str) -> Self {
         let mut sink = ChromeTraceSink::default();
         sink.events
-            .push(meta("process_name", PID_PIPELINE, None, "pipeline"));
+            .push(meta("process_name", PID_PIPELINE, None, pipeline));
         sink.events
-            .push(meta("process_name", PID_UNITS, None, "functional units"));
+            .push(meta("process_name", PID_UNITS, None, units));
         for (tid, label) in [
             (TID_STEER, "steer"),
             (TID_SWAP, "operand-swap"),
@@ -348,8 +366,11 @@ mod tests {
         for bits in [5u32, 7] {
             sink.record(&TraceEvent::Energy {
                 cycle: 1,
+                serial: 0,
+                pc: 0,
                 class: FuClass::FpAlu,
                 module: 0,
+                case: Case::C00,
                 bits,
             });
         }
@@ -357,6 +378,33 @@ mod tests {
         assert!(json.contains("\"bits\":5"));
         assert!(json.contains("\"bits\":12"));
         assert!(json.contains("switched_bits.FPAU"));
+    }
+
+    #[test]
+    fn workload_labels_with_quotes_and_controls_round_trip() {
+        // A deliberately hostile workload name: quote, backslash, tab,
+        // newline and a raw control byte. The exported document must
+        // still parse, and the label must come back verbatim.
+        let name = "he\"ll\\o\tworld\n\u{1}";
+        let sink = ChromeTraceSink::for_workload(name);
+        let doc = sink.into_json().compact();
+        let parsed = Json::parse(&doc).expect("escaped export parses");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        let labels: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("process_name"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        assert_eq!(
+            labels,
+            [
+                format!("pipeline [{name}]"),
+                format!("functional units [{name}]")
+            ]
+        );
     }
 
     #[test]

@@ -195,8 +195,11 @@ mod tests {
         for (module, bits) in [(0u8, 5u32), (1, 7), (0, 3)] {
             rec.record(&TraceEvent::Energy {
                 cycle: 1,
+                serial: 0,
+                pc: 0,
                 class: FuClass::IntAlu,
                 module,
+                case: Case::C00,
                 bits,
             });
         }

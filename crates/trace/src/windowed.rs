@@ -20,12 +20,16 @@
 //! # Examples
 //!
 //! ```
-//! use fua_isa::FuClass;
+//! use fua_isa::{Case, FuClass};
 //! use fua_trace::{TraceEvent, TraceSink, WindowedSink};
 //!
 //! let mut sink = WindowedSink::new(100);
-//! sink.record(&TraceEvent::Energy { cycle: 5, class: FuClass::IntAlu, module: 1, bits: 9 });
-//! sink.record(&TraceEvent::Energy { cycle: 150, class: FuClass::IntAlu, module: 0, bits: 4 });
+//! sink.record(&TraceEvent::Energy {
+//!     cycle: 5, serial: 0, pc: 2, class: FuClass::IntAlu, module: 1, case: Case::C00, bits: 9,
+//! });
+//! sink.record(&TraceEvent::Energy {
+//!     cycle: 150, serial: 1, pc: 3, class: FuClass::IntAlu, module: 0, case: Case::C11, bits: 4,
+//! });
 //! let series = sink.into_series();
 //! assert_eq!(series.len(), 2);
 //! assert_eq!(series.total_switched_bits(), [13, 0, 0, 0]);
@@ -562,8 +566,11 @@ mod tests {
     fn energy(cycle: u64, class: FuClass, module: u8, bits: u32) -> TraceEvent {
         TraceEvent::Energy {
             cycle,
+            serial: 0,
+            pc: 0,
             class,
             module,
+            case: Case::C00,
             bits,
         }
     }

@@ -48,4 +48,16 @@ trap 'rm -rf "$tmpdir"' EXIT
     exit 1
   fi
 )
+
+# Attribution-determinism gate: the energy profiler's flamegraph and
+# site table must be byte-identical between --jobs 1 and --jobs 4.
+(
+  cd "$tmpdir"
+  "$repo/target/release/fua" profile-energy all --jobs 1 \
+    --flame flame-serial.txt --json > attr-serial.json
+  "$repo/target/release/fua" profile-energy all --jobs 4 \
+    --flame flame-parallel.txt --json > attr-parallel.json
+  cmp flame-serial.txt flame-parallel.txt
+  cmp attr-serial.json attr-parallel.json
+)
 echo "all checks passed"

@@ -15,6 +15,7 @@
 #![deny(missing_docs)]
 
 pub use fua_analysis as analysis;
+pub use fua_attr as attr;
 pub use fua_core as core;
 pub use fua_exec as exec;
 pub use fua_isa as isa;

@@ -15,12 +15,13 @@
 //! fua workloads               list the bundled workloads
 //! fua run <workload>          simulate one workload under every scheme
 //! fua trace <workload>        cycle-level trace of one workload
+//! fua profile-energy <w|all>  attribute switched bits to PCs/blocks
 //! fua bench-suite             run the quick suite, write BENCH_<tag>.json
 //! fua report                  diff a BENCH artifact against a baseline
 //!
 //! options: --limit <N>      retired-instruction cap per run
 //!                           (default 150000; 20000 for `trace`;
-//!                           25000 for `bench-suite`/`report`)
+//!                           25000 for `bench-suite`/`report`/`profile-energy`)
 //!          --scale <N>      workload scale factor (default 1)
 //!          --jobs <N>       worker threads for the parallel sweeps
 //!                           (figure4/headline/bench-suite/report;
@@ -31,6 +32,10 @@
 //!          --last <N>       print the last N trace events (trace only)
 //!          --window <N>     telemetry window in cycles (trace/bench-suite/report)
 //!          --csv <FILE>     write windowed telemetry CSV (trace only)
+//!          --scheme <S>     steering scheme for profile-energy (default lut4)
+//!          --compare <A> <B> differential attribution of two schemes
+//!          --top <N>        hotspot/mover rows to print (default 10)
+//!          --flame <FILE>   write a collapsed-stack flamegraph file
 //!          --tag <T>        artifact tag for bench-suite (default "local")
 //!          --baseline <F>   baseline BENCH json for report (required)
 //!          --current <F>    current BENCH json for report (default: fresh run)
@@ -81,6 +86,10 @@ struct Options {
     tag: Option<String>,
     baseline: Option<String>,
     current: Option<String>,
+    scheme: Option<String>,
+    compare: Option<(String, String)>,
+    top: Option<usize>,
+    flame: Option<String>,
 }
 
 fn usage() -> ExitCode {
@@ -90,6 +99,8 @@ fn usage() -> ExitCode {
          chip | breakdown <ialu|fpau> | sensitivity | staticswap <ialu|fpau> | \
          analyze <workload> | lint [workload] | workloads | run <workload> | \
          trace <workload> [--out FILE] [--last N] [--window N] [--csv FILE] | \
+         profile-energy <workload|all> [--scheme S | --compare A B] \
+         [--top N] [--flame FILE] | \
          bench-suite [--tag T] [--window N] [--jobs N] | \
          report --baseline FILE [--current FILE]\n\
          try `fua --help` for the full reference"
@@ -125,6 +136,9 @@ fn help() {
          \x20 workloads               list the bundled workloads\n\
          \x20 run <workload>          simulate one workload under every scheme\n\
          \x20 trace <workload>        cycle-level trace under 4-bit LUT + hw swap\n\
+         \x20 profile-energy <w|all>  attribute every switched bit to its static PC,\n\
+         \x20                         basic block, FU module and steering case;\n\
+         \x20                         rank hotspots, export flamegraphs, diff schemes\n\
          \n\
          experiment ledger:\n\
          \x20 bench-suite             quick suite -> BENCH_<tag>.json artifact\n\
@@ -134,21 +148,31 @@ fn help() {
          options (in [] the commands that consume each):\n\
          \x20 --limit <N>     retired-instruction cap per run [all simulating]\n\
          \x20                 (default {DEFAULT_LIMIT}; {TRACE_DEFAULT_LIMIT} for trace;\n\
+         \x20                 {PROFILE_DEFAULT_LIMIT} for profile-energy;\n\
          \x20                 quick-config 25000 for bench-suite/report)\n\
          \x20 --scale <N>     workload scale factor, default 1 [all simulating]\n\
          \x20 --jobs <N>      worker threads for the sweep [figure4, headline,\n\
-         \x20                 bench-suite, report]; default: available parallelism;\n\
-         \x20                 1 = serial reference path. Output is byte-identical\n\
-         \x20                 for every N — parallelism only changes wall-clock\n\
+         \x20                 bench-suite, report, profile-energy]; default:\n\
+         \x20                 available parallelism; 1 = serial reference path.\n\
+         \x20                 Output is byte-identical for every N — parallelism\n\
+         \x20                 only changes wall-clock\n\
          \x20 --json          emit machine-readable JSON instead of tables\n\
          \x20                 [figure4, headline, fig1, synth, chip, breakdown,\n\
-         \x20                 sensitivity, staticswap, run]\n\
+         \x20                 sensitivity, staticswap, run, profile-energy]\n\
          \x20 --metrics       print a metrics snapshot [run, figure4, headline, trace]\n\
          \x20 --out <FILE>    write Chrome trace-event JSON for Perfetto [trace]\n\
          \x20 --last <N>      print the last N trace events, default 16 [trace]\n\
          \x20 --window <N>    telemetry window in cycles, default {DEFAULT_WINDOW_CYCLES}\n\
          \x20                 [trace, bench-suite, report]\n\
          \x20 --csv <FILE>    write the windowed telemetry time-series CSV [trace]\n\
+         \x20 --scheme <S>    steering scheme to attribute, default lut4\n\
+         \x20                 (naive|fullham|1bitham|lut2|lut4|lut8) [profile-energy]\n\
+         \x20 --compare <A> <B>  run both schemes and report where B saves or\n\
+         \x20                 loses switched bits vs A, per PC/module/case\n\
+         \x20                 [profile-energy]\n\
+         \x20 --top <N>       hotspot/mover rows to print, default 10 [profile-energy]\n\
+         \x20 --flame <FILE>  write collapsed stacks (workload;block;pc weight)\n\
+         \x20                 for flamegraph renderers [profile-energy]\n\
          \x20 --tag <T>       artifact tag, default \"local\": bench-suite writes\n\
          \x20                 BENCH_<T>.json [bench-suite]\n\
          \x20 --baseline <F>  baseline artifact, required [report]\n\
@@ -189,6 +213,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         tag: None,
         baseline: None,
         current: None,
+        scheme: None,
+        compare: None,
+        top: None,
+        flame: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -235,6 +263,27 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--current" => {
                 let v = it.next().ok_or("--current needs a file path")?;
                 opts.current = Some(v.clone());
+            }
+            "--scheme" => {
+                let v = it.next().ok_or("--scheme needs a value")?;
+                opts.scheme = Some(v.clone());
+            }
+            "--compare" => {
+                let a = it
+                    .next()
+                    .ok_or("--compare needs two scheme names (e.g. --compare naive lut4)")?;
+                let b = it
+                    .next()
+                    .ok_or("--compare needs a second scheme name (e.g. --compare naive lut4)")?;
+                opts.compare = Some((a.clone(), b.clone()));
+            }
+            "--top" => {
+                let v = it.next().ok_or("--top needs a value")?;
+                opts.top = Some(positive_u64("--top", v)? as usize);
+            }
+            "--flame" => {
+                let v = it.next().ok_or("--flame needs a file path")?;
+                opts.flame = Some(v.clone());
             }
             other => return Err(format!("unknown option: {other}")),
         }
@@ -655,10 +704,15 @@ fn fmt_event(e: &fua::trace::TraceEvent) -> String {
         } => format!("[{cycle:>7}] swap      #{serial} {class} ({})", kind.name()),
         E::Energy {
             cycle,
+            serial,
+            pc,
             class,
             module,
+            case,
             bits,
-        } => format!("[{cycle:>7}] energy    {class}.m{module} +{bits} bits"),
+        } => format!(
+            "[{cycle:>7}] energy    #{serial} pc{pc} {class}.m{module} case{case} +{bits} bits"
+        ),
         E::Execute {
             cycle,
             serial,
@@ -705,7 +759,7 @@ fn cmd_trace(name: &str, opts: &Options) -> Result<(), String> {
         MachineConfig::paper_default(),
         fua::core::observed_scheme(),
         (
-            ChromeTraceSink::new(),
+            ChromeTraceSink::for_workload(w.name),
             (
                 RingBufferSink::default(),
                 (MetricsRecorder::new(), WindowedSink::new(window)),
@@ -779,6 +833,253 @@ fn cmd_trace(_name: &str, _opts: &Options) -> Result<(), String> {
     Err("`fua trace` requires the `trace` feature (rebuild with `--features trace`)".into())
 }
 
+/// Default retired-instruction cap for `fua profile-energy` — matches
+/// the bench-suite quick config so profiles explain BENCH artifacts.
+const PROFILE_DEFAULT_LIMIT: u64 = 25_000;
+
+/// The workload set a `<workload|all>` sub-argument names.
+fn profile_workloads(name: &str, scale: u32) -> Result<Vec<fua::workloads::Workload>, String> {
+    if name == "all" {
+        Ok(fua::workloads::all(scale))
+    } else {
+        Ok(vec![
+            fua::workloads::by_name(name, scale).ok_or_else(|| unknown_workload(name, scale))?
+        ])
+    }
+}
+
+fn parse_scheme(flag: &str, name: &str) -> Result<fua::attr::Scheme, String> {
+    name.parse().map_err(|e| format!("{flag}: {e}"))
+}
+
+fn write_flame(path: &str, runs: &[fua::attr::AttributedRun]) -> Result<(), String> {
+    let mut stacks = String::new();
+    for run in runs {
+        stacks.push_str(&run.attribution.collapsed_stacks());
+    }
+    std::fs::write(path, &stacks).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!(
+        "profile-energy: wrote {} collapsed-stack line(s) to {path}",
+        stacks.lines().count()
+    );
+    Ok(())
+}
+
+/// Checks every run's exact-partition invariant, logging per workload.
+fn verify_exact(runs: &[fua::attr::AttributedRun]) -> Result<(), String> {
+    for run in runs {
+        let a = &run.attribution;
+        eprintln!(
+            "profile-energy: {} under {}: {} cycles, {} switched bits over {} sites, exact: {}",
+            a.workload,
+            a.scheme,
+            run.result.cycles,
+            a.total_bits(),
+            a.rows().len(),
+            run.exact()
+        );
+        if !run.exact() {
+            return Err(format!(
+                "attribution for {} did not reproduce the energy ledger",
+                a.workload
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Renders the suite-wide top-N hotspot table for one scheme's runs.
+fn hotspot_table(runs: &[fua::attr::AttributedRun], top: usize) -> TextTable {
+    let suite_bits: u64 = runs.iter().map(|r| r.attribution.total_bits()).sum();
+    let mut spots: Vec<(String, fua::attr::Hotspot)> = Vec::new();
+    for run in runs {
+        for h in run.attribution.hotspots(top) {
+            spots.push((run.attribution.workload.clone(), h));
+        }
+    }
+    spots.sort_by(|(wa, a), (wb, b)| {
+        b.bits
+            .cmp(&a.bits)
+            .then_with(|| wa.cmp(wb))
+            .then(a.pc.cmp(&b.pc))
+    });
+    spots.truncate(top);
+    let mut table = TextTable::new(["workload", "pc", "block", "opcode", "bits", "ops", "share"]);
+    for (workload, h) in &spots {
+        let share = if suite_bits == 0 {
+            0.0
+        } else {
+            100.0 * h.bits as f64 / suite_bits as f64
+        };
+        table.push_row([
+            workload.clone(),
+            format!("pc{}", h.pc),
+            h.block.clone(),
+            h.opcode.clone(),
+            h.bits.to_string(),
+            h.ops.to_string(),
+            format!("{share:.2}%"),
+        ]);
+    }
+    table
+}
+
+/// The per-module and per-case switched-bit breakdown for the
+/// duplicated FU classes, summed across runs.
+fn breakdown_table(runs: &[fua::attr::AttributedRun]) -> TextTable {
+    let mut table = TextTable::new(["class", "m0", "m1", "m2", "m3", "c00", "c01", "c10", "c11"]);
+    for class in [FuClass::IntAlu, FuClass::FpAlu] {
+        let mut modules = [0u64; fua::attr::MAX_MODULES];
+        let mut cases = [0u64; 4];
+        for run in runs {
+            let m = run.attribution.module_bits(class);
+            let c = run.attribution.case_bits(class);
+            for (acc, v) in modules.iter_mut().zip(m) {
+                *acc += v;
+            }
+            for (acc, v) in cases.iter_mut().zip(c) {
+                *acc += v;
+            }
+        }
+        table.push_row(
+            std::iter::once(class.to_string())
+                .chain(modules.iter().take(4).map(u64::to_string))
+                .chain(cases.iter().map(u64::to_string)),
+        );
+    }
+    table
+}
+
+fn cmd_profile_energy(name: &str, opts: &Options) -> Result<(), String> {
+    use fua::attr::{attribute_suite, AttributionDiff};
+    use fua::trace::Json;
+
+    if opts.scheme.is_some() && opts.compare.is_some() {
+        return Err("--scheme and --compare are mutually exclusive".into());
+    }
+    let workloads = profile_workloads(name, opts.scale)?;
+    let limit = opts.limit.unwrap_or(PROFILE_DEFAULT_LIMIT);
+    let top = opts.top.unwrap_or(10);
+
+    if let Some((name_a, name_b)) = &opts.compare {
+        let scheme_a = parse_scheme("--compare", name_a)?;
+        let scheme_b = parse_scheme("--compare", name_b)?;
+        eprintln!(
+            "profile-energy: comparing {} vs {} over {} workload(s) (limit {limit}, {} job(s))",
+            scheme_a.label(),
+            scheme_b.label(),
+            workloads.len(),
+            opts.jobs
+        );
+        let runs_a = attribute_suite(&workloads, scheme_a, limit, opts.jobs);
+        let runs_b = attribute_suite(&workloads, scheme_b, limit, opts.jobs);
+        verify_exact(&runs_a)?;
+        verify_exact(&runs_b)?;
+        let diffs: Vec<AttributionDiff> = runs_a
+            .iter()
+            .zip(&runs_b)
+            .map(|(a, b)| AttributionDiff::between(&a.attribution, &b.attribution))
+            .collect();
+
+        if opts.json {
+            let doc = Json::Arr(diffs.iter().map(AttributionDiff::to_json).collect());
+            println!("{}", doc.pretty());
+        } else {
+            let mut totals = TextTable::new([
+                "workload".to_string(),
+                format!("bits A ({})", scheme_a.name()),
+                format!("bits B ({})", scheme_b.name()),
+                "delta".to_string(),
+                "saving".to_string(),
+            ]);
+            for d in &diffs {
+                totals.push_row([
+                    d.workload.clone(),
+                    d.total_a.to_string(),
+                    d.total_b.to_string(),
+                    d.total_delta().to_string(),
+                    format!("{:.2}%", d.saving_pct()),
+                ]);
+            }
+            println!(
+                "switched bits, {} (A) vs {} (B):",
+                scheme_a.label(),
+                scheme_b.label()
+            );
+            println!("{totals}");
+
+            let mut movers: Vec<(&str, &fua::attr::PcDelta)> = diffs
+                .iter()
+                .flat_map(|d| d.movers.iter().map(move |m| (d.workload.as_str(), m)))
+                .collect();
+            movers.sort_by(|(wa, a), (wb, b)| {
+                b.delta
+                    .unsigned_abs()
+                    .cmp(&a.delta.unsigned_abs())
+                    .then_with(|| wa.cmp(wb))
+                    .then(a.pc.cmp(&b.pc))
+            });
+            movers.truncate(top);
+            let mut table = TextTable::new([
+                "workload", "pc", "block", "opcode", "bits A", "bits B", "delta",
+            ]);
+            for (w, m) in &movers {
+                table.push_row([
+                    (*w).to_string(),
+                    format!("pc{}", m.pc),
+                    m.block.clone(),
+                    m.opcode.clone(),
+                    m.bits_a.to_string(),
+                    m.bits_b.to_string(),
+                    m.delta.to_string(),
+                ]);
+            }
+            println!(
+                "top {} mover(s) by |delta| (negative = B saves):",
+                movers.len()
+            );
+            println!("{table}");
+            println!("per-module / per-case switched bits under A:");
+            println!("{}", breakdown_table(&runs_a));
+            println!("per-module / per-case switched bits under B:");
+            println!("{}", breakdown_table(&runs_b));
+        }
+        if let Some(path) = &opts.flame {
+            // The flamegraph shows where the energy still goes under
+            // scheme B (the "after" profile of the comparison).
+            write_flame(path, &runs_b)?;
+        }
+        return Ok(());
+    }
+
+    let scheme = match opts.scheme.as_deref() {
+        Some(s) => parse_scheme("--scheme", s)?,
+        None => fua::attr::Scheme::Lut4,
+    };
+    eprintln!(
+        "profile-energy: attributing {} workload(s) under {} (limit {limit}, {} job(s))",
+        workloads.len(),
+        scheme.label(),
+        opts.jobs
+    );
+    let runs = attribute_suite(&workloads, scheme, limit, opts.jobs);
+    verify_exact(&runs)?;
+
+    if opts.json {
+        let doc = Json::Arr(runs.iter().map(|r| r.attribution.to_json()).collect());
+        println!("{}", doc.pretty());
+    } else {
+        println!("top {top} energy hotspot(s) under {}:", scheme.label());
+        println!("{}", hotspot_table(&runs, top));
+        println!("per-module / per-case switched bits:");
+        println!("{}", breakdown_table(&runs));
+    }
+    if let Some(path) = &opts.flame {
+        write_flame(path, &runs)?;
+    }
+    Ok(())
+}
+
 fn load_bench(path: &str) -> Result<BenchReport, String> {
     let contents = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     contents
@@ -801,11 +1102,13 @@ fn cmd_bench_suite(opts: &Options) -> Result<(), String> {
     rendered.push('\n');
     std::fs::write(&path, rendered).map_err(|e| format!("writing {path}: {e}"))?;
     eprintln!(
-        "bench-suite: wrote {path} (IALU {:.1}%, FPAU {:.1}%, {} windows, telemetry exact: {})",
+        "bench-suite: wrote {path} (IALU {:.1}%, FPAU {:.1}%, {} windows, telemetry exact: {}, \
+         attribution exact: {})",
         report.headline_ialu_pct,
         report.headline_fpau_pct,
         report.telemetry.windows,
-        report.telemetry.exact
+        report.telemetry.exact,
+        report.attribution.as_ref().is_some_and(|a| a.exact)
     );
     if let Some(p) = &report.parallel {
         eprintln!(
@@ -816,6 +1119,9 @@ fn cmd_bench_suite(opts: &Options) -> Result<(), String> {
     }
     if !report.telemetry.exact {
         return Err("windowed telemetry sums did not reproduce the energy ledger".into());
+    }
+    if !report.attribution.as_ref().is_some_and(|a| a.exact) {
+        return Err("energy attribution did not reproduce the energy ledger".into());
     }
     Ok(())
 }
@@ -957,6 +1263,12 @@ fn main() -> ExitCode {
         }
         ("trace", Some(name)) => {
             if let Err(e) = cmd_trace(name, &opts) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        ("profile-energy", Some(name)) => {
+            if let Err(e) = cmd_profile_energy(name, &opts) {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }

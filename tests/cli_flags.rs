@@ -1,0 +1,103 @@
+//! Integration: CLI flag validation. Every positive-integer flag must
+//! reject `0` and non-numeric input the same way — a clear message on
+//! stderr that names the flag, a nonzero exit code, and nothing on
+//! stdout (so a broken invocation can never be mistaken for data by a
+//! downstream pipeline).
+
+use std::process::Command;
+
+fn fua(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_fua"))
+        .args(args)
+        .output()
+        .expect("spawn fua binary")
+}
+
+/// Runs a known-bad invocation and returns its stderr after checking
+/// the exit code and that stdout stayed machine-clean.
+fn expect_rejection(args: &[&str]) -> String {
+    let out = fua(args);
+    assert!(
+        !out.status.success(),
+        "`fua {}` must exit nonzero",
+        args.join(" ")
+    );
+    assert!(
+        out.stdout.is_empty(),
+        "`fua {}` must not write data to stdout; got: {}",
+        args.join(" "),
+        String::from_utf8_lossy(&out.stdout)
+    );
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn zero_is_rejected_by_every_positive_integer_flag() {
+    let cases: [(&[&str], &str); 7] = [
+        (&["tables", "--jobs", "0"], "--jobs"),
+        (&["tables", "--limit", "0"], "--limit"),
+        (&["tables", "--scale", "0"], "--scale"),
+        (&["trace", "compress", "--last", "0"], "--last"),
+        (&["trace", "compress", "--window", "0"], "--window"),
+        (&["profile-energy", "compress", "--top", "0"], "--top"),
+        (&["bench-suite", "--jobs", "0"], "--jobs"),
+    ];
+    for (args, flag) in cases {
+        let stderr = expect_rejection(args);
+        assert!(
+            stderr.contains(flag),
+            "`fua {}`: stderr must name {flag}; got: {stderr}",
+            args.join(" ")
+        );
+        assert!(
+            stderr.contains("error:"),
+            "`fua {}`: stderr must carry an error line; got: {stderr}",
+            args.join(" ")
+        );
+    }
+}
+
+#[test]
+fn non_numeric_values_are_rejected_with_the_offending_input() {
+    let cases: [(&[&str], &str); 4] = [
+        (&["tables", "--jobs", "many"], "--jobs"),
+        (&["tables", "--limit", "1e6"], "--limit"),
+        (&["trace", "compress", "--window", "wide"], "--window"),
+        (&["profile-energy", "compress", "--top", "-3"], "--top"),
+    ];
+    for (args, flag) in cases {
+        let stderr = expect_rejection(args);
+        assert!(
+            stderr.contains(flag),
+            "`fua {}`: stderr must name {flag}; got: {stderr}",
+            args.join(" ")
+        );
+        // The offending value is echoed back so the user can see what
+        // was actually parsed.
+        let value = args.last().unwrap();
+        assert!(
+            stderr.contains(value),
+            "`fua {}`: stderr must echo `{value}`; got: {stderr}",
+            args.join(" ")
+        );
+    }
+}
+
+#[test]
+fn a_flag_missing_its_value_is_rejected() {
+    for args in [&["tables", "--jobs"][..], &["tables", "--limit"][..]] {
+        let stderr = expect_rejection(args);
+        assert!(
+            stderr.contains("needs a value"),
+            "`fua {}`: got: {stderr}",
+            args.join(" ")
+        );
+    }
+}
+
+#[test]
+fn valid_flag_values_still_pass() {
+    let out = fua(&["workloads", "--jobs", "2"]);
+    assert!(out.status.success(), "control case must succeed");
+    assert!(!out.stdout.is_empty());
+}

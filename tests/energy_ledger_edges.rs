@@ -1,0 +1,83 @@
+//! Integration: `EnergyLedger` edge cases through a real simulation —
+//! an empty (halt-only) run and a single-FU-op run must behave
+//! sensibly under snapshot, delta and accumulate, and the attribution
+//! sink must agree with the ledger even when there is (almost) nothing
+//! to attribute.
+
+use fua::attr::AttributionSink;
+use fua::isa::{FuClass, IntReg, Program, ProgramBuilder};
+use fua::power::EnergyLedger;
+use fua::sim::{MachineConfig, Simulator, SteeringConfig};
+
+fn halt_only() -> Program {
+    let mut b = ProgramBuilder::new();
+    b.halt();
+    b.build().unwrap()
+}
+
+fn single_add() -> Program {
+    let mut b = ProgramBuilder::new();
+    b.add(IntReg::new(1), IntReg::new(0), IntReg::new(0));
+    b.halt();
+    b.build().unwrap()
+}
+
+fn run(program: &Program) -> (fua::sim::SimResult, AttributionSink) {
+    let mut sim = Simulator::with_sink(
+        MachineConfig::paper_default(),
+        SteeringConfig::original(),
+        AttributionSink::new(),
+    );
+    let result = sim.run_program(program, 1_000).expect("runs");
+    let sink = sim.into_sink();
+    (result, sink)
+}
+
+#[test]
+fn a_halt_only_run_charges_nothing() {
+    let (result, sink) = run(&halt_only());
+    assert_eq!(result.ledger, EnergyLedger::new(), "no FU ops, no charges");
+    assert_eq!(result.ledger.total_switched_bits(), 0);
+    for class in FuClass::ALL {
+        assert_eq!(result.ledger.ops(class), 0);
+    }
+
+    // The attribution partition of an empty run is the empty map, and
+    // it still reassembles the (empty) ledger exactly.
+    assert!(sink.is_empty());
+    assert_eq!(sink.ledger(), result.ledger);
+
+    // Snapshot/delta around an empty run: everything stays empty.
+    let snap = result.ledger;
+    assert_eq!(result.ledger.delta_since(&snap), EnergyLedger::new());
+    let mut rebuilt = EnergyLedger::new();
+    rebuilt.accumulate(result.ledger.switched_array(), result.ledger.ops_array());
+    assert_eq!(rebuilt, result.ledger);
+}
+
+#[test]
+fn a_single_alu_op_run_charges_exactly_one_op() {
+    let (result, sink) = run(&single_add());
+    assert_eq!(result.ledger.ops(FuClass::IntAlu), 1, "one IALU op retired");
+    for class in [FuClass::IntMul, FuClass::FpAlu, FuClass::FpMul] {
+        assert_eq!(result.ledger.ops(class), 0, "{class}: must stay idle");
+        assert_eq!(result.ledger.switched_bits(class), 0);
+    }
+
+    // The single charge is attributed to the single site, exactly.
+    assert_eq!(sink.site_count(), 1);
+    assert_eq!(sink.ledger(), result.ledger);
+    let (key, stat) = sink.sites().next().unwrap();
+    assert_eq!(key.pc, 0, "the add is the first static instruction");
+    assert_eq!(key.class, FuClass::IntAlu);
+    assert_eq!(stat.ops, 1);
+    assert_eq!(stat.bits, result.ledger.switched_bits(FuClass::IntAlu));
+
+    // Snapshot before, delta after: the whole run is the delta.
+    let empty = EnergyLedger::new();
+    let delta = result.ledger.delta_since(&empty);
+    assert_eq!(delta, result.ledger);
+    let mut rebuilt = empty;
+    rebuilt.accumulate(delta.switched_array(), delta.ops_array());
+    assert_eq!(rebuilt, result.ledger);
+}
