@@ -19,7 +19,7 @@
 use fua_isa::{Case, FuClass, Inst, Opcode, Program, Src};
 use fua_vm::int_alu;
 
-use crate::{predicted_case, AbsBit, AbsFp, AbsInt, Cfg};
+use crate::{predicted_case, AbsBit, AbsFp, AbsInt, BitWord, Cfg};
 
 /// Abstract register file: one lattice value per architectural register.
 #[derive(Debug, Clone, PartialEq)]
@@ -119,6 +119,13 @@ pub struct PortPrediction {
     pub op1_int: Option<AbsInt>,
     /// The abstract integer value on port 2 (see [`Self::op1_int`]).
     pub op2_int: Option<AbsInt>,
+    /// Per-bit abstraction of the power-model bits on port 1 (all 32
+    /// bits on the integer bus, the 52 mantissa bits on the FP bus).
+    /// The static switched-bit estimator bounds latch transitions with
+    /// these.
+    pub op1_word: BitWord,
+    /// Per-bit abstraction of port 2 (see [`Self::op1_word`]).
+    pub op2_word: BitWord,
 }
 
 impl PortPrediction {
@@ -269,18 +276,22 @@ fn record_int(record: &mut dyn FnMut(PortPrediction), class: FuClass, a: AbsInt,
         op2: b.sign_bit(),
         op1_int: Some(a),
         op2_int: Some(b),
+        op1_word: BitWord::from_int(a),
+        op2_word: BitWord::from_int(b),
     });
 }
 
 /// Reports an FP-bus port pair (no integer abstractions) through
 /// `record`.
-fn record_fp(record: &mut dyn FnMut(PortPrediction), class: FuClass, op1: AbsBit, op2: AbsBit) {
+fn record_fp(record: &mut dyn FnMut(PortPrediction), class: FuClass, a: AbsFp, b: AbsFp) {
     record(PortPrediction {
         class,
-        op1,
-        op2,
+        op1: a.low4_bit(),
+        op2: b.low4_bit(),
         op1_int: None,
         op2_int: None,
+        op1_word: BitWord::from_fp(a),
+        op2_word: BitWord::from_fp(b),
     });
 }
 
@@ -304,7 +315,7 @@ fn transfer(inst: &Inst, state: &mut AbsState, record: &mut dyn FnMut(PortPredic
         FAdd | FSub => {
             let a = state.fvalue(inst.src1);
             let b = state.fvalue(inst.src2);
-            record_fp(record, FuClass::FpAlu, a.low4_bit(), b.low4_bit());
+            record_fp(record, FuClass::FpAlu, a, b);
             let folded = match (a.constant_bits(), b.constant_bits()) {
                 (Some(x), Some(y)) => {
                     let (x, y) = (f64::from_bits(x), f64::from_bits(y));
@@ -318,7 +329,7 @@ fn transfer(inst: &Inst, state: &mut AbsState, record: &mut dyn FnMut(PortPredic
         FCmpLt | FCmpLe | FCmpGt | FCmpGe | FCmpEq | FCmpNe => {
             let a = state.fvalue(inst.src1);
             let b = state.fvalue(inst.src2);
-            record_fp(record, FuClass::FpAlu, a.low4_bit(), b.low4_bit());
+            record_fp(record, FuClass::FpAlu, a, b);
             let folded = match (a.constant_bits(), b.constant_bits()) {
                 (Some(x), Some(y)) => {
                     let (x, y) = (f64::from_bits(x), f64::from_bits(y));
@@ -342,11 +353,20 @@ fn transfer(inst: &Inst, state: &mut AbsState, record: &mut dyn FnMut(PortPredic
             // The FP bus carries the sign-extended integer; its low four
             // bits are the integer's low four bits — known only for
             // constants.
+            let op1_word = BitWord::fp_from_int(v);
             let op1 = match v.constant() {
                 Some(c) => AbsBit::from_bool((c as i64 as u64) & 0xF != 0),
                 None => AbsBit::Unknown,
             };
-            record_fp(record, FuClass::FpAlu, op1, AbsBit::Zero);
+            record(PortPrediction {
+                class: FuClass::FpAlu,
+                op1,
+                op2: AbsBit::Zero,
+                op1_int: None,
+                op2_int: None,
+                op1_word,
+                op2_word: BitWord::from_fp(AbsFp::of(0.0)),
+            });
             // Every i32 is exact in f64 with ≥ 21 trailing mantissa
             // zeros, so the *result* is always trailing-zero-rich.
             let out = match v.constant() {
@@ -357,7 +377,7 @@ fn transfer(inst: &Inst, state: &mut AbsState, record: &mut dyn FnMut(PortPredic
         }
         CvtFi => {
             let v = state.fvalue(inst.src1);
-            record_fp(record, FuClass::FpAlu, v.low4_bit(), AbsBit::Zero);
+            record_fp(record, FuClass::FpAlu, v, AbsFp::of(0.0));
             let out = match v.constant_bits() {
                 Some(b) => AbsInt::Const(f64::from_bits(b) as i32),
                 None => AbsInt::Top,
@@ -366,7 +386,7 @@ fn transfer(inst: &Inst, state: &mut AbsState, record: &mut dyn FnMut(PortPredic
         }
         FNeg | FAbs | FMov => {
             let v = state.fvalue(inst.src1);
-            record_fp(record, FuClass::FpAlu, v.low4_bit(), AbsBit::Zero);
+            record_fp(record, FuClass::FpAlu, v, AbsFp::of(0.0));
             let out = match (inst.op, v) {
                 (FNeg, AbsFp::Const(b)) => AbsFp::of(-f64::from_bits(b)),
                 (FAbs, AbsFp::Const(b)) => AbsFp::of(f64::from_bits(b).abs()),
@@ -379,7 +399,7 @@ fn transfer(inst: &Inst, state: &mut AbsState, record: &mut dyn FnMut(PortPredic
         FMul | FDiv => {
             let a = state.fvalue(inst.src1);
             let b = state.fvalue(inst.src2);
-            record_fp(record, FuClass::FpMul, a.low4_bit(), b.low4_bit());
+            record_fp(record, FuClass::FpMul, a, b);
             let folded = match (a.constant_bits(), b.constant_bits()) {
                 (Some(x), Some(y)) => {
                     let (x, y) = (f64::from_bits(x), f64::from_bits(y));

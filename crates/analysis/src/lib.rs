@@ -48,6 +48,7 @@ mod cfg;
 mod dataflow;
 mod domain;
 mod lint;
+mod transition;
 mod verify;
 
 pub use absint::{AbsState, InfoBitAnalysis, PortPrediction};
@@ -55,4 +56,7 @@ pub use cfg::{Block, Cfg};
 pub use dataflow::{DataFlow, DefSite, UseInfo};
 pub use domain::{predicted_case, AbsBit, AbsFp, AbsInt};
 pub use lint::{lint_program, Lint, LintKind};
+pub use transition::{
+    estimate_transitions, BitWord, BlockBound, PcBound, SwapModel, TransitionEstimate,
+};
 pub use verify::{verify_lut, LutViolation};

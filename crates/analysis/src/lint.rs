@@ -171,16 +171,33 @@ pub fn lint_program(program: &Program) -> Vec<Lint> {
         if !reachable[cfg.block_of(i)] {
             continue;
         }
+        let mut flagged: Vec<fua_isa::Reg> = Vec::new();
         for u in flow.uses_of(i) {
-            if u.defs.iter().any(|d| matches!(d, DefSite::Entry(_))) {
+            let entry = u
+                .defs
+                .iter()
+                .filter(|d| matches!(d, DefSite::Entry(_)))
+                .count();
+            // One finding per register even when both source slots read
+            // it (e.g. `add r2, r1, r1`).
+            if entry > 0 && !flagged.contains(&u.reg) {
+                flagged.push(u.reg);
                 let reg = match u.reg {
                     fua_isa::Reg::Int(r) => format!("r{}", r.index()),
                     fua_isa::Reg::Fp(r) => format!("f{}", r.index()),
                 };
+                // When the entry value is the *only* reaching definition
+                // the read is uninitialised on every path; otherwise only
+                // some paths miss the write.
+                let message = if entry == u.defs.len() {
+                    format!("{reg} is read before it is written (the VM supplies 0)")
+                } else {
+                    format!("{reg} may be read before it is written (the VM supplies 0)")
+                };
                 lints.push(Lint {
                     kind: LintKind::UninitRead,
                     inst: Some(i),
-                    message: format!("{reg} may be read before it is written (the VM supplies 0)"),
+                    message,
                 });
             }
         }
@@ -233,6 +250,69 @@ mod tests {
         b.halt();
         let p = b.build().unwrap();
         assert!(kinds(&lint_program(&p)).contains(&LintKind::UninitRead));
+    }
+
+    #[test]
+    fn a_read_with_no_reaching_write_is_definite() {
+        let mut b = ProgramBuilder::new();
+        b.add(r(2), r(1), r(1));
+        b.halt();
+        let p = b.build().unwrap();
+        let lints = lint_program(&p);
+        let uninit: Vec<_> = lints
+            .iter()
+            .filter(|l| l.kind == LintKind::UninitRead)
+            .collect();
+        assert_eq!(uninit.len(), 1);
+        assert!(
+            uninit[0].message.starts_with("r1 is read"),
+            "{}",
+            uninit[0].message
+        );
+    }
+
+    #[test]
+    fn a_read_written_on_only_one_path_is_a_maybe() {
+        // The branch skips the write, so the entry value reaches the
+        // read alongside the `li` — flagged, but only as a "may".
+        let mut b = ProgramBuilder::new();
+        let join = b.new_label();
+        b.li(r(2), 1);
+        b.bgtz(r(2), join);
+        b.li(r(1), 7);
+        b.bind(join);
+        b.add(r(3), r(1), r(1));
+        b.halt();
+        let p = b.build().unwrap();
+        let lints = lint_program(&p);
+        let uninit: Vec<_> = lints
+            .iter()
+            .filter(|l| l.kind == LintKind::UninitRead)
+            .collect();
+        assert_eq!(uninit.len(), 1);
+        assert!(
+            uninit[0].message.starts_with("r1 may be read"),
+            "{}",
+            uninit[0].message
+        );
+    }
+
+    #[test]
+    fn a_read_written_on_every_path_is_clean() {
+        let mut b = ProgramBuilder::new();
+        let other = b.new_label();
+        let join = b.new_label();
+        b.li(r(2), 1);
+        b.bgtz(r(2), other);
+        b.li(r(1), 7);
+        b.j(join);
+        b.bind(other);
+        b.li(r(1), 9);
+        b.bind(join);
+        b.add(r(3), r(1), r(1));
+        b.halt();
+        let p = b.build().unwrap();
+        assert!(!kinds(&lint_program(&p)).contains(&LintKind::UninitRead));
     }
 
     #[test]

@@ -46,11 +46,13 @@
 #![deny(missing_docs)]
 
 mod diff;
+mod estimate;
 mod profile;
 mod run;
 mod sink;
 
 pub use diff::{case_labels, AttributionDiff, ClassDelta, PcDelta};
+pub use estimate::{check_attribution, check_suite, check_workload, BoundViolation, EstimateCheck};
 pub use profile::{EnergyAttribution, Hotspot, SiteRow, MAX_MODULES};
-pub use run::{attribute_suite, attribute_workload, AttributedRun, Scheme};
+pub use run::{attribute_suite, attribute_with_config, attribute_workload, AttributedRun, Scheme};
 pub use sink::{AttributionSink, SiteKey, SiteStat};

@@ -1,6 +1,7 @@
 //! Named steering schemes and attribution runners — the glue the
 //! `fua profile-energy` front end drives.
 
+use fua_analysis::SwapModel;
 use fua_exec::{map_indexed, Jobs};
 use fua_sim::{MachineConfig, SimResult, Simulator, SteeringConfig};
 use fua_steer::SteeringKind;
@@ -63,6 +64,17 @@ impl Scheme {
         }
     }
 
+    /// The operand-order model the static switched-bit estimator must
+    /// assume for this scheme: the naive machine never swaps operands,
+    /// every hardware-swap scheme may latch a commutative operation in
+    /// either order.
+    pub fn swap_model(self) -> SwapModel {
+        match self {
+            Scheme::Naive => SwapModel::Direct,
+            _ => SwapModel::Either,
+        }
+    }
+
     /// Builds the steering configuration for a simulation run.
     pub fn config(self) -> SteeringConfig {
         match self {
@@ -120,16 +132,32 @@ impl AttributedRun {
 ///
 /// Panics if the workload program faults (workload kernels never do).
 pub fn attribute_workload(w: &Workload, scheme: Scheme, limit: u64) -> AttributedRun {
+    attribute_with_config(w, scheme.config(), scheme.label(), limit)
+}
+
+/// Runs one workload under an arbitrary steering configuration. The
+/// estimator soundness tests use this to cover the swap-disabled
+/// variants no named [`Scheme`] exposes.
+///
+/// # Panics
+///
+/// Panics if the workload program faults (workload kernels never do).
+pub fn attribute_with_config(
+    w: &Workload,
+    config: SteeringConfig,
+    label: &str,
+    limit: u64,
+) -> AttributedRun {
     let mut sim = Simulator::with_sink(
         MachineConfig::paper_default(),
-        scheme.config(),
+        config,
         AttributionSink::new(),
     );
     let result = sim
         .run_program(&w.program, limit)
         .unwrap_or_else(|e| panic!("workload {} faulted: {e}", w.name));
     let sink = sim.into_sink();
-    let attribution = EnergyAttribution::build(w.name, scheme.label(), &w.program, &sink);
+    let attribution = EnergyAttribution::build(w.name, label, &w.program, &sink);
     AttributedRun {
         result,
         attribution,

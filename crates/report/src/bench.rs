@@ -11,7 +11,7 @@
 //! with the simulator's own ledger; the verdict is recorded in the
 //! artifact (`telemetry.exact`).
 
-use fua_attr::{AttributionSink, EnergyAttribution, Scheme};
+use fua_attr::{check_suite, AttributionSink, EnergyAttribution, EstimateCheck, Scheme};
 use fua_exec::{map_indexed_timed, ExecReport, Jobs};
 use fua_power::EnergyLedger;
 use fua_sim::{PhaseTimers, SimPhase, Simulator};
@@ -26,14 +26,20 @@ use fua_core::{
 use crate::{expect_f64, expect_str, expect_u64, ReportError, RunManifest};
 
 /// The artifact schema identifier; bump on any breaking shape change.
-/// Minor bumps (`/1` → `/1.1` → `/1.2`) add optional sections only; this
-/// build still reads every schema in [`BENCH_SCHEMAS_READ`].
-pub const BENCH_SCHEMA: &str = "fua-bench/1.2";
+/// Minor bumps (`/1` → `/1.1` → `/1.2` → `/1.3`) add optional sections
+/// only; this build still reads every schema in [`BENCH_SCHEMAS_READ`].
+pub const BENCH_SCHEMA: &str = "fua-bench/1.3";
 
 /// Every schema version this build can read. `fua-bench/1` artifacts
 /// (pre-`parallel` section) parse with `parallel: None`; pre-1.2
-/// artifacts parse with `attribution: None`.
-pub const BENCH_SCHEMAS_READ: [&str; 3] = ["fua-bench/1", "fua-bench/1.1", "fua-bench/1.2"];
+/// artifacts parse with `attribution: None`; pre-1.3 artifacts parse
+/// with `estimator: None`.
+pub const BENCH_SCHEMAS_READ: [&str; 4] = [
+    "fua-bench/1",
+    "fua-bench/1.1",
+    "fua-bench/1.2",
+    "fua-bench/1.3",
+];
 
 /// Hotspots recorded in the artifact's `attribution` section (the
 /// suite-wide top-N by switched bits).
@@ -129,6 +135,70 @@ pub struct AttributionSummary {
     pub top_hotspots: Vec<HotspotEntry>,
 }
 
+/// One scheme's static-vs-dynamic digest in the artifact's `estimator`
+/// section, aggregated over the whole suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimatorEntry {
+    /// Command-line spelling of the scheme checked.
+    pub scheme: String,
+    /// Whether every per-PC static bound dominated its measurement, for
+    /// every workload in the suite.
+    pub sound: bool,
+    /// Charged PCs compared, summed over the workloads.
+    pub pcs: u64,
+    /// `Σ bits_per_op × ops` over every charged PC in the suite.
+    pub bound_bits: u64,
+    /// `Σ measured bits` over the same PCs.
+    pub actual_bits: u64,
+    /// The aggregate `bound / actual` precision ratio (1.0 = exact;
+    /// soundness keeps it ≥ 1.0).
+    pub mean_ratio: f64,
+    /// The least precise basic block's `bound / actual` ratio.
+    pub worst_ratio: f64,
+    /// `"workload block"` address of that least precise block.
+    pub worst_block: String,
+}
+
+/// The `estimator` section of the artifact: for every named scheme, the
+/// static switched-bit bounds joined against the measured attribution —
+/// the soundness verdict [`compare`](crate::compare) hard-gates on and
+/// the precision headline it tolerance-bands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimatorSummary {
+    /// One entry per scheme, in [`Scheme::ALL`] order.
+    pub entries: Vec<EstimatorEntry>,
+}
+
+/// Aggregates one scheme's per-workload checks into its artifact entry.
+fn estimator_entry(scheme: Scheme, checks: &[EstimateCheck]) -> EstimatorEntry {
+    let bound_bits: u64 = checks.iter().map(|c| c.bound_bits).sum();
+    let actual_bits: u64 = checks.iter().map(|c| c.actual_bits).sum();
+    let mean_ratio = if actual_bits == 0 {
+        1.0
+    } else {
+        bound_bits as f64 / actual_bits as f64
+    };
+    let worst = checks
+        .iter()
+        .filter_map(|c| {
+            c.worst_block
+                .as_ref()
+                .map(|(label, ratio)| (format!("{} {label}", c.workload), *ratio))
+        })
+        .max_by(|a, b| a.1.total_cmp(&b.1).then_with(|| b.0.cmp(&a.0)));
+    let (worst_block, worst_ratio) = worst.unwrap_or_else(|| ("-".to_string(), 1.0));
+    EstimatorEntry {
+        scheme: scheme.name().to_string(),
+        sound: checks.iter().all(EstimateCheck::sound),
+        pcs: checks.iter().map(|c| c.pcs as u64).sum(),
+        bound_bits,
+        actual_bits,
+        mean_ratio,
+        worst_ratio,
+        worst_block,
+    }
+}
+
 /// One executor worker's wall-clock accounting in the `parallel`
 /// section of the artifact.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -209,6 +279,9 @@ pub struct BenchReport {
     pub telemetry: TelemetrySummary,
     /// Energy-attribution digest (`None` for pre-1.2 artifacts).
     pub attribution: Option<AttributionSummary>,
+    /// Static-estimator soundness/precision digest (`None` for pre-1.3
+    /// artifacts).
+    pub estimator: Option<EstimatorSummary>,
     /// Executor accounting (`None` for pre-1.1 artifacts).
     pub parallel: Option<ParallelSummary>,
 }
@@ -334,6 +407,19 @@ pub fn bench_suite_jobs(
         top_hotspots: spots,
     };
 
+    // Static-estimator pass: join every scheme's static switched-bit
+    // bounds against a measured attribution of the whole suite. Pure
+    // model arithmetic — deterministic for any worker count.
+    let estimator = EstimatorSummary {
+        entries: Scheme::ALL
+            .iter()
+            .map(|&scheme| {
+                let checks = check_suite(arena.all(), scheme, config.inst_limit, jobs);
+                estimator_entry(scheme, &checks)
+            })
+            .collect(),
+    };
+
     BenchReport {
         manifest,
         ialu: UnitFigure::from_figure(&fig_a),
@@ -352,6 +438,7 @@ pub fn bench_suite_jobs(
         phase_nanos: PhaseNanos(timers.nanos()),
         telemetry,
         attribution: Some(attribution),
+        estimator: Some(estimator),
         parallel: Some(ParallelSummary::from_report(
             jobs,
             started.elapsed().as_nanos() as u64,
@@ -490,6 +577,57 @@ fn attribution_from_json(json: &Json) -> Result<Option<AttributionSummary>, Repo
             .ok_or_else(|| ReportError::missing("attribution.exact"))?,
         top_hotspots,
     }))
+}
+
+fn estimator_to_json(e: &EstimatorSummary) -> Json {
+    Json::obj([(
+        "entries",
+        Json::Arr(
+            e.entries
+                .iter()
+                .map(|entry| {
+                    Json::obj([
+                        ("scheme", Json::Str(entry.scheme.clone())),
+                        ("sound", Json::Bool(entry.sound)),
+                        ("pcs", Json::UInt(entry.pcs)),
+                        ("bound_bits", Json::UInt(entry.bound_bits)),
+                        ("actual_bits", Json::UInt(entry.actual_bits)),
+                        ("mean_ratio", Json::Float(entry.mean_ratio)),
+                        ("worst_ratio", Json::Float(entry.worst_ratio)),
+                        ("worst_block", Json::Str(entry.worst_block.clone())),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+}
+
+fn estimator_from_json(json: &Json) -> Result<Option<EstimatorSummary>, ReportError> {
+    let Some(e) = json.get("estimator") else {
+        return Ok(None);
+    };
+    let entries = e
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ReportError::missing("estimator.entries"))?
+        .iter()
+        .map(|entry| {
+            Ok(EstimatorEntry {
+                scheme: expect_str(entry, "scheme")?.to_string(),
+                sound: entry
+                    .get("sound")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| ReportError::missing("estimator.sound"))?,
+                pcs: expect_u64(entry, "pcs")?,
+                bound_bits: expect_u64(entry, "bound_bits")?,
+                actual_bits: expect_u64(entry, "actual_bits")?,
+                mean_ratio: expect_f64(entry, "mean_ratio")?,
+                worst_ratio: expect_f64(entry, "worst_ratio")?,
+                worst_block: expect_str(entry, "worst_block")?.to_string(),
+            })
+        })
+        .collect::<Result<Vec<_>, ReportError>>()?;
+    Ok(Some(EstimatorSummary { entries }))
 }
 
 fn parallel_to_json(p: &ParallelSummary) -> Json {
@@ -631,6 +769,9 @@ impl BenchReport {
             if let Some(a) = &self.attribution {
                 fields.push(("attribution".to_string(), attribution_to_json(a)));
             }
+            if let Some(e) = &self.estimator {
+                fields.push(("estimator".to_string(), estimator_to_json(e)));
+            }
             if let Some(p) = &self.parallel {
                 fields.push(("parallel".to_string(), parallel_to_json(p)));
             }
@@ -712,6 +853,7 @@ impl BenchReport {
                     .ok_or_else(|| ReportError::missing("telemetry.exact"))?,
             },
             attribution: attribution_from_json(json)?,
+            estimator: estimator_from_json(json)?,
             parallel: parallel_from_json(json)?,
         })
     }
@@ -764,12 +906,27 @@ mod tests {
             a.switched_bits, report.telemetry.switched_bits,
             "two exact partitions of the same ledger agree"
         );
+        let e = report
+            .estimator
+            .as_ref()
+            .expect("estimator section present");
+        assert_eq!(e.entries.len(), Scheme::ALL.len());
+        for entry in &e.entries {
+            assert!(entry.sound, "{}: static bound violated", entry.scheme);
+            assert!(entry.pcs > 0);
+            assert!(
+                entry.mean_ratio >= 1.0 && entry.worst_ratio >= 1.0,
+                "{}: sound bounds imply ratios >= 1",
+                entry.scheme
+            );
+            assert_ne!(entry.worst_block, "-");
+        }
         let p = report.parallel.as_ref().expect("parallel section present");
         assert_eq!(p.jobs, 1, "bench_suite is the serial reference path");
         assert!(p.wall_nanos > 0);
         assert!(p.workers.iter().map(|w| w.cells).sum::<u64>() > 0);
         let rendered = report.to_json().pretty();
-        assert!(rendered.contains("\"schema\": \"fua-bench/1.2\""));
+        assert!(rendered.contains("\"schema\": \"fua-bench/1.3\""));
         let parsed: BenchReport = rendered.parse().unwrap();
         // Everything round-trips exactly (floats use shortest-exact
         // rendering, so equality is bit-for-bit).
@@ -789,6 +946,10 @@ mod tests {
             a.attribution, b.attribution,
             "the attribution digest is byte-identical across job counts"
         );
+        assert_eq!(
+            a.estimator, b.estimator,
+            "the estimator digest is byte-identical across job counts"
+        );
         assert_eq!(a.headline_ialu_pct.to_bits(), b.headline_ialu_pct.to_bits());
         // Only the wall-clock sections differ (and the tag).
         assert_eq!(b.parallel.as_ref().unwrap().jobs, 3);
@@ -800,11 +961,14 @@ mod tests {
         let mut json = report.to_json();
         if let Json::Obj(fields) = &mut json {
             fields[0].1 = Json::Str("fua-bench/1".into());
-            fields.retain(|(name, _)| name != "parallel" && name != "attribution");
+            fields.retain(|(name, _)| {
+                name != "parallel" && name != "attribution" && name != "estimator"
+            });
         }
         let parsed = BenchReport::from_json(&json).unwrap();
         assert_eq!(parsed.parallel, None);
         assert_eq!(parsed.attribution, None);
+        assert_eq!(parsed.estimator, None);
         assert_eq!(parsed.ialu, report.ialu);
     }
 
@@ -814,11 +978,26 @@ mod tests {
         let mut json = report.to_json();
         if let Json::Obj(fields) = &mut json {
             fields[0].1 = Json::Str("fua-bench/1.1".into());
-            fields.retain(|(name, _)| name != "attribution");
+            fields.retain(|(name, _)| name != "attribution" && name != "estimator");
         }
         let parsed = BenchReport::from_json(&json).unwrap();
         assert_eq!(parsed.attribution, None);
+        assert_eq!(parsed.estimator, None);
         assert!(parsed.parallel.is_some(), "1.1 already had parallel");
+        assert_eq!(parsed.telemetry, report.telemetry);
+    }
+
+    #[test]
+    fn schema_1_2_artifacts_without_an_estimator_section_still_parse() {
+        let report = bench_suite("prev", &tiny_config(), 512);
+        let mut json = report.to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields[0].1 = Json::Str("fua-bench/1.2".into());
+            fields.retain(|(name, _)| name != "estimator");
+        }
+        let parsed = BenchReport::from_json(&json).unwrap();
+        assert_eq!(parsed.estimator, None);
+        assert!(parsed.attribution.is_some(), "1.2 already had attribution");
         assert_eq!(parsed.telemetry, report.telemetry);
     }
 

@@ -27,6 +27,13 @@
 //!   hotspot must still rank in the current list with its share of the
 //!   suite's switched bits inside the metric band. A missing section
 //!   (pre-1.2 artifact) on either side is informational only.
+//! - **Estimator soundness & precision** — the static switched-bit
+//!   estimator's digest: a violated bound (`sound: false`) on either
+//!   side is a hard regression regardless of tolerances, and when both
+//!   artifacts carry the section each scheme's mean and worst
+//!   bound/actual ratios may drift relatively by at most `metric_pct`
+//!   percent. A missing section (pre-1.3 artifact) on either side is
+//!   informational only.
 
 use crate::bench::BenchReport;
 use fua_sim::SimPhase;
@@ -362,6 +369,20 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, tol: &Tolerance) -
                 );
             }
         }
+        if let Some(e) = &report.estimator {
+            for entry in &e.entries {
+                if !entry.sound {
+                    chk.regression(
+                        "estimator-soundness",
+                        format!(
+                            "{side} artifact records a violated static bound under \
+                             scheme \"{}\" (worst block {})",
+                            entry.scheme, entry.worst_block
+                        ),
+                    );
+                }
+            }
+        }
     }
 
     // Hotspot drift: the energy-attribution digest names the suite's
@@ -420,6 +441,66 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, tol: &Tolerance) -
         (None, Some(_)) => chk.info(
             "hotspot-drift",
             "baseline artifact has no attribution section (pre-1.2 schema)".to_string(),
+        ),
+        (None, None) => {}
+    }
+
+    // Estimator precision drift: the bounds are pure model arithmetic,
+    // so an identical re-run drifts by exactly zero; a looser (or
+    // suspiciously tighter) ratio means the abstract domain or the
+    // power model changed underneath the estimator.
+    match (&baseline.estimator, &current.estimator) {
+        (Some(b), Some(c)) => {
+            for be in &b.entries {
+                let Some(ce) = c.entries.iter().find(|ce| ce.scheme == be.scheme) else {
+                    chk.regression(
+                        "estimator-precision",
+                        format!(
+                            "scheme \"{}\" missing from the current estimator digest",
+                            be.scheme
+                        ),
+                    );
+                    continue;
+                };
+                for (metric, bv, cv) in [
+                    ("mean", be.mean_ratio, ce.mean_ratio),
+                    ("worst-block", be.worst_ratio, ce.worst_ratio),
+                ] {
+                    let drift_pct = if bv == 0.0 {
+                        0.0
+                    } else {
+                        100.0 * (cv / bv - 1.0).abs()
+                    };
+                    if drift_pct > tol.metric_pct {
+                        chk.regression(
+                            "estimator-precision",
+                            format!(
+                                "scheme \"{}\" {metric} bound/actual ratio {cv:.3} vs \
+                                 baseline {bv:.3} (drift {drift_pct:.3}% > {:.3}%)",
+                                be.scheme, tol.metric_pct
+                            ),
+                        );
+                    } else if drift_pct > 0.0 {
+                        chk.info(
+                            "estimator-precision",
+                            format!(
+                                "scheme \"{}\" {metric} bound/actual ratio {cv:.3} vs \
+                                 baseline {bv:.3} (within band)",
+                                be.scheme
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        // One side predates schema 1.3: nothing to diff, note it only.
+        (Some(_), None) => chk.info(
+            "estimator-precision",
+            "current artifact has no estimator section (pre-1.3 schema)".to_string(),
+        ),
+        (None, Some(_)) => chk.info(
+            "estimator-precision",
+            "baseline artifact has no estimator section (pre-1.3 schema)".to_string(),
         ),
         (None, None) => {}
     }
@@ -574,6 +655,67 @@ mod tests {
             .findings
             .iter()
             .any(|f| f.category == "attribution-exactness"));
+    }
+
+    #[test]
+    fn a_seeded_bound_violation_fails_the_gate() {
+        let baseline = tiny();
+        let mut bad = baseline.clone();
+        let entry = &mut bad.estimator.as_mut().unwrap().entries[0];
+        entry.sound = false;
+        let scheme = entry.scheme.clone();
+        let cmp = compare(&baseline, &bad, &Tolerance::default());
+        assert!(!cmp.passed());
+        assert!(
+            cmp.findings.iter().any(|f| {
+                f.category == "estimator-soundness"
+                    && f.severity == Severity::Regression
+                    && f.message.contains(&scheme)
+            }),
+            "findings: {:#?}",
+            cmp.findings
+        );
+        // A violation recorded in the *baseline* fails the gate too.
+        let cmp = compare(&bad, &baseline, &Tolerance::default());
+        assert!(!cmp.passed());
+    }
+
+    #[test]
+    fn estimator_precision_drift_past_band_is_a_regression() {
+        let baseline = tiny();
+        let mut loose = baseline.clone();
+        let entry = &mut loose.estimator.as_mut().unwrap().entries[0];
+        entry.mean_ratio *= 1.25; // 25% relative drift >> the band
+        let cmp = compare(&baseline, &loose, &Tolerance::default());
+        assert!(!cmp.passed());
+        assert!(cmp.findings.iter().any(|f| {
+            f.category == "estimator-precision"
+                && f.severity == Severity::Regression
+                && f.message.contains("mean")
+        }));
+
+        // The same drift within a wider band is only informational.
+        let wide = Tolerance {
+            metric_pct: 50.0,
+            ..Tolerance::default()
+        };
+        let cmp = compare(&baseline, &loose, &wide);
+        assert!(cmp.passed(), "findings: {:#?}", cmp.findings);
+    }
+
+    #[test]
+    fn a_pre_1_3_artifact_without_an_estimator_is_informational_only() {
+        let baseline = tiny();
+        let mut old = baseline.clone();
+        old.estimator = None;
+        for (b, c) in [(&baseline, &old), (&old, &baseline)] {
+            let cmp = compare(b, c, &Tolerance::default());
+            assert!(cmp.passed(), "findings: {:#?}", cmp.findings);
+            assert!(cmp
+                .findings
+                .iter()
+                .any(|f| f.category == "estimator-precision" && f.severity == Severity::Info));
+        }
     }
 
     #[test]

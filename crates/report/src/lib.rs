@@ -30,9 +30,10 @@ mod compare;
 mod manifest;
 
 pub use bench::{
-    bench_suite, bench_suite_jobs, AttributionSummary, BenchReport, HotspotEntry,
-    OperandAggregates, ParallelSummary, PhaseNanos, TelemetrySummary, UnitFigure, WorkerNanos,
-    ATTRIBUTION_HOTSPOTS, BENCH_SCHEMA, BENCH_SCHEMAS_READ, DEFAULT_WINDOW_CYCLES,
+    bench_suite, bench_suite_jobs, AttributionSummary, BenchReport, EstimatorEntry,
+    EstimatorSummary, HotspotEntry, OperandAggregates, ParallelSummary, PhaseNanos,
+    TelemetrySummary, UnitFigure, WorkerNanos, ATTRIBUTION_HOTSPOTS, BENCH_SCHEMA,
+    BENCH_SCHEMAS_READ, DEFAULT_WINDOW_CYCLES,
 };
 pub use compare::{compare, Comparison, Finding, Severity, Tolerance};
 pub use manifest::{RunManifest, WorkloadEntry};

@@ -60,4 +60,16 @@ trap 'rm -rf "$tmpdir"' EXIT
   cmp flame-serial.txt flame-parallel.txt
   cmp attr-serial.json attr-parallel.json
 )
+
+# Estimator gates: static bounds must be byte-identical across job
+# counts, and must dominate the measured attribution for every
+# workload x scheme (nonzero exit on any violated bound).
+(
+  cd "$tmpdir"
+  "$repo/target/release/fua" estimate all --jobs 1 --json > est-serial.json
+  "$repo/target/release/fua" estimate all --jobs 4 --json > est-parallel.json
+  cmp est-serial.json est-parallel.json
+  "$repo/target/release/fua" estimate all --verify --jobs 4 > estimator-precision.txt
+  cat estimator-precision.txt
+)
 echo "all checks passed"

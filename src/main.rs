@@ -11,6 +11,7 @@
 //! fua sensitivity             compiler-swap cross-input study
 //! fua staticswap <ialu|fpau>  static vs profile-guided swapping
 //! fua analyze <workload>      static information-bit predictions
+//! fua estimate <w|all>        static switched-bit upper bounds per PC/block
 //! fua lint [workload]         lint one workload (or all 15)
 //! fua workloads               list the bundled workloads
 //! fua run <workload>          simulate one workload under every scheme
@@ -32,8 +33,11 @@
 //!          --last <N>       print the last N trace events (trace only)
 //!          --window <N>     telemetry window in cycles (trace/bench-suite/report)
 //!          --csv <FILE>     write windowed telemetry CSV (trace only)
-//!          --scheme <S>     steering scheme for profile-energy (default lut4)
+//!          --scheme <S>     steering scheme for profile-energy/estimate
+//!                           (default lut4)
 //!          --compare <A> <B> differential attribution of two schemes
+//!          --per-block      aggregate estimate output per basic block
+//!          --verify         check static bounds against dynamic attribution
 //!          --top <N>        hotspot/mover rows to print (default 10)
 //!          --flame <FILE>   write a collapsed-stack flamegraph file
 //!          --tag <T>        artifact tag for bench-suite (default "local")
@@ -90,6 +94,8 @@ struct Options {
     compare: Option<(String, String)>,
     top: Option<usize>,
     flame: Option<String>,
+    per_block: bool,
+    verify: bool,
 }
 
 fn usage() -> ExitCode {
@@ -98,6 +104,7 @@ fn usage() -> ExitCode {
          commands: tables | figure4 <ialu|fpau> | headline | fig1 | synth | \
          chip | breakdown <ialu|fpau> | sensitivity | staticswap <ialu|fpau> | \
          analyze <workload> | lint [workload] | workloads | run <workload> | \
+         estimate <workload|all> [--scheme S | --compare A B] [--per-block] [--verify] | \
          trace <workload> [--out FILE] [--last N] [--window N] [--csv FILE] | \
          profile-energy <workload|all> [--scheme S | --compare A B] \
          [--top N] [--flame FILE] | \
@@ -130,6 +137,9 @@ fn help() {
          \x20 sensitivity             compiler-swap cross-input sensitivity study\n\
          \x20 staticswap <ialu|fpau>  static analysis vs profile-guided swapping\n\
          \x20 analyze <workload>      static information-bit predictions\n\
+         \x20 estimate <w|all>        static switched-bit upper bounds per PC, block\n\
+         \x20                         and FU class; --verify gates them against the\n\
+         \x20                         measured attribution (nonzero exit on violation)\n\
          \x20 lint [workload]         lint one workload (or all; nonzero exit on findings)\n\
          \n\
          simulation and observability:\n\
@@ -152,24 +162,31 @@ fn help() {
          \x20                 quick-config 25000 for bench-suite/report)\n\
          \x20 --scale <N>     workload scale factor, default 1 [all simulating]\n\
          \x20 --jobs <N>      worker threads for the sweep [figure4, headline,\n\
-         \x20                 bench-suite, report, profile-energy]; default:\n\
+         \x20                 bench-suite, report, profile-energy, estimate]; default:\n\
          \x20                 available parallelism; 1 = serial reference path.\n\
          \x20                 Output is byte-identical for every N — parallelism\n\
          \x20                 only changes wall-clock\n\
          \x20 --json          emit machine-readable JSON instead of tables\n\
          \x20                 [figure4, headline, fig1, synth, chip, breakdown,\n\
-         \x20                 sensitivity, staticswap, run, profile-energy]\n\
+         \x20                 sensitivity, staticswap, run, profile-energy, estimate]\n\
          \x20 --metrics       print a metrics snapshot [run, figure4, headline, trace]\n\
          \x20 --out <FILE>    write Chrome trace-event JSON for Perfetto [trace]\n\
          \x20 --last <N>      print the last N trace events, default 16 [trace]\n\
          \x20 --window <N>    telemetry window in cycles, default {DEFAULT_WINDOW_CYCLES}\n\
          \x20                 [trace, bench-suite, report]\n\
          \x20 --csv <FILE>    write the windowed telemetry time-series CSV [trace]\n\
-         \x20 --scheme <S>    steering scheme to attribute, default lut4\n\
-         \x20                 (naive|fullham|1bitham|lut2|lut4|lut8) [profile-energy]\n\
+         \x20 --scheme <S>    steering scheme to attribute or bound, default lut4\n\
+         \x20                 (naive|fullham|1bitham|lut2|lut4|lut8)\n\
+         \x20                 [profile-energy, estimate]\n\
          \x20 --compare <A> <B>  run both schemes and report where B saves or\n\
-         \x20                 loses switched bits vs A, per PC/module/case\n\
-         \x20                 [profile-energy]\n\
+         \x20                 loses switched bits vs A, per PC/module/case;\n\
+         \x20                 for estimate, diff the two schemes' static bounds\n\
+         \x20                 [profile-energy, estimate]\n\
+         \x20 --per-block     print per-basic-block aggregates instead of the\n\
+         \x20                 per-PC bound table [estimate]\n\
+         \x20 --verify        join the static bounds with a measured attribution\n\
+         \x20                 and report soundness + precision; nonzero exit on\n\
+         \x20                 any violated bound [estimate]\n\
          \x20 --top <N>       hotspot/mover rows to print, default 10 [profile-energy]\n\
          \x20 --flame <FILE>  write collapsed stacks (workload;block;pc weight)\n\
          \x20                 for flamegraph renderers [profile-energy]\n\
@@ -217,6 +234,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         compare: None,
         top: None,
         flame: None,
+        per_block: false,
+        verify: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -285,6 +304,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--flame needs a file path")?;
                 opts.flame = Some(v.clone());
             }
+            "--per-block" => opts.per_block = true,
+            "--verify" => opts.verify = true,
             other => return Err(format!("unknown option: {other}")),
         }
     }
@@ -848,8 +869,19 @@ fn profile_workloads(name: &str, scale: u32) -> Result<Vec<fua::workloads::Workl
     }
 }
 
+/// The error for a scheme name that does not exist, listing the names
+/// that do — the same shape as [`unknown_workload`], prefixed with the
+/// flag that carried the bad value.
+fn unknown_scheme(flag: &str, name: &str) -> String {
+    let names: Vec<&str> = fua::attr::Scheme::ALL.iter().map(|s| s.name()).collect();
+    format!(
+        "{flag}: unknown scheme: {name}\navailable schemes: {}",
+        names.join(", ")
+    )
+}
+
 fn parse_scheme(flag: &str, name: &str) -> Result<fua::attr::Scheme, String> {
-    name.parse().map_err(|e| format!("{flag}: {e}"))
+    name.parse().map_err(|_| unknown_scheme(flag, name))
 }
 
 fn write_flame(path: &str, runs: &[fua::attr::AttributedRun]) -> Result<(), String> {
@@ -1080,6 +1112,415 @@ fn cmd_profile_energy(name: &str, opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Renders a [`SwapModel`](fua::analysis::SwapModel) for logs and JSON.
+fn model_name(model: fua::analysis::SwapModel) -> &'static str {
+    match model {
+        fua::analysis::SwapModel::Direct => "direct",
+        fua::analysis::SwapModel::Either => "either",
+    }
+}
+
+/// The FU classes in [`fua::isa::FuClass::index`] display order.
+const ESTIMATE_CLASSES: [FuClass; 4] = [
+    FuClass::IntAlu,
+    FuClass::IntMul,
+    FuClass::FpAlu,
+    FuClass::FpMul,
+];
+
+/// Maps block ids to their labels (every bounded PC's block carries at
+/// least one FU op, so it appears in the estimate's block list).
+fn estimate_block_labels(
+    est: &fua::analysis::TransitionEstimate,
+) -> std::collections::BTreeMap<usize, String> {
+    est.blocks()
+        .iter()
+        .map(|b| (b.block, b.label.clone()))
+        .collect()
+}
+
+/// The per-PC bound table for one workload's estimate.
+fn estimate_pc_table(est: &fua::analysis::TransitionEstimate) -> TextTable {
+    let labels = estimate_block_labels(est);
+    let mut t = TextTable::new(["pc", "block", "opcode", "class", "case", "bits/op"]);
+    for b in est.pc_bounds() {
+        t.push_row([
+            format!("pc{}", b.pc),
+            labels
+                .get(&b.block)
+                .cloned()
+                .unwrap_or_else(|| format!("bb{}", b.block)),
+            b.opcode.clone(),
+            b.class.to_string(),
+            match b.case {
+                Some(c) => c.to_string(),
+                None => "?".to_string(),
+            },
+            b.bits_per_op.to_string(),
+        ]);
+    }
+    t
+}
+
+/// The per-basic-block aggregate table for one workload's estimate.
+fn estimate_block_table(est: &fua::analysis::TransitionEstimate) -> TextTable {
+    let mut t = TextTable::new(["block", "ops", "bits/pass"]);
+    for b in est.blocks() {
+        t.push_row([
+            b.label.clone(),
+            b.ops.to_string(),
+            b.bits_per_pass.to_string(),
+        ]);
+    }
+    t
+}
+
+/// The suite summary table: one row per workload, with the per-class
+/// breakdown of the bits-per-pass bound.
+fn estimate_summary_table(ests: &[(String, fua::analysis::TransitionEstimate)]) -> TextTable {
+    let mut headers = vec![
+        "workload".to_string(),
+        "PCs".to_string(),
+        "definite".to_string(),
+        "bits/pass".to_string(),
+    ];
+    headers.extend(ESTIMATE_CLASSES.iter().map(|c| c.to_string()));
+    let mut t = TextTable::new(headers);
+    for (w, est) in ests {
+        let (bounded, definite) = est.coverage();
+        let class_bits = est.class_bits_per_pass();
+        let mut row = vec![
+            w.clone(),
+            bounded.to_string(),
+            definite.to_string(),
+            est.total_bits_per_pass().to_string(),
+        ];
+        row.extend(
+            ESTIMATE_CLASSES
+                .iter()
+                .map(|c| class_bits[c.index()].to_string()),
+        );
+        t.push_row(row);
+    }
+    t
+}
+
+/// One workload's estimate as a JSON document.
+fn estimate_json(
+    scheme: fua::attr::Scheme,
+    workload: &str,
+    est: &fua::analysis::TransitionEstimate,
+) -> fua::trace::Json {
+    use fua::trace::Json;
+    let labels = estimate_block_labels(est);
+    let (bounded, definite) = est.coverage();
+    let class_bits = est.class_bits_per_pass();
+    let classes = Json::Obj(
+        ESTIMATE_CLASSES
+            .iter()
+            .map(|c| (c.to_string(), Json::UInt(class_bits[c.index()])))
+            .collect(),
+    );
+    let pcs = Json::Arr(
+        est.pc_bounds()
+            .map(|b| {
+                Json::obj([
+                    ("pc", Json::UInt(b.pc as u64)),
+                    (
+                        "block",
+                        Json::Str(
+                            labels
+                                .get(&b.block)
+                                .cloned()
+                                .unwrap_or_else(|| format!("bb{}", b.block)),
+                        ),
+                    ),
+                    ("opcode", Json::Str(b.opcode.clone())),
+                    ("class", Json::Str(b.class.to_string())),
+                    (
+                        "case",
+                        match b.case {
+                            Some(c) => Json::Str(c.to_string()),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("bits_per_op", Json::UInt(b.bits_per_op as u64)),
+                ])
+            })
+            .collect(),
+    );
+    let blocks = Json::Arr(
+        est.blocks()
+            .iter()
+            .map(|b| {
+                Json::obj([
+                    ("block", Json::Str(b.label.clone())),
+                    ("ops", Json::UInt(b.ops as u64)),
+                    ("bits_per_pass", Json::UInt(b.bits_per_pass)),
+                ])
+            })
+            .collect(),
+    );
+    Json::obj([
+        ("workload", Json::Str(workload.to_string())),
+        ("scheme", Json::Str(scheme.name().to_string())),
+        ("model", Json::Str(model_name(est.model()).to_string())),
+        ("bounded_pcs", Json::UInt(bounded as u64)),
+        ("definite_cases", Json::UInt(definite as u64)),
+        ("total_bits_per_pass", Json::UInt(est.total_bits_per_pass())),
+        ("class_bits_per_pass", classes),
+        ("pc_bounds", pcs),
+        ("blocks", blocks),
+    ])
+}
+
+/// One soundness check as a JSON document (the `--verify` row shape).
+fn estimate_check_json(c: &fua::attr::EstimateCheck) -> fua::trace::Json {
+    use fua::trace::Json;
+    Json::obj([
+        ("workload", Json::Str(c.workload.clone())),
+        ("scheme", Json::Str(c.scheme.clone())),
+        ("pcs", Json::UInt(c.pcs as u64)),
+        ("bound_bits", Json::UInt(c.bound_bits)),
+        ("actual_bits", Json::UInt(c.actual_bits)),
+        ("ratio", Json::Float(c.ratio())),
+        ("sound", Json::Bool(c.sound())),
+        (
+            "worst_block",
+            match &c.worst_block {
+                Some((label, ratio)) => Json::obj([
+                    ("block", Json::Str(label.clone())),
+                    ("ratio", Json::Float(*ratio)),
+                ]),
+                None => Json::Null,
+            },
+        ),
+        (
+            "violations",
+            Json::Arr(
+                c.violations
+                    .iter()
+                    .map(|v| {
+                        Json::obj([
+                            ("pc", Json::UInt(v.pc as u64)),
+                            ("bound_bits", Json::UInt(v.bound_bits)),
+                            ("actual_bits", Json::UInt(v.actual_bits)),
+                            ("ops", Json::UInt(v.ops)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// The `estimate --verify` path: joins the static bounds with measured
+/// attribution for every scheme under test and gates on soundness.
+fn cmd_estimate_verify(
+    workloads: &[fua::workloads::Workload],
+    opts: &Options,
+) -> Result<(), String> {
+    use fua::attr::{check_suite, EstimateCheck, Scheme};
+    use fua::trace::Json;
+
+    let schemes: Vec<Scheme> = match opts.scheme.as_deref() {
+        Some(s) => vec![parse_scheme("--scheme", s)?],
+        None => Scheme::ALL.to_vec(),
+    };
+    let limit = opts.limit.unwrap_or(PROFILE_DEFAULT_LIMIT);
+    eprintln!(
+        "estimate: verifying static bounds against measured attribution, \
+         {} workload(s) x {} scheme(s) (limit {limit}, {} job(s))",
+        workloads.len(),
+        schemes.len(),
+        opts.jobs
+    );
+    let mut checks: Vec<EstimateCheck> = Vec::new();
+    for &scheme in &schemes {
+        checks.extend(check_suite(workloads, scheme, limit, opts.jobs));
+    }
+    let violations: usize = checks.iter().map(|c| c.violations.len()).sum();
+
+    if opts.json {
+        let doc = Json::Arr(checks.iter().map(estimate_check_json).collect());
+        println!("{}", doc.pretty());
+    } else {
+        let mut t = TextTable::new([
+            "workload",
+            "scheme",
+            "PCs",
+            "bound bits",
+            "actual bits",
+            "ratio",
+            "worst block",
+            "sound",
+        ]);
+        for c in &checks {
+            let worst = match &c.worst_block {
+                Some((label, ratio)) => format!("{label} ({ratio:.2}x)"),
+                None => "-".to_string(),
+            };
+            t.push_row([
+                c.workload.clone(),
+                c.scheme.clone(),
+                c.pcs.to_string(),
+                c.bound_bits.to_string(),
+                c.actual_bits.to_string(),
+                format!("{:.2}x", c.ratio()),
+                worst,
+                if c.sound() { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+        println!("static-vs-dynamic soundness and precision:");
+        println!("{t}");
+        let mean =
+            checks.iter().map(EstimateCheck::ratio).sum::<f64>() / checks.len().max(1) as f64;
+        println!(
+            "{} check(s), {violations} violation(s); mean bound/actual ratio {mean:.2}x",
+            checks.len()
+        );
+    }
+    if violations > 0 {
+        return Err(format!(
+            "{violations} static bound(s) violated by the measured attribution"
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_estimate(name: &str, opts: &Options) -> Result<(), String> {
+    use fua::analysis::{estimate_transitions, TransitionEstimate};
+    use fua::attr::Scheme;
+    use fua::exec::map_indexed;
+    use fua::trace::Json;
+
+    if opts.scheme.is_some() && opts.compare.is_some() {
+        return Err("--scheme and --compare are mutually exclusive".into());
+    }
+    if opts.verify && opts.compare.is_some() {
+        return Err("--verify and --compare are mutually exclusive".into());
+    }
+    let workloads = profile_workloads(name, opts.scale)?;
+
+    if opts.verify {
+        return cmd_estimate_verify(&workloads, opts);
+    }
+
+    if let Some((name_a, name_b)) = &opts.compare {
+        let scheme_a = parse_scheme("--compare", name_a)?;
+        let scheme_b = parse_scheme("--compare", name_b)?;
+        eprintln!(
+            "estimate: bounding {} workload(s), {} vs {} ({} job(s))",
+            workloads.len(),
+            scheme_a.label(),
+            scheme_b.label(),
+            opts.jobs
+        );
+        let ests: Vec<(String, TransitionEstimate, TransitionEstimate)> =
+            map_indexed(opts.jobs, &workloads, |_, w| {
+                (
+                    w.name.to_string(),
+                    estimate_transitions(&w.program, scheme_a.swap_model()),
+                    estimate_transitions(&w.program, scheme_b.swap_model()),
+                )
+            });
+        if opts.json {
+            let doc = Json::Arr(
+                ests.iter()
+                    .map(|(w, ea, eb)| {
+                        Json::obj([
+                            ("workload", Json::Str(w.clone())),
+                            ("a", estimate_json(scheme_a, w, ea)),
+                            ("b", estimate_json(scheme_b, w, eb)),
+                        ])
+                    })
+                    .collect(),
+            );
+            println!("{}", doc.pretty());
+        } else {
+            let mut t = TextTable::new([
+                "workload".to_string(),
+                format!("bits/pass A ({})", scheme_a.name()),
+                format!("bits/pass B ({})", scheme_b.name()),
+                "delta".to_string(),
+            ]);
+            for (w, ea, eb) in &ests {
+                let (a, b) = (ea.total_bits_per_pass(), eb.total_bits_per_pass());
+                t.push_row([
+                    w.clone(),
+                    a.to_string(),
+                    b.to_string(),
+                    (b as i64 - a as i64).to_string(),
+                ]);
+            }
+            println!(
+                "static bits/pass bounds, {} (A) vs {} (B):",
+                scheme_a.label(),
+                scheme_b.label()
+            );
+            println!("{t}");
+        }
+        return Ok(());
+    }
+
+    let scheme = match opts.scheme.as_deref() {
+        Some(s) => parse_scheme("--scheme", s)?,
+        None => Scheme::Lut4,
+    };
+    let model = scheme.swap_model();
+    eprintln!(
+        "estimate: bounding {} workload(s) under {} ({} operand order, {} job(s))",
+        workloads.len(),
+        scheme.label(),
+        model_name(model),
+        opts.jobs
+    );
+    let ests: Vec<(String, TransitionEstimate)> = map_indexed(opts.jobs, &workloads, |_, w| {
+        (w.name.to_string(), estimate_transitions(&w.program, model))
+    });
+
+    if opts.json {
+        let doc = Json::Arr(
+            ests.iter()
+                .map(|(w, e)| estimate_json(scheme, w, e))
+                .collect(),
+        );
+        println!("{}", doc.pretty());
+        return Ok(());
+    }
+
+    for (w, est) in &ests {
+        if ests.len() == 1 || opts.per_block {
+            let (bounded, definite) = est.coverage();
+            println!(
+                "{w}: static switched-bit bounds under {} ({} operand order)",
+                scheme.label(),
+                model_name(est.model())
+            );
+            let table = if opts.per_block {
+                estimate_block_table(est)
+            } else {
+                estimate_pc_table(est)
+            };
+            println!("{table}");
+            println!(
+                "{bounded} FU instruction(s) bounded ({definite} with a definite case); \
+                 <= {} bits per straight-line pass\n",
+                est.total_bits_per_pass()
+            );
+        }
+    }
+    if ests.len() > 1 {
+        println!(
+            "static bits/pass upper bounds under {} ({} operand order):",
+            scheme.label(),
+            model_name(model)
+        );
+        println!("{}", estimate_summary_table(&ests));
+    }
+    Ok(())
+}
+
 fn load_bench(path: &str) -> Result<BenchReport, String> {
     let contents = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     contents
@@ -1263,6 +1704,12 @@ fn main() -> ExitCode {
         }
         ("trace", Some(name)) => {
             if let Err(e) = cmd_trace(name, &opts) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        ("estimate", Some(name)) => {
+            if let Err(e) = cmd_estimate(name, &opts) {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }

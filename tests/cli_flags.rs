@@ -33,7 +33,7 @@ fn expect_rejection(args: &[&str]) -> String {
 
 #[test]
 fn zero_is_rejected_by_every_positive_integer_flag() {
-    let cases: [(&[&str], &str); 7] = [
+    let cases: [(&[&str], &str); 9] = [
         (&["tables", "--jobs", "0"], "--jobs"),
         (&["tables", "--limit", "0"], "--limit"),
         (&["tables", "--scale", "0"], "--scale"),
@@ -41,6 +41,8 @@ fn zero_is_rejected_by_every_positive_integer_flag() {
         (&["trace", "compress", "--window", "0"], "--window"),
         (&["profile-energy", "compress", "--top", "0"], "--top"),
         (&["bench-suite", "--jobs", "0"], "--jobs"),
+        (&["estimate", "all", "--jobs", "0"], "--jobs"),
+        (&["estimate", "compress", "--limit", "0"], "--limit"),
     ];
     for (args, flag) in cases {
         let stderr = expect_rejection(args);
@@ -59,11 +61,12 @@ fn zero_is_rejected_by_every_positive_integer_flag() {
 
 #[test]
 fn non_numeric_values_are_rejected_with_the_offending_input() {
-    let cases: [(&[&str], &str); 4] = [
+    let cases: [(&[&str], &str); 5] = [
         (&["tables", "--jobs", "many"], "--jobs"),
         (&["tables", "--limit", "1e6"], "--limit"),
         (&["trace", "compress", "--window", "wide"], "--window"),
         (&["profile-energy", "compress", "--top", "-3"], "--top"),
+        (&["estimate", "all", "--jobs", "some"], "--jobs"),
     ];
     for (args, flag) in cases {
         let stderr = expect_rejection(args);
@@ -96,8 +99,65 @@ fn a_flag_missing_its_value_is_rejected() {
 }
 
 #[test]
+fn an_unknown_scheme_lists_the_valid_names_on_every_subcommand() {
+    let cases: [&[&str]; 4] = [
+        &["estimate", "compress", "--scheme", "lut16"],
+        &["estimate", "compress", "--compare", "lut16", "lut4"],
+        &["profile-energy", "compress", "--scheme", "lut16"],
+        &["profile-energy", "compress", "--compare", "lut4", "lut16"],
+    ];
+    for args in cases {
+        let stderr = expect_rejection(args);
+        assert!(
+            stderr.contains("unknown scheme: lut16"),
+            "`fua {}`: got: {stderr}",
+            args.join(" ")
+        );
+        // The same uniform list everywhere, in Figure-4 order.
+        assert!(
+            stderr.contains("available schemes: fullham, 1bitham, lut4, lut2, lut8, naive"),
+            "`fua {}`: got: {stderr}",
+            args.join(" ")
+        );
+    }
+}
+
+#[test]
+fn estimate_rejects_mutually_exclusive_flags() {
+    let stderr = expect_rejection(&[
+        "estimate",
+        "compress",
+        "--scheme",
+        "lut4",
+        "--compare",
+        "lut4",
+        "naive",
+    ]);
+    assert!(
+        stderr.contains("--scheme and --compare are mutually exclusive"),
+        "got: {stderr}"
+    );
+    let stderr = expect_rejection(&[
+        "estimate",
+        "compress",
+        "--verify",
+        "--compare",
+        "lut4",
+        "naive",
+    ]);
+    assert!(
+        stderr.contains("--verify and --compare are mutually exclusive"),
+        "got: {stderr}"
+    );
+}
+
+#[test]
 fn valid_flag_values_still_pass() {
     let out = fua(&["workloads", "--jobs", "2"]);
     assert!(out.status.success(), "control case must succeed");
+    assert!(!out.stdout.is_empty());
+
+    let out = fua(&["estimate", "compress", "--scheme", "naive", "--jobs", "2"]);
+    assert!(out.status.success(), "estimate control case must succeed");
     assert!(!out.stdout.is_empty());
 }

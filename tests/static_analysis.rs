@@ -90,6 +90,61 @@ fn seeded_bad_kernels_are_flagged() {
 }
 
 #[test]
+fn uninit_reads_distinguish_every_path_from_some_path() {
+    // Written on no path: a definite finding ("is read").
+    let mut b = ProgramBuilder::new();
+    b.add(r(2), r(1), r(1));
+    b.halt();
+    let definite = lint_program(&b.build().unwrap());
+    assert_eq!(
+        definite
+            .iter()
+            .filter(|l| l.kind == LintKind::UninitRead)
+            .count(),
+        1,
+        "one finding per register, not per source slot: {definite:?}"
+    );
+    assert!(definite
+        .iter()
+        .any(|l| l.message.contains("is read before")));
+
+    // Written on one of two paths: a may-finding.
+    let mut b = ProgramBuilder::new();
+    let join = b.new_label();
+    b.li(r(2), 1);
+    b.bgtz(r(2), join);
+    b.li(r(1), 7);
+    b.bind(join);
+    b.add(r(3), r(1), r(1));
+    b.halt();
+    let partial = lint_program(&b.build().unwrap());
+    assert!(
+        partial
+            .iter()
+            .any(|l| l.kind == LintKind::UninitRead && l.message.contains("may be read before")),
+        "{partial:?}"
+    );
+}
+
+#[test]
+fn a_write_only_observed_through_a_later_overwrite_is_dead() {
+    // The first li's value is overwritten on every path before any
+    // read, so only the first write is dead.
+    let mut b = ProgramBuilder::new();
+    b.li(r(1), 3);
+    b.li(r(1), 4);
+    b.add(r(2), r(1), r(1));
+    b.halt();
+    let lints = lint_program(&b.build().unwrap());
+    let dead: Vec<_> = lints
+        .iter()
+        .filter(|l| l.kind == LintKind::DeadWrite)
+        .collect();
+    assert_eq!(dead.len(), 1, "{lints:?}");
+    assert_eq!(dead[0].inst, Some(0));
+}
+
+#[test]
 fn static_swap_preserves_architectural_semantics_on_every_kernel() {
     for w in fua::workloads::all(1) {
         let out = StaticSwapPass::new().run(&w.program);
