@@ -28,7 +28,13 @@
 //!   by PC and reports where one steering [`Scheme`] saves or loses
 //!   energy, per module and per steering case;
 //! * [`attribute_suite`] fans the whole workload suite out across a
-//!   deterministic [`fua_exec`] worker pool.
+//!   deterministic [`fua_exec`] worker pool;
+//! * [`CycleAttribution`] answers the sibling question — *where do the
+//!   cycles go?* — by resolving the stall-slot partition (every issue
+//!   slot of every cycle in exactly one taxonomy bucket) against the
+//!   same CFG, with [`CriticalPath`] extraction and a
+//!   [`joint_table`] pairing switched bits with slot spend per PC;
+//!   `fua profile-cycles` drives [`profile_cycles_suite`].
 //!
 //! # Examples
 //!
@@ -45,12 +51,17 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod cycles;
 mod diff;
 mod estimate;
 mod profile;
 mod run;
 mod sink;
 
+pub use cycles::{
+    joint_table, profile_cycles_suite, profile_cycles_workload, CriticalNode, CriticalPath,
+    CycleAttribution, CycleProfiledRun, JointRow, StallHotspot, StallRow,
+};
 pub use diff::{case_labels, AttributionDiff, ClassDelta, PcDelta};
 pub use estimate::{check_attribution, check_suite, check_workload, BoundViolation, EstimateCheck};
 pub use profile::{EnergyAttribution, Hotspot, SiteRow, MAX_MODULES};

@@ -61,7 +61,7 @@ pub struct EnergyAttribution {
     block_labels: Vec<String>,
 }
 
-fn frame(s: &str) -> String {
+pub(crate) fn frame(s: &str) -> String {
     // Collapsed-stack frames are `;`-separated and the weight is split
     // off at the last space, so neither may appear inside a frame;
     // control characters would corrupt the line structure.

@@ -1,0 +1,121 @@
+//! Overhead of the cycle-attribution sinks. `fua profile-cycles`
+//! attaches a `StallSink` (every issue slot of every cycle) plus a
+//! `DepSink` (one record per dispatched instruction), so their cost
+//! bounds how cheap "where do the cycles go?" can be. The group
+//! records the null, stall-only and stall+dep cases for Criterion,
+//! then asserts two things outside the harness:
+//!
+//! * the stall-profiled run stays within the same generous factor the
+//!   windowed-telemetry bench allows — the sink is a BTreeMap add per
+//!   slot bucket, so a blowup means an accidental allocation or hash
+//!   on the per-cycle path;
+//! * the profiled run is *cycle-identical* to the unprofiled one, and
+//!   its slot partition is exact (`total_slots == cycles × width`) —
+//!   observation must never perturb or undercount the machine.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fua_sim::{MachineConfig, Simulator, SteeringConfig};
+use fua_steer::SteeringKind;
+use fua_trace::{DepSink, NullSink, StallSink};
+use fua_workloads::by_name;
+
+const LIMIT: u64 = 50_000;
+
+/// A stall-profiled run may cost at most this factor of the null-sink
+/// run — the same budget `trace_overhead` grants the windowed sink.
+const STALL_MAX_FACTOR: f64 = 8.0;
+
+fn scheme() -> SteeringConfig {
+    SteeringConfig::paper_scheme(SteeringKind::Lut { slots: 2 }, true)
+}
+
+fn run_null(w: &fua_workloads::Workload) {
+    let mut sim = Simulator::with_sink(MachineConfig::paper_default(), scheme(), NullSink);
+    sim.run_program(&w.program, LIMIT).expect("runs");
+}
+
+fn run_stall(w: &fua_workloads::Workload) {
+    let mut sim = Simulator::with_sink(MachineConfig::paper_default(), scheme(), StallSink::new());
+    sim.run_program(&w.program, LIMIT).expect("runs");
+}
+
+fn bench(c: &mut Criterion) {
+    let w = by_name("compress", 1).expect("bundled");
+    let mut g = c.benchmark_group("stall_sink");
+    g.bench_function("null_sink", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::with_sink(MachineConfig::paper_default(), scheme(), NullSink);
+            sim.run_program(&w.program, LIMIT).expect("runs")
+        });
+    });
+    g.bench_function("stall_sink", |b| {
+        b.iter(|| {
+            let mut sim =
+                Simulator::with_sink(MachineConfig::paper_default(), scheme(), StallSink::new());
+            sim.run_program(&w.program, LIMIT).expect("runs")
+        });
+    });
+    g.bench_function("stall_and_deps", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::with_sink(
+                MachineConfig::paper_default(),
+                scheme(),
+                (StallSink::new(), DepSink::new()),
+            );
+            sim.run_program(&w.program, LIMIT).expect("runs")
+        });
+    });
+    g.finish();
+
+    // Cycle-identity + exact-partition assertion: attaching the sinks
+    // must not change the simulation, and the partition must account
+    // the whole issue bandwidth.
+    let machine = MachineConfig::paper_default();
+    let issue_width = machine.issue_width() as u64;
+    let mut bare = Simulator::new(machine, scheme());
+    let baseline = bare.run_program(&w.program, LIMIT).expect("runs");
+    let mut profiled = Simulator::with_sink(
+        MachineConfig::paper_default(),
+        scheme(),
+        (StallSink::new(), DepSink::new()),
+    );
+    let observed = profiled.run_program(&w.program, LIMIT).expect("runs");
+    let (stall, _deps) = profiled.into_sink();
+    assert_eq!(observed.cycles, baseline.cycles, "profiling perturbed the run");
+    assert_eq!(observed.ledger, baseline.ledger, "profiling perturbed energy");
+    assert_eq!(
+        stall.total_slots(),
+        observed.cycles * issue_width,
+        "stall partition must account every issue slot"
+    );
+
+    // Overhead assertion: best-of-N wall-clock, stall-profiled vs null.
+    const ROUNDS: usize = 5;
+    let best = |f: &dyn Fn(&fua_workloads::Workload)| {
+        (0..ROUNDS)
+            .map(|_| {
+                let start = Instant::now();
+                f(&w);
+                start.elapsed()
+            })
+            .min()
+            .expect("rounds > 0")
+    };
+    let null = best(&run_null);
+    let stalled = best(&run_stall);
+    let factor = stalled.as_secs_f64() / null.as_secs_f64();
+    println!("stall/null overhead factor: {factor:.2}x ({stalled:?} vs {null:?})");
+    assert!(
+        factor < STALL_MAX_FACTOR,
+        "StallSink overhead {factor:.2}x exceeds {STALL_MAX_FACTOR}x of NullSink"
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -15,7 +15,7 @@ use fua_attr::{check_suite, AttributionSink, EnergyAttribution, EstimateCheck, S
 use fua_exec::{map_indexed_timed, ExecReport, Jobs};
 use fua_power::EnergyLedger;
 use fua_sim::{PhaseTimers, SimPhase, Simulator};
-use fua_trace::{Json, ToJson, WindowedSink};
+use fua_trace::{Json, StallReason, StallSink, ToJson, WindowedSink};
 use fua_workloads::WorkloadArena;
 
 use fua_core::{
@@ -26,19 +26,20 @@ use fua_core::{
 use crate::{expect_f64, expect_str, expect_u64, ReportError, RunManifest};
 
 /// The artifact schema identifier; bump on any breaking shape change.
-/// Minor bumps (`/1` → `/1.1` → `/1.2` → `/1.3`) add optional sections
+/// Minor bumps (`/1` → `/1.1` → … → `/1.4`) add optional sections
 /// only; this build still reads every schema in [`BENCH_SCHEMAS_READ`].
-pub const BENCH_SCHEMA: &str = "fua-bench/1.3";
+pub const BENCH_SCHEMA: &str = "fua-bench/1.4";
 
 /// Every schema version this build can read. `fua-bench/1` artifacts
 /// (pre-`parallel` section) parse with `parallel: None`; pre-1.2
 /// artifacts parse with `attribution: None`; pre-1.3 artifacts parse
-/// with `estimator: None`.
-pub const BENCH_SCHEMAS_READ: [&str; 4] = [
+/// with `estimator: None`; pre-1.4 artifacts parse with `stalls: None`.
+pub const BENCH_SCHEMAS_READ: [&str; 5] = [
     "fua-bench/1",
     "fua-bench/1.1",
     "fua-bench/1.2",
     "fua-bench/1.3",
+    "fua-bench/1.4",
 ];
 
 /// Hotspots recorded in the artifact's `attribution` section (the
@@ -133,6 +134,29 @@ pub struct AttributionSummary {
     pub exact: bool,
     /// The suite-wide top-[`ATTRIBUTION_HOTSPOTS`] PCs by switched bits.
     pub top_hotspots: Vec<HotspotEntry>,
+}
+
+/// The `stalls` section of the artifact: the cycle-attribution digest
+/// of the telemetry pass. Like the energy `attribution` section, the
+/// per-site partition stays out of the artifact; what is recorded is
+/// the exact-partition verdict (every issue slot of every cycle counted
+/// exactly once) and the suite-wide stall mix
+/// [`compare`](crate::compare) gates on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallSummary {
+    /// Label of the steering scheme the pass ran under.
+    pub scheme: String,
+    /// Issue slots per cycle on the benched machine.
+    pub issue_width: u64,
+    /// Cycles summed over every workload of the telemetry pass.
+    pub cycles: u64,
+    /// Issue slots accounted across every stall site.
+    pub slots: u64,
+    /// Whether `slots == cycles × issue_width` bit-for-bit — the
+    /// exact-partition invariant over the whole suite.
+    pub exact: bool,
+    /// Slot totals per [`StallReason`], in [`StallReason::ALL`] order.
+    pub mix: [u64; 8],
 }
 
 /// One scheme's static-vs-dynamic digest in the artifact's `estimator`
@@ -279,6 +303,8 @@ pub struct BenchReport {
     pub telemetry: TelemetrySummary,
     /// Energy-attribution digest (`None` for pre-1.2 artifacts).
     pub attribution: Option<AttributionSummary>,
+    /// Cycle-attribution (stall) digest (`None` for pre-1.4 artifacts).
+    pub stalls: Option<StallSummary>,
     /// Static-estimator soundness/precision digest (`None` for pre-1.3
     /// artifacts).
     pub estimator: Option<EstimatorSummary>,
@@ -333,20 +359,25 @@ pub fn bench_suite_jobs(
     // merge below reproduces the serial pass that threaded one sink
     // through every run (every run restarts at cycle 0, so window i
     // covers the same interval in every cell).
+    let issue_width = config.machine.issue_width() as u64;
     let (cells, exec_t) = map_indexed_timed(jobs, arena.all(), |_, w| {
         let mut sim = Simulator::with_parts(
             config.machine.clone(),
             observed_scheme(),
-            (WindowedSink::new(window_cycles), AttributionSink::new()),
+            (
+                WindowedSink::new(window_cycles),
+                (AttributionSink::new(), StallSink::new()),
+            ),
             PhaseTimers::new(),
         );
         let result = sim
             .run_program(&w.program, config.inst_limit)
             .unwrap_or_else(|e| panic!("workload {} faulted: {e}", w.name));
         let ledger = result.ledger;
-        let ((sink, attr), timers) = sim.into_parts();
+        let cycles = result.cycles;
+        let ((sink, (attr, stall)), timers) = sim.into_parts();
         let attribution = EnergyAttribution::build(w.name, Scheme::Lut4.label(), &w.program, &attr);
-        (sink, attribution, timers, ledger)
+        (sink, attribution, stall, timers, ledger, cycles)
     });
     exec.merge(&exec_t);
     let mut sink = WindowedSink::new(window_cycles);
@@ -355,11 +386,18 @@ pub fn bench_suite_jobs(
     let mut attr_ledger = EnergyLedger::new();
     let mut attr_exact = true;
     let mut attr_sites = 0u64;
+    let mut stall_sink = StallSink::new();
+    let mut stall_cycles = 0u64;
+    let mut stall_exact = true;
     let mut spots: Vec<HotspotEntry> = Vec::new();
-    for (s, attribution, t, l) in &cells {
+    for (s, attribution, stall, t, l, cycles) in &cells {
         sink.merge(s);
         timers.merge(t);
         ledger.merge(l);
+        // The partition must be exact per workload *and* in aggregate.
+        stall_exact &= stall.total_slots() == cycles * issue_width;
+        stall_sink.merge(stall);
+        stall_cycles += cycles;
         let reassembled = attribution.ledger();
         attr_exact &= reassembled == *l;
         attr_ledger.merge(&reassembled);
@@ -406,6 +444,15 @@ pub fn bench_suite_jobs(
         exact: attr_exact,
         top_hotspots: spots,
     };
+    stall_exact &= stall_sink.total_slots() == stall_cycles * issue_width;
+    let stalls = StallSummary {
+        scheme: Scheme::Lut4.label().to_string(),
+        issue_width,
+        cycles: stall_cycles,
+        slots: stall_sink.total_slots(),
+        exact: stall_exact,
+        mix: stall_sink.reason_totals(),
+    };
 
     // Static-estimator pass: join every scheme's static switched-bit
     // bounds against a measured attribution of the whole suite. Pure
@@ -438,6 +485,7 @@ pub fn bench_suite_jobs(
         phase_nanos: PhaseNanos(timers.nanos()),
         telemetry,
         attribution: Some(attribution),
+        stalls: Some(stalls),
         estimator: Some(estimator),
         parallel: Some(ParallelSummary::from_report(
             jobs,
@@ -576,6 +624,49 @@ fn attribution_from_json(json: &Json) -> Result<Option<AttributionSummary>, Repo
             .and_then(Json::as_bool)
             .ok_or_else(|| ReportError::missing("attribution.exact"))?,
         top_hotspots,
+    }))
+}
+
+fn stalls_to_json(s: &StallSummary) -> Json {
+    Json::obj([
+        ("scheme", Json::Str(s.scheme.clone())),
+        ("issue_width", Json::UInt(s.issue_width)),
+        ("cycles", Json::UInt(s.cycles)),
+        ("slots", Json::UInt(s.slots)),
+        ("exact", Json::Bool(s.exact)),
+        (
+            "mix",
+            Json::Obj(
+                StallReason::ALL
+                    .into_iter()
+                    .map(|r| (r.name().to_string(), Json::UInt(s.mix[r.index()])))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn stalls_from_json(json: &Json) -> Result<Option<StallSummary>, ReportError> {
+    let Some(s) = json.get("stalls") else {
+        return Ok(None);
+    };
+    let mix_obj = s
+        .get("mix")
+        .ok_or_else(|| ReportError::missing("stalls.mix"))?;
+    let mut mix = [0u64; 8];
+    for reason in StallReason::ALL {
+        mix[reason.index()] = expect_u64(mix_obj, reason.name())?;
+    }
+    Ok(Some(StallSummary {
+        scheme: expect_str(s, "scheme")?.to_string(),
+        issue_width: expect_u64(s, "issue_width")?,
+        cycles: expect_u64(s, "cycles")?,
+        slots: expect_u64(s, "slots")?,
+        exact: s
+            .get("exact")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| ReportError::missing("stalls.exact"))?,
+        mix,
     }))
 }
 
@@ -769,6 +860,9 @@ impl BenchReport {
             if let Some(a) = &self.attribution {
                 fields.push(("attribution".to_string(), attribution_to_json(a)));
             }
+            if let Some(s) = &self.stalls {
+                fields.push(("stalls".to_string(), stalls_to_json(s)));
+            }
             if let Some(e) = &self.estimator {
                 fields.push(("estimator".to_string(), estimator_to_json(e)));
             }
@@ -853,6 +947,7 @@ impl BenchReport {
                     .ok_or_else(|| ReportError::missing("telemetry.exact"))?,
             },
             attribution: attribution_from_json(json)?,
+            stalls: stalls_from_json(json)?,
             estimator: estimator_from_json(json)?,
             parallel: parallel_from_json(json)?,
         })
@@ -906,6 +1001,16 @@ mod tests {
             a.switched_bits, report.telemetry.switched_bits,
             "two exact partitions of the same ledger agree"
         );
+        let s = report.stalls.as_ref().expect("stalls section present");
+        assert!(s.exact, "stall partition must cover every issue slot");
+        assert_eq!(s.slots, s.cycles * s.issue_width);
+        assert_eq!(s.issue_width, 10, "paper machine: 4+1+4+1 issue slots");
+        assert_eq!(
+            s.mix.iter().sum::<u64>(),
+            s.slots,
+            "the stall mix is itself a partition of the slots"
+        );
+        assert!(s.mix[0] > 0, "some slots issued");
         let e = report
             .estimator
             .as_ref()
@@ -926,7 +1031,7 @@ mod tests {
         assert!(p.wall_nanos > 0);
         assert!(p.workers.iter().map(|w| w.cells).sum::<u64>() > 0);
         let rendered = report.to_json().pretty();
-        assert!(rendered.contains("\"schema\": \"fua-bench/1.3\""));
+        assert!(rendered.contains("\"schema\": \"fua-bench/1.4\""));
         let parsed: BenchReport = rendered.parse().unwrap();
         // Everything round-trips exactly (floats use shortest-exact
         // rendering, so equality is bit-for-bit).
@@ -947,6 +1052,10 @@ mod tests {
             "the attribution digest is byte-identical across job counts"
         );
         assert_eq!(
+            a.stalls, b.stalls,
+            "the stall digest is byte-identical across job counts"
+        );
+        assert_eq!(
             a.estimator, b.estimator,
             "the estimator digest is byte-identical across job counts"
         );
@@ -962,13 +1071,17 @@ mod tests {
         if let Json::Obj(fields) = &mut json {
             fields[0].1 = Json::Str("fua-bench/1".into());
             fields.retain(|(name, _)| {
-                name != "parallel" && name != "attribution" && name != "estimator"
+                name != "parallel"
+                    && name != "attribution"
+                    && name != "estimator"
+                    && name != "stalls"
             });
         }
         let parsed = BenchReport::from_json(&json).unwrap();
         assert_eq!(parsed.parallel, None);
         assert_eq!(parsed.attribution, None);
         assert_eq!(parsed.estimator, None);
+        assert_eq!(parsed.stalls, None);
         assert_eq!(parsed.ialu, report.ialu);
     }
 
@@ -978,11 +1091,14 @@ mod tests {
         let mut json = report.to_json();
         if let Json::Obj(fields) = &mut json {
             fields[0].1 = Json::Str("fua-bench/1.1".into());
-            fields.retain(|(name, _)| name != "attribution" && name != "estimator");
+            fields.retain(|(name, _)| {
+                name != "attribution" && name != "estimator" && name != "stalls"
+            });
         }
         let parsed = BenchReport::from_json(&json).unwrap();
         assert_eq!(parsed.attribution, None);
         assert_eq!(parsed.estimator, None);
+        assert_eq!(parsed.stalls, None);
         assert!(parsed.parallel.is_some(), "1.1 already had parallel");
         assert_eq!(parsed.telemetry, report.telemetry);
     }
@@ -993,11 +1109,27 @@ mod tests {
         let mut json = report.to_json();
         if let Json::Obj(fields) = &mut json {
             fields[0].1 = Json::Str("fua-bench/1.2".into());
-            fields.retain(|(name, _)| name != "estimator");
+            fields.retain(|(name, _)| name != "estimator" && name != "stalls");
         }
         let parsed = BenchReport::from_json(&json).unwrap();
         assert_eq!(parsed.estimator, None);
+        assert_eq!(parsed.stalls, None);
         assert!(parsed.attribution.is_some(), "1.2 already had attribution");
+        assert_eq!(parsed.telemetry, report.telemetry);
+    }
+
+    #[test]
+    fn schema_1_3_artifacts_without_a_stalls_section_still_parse() {
+        let report = bench_suite("prev13", &tiny_config(), 512);
+        let mut json = report.to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields[0].1 = Json::Str("fua-bench/1.3".into());
+            fields.retain(|(name, _)| name != "stalls");
+        }
+        let parsed = BenchReport::from_json(&json).unwrap();
+        assert_eq!(parsed.stalls, None);
+        assert!(parsed.estimator.is_some(), "1.3 already had estimator");
+        assert!(parsed.attribution.is_some());
         assert_eq!(parsed.telemetry, report.telemetry);
     }
 

@@ -27,6 +27,13 @@
 //!   hotspot must still rank in the current list with its share of the
 //!   suite's switched bits inside the metric band. A missing section
 //!   (pre-1.2 artifact) on either side is informational only.
+//! - **Stall-partition exactness & mix drift** — the cycle-attribution
+//!   digest: a stall partition that fails to account exactly
+//!   `cycles × issue_width` slots on either side is a hard regression,
+//!   and when both artifacts carry the section each stall reason's
+//!   share of the suite's issue bandwidth may drift by at most
+//!   `metric_pct` points. A missing section (pre-1.4 artifact) on
+//!   either side is informational only.
 //! - **Estimator soundness & precision** — the static switched-bit
 //!   estimator's digest: a violated bound (`sound: false`) on either
 //!   side is a hard regression regardless of tolerances, and when both
@@ -37,6 +44,7 @@
 
 use crate::bench::BenchReport;
 use fua_sim::SimPhase;
+use fua_trace::StallReason;
 
 /// Finding severity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -369,6 +377,18 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, tol: &Tolerance) -
                 );
             }
         }
+        if let Some(s) = &report.stalls {
+            if !s.exact {
+                chk.regression(
+                    "stall-exactness",
+                    format!(
+                        "{side} artifact records an inexact stall partition \
+                         ({} slots accounted, {} cycles x {} issue slots expected)",
+                        s.slots, s.cycles, s.issue_width
+                    ),
+                );
+            }
+        }
         if let Some(e) = &report.estimator {
             for entry in &e.entries {
                 if !entry.sound {
@@ -441,6 +461,39 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, tol: &Tolerance) -
         (None, Some(_)) => chk.info(
             "hotspot-drift",
             "baseline artifact has no attribution section (pre-1.2 schema)".to_string(),
+        ),
+        (None, None) => {}
+    }
+
+    // Stall-mix drift: the cycle partition says where the machine's
+    // issue bandwidth went; each reason's share of the total slots is a
+    // deterministic model metric, banded like every other percentage.
+    match (&baseline.stalls, &current.stalls) {
+        (Some(b), Some(c)) => {
+            let (b_total, c_total) = (b.slots, c.slots);
+            for reason in StallReason::ALL {
+                let share = |mix: &[u64; 8], total: u64| {
+                    if total == 0 {
+                        0.0
+                    } else {
+                        100.0 * mix[reason.index()] as f64 / total as f64
+                    }
+                };
+                chk.metric(
+                    &format!("stall-mix {}", reason.name()),
+                    share(&b.mix, b_total),
+                    share(&c.mix, c_total),
+                );
+            }
+        }
+        // One side predates schema 1.4: nothing to diff, note it only.
+        (Some(_), None) => chk.info(
+            "stall-mix",
+            "current artifact has no stalls section (pre-1.4 schema)".to_string(),
+        ),
+        (None, Some(_)) => chk.info(
+            "stall-mix",
+            "baseline artifact has no stalls section (pre-1.4 schema)".to_string(),
         ),
         (None, None) => {}
     }
@@ -655,6 +708,75 @@ mod tests {
             .findings
             .iter()
             .any(|f| f.category == "attribution-exactness"));
+    }
+
+    #[test]
+    fn a_seeded_stall_partition_violation_fails_the_gate() {
+        let baseline = tiny();
+        let mut bad = baseline.clone();
+        {
+            let s = bad.stalls.as_mut().unwrap();
+            s.slots -= 1; // one slot unaccounted
+            s.exact = false;
+        }
+        let cmp = compare(&baseline, &bad, &Tolerance::default());
+        assert!(!cmp.passed());
+        assert!(
+            cmp.findings.iter().any(|f| {
+                f.category == "stall-exactness"
+                    && f.severity == Severity::Regression
+                    && f.message.contains("issue slots expected")
+            }),
+            "findings: {:#?}",
+            cmp.findings
+        );
+        // A violation recorded in the *baseline* fails the gate too.
+        let cmp = compare(&bad, &baseline, &Tolerance::default());
+        assert!(!cmp.passed());
+    }
+
+    #[test]
+    fn stall_mix_drift_past_band_is_a_regression() {
+        let baseline = tiny();
+        let mut shifted = baseline.clone();
+        {
+            // Move 10% of the suite's slots from 'issued' to
+            // 'operand-wait' — the totals still balance, so exactness
+            // holds, but the mix shape moved far past the band.
+            let s = shifted.stalls.as_mut().unwrap();
+            let moved = s.slots / 10;
+            s.mix[StallReason::Issued.index()] -= moved;
+            s.mix[StallReason::OperandWait.index()] += moved;
+        }
+        let cmp = compare(&baseline, &shifted, &Tolerance::default());
+        assert!(!cmp.passed());
+        assert!(cmp.findings.iter().any(|f| {
+            f.category == "metric-drift"
+                && f.severity == Severity::Regression
+                && f.message.contains("stall-mix")
+        }));
+
+        // The same shift within a wider band is only informational.
+        let wide = Tolerance {
+            metric_pct: 25.0,
+            ..Tolerance::default()
+        };
+        assert!(compare(&baseline, &shifted, &wide).passed());
+    }
+
+    #[test]
+    fn a_pre_1_4_artifact_without_stalls_is_informational_only() {
+        let baseline = tiny();
+        let mut old = baseline.clone();
+        old.stalls = None;
+        for (b, c) in [(&baseline, &old), (&old, &baseline)] {
+            let cmp = compare(b, c, &Tolerance::default());
+            assert!(cmp.passed(), "findings: {:#?}", cmp.findings);
+            assert!(cmp
+                .findings
+                .iter()
+                .any(|f| f.category == "stall-mix" && f.severity == Severity::Info));
+        }
     }
 
     #[test]

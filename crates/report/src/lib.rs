@@ -31,7 +31,7 @@ mod manifest;
 
 pub use bench::{
     bench_suite, bench_suite_jobs, AttributionSummary, BenchReport, EstimatorEntry,
-    EstimatorSummary, HotspotEntry, OperandAggregates, ParallelSummary, PhaseNanos,
+    EstimatorSummary, HotspotEntry, OperandAggregates, ParallelSummary, PhaseNanos, StallSummary,
     TelemetrySummary, UnitFigure, WorkerNanos, ATTRIBUTION_HOTSPOTS, BENCH_SCHEMA,
     BENCH_SCHEMAS_READ, DEFAULT_WINDOW_CYCLES,
 };

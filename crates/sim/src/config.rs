@@ -83,6 +83,15 @@ impl MachineConfig {
         self.fu_counts[class.index()]
     }
 
+    /// Total issue slots per cycle across every FU class — the sum of
+    /// [`fu_counts`](MachineConfig::fu_counts) (10 on the paper machine).
+    /// The cycle-attribution partition denominator: every cycle offers
+    /// exactly `issue_width` slots, and the stall taxonomy accounts for
+    /// each of them exactly once.
+    pub fn issue_width(&self) -> usize {
+        self.fu_counts.iter().sum()
+    }
+
     /// Execution latency of an opcode in cycles, excluding cache misses.
     /// Latencies follow SimpleScalar's defaults: single-cycle integer
     /// ALU, 3-cycle multiply, 20-cycle divide, 2-cycle FP add, 4-cycle FP
@@ -133,6 +142,13 @@ mod tests {
         assert_eq!(m.modules(FuClass::IntMul), 1);
         assert_eq!(m.modules(FuClass::FpAlu), 4);
         assert_eq!(m.modules(FuClass::FpMul), 1);
+        assert_eq!(m.issue_width(), 10, "4+1+4+1 issue slots per cycle");
+    }
+
+    #[test]
+    fn issue_width_tracks_duplication() {
+        let m = MachineConfig::default().with_duplicated_modules(2);
+        assert_eq!(m.issue_width(), 6);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use fua_isa::{FuClass, Opcode, Program};
 use fua_power::booth::BoothModel;
 use fua_power::{EnergyLedger, ModulePorts};
 use fua_stats::{BitPatternProfiler, OccupancyProfiler};
-use fua_trace::{NullSink, Stage, SwapKind, TraceEvent, TraceSink};
+use fua_trace::{NullSink, Stage, StallReason, SwapKind, TraceEvent, TraceSink};
 use fua_vm::{DynOp, Vm, VmError};
 
 use crate::{
@@ -354,11 +354,117 @@ impl<S: TraceSink, P: PhaseProfiler> Simulator<S, P> {
 
     fn issue(&mut self) -> usize {
         let groups = self.select_ready();
+        if S::ENABLED {
+            self.record_stalls(&groups);
+        }
         let mut issued_total = 0;
         for class in FuClass::ALL {
             issued_total += self.issue_class(class, &groups[class.index()]);
         }
         issued_total
+    }
+
+    /// Classifies every *idle* issue slot of this cycle into the
+    /// [`StallReason`] taxonomy (issued slots are recorded by
+    /// `issue_class` alongside the energy charge, so per class the
+    /// emitted slot counts sum to the module count — the exact
+    /// partition `cycles × issue_width`).
+    ///
+    /// Runs only when a sink is attached and never mutates engine
+    /// state: it mirrors `select_ready`'s walk (same window order, same
+    /// memory-port budget) to rediscover which candidates were passed
+    /// over and why, so a profiled run is cycle-identical to an
+    /// unprofiled one.
+    fn record_stalls(&mut self, groups: &[Vec<usize>; 4]) {
+        let mut idle = [0usize; 4];
+        let mut width_left = [0usize; 4];
+        for class in FuClass::ALL {
+            let ci = class.index();
+            width_left[ci] = self.config.modules(class);
+            idle[ci] = width_left[ci] - groups[ci].len();
+        }
+        let mut mem_ports_left = self.config.mem_ports;
+        let mut prefix_blocked = false;
+        for idx in 0..self.window.len() {
+            let entry = &self.window[idx];
+            if entry.state != EntryState::Waiting {
+                continue;
+            }
+            let Some(fu) = entry.op.fu else { continue };
+            let ci = fu.class.index();
+            let needs_port = entry.op.mem.is_some();
+            let ready = self.deps_satisfied(entry);
+            if !prefix_blocked && width_left[ci] > 0 && (!needs_port || mem_ports_left > 0) && ready
+            {
+                // This candidate was selected for issue.
+                if needs_port {
+                    mem_ports_left -= 1;
+                }
+                width_left[ci] -= 1;
+                continue;
+            }
+            let reason = if prefix_blocked {
+                StallReason::SteeringDelay
+            } else if !ready {
+                StallReason::OperandWait
+            } else {
+                StallReason::FuBusy
+            };
+            if self.config.in_order_issue {
+                prefix_blocked = true;
+            }
+            // Charge an idle slot of the candidate's class to it, while
+            // slots remain (blocked candidates can outnumber the idle
+            // slots — the slots are the resource being partitioned).
+            if idle[ci] > 0 {
+                idle[ci] -= 1;
+                let event = TraceEvent::Stall {
+                    cycle: self.cycle,
+                    class: fu.class,
+                    reason,
+                    slots: 1,
+                    pc: Some(entry.op.static_idx),
+                    case: Some(fu.case()),
+                };
+                self.sink.record(&event);
+            }
+        }
+        // Residual idle slots had no candidate at all: a frontend
+        // condition starved them, classified in the same priority order
+        // `fetch` itself gates on.
+        let (reason, pc) =
+            if self.fetch_blocked_by.is_some() || self.cycle < self.fetch_resume_cycle {
+                let culprit = self.fetch_blocked_by.and_then(|serial| {
+                    serial
+                        .checked_sub(self.head_serial)
+                        .and_then(|idx| self.window.get(idx as usize))
+                        .map(|e| e.op.static_idx)
+                });
+                (StallReason::BranchRecovery, culprit)
+            } else if self.window.len() >= self.config.rob_size {
+                (
+                    StallReason::RobFull,
+                    self.window.front().map(|e| e.op.static_idx),
+                )
+            } else if let Some(op) = &self.skid {
+                (StallReason::RsFull, Some(op.static_idx))
+            } else {
+                (StallReason::FetchStarved, None)
+            };
+        for class in FuClass::ALL {
+            let ci = class.index();
+            if idle[ci] > 0 {
+                let event = TraceEvent::Stall {
+                    cycle: self.cycle,
+                    class,
+                    reason,
+                    slots: idle[ci] as u32,
+                    pc,
+                    case: None,
+                };
+                self.sink.record(&event);
+            }
+        }
     }
 
     fn issue_class(&mut self, class: FuClass, selected: &[usize]) -> usize {
@@ -528,6 +634,14 @@ impl<S: TraceSink, P: PhaseProfiler> Simulator<S, P> {
                     case: steer_case,
                     bits,
                 });
+                self.sink.record(&TraceEvent::Stall {
+                    cycle: self.cycle,
+                    class,
+                    reason: StallReason::Issued,
+                    slots: 1,
+                    pc: Some(entry_pc),
+                    case: Some(steer_case),
+                });
                 if let Some(event) = cache_event {
                     self.sink.record(&event);
                 }
@@ -614,6 +728,15 @@ impl<S: TraceSink, P: PhaseProfiler> Simulator<S, P> {
             op.srcs[0].and_then(|r| self.last_writer[r.dense_index()]),
             op.srcs[1].and_then(|r| self.last_writer[r.dense_index()]),
         ];
+        if S::ENABLED {
+            self.sink.record(&TraceEvent::Dependence {
+                cycle: self.cycle,
+                serial: op.serial,
+                pc: op.static_idx,
+                dep1: deps[0],
+                dep2: deps[1],
+            });
+        }
         if let Some(dst) = op.dst {
             self.last_writer[dst.dense_index()] = Some(op.serial);
         }
@@ -875,6 +998,81 @@ mod tests {
         assert!(timers.intervals(SimPhase::Steer) > 0);
         // Nesting: steer time is a component of issue time.
         assert!(timers.total(SimPhase::Issue) >= timers.total(SimPhase::Steer));
+    }
+
+    #[test]
+    fn stall_partition_accounts_every_issue_slot_exactly() {
+        use fua_trace::StallSink;
+        // Mix of dependence chains, loads, branches and multiplies so
+        // several taxonomy reasons fire.
+        let mut b = ProgramBuilder::new();
+        let base = b.data_words(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let top = b.new_label();
+        b.li(r(1), base);
+        b.li(r(5), 40);
+        b.bind(top);
+        b.lw(r(2), r(1), 0);
+        b.addi(r(3), r(2), 1);
+        b.alui(fua_isa::Opcode::Mul, r(4), r(3), 3);
+        b.addi(r(5), r(5), -1);
+        b.bgtz(r(5), top);
+        b.halt();
+        let p = b.build().expect("valid");
+
+        let config = MachineConfig::paper_default();
+        let issue_width = config.issue_width() as u64;
+        let mut sim = Simulator::with_sink(config, SteeringConfig::original(), StallSink::new());
+        let traced = sim.run_program(&p, 1_000_000).expect("runs");
+        let sink = sim.into_sink();
+        assert_eq!(
+            sink.total_slots(),
+            traced.cycles * issue_width,
+            "stall partition must cover cycles x issue_width exactly"
+        );
+        let totals = sink.reason_totals();
+        assert_eq!(totals.iter().sum::<u64>(), sink.total_slots());
+        let fu_ops: u64 = FuClass::ALL.iter().map(|&c| traced.ledger.ops(c)).sum();
+        assert_eq!(
+            totals[StallReason::Issued.index()],
+            fu_ops,
+            "issued slots equal FU operations latched"
+        );
+        assert!(totals[StallReason::OperandWait.index()] > 0);
+
+        // And the profiled run is cycle-identical to the unprofiled one.
+        let plain = run(&p);
+        assert_eq!(plain.cycles, traced.cycles);
+        assert_eq!(plain.ledger, traced.ledger);
+    }
+
+    #[test]
+    fn in_order_prefix_blocking_classifies_as_steering_delay() {
+        use fua_trace::StallSink;
+        let mut b = ProgramBuilder::new();
+        b.li(r(1), 0);
+        for _ in 0..20 {
+            b.addi(r(1), r(1), 1); // dependent chain blocks the prefix
+        }
+        for k in 2..6 {
+            b.addi(r(k), r(k), 1); // independent tail, in-order blocked
+        }
+        b.halt();
+        let p = b.build().expect("valid");
+        let mut sim = Simulator::with_sink(
+            MachineConfig::in_order(),
+            SteeringConfig::original(),
+            StallSink::new(),
+        );
+        let result = sim.run_program(&p, 10_000).expect("runs");
+        let sink = sim.into_sink();
+        assert_eq!(
+            sink.total_slots(),
+            result.cycles * MachineConfig::in_order().issue_width() as u64
+        );
+        assert!(
+            sink.reason_totals()[StallReason::SteeringDelay.index()] > 0,
+            "in-order prefix rule must surface as steering delay"
+        );
     }
 
     #[test]

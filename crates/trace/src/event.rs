@@ -43,6 +43,73 @@ impl Stage {
     }
 }
 
+/// What one issue slot of one cycle was spent on.
+///
+/// The taxonomy is an **exact partition** of the machine's issue
+/// bandwidth: every cycle offers `issue_width` slots (one per FU
+/// module), and the engine classifies each slot into exactly one
+/// reason, so summed [`Stall`](TraceEvent::Stall) slot counts equal
+/// `cycles × issue_width` bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StallReason {
+    /// The slot issued an instruction.
+    Issued,
+    /// No instruction of the slot's class was available: the frontend
+    /// had nothing to deliver (source drained or fetch bandwidth).
+    FetchStarved,
+    /// The frontend is squashed behind an unresolved (or still
+    /// penalised) mispredicted branch.
+    BranchRecovery,
+    /// Dispatch is blocked because the instruction window (ROB) is full.
+    RobFull,
+    /// Dispatch is blocked because a reservation station is full; the
+    /// culprit PC names the parked instruction (whose class's RS
+    /// overflowed).
+    RsFull,
+    /// A candidate of the slot's class is waiting on operands.
+    OperandWait,
+    /// A ready candidate could not issue: every module of its class was
+    /// taken this cycle, or the memory ports were exhausted.
+    FuBusy,
+    /// A candidate was blocked purely by the in-order issue prefix rule
+    /// (the only steering-induced issue delay in this model — the
+    /// paper's policies themselves never reject an assignment).
+    SteeringDelay,
+}
+
+impl StallReason {
+    /// Every reason, in taxonomy order (the stall-mix array order).
+    pub const ALL: [StallReason; 8] = [
+        StallReason::Issued,
+        StallReason::FetchStarved,
+        StallReason::BranchRecovery,
+        StallReason::RobFull,
+        StallReason::RsFull,
+        StallReason::OperandWait,
+        StallReason::FuBusy,
+        StallReason::SteeringDelay,
+    ];
+
+    /// Position in [`StallReason::ALL`] (stall-mix array index).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// A short lowercase name ("issued", "operand-wait", ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            StallReason::Issued => "issued",
+            StallReason::FetchStarved => "fetch-starved",
+            StallReason::BranchRecovery => "branch-recovery",
+            StallReason::RobFull => "rob-full",
+            StallReason::RsFull => "rs-full",
+            StallReason::OperandWait => "operand-wait",
+            StallReason::FuBusy => "fu-busy",
+            StallReason::SteeringDelay => "steering-delay",
+        }
+    }
+}
+
 /// Which mechanism exchanged an instruction's operand ports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SwapKind {
@@ -179,6 +246,47 @@ pub enum TraceEvent {
         /// The predictor's guess.
         predicted: bool,
     },
+    /// One group of same-reason issue slots in one cycle.
+    ///
+    /// Emitted from the issue stage so that, per cycle and FU class,
+    /// the `slots` of all `Stall` events sum to the class's module
+    /// count — the exact-partition contract [`StallReason`] documents.
+    /// Issued and blocked-candidate slots are emitted one event per
+    /// instruction (`slots == 1`, `pc == Some(..)`); frontend-caused
+    /// idle slots are aggregated per class with the culprit's PC
+    /// (`None` when fetch-starved with no culprit instruction).
+    Stall {
+        /// The cycle the slots belong to.
+        cycle: u64,
+        /// The FU class owning the slots.
+        class: FuClass,
+        /// What the slots were spent on.
+        reason: StallReason,
+        /// How many slots this event accounts for (≥ 1).
+        slots: u32,
+        /// Static PC of the culprit instruction: the issued or blocked
+        /// candidate itself, the blocking branch, the window head
+        /// (ROB-full) or the parked instruction (RS-full).
+        pc: Option<u32>,
+        /// The culprit's information-bit case where one exists (issued
+        /// slots report the steering view, blocked candidates their
+        /// pre-swap operands; frontend reasons carry `None`).
+        case: Option<Case>,
+    },
+    /// Rename-time dependence record: the producing serials an
+    /// instruction waits on, for retirement critical-path extraction.
+    Dependence {
+        /// Dispatch cycle.
+        cycle: u64,
+        /// Dynamic serial of the dispatched instruction.
+        serial: u64,
+        /// Static program counter of the instruction.
+        pc: u32,
+        /// Producer serial feeding the first source operand, if any.
+        dep1: Option<u64>,
+        /// Producer serial feeding the second source operand, if any.
+        dep2: Option<u64>,
+    },
     /// End-of-cycle summary (window occupancy and issue width).
     CycleSummary {
         /// The cycle summarised.
@@ -201,6 +309,8 @@ impl TraceEvent {
             | TraceEvent::Execute { cycle, .. }
             | TraceEvent::Cache { cycle, .. }
             | TraceEvent::Branch { cycle, .. }
+            | TraceEvent::Stall { cycle, .. }
+            | TraceEvent::Dependence { cycle, .. }
             | TraceEvent::CycleSummary { cycle, .. } => cycle,
         }
     }
@@ -305,6 +415,15 @@ mod tests {
         assert_eq!(pair.0.events, pair.1.events);
         assert_eq!(pair.0.events.len(), 2);
         assert_eq!(pair.0.events[1].cycle(), 2);
+    }
+
+    #[test]
+    fn stall_reasons_index_their_order() {
+        for (i, reason) in StallReason::ALL.iter().enumerate() {
+            assert_eq!(reason.index(), i);
+        }
+        assert_eq!(StallReason::Issued.name(), "issued");
+        assert_eq!(StallReason::SteeringDelay.name(), "steering-delay");
     }
 
     #[test]

@@ -22,6 +22,11 @@
 //! * [`WindowedSink`] — per-K-cycle interval telemetry whose column sums
 //!   reproduce the final energy ledger exactly (CSV + Perfetto counter
 //!   export);
+//! * [`StallSink`] — the cycle-side twin of the energy attribution: an
+//!   exact partition of every issue slot of every cycle into the
+//!   [`StallReason`] taxonomy, keyed by culprit site;
+//! * [`DepSink`] — per-instruction dependence/timing records for
+//!   retirement critical-path extraction;
 //! * [`VecSink`] — unbounded capture for tests;
 //! * tuples `(A, B)` — fan-out to several sinks at once.
 //!
@@ -52,13 +57,15 @@ mod parse;
 mod perfetto;
 mod recorder;
 mod ring;
+mod stall;
 mod windowed;
 
-pub use event::{NullSink, Stage, SwapKind, TraceEvent, TraceSink, VecSink};
+pub use event::{NullSink, Stage, StallReason, SwapKind, TraceEvent, TraceSink, VecSink};
 pub use json::{Json, ToJson};
 pub use metrics::{Histogram, Metric, MetricId, MetricsRegistry};
 pub use parse::JsonParseError;
 pub use perfetto::ChromeTraceSink;
 pub use recorder::MetricsRecorder;
 pub use ring::RingBufferSink;
+pub use stall::{DepRecord, DepSink, StallKey, StallSink};
 pub use windowed::{WindowRecord, WindowedSeries, WindowedSink, MAX_MODULES};

@@ -25,6 +25,7 @@ const TID_STEER: u64 = 6;
 const TID_SWAP: u64 = 7;
 const TID_CACHE: u64 = 8;
 const TID_BRANCH: u64 = 9;
+const TID_STALL: u64 = 10;
 
 /// A [`TraceSink`] that accumulates Chrome trace events; call
 /// [`into_json`](ChromeTraceSink::into_json) after the run and write the
@@ -111,6 +112,7 @@ impl ChromeTraceSink {
             (TID_SWAP, "operand-swap"),
             (TID_CACHE, "d-cache"),
             (TID_BRANCH, "branch"),
+            (TID_STALL, "stall"),
         ] {
             sink.events
                 .push(meta("thread_name", PID_PIPELINE, Some(tid), label));
@@ -123,9 +125,10 @@ impl ChromeTraceSink {
         self.events.len()
     }
 
-    /// Whether nothing beyond metadata has been recorded.
+    /// Whether nothing beyond metadata has been recorded (the two
+    /// process labels plus the five fixed decision-track labels).
     pub fn is_empty(&self) -> bool {
-        self.events.len() <= 6
+        self.events.len() <= 7
     }
 
     fn name_stage(&mut self, stage: Stage) {
@@ -304,6 +307,37 @@ impl TraceSink for ChromeTraceSink {
                     ]),
                 ));
             }
+            TraceEvent::Stall {
+                cycle,
+                class,
+                reason,
+                slots,
+                pc,
+                ..
+            } => {
+                // Issued slots already render as Issue-stage events;
+                // the stall track shows only lost bandwidth.
+                if reason != crate::StallReason::Issued {
+                    let mut args = vec![
+                        ("class".to_string(), Json::Str(class.to_string())),
+                        ("slots".to_string(), Json::UInt(slots.into())),
+                    ];
+                    if let Some(pc) = pc {
+                        args.push(("pc".to_string(), Json::UInt(pc.into())));
+                    }
+                    self.events.push(complete(
+                        reason.name().to_string(),
+                        "stall",
+                        cycle,
+                        1,
+                        PID_PIPELINE,
+                        TID_STALL,
+                        Json::Obj(args),
+                    ));
+                }
+            }
+            // Dependence records carry no renderable span of their own.
+            TraceEvent::Dependence { .. } => {}
             TraceEvent::CycleSummary { cycle, window, .. } => {
                 self.events.push(counter(
                     "window".to_string(),
@@ -404,6 +438,46 @@ mod tests {
                 format!("pipeline [{name}]"),
                 format!("functional units [{name}]")
             ]
+        );
+    }
+
+    #[test]
+    fn stall_events_render_on_the_stall_track_except_issued() {
+        let mut sink = ChromeTraceSink::new();
+        sink.record(&TraceEvent::Stall {
+            cycle: 2,
+            class: FuClass::IntAlu,
+            reason: crate::StallReason::OperandWait,
+            slots: 2,
+            pc: Some(17),
+            case: None,
+        });
+        sink.record(&TraceEvent::Stall {
+            cycle: 2,
+            class: FuClass::IntAlu,
+            reason: crate::StallReason::Issued,
+            slots: 1,
+            pc: Some(3),
+            case: None,
+        });
+        let doc = sink.into_json().compact();
+        let parsed = Json::parse(&doc).expect("export parses");
+        let events = parsed.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let stalls: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(Json::as_str) == Some("stall"))
+            .collect();
+        assert_eq!(stalls.len(), 1, "issued slots stay off the stall track");
+        assert_eq!(
+            stalls[0].get("name").and_then(Json::as_str),
+            Some("operand-wait")
+        );
+        assert_eq!(
+            stalls[0]
+                .get("args")
+                .and_then(|a| a.get("pc"))
+                .and_then(Json::as_u64),
+            Some(17)
         );
     }
 

@@ -2,7 +2,7 @@
 
 use fua_isa::FuClass;
 
-use crate::{MetricId, MetricsRegistry, Stage, SwapKind, TraceEvent, TraceSink};
+use crate::{MetricId, MetricsRegistry, Stage, StallReason, SwapKind, TraceEvent, TraceSink};
 
 /// Upper bounds for per-module switched-bit (inter-arrival Hamming
 /// distance) histograms: a 32-bit pair can toggle at most 64 bits, an FP
@@ -46,6 +46,7 @@ pub struct MetricsRecorder {
     cache_hits: MetricId,
     cache_misses: MetricId,
     swaps: [MetricId; 3],
+    stalls: [MetricId; 8],
     per_module: [[Option<PerModule>; MAX_MODULES]; 4],
     cases: [Option<[MetricId; 4]>; 4],
 }
@@ -65,6 +66,7 @@ impl MetricsRecorder {
         let cache_misses = registry.counter("cache.misses");
         let swaps = [SwapKind::Rule, SwapKind::Policy, SwapKind::Multiplier]
             .map(|k| registry.counter(&format!("swaps.{}", k.name())));
+        let stalls = StallReason::ALL.map(|r| registry.counter(&format!("stall.{}", r.name())));
         MetricsRecorder {
             registry,
             stage,
@@ -76,6 +78,7 @@ impl MetricsRecorder {
             cache_hits,
             cache_misses,
             swaps,
+            stalls,
             per_module: [[None; MAX_MODULES]; 4],
             cases: [None; 4],
         }
@@ -170,6 +173,12 @@ impl TraceSink for MetricsRecorder {
                     self.registry.add(self.mispredicts, 1);
                 }
             }
+            TraceEvent::Stall { reason, slots, .. } => {
+                self.registry.add(self.stalls[reason.index()], slots as u64);
+            }
+            // Dependence records are per-instruction critical-path
+            // inputs; the registry keeps aggregate counters only.
+            TraceEvent::Dependence { .. } => {}
             TraceEvent::CycleSummary {
                 cycle,
                 window,
@@ -232,6 +241,31 @@ mod tests {
         assert_eq!(reg.counter_value("steer.FPAU.case01"), Some(1));
         assert_eq!(reg.counter_value("steer.FPAU.case00"), Some(0));
         assert_eq!(reg.counter_value("swaps.policy"), Some(1));
+    }
+
+    #[test]
+    fn stall_events_fill_per_reason_counters() {
+        let mut rec = MetricsRecorder::new();
+        rec.record(&TraceEvent::Stall {
+            cycle: 0,
+            class: FuClass::IntAlu,
+            reason: StallReason::OperandWait,
+            slots: 1,
+            pc: Some(4),
+            case: None,
+        });
+        rec.record(&TraceEvent::Stall {
+            cycle: 0,
+            class: FuClass::FpAlu,
+            reason: StallReason::FetchStarved,
+            slots: 4,
+            pc: None,
+            case: None,
+        });
+        let reg = rec.registry();
+        assert_eq!(reg.counter_value("stall.operand-wait"), Some(1));
+        assert_eq!(reg.counter_value("stall.fetch-starved"), Some(4));
+        assert_eq!(reg.counter_value("stall.issued"), Some(0));
     }
 
     #[test]

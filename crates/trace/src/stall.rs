@@ -1,0 +1,275 @@
+//! Cycle attribution sinks: the exact stall-slot partition and the
+//! dependence records critical-path extraction consumes.
+//!
+//! [`StallSink`] mirrors the energy `AttributionSink` design: every
+//! [`Stall`](crate::TraceEvent::Stall) event lands in exactly one
+//! [`StallKey`] bucket of a `BTreeMap`, so totals reassemble the
+//! machine's issue bandwidth bit-for-bit (`cycles × issue_width`
+//! slots), and [`merge`](StallSink::merge) is key-ordered addition —
+//! per-workload sinks merged in index order reproduce a serial pass
+//! exactly, which is what makes `fua profile-cycles --jobs N`
+//! byte-identical to `--jobs 1`.
+
+use std::collections::BTreeMap;
+
+use fua_isa::{Case, FuClass};
+
+use crate::{StallReason, TraceEvent, TraceSink};
+
+/// One stall-slot charge site: the culprit PC (if any), the FU class
+/// owning the slot, the taxonomy reason, and the culprit's
+/// information-bit case where one exists.
+///
+/// Derived `Ord` makes map iteration — and therefore every rendered
+/// table and export — deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StallKey {
+    /// Static PC of the culprit instruction (`None` = fetch-starved
+    /// with no culprit).
+    pub pc: Option<u32>,
+    /// The FU class the slots belong to.
+    pub class: FuClass,
+    /// What the slots were spent on.
+    pub reason: StallReason,
+    /// The culprit's information-bit case, where one exists.
+    pub case: Option<Case>,
+}
+
+/// Accumulates the stall-slot partition of a run: every issue slot of
+/// every cycle counted in exactly one [`StallKey`] bucket.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StallSink {
+    sites: BTreeMap<StallKey, u64>,
+    total_slots: u64,
+}
+
+impl StallSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The per-site slot counts, keyed deterministically.
+    pub fn sites(&self) -> &BTreeMap<StallKey, u64> {
+        &self.sites
+    }
+
+    /// Total slots accounted across every site — must equal
+    /// `cycles × issue_width` for an instrumented run (the
+    /// exact-partition invariant).
+    pub fn total_slots(&self) -> u64 {
+        self.total_slots
+    }
+
+    /// Slot totals per [`StallReason`], in [`StallReason::ALL`] order.
+    pub fn reason_totals(&self) -> [u64; 8] {
+        let mut totals = [0u64; 8];
+        for (key, &slots) in &self.sites {
+            totals[key.reason.index()] += slots;
+        }
+        totals
+    }
+
+    /// Adds another sink's counts into this one. Key-ordered addition:
+    /// merging per-workload sinks in index order reproduces the sink a
+    /// serial pass over the same cells would have produced.
+    pub fn merge(&mut self, other: &StallSink) {
+        for (key, &slots) in &other.sites {
+            *self.sites.entry(*key).or_default() += slots;
+        }
+        self.total_slots += other.total_slots;
+    }
+}
+
+impl TraceSink for StallSink {
+    fn record(&mut self, event: &TraceEvent) {
+        if let TraceEvent::Stall {
+            class,
+            reason,
+            slots,
+            pc,
+            case,
+            ..
+        } = *event
+        {
+            let key = StallKey {
+                pc,
+                class,
+                reason,
+                case,
+            };
+            *self.sites.entry(key).or_default() += u64::from(slots);
+            self.total_slots += u64::from(slots);
+        }
+    }
+}
+
+/// One instruction's lifecycle record assembled by [`DepSink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepRecord {
+    /// Dynamic program-order serial.
+    pub serial: u64,
+    /// Static program counter.
+    pub pc: u32,
+    /// Dispatch (rename) cycle.
+    pub dispatch_cycle: u64,
+    /// Issue cycle (`None` for instructions with no FU — they complete
+    /// the cycle after dispatch without issuing).
+    pub issue_cycle: Option<u64>,
+    /// Completion cycle.
+    pub done_cycle: u64,
+    /// Producer serials feeding the source operands.
+    pub deps: [Option<u64>; 2],
+}
+
+/// Collects per-instruction dependence and timing records, one per
+/// dynamic instruction, for retirement critical-path extraction.
+///
+/// Records are stored in serial order (dispatch is in program order),
+/// so [`records`](DepSink::records) indexes by serial directly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DepSink {
+    records: Vec<DepRecord>,
+}
+
+impl DepSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Every record, in dynamic-serial order.
+    pub fn records(&self) -> &[DepRecord] {
+        &self.records
+    }
+
+    /// The record for a dynamic serial, if it was dispatched.
+    pub fn record_of(&self, serial: u64) -> Option<&DepRecord> {
+        self.records.get(serial as usize)
+    }
+}
+
+impl TraceSink for DepSink {
+    fn record(&mut self, event: &TraceEvent) {
+        match *event {
+            TraceEvent::Dependence {
+                cycle,
+                serial,
+                pc,
+                dep1,
+                dep2,
+            } => {
+                debug_assert_eq!(serial as usize, self.records.len());
+                self.records.push(DepRecord {
+                    serial,
+                    pc,
+                    dispatch_cycle: cycle,
+                    issue_cycle: None,
+                    done_cycle: cycle + 1,
+                    deps: [dep1, dep2],
+                });
+            }
+            TraceEvent::Execute { cycle, serial, .. } => {
+                if let Some(rec) = self.records.get_mut(serial as usize) {
+                    rec.issue_cycle = Some(cycle);
+                }
+            }
+            TraceEvent::Stage {
+                stage: crate::Stage::Writeback,
+                cycle,
+                serial,
+                ..
+            } => {
+                if let Some(rec) = self.records.get_mut(serial as usize) {
+                    rec.done_cycle = cycle;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stall(cycle: u64, reason: StallReason, slots: u32, pc: Option<u32>) -> TraceEvent {
+        TraceEvent::Stall {
+            cycle,
+            class: FuClass::IntAlu,
+            reason,
+            slots,
+            pc,
+            case: None,
+        }
+    }
+
+    #[test]
+    fn stall_sink_partitions_slots_by_site() {
+        let mut sink = StallSink::new();
+        sink.record(&stall(0, StallReason::Issued, 1, Some(3)));
+        sink.record(&stall(0, StallReason::FetchStarved, 3, None));
+        sink.record(&stall(1, StallReason::Issued, 1, Some(3)));
+        assert_eq!(sink.total_slots(), 5);
+        assert_eq!(sink.sites().len(), 2);
+        let totals = sink.reason_totals();
+        assert_eq!(totals[StallReason::Issued.index()], 2);
+        assert_eq!(totals[StallReason::FetchStarved.index()], 3);
+    }
+
+    #[test]
+    fn merge_is_key_ordered_addition() {
+        let mut a = StallSink::new();
+        a.record(&stall(0, StallReason::Issued, 1, Some(7)));
+        let mut b = StallSink::new();
+        b.record(&stall(1, StallReason::OperandWait, 2, Some(2)));
+        b.record(&stall(1, StallReason::Issued, 1, Some(7)));
+        let mut merged = a.clone();
+        merged.merge(&b);
+
+        let mut serial = StallSink::new();
+        serial.record(&stall(0, StallReason::Issued, 1, Some(7)));
+        serial.record(&stall(1, StallReason::OperandWait, 2, Some(2)));
+        serial.record(&stall(1, StallReason::Issued, 1, Some(7)));
+        assert_eq!(merged, serial);
+        assert_eq!(merged.total_slots(), 4);
+    }
+
+    #[test]
+    fn dep_sink_assembles_lifecycle_records() {
+        let mut sink = DepSink::new();
+        sink.record(&TraceEvent::Dependence {
+            cycle: 0,
+            serial: 0,
+            pc: 0,
+            dep1: None,
+            dep2: None,
+        });
+        sink.record(&TraceEvent::Dependence {
+            cycle: 0,
+            serial: 1,
+            pc: 1,
+            dep1: Some(0),
+            dep2: None,
+        });
+        sink.record(&TraceEvent::Execute {
+            cycle: 2,
+            serial: 1,
+            class: FuClass::IntAlu,
+            module: 0,
+            latency: 1,
+            opcode: fua_isa::Opcode::Add,
+        });
+        sink.record(&TraceEvent::Stage {
+            stage: crate::Stage::Writeback,
+            cycle: 3,
+            serial: 1,
+            opcode: fua_isa::Opcode::Add,
+        });
+        let rec = sink.record_of(1).unwrap();
+        assert_eq!(rec.deps, [Some(0), None]);
+        assert_eq!(rec.issue_cycle, Some(2));
+        assert_eq!(rec.done_cycle, 3);
+        assert_eq!(sink.record_of(0).unwrap().issue_cycle, None);
+    }
+}

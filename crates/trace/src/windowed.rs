@@ -37,7 +37,7 @@
 
 use fua_isa::FuClass;
 
-use crate::{Json, Stage, ToJson, TraceEvent, TraceSink};
+use crate::{Json, Stage, StallReason, ToJson, TraceEvent, TraceSink};
 
 /// Per-class module capacity tracked by the windowed sink — matches
 /// [`MetricsRecorder`](crate::MetricsRecorder)'s bound; modules past it
@@ -85,6 +85,12 @@ pub struct WindowRecord {
     pub branches: u64,
     /// Branches the bimodal predictor got wrong.
     pub mispredicts: u64,
+    /// Issue-slot counts per [`StallReason`], in [`StallReason::ALL`]
+    /// order. Within any fully-summarised window these sum to
+    /// `cycles × issue_width` — the same exact partition the
+    /// [`StallSink`](crate::StallSink) proves over sites, here proved
+    /// over time intervals.
+    pub stall_slots: [u64; 8],
 }
 
 impl WindowRecord {
@@ -102,6 +108,7 @@ impl WindowRecord {
         cache_misses: 0,
         branches: 0,
         mispredicts: 0,
+        stall_slots: [0; 8],
     };
 
     /// Adds another window's deltas into this one, field-wise. Window
@@ -137,6 +144,9 @@ impl WindowRecord {
         self.cache_misses += other.cache_misses;
         self.branches += other.branches;
         self.mispredicts += other.mispredicts;
+        for (acc, v) in self.stall_slots.iter_mut().zip(other.stall_slots) {
+            *acc += v;
+        }
     }
 
     /// Retired instructions per summarised cycle (0 for an empty window).
@@ -279,6 +289,12 @@ impl TraceSink for WindowedSink {
                     w.mispredicts += 1;
                 }
             }
+            TraceEvent::Stall { reason, slots, .. } => {
+                w.stall_slots[reason.index()] += slots as u64;
+            }
+            // Dependence records feed critical-path extraction only;
+            // the interval series has no per-instruction columns.
+            TraceEvent::Dependence { .. } => {}
             TraceEvent::CycleSummary { window, issued, .. } => {
                 w.cycles += 1;
                 w.issued += issued as u64;
@@ -355,6 +371,20 @@ impl WindowedSeries {
         t
     }
 
+    /// Per-reason stall-slot totals summed over every window, in
+    /// [`StallReason::ALL`] order. By the exact-partition invariant the
+    /// grand total equals `cycles × issue_width` — and equals the
+    /// matching [`StallSink`](crate::StallSink) totals bit-for-bit.
+    pub fn total_stall_slots(&self) -> [u64; 8] {
+        let mut t = [0u64; 8];
+        for w in &self.windows {
+            for (acc, v) in t.iter_mut().zip(w.stall_slots) {
+                *acc += v;
+            }
+        }
+        t
+    }
+
     /// Total retired instructions.
     pub fn total_retired(&self) -> u64 {
         self.windows.iter().map(|w| w.retired).sum()
@@ -404,6 +434,9 @@ impl WindowedSeries {
                 out.push_str(&format!(",steer_{class}_case{case:02b}"));
             }
         }
+        for reason in StallReason::ALL {
+            out.push_str(&format!(",stall_{}", reason.name()));
+        }
         out.push_str(
             ",swaps_rule,swaps_policy,swaps_multiplier,\
              cache_hits,cache_misses,branches,mispredicts\n",
@@ -429,6 +462,9 @@ impl WindowedSeries {
                 for case in 0..4 {
                     out.push_str(&format!(",{}", w.steer_cases[c][case]));
                 }
+            }
+            for slots in w.stall_slots {
+                out.push_str(&format!(",{slots}"));
             }
             out.push_str(&format!(
                 ",{},{},{},{},{},{},{}\n",
@@ -487,6 +523,18 @@ impl WindowedSeries {
                 ts,
                 Json::obj([("entries", Json::Float(w.mean_occupancy()))]),
             ));
+            if w.stall_slots.iter().any(|&n| n > 0) {
+                events.push(counter(
+                    "window.stall_mix",
+                    ts,
+                    Json::Obj(
+                        StallReason::ALL
+                            .iter()
+                            .map(|r| (r.name().to_string(), Json::UInt(w.stall_slots[r.index()])))
+                            .collect(),
+                    ),
+                ));
+            }
             for class in FuClass::ALL {
                 let cases = w.steer_cases[class.index()];
                 if cases.iter().all(|&n| n == 0) {
@@ -542,6 +590,12 @@ impl ToJson for WindowedSeries {
                                 (
                                     "ops",
                                     Json::Arr(w.ops.iter().map(|&b| Json::UInt(b)).collect()),
+                                ),
+                                (
+                                    "stall_slots",
+                                    Json::Arr(
+                                        w.stall_slots.iter().map(|&s| Json::UInt(s)).collect(),
+                                    ),
                                 ),
                                 ("retired", Json::UInt(w.retired)),
                                 ("issued", Json::UInt(w.issued)),
@@ -734,6 +788,77 @@ mod tests {
         assert!(json.contains("\"telemetry\""));
         // And the document round-trips through our own parser.
         assert!(Json::parse(&json).is_ok());
+    }
+
+    fn stall(cycle: u64, reason: StallReason, slots: u32) -> TraceEvent {
+        TraceEvent::Stall {
+            cycle,
+            class: FuClass::IntAlu,
+            reason,
+            slots,
+            pc: None,
+            case: None,
+        }
+    }
+
+    #[test]
+    fn stall_mix_buckets_by_cycle_and_sums_exactly() {
+        let mut sink = WindowedSink::new(10);
+        sink.record(&stall(0, StallReason::Issued, 1));
+        sink.record(&stall(3, StallReason::FetchStarved, 9));
+        sink.record(&stall(15, StallReason::OperandWait, 2));
+        let series = sink.into_series();
+        assert_eq!(
+            series.windows()[0].stall_slots[StallReason::FetchStarved.index()],
+            9
+        );
+        let totals = series.total_stall_slots();
+        assert_eq!(totals[StallReason::Issued.index()], 1);
+        assert_eq!(totals[StallReason::OperandWait.index()], 2);
+        assert_eq!(totals.iter().sum::<u64>(), 12);
+    }
+
+    #[test]
+    fn csv_includes_one_column_per_stall_reason() {
+        let mut sink = WindowedSink::new(10);
+        sink.record(&stall(0, StallReason::RobFull, 4));
+        let csv = sink.into_series().to_csv();
+        let header = csv.lines().next().unwrap();
+        for reason in StallReason::ALL {
+            assert!(
+                header.contains(&format!(",stall_{}", reason.name())),
+                "missing stall_{} in {header}",
+                reason.name()
+            );
+        }
+    }
+
+    #[test]
+    fn stall_mix_counter_track_round_trips_through_the_parser() {
+        let mut sink = WindowedSink::new(50);
+        sink.record(&stall(10, StallReason::Issued, 3));
+        sink.record(&stall(12, StallReason::BranchRecovery, 7));
+        let json = sink.into_series().into_chrome_json().compact();
+        assert!(json.contains("window.stall_mix"));
+        assert!(json.contains("\"branch-recovery\":7"));
+        let parsed = Json::parse(&json).expect("loadable chrome trace");
+        let events = parsed.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let mix = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("window.stall_mix"))
+            .expect("stall-mix counter present");
+        assert_eq!(mix.get("ph").and_then(Json::as_str), Some("C"));
+        let args = mix.get("args").expect("counter args");
+        assert_eq!(args.get("issued").and_then(Json::as_u64), Some(3));
+        assert_eq!(args.get("branch-recovery").and_then(Json::as_u64), Some(7));
+    }
+
+    #[test]
+    fn all_zero_stall_mix_emits_no_counter_track() {
+        let mut sink = WindowedSink::new(50);
+        sink.record(&energy(10, FuClass::IntAlu, 0, 4));
+        let json = sink.into_series().into_chrome_json().compact();
+        assert!(!json.contains("window.stall_mix"));
     }
 
     #[test]

@@ -61,6 +61,37 @@ trap 'rm -rf "$tmpdir"' EXIT
   cmp attr-serial.json attr-parallel.json
 )
 
+# Cycle-attribution gates: the stall partition must account every
+# issue slot of every cycle for every workload (profile-cycles exits
+# nonzero on an inexact partition), and the profiler's flamegraph,
+# JSON slot table and critical path must be byte-identical between
+# --jobs 1 and --jobs 4.
+(
+  cd "$tmpdir"
+  "$repo/target/release/fua" profile-cycles all --jobs 1 --critical-path \
+    --flame cycles-flame-serial.txt --json > cycles-serial.json
+  "$repo/target/release/fua" profile-cycles all --jobs 4 --critical-path \
+    --flame cycles-flame-parallel.txt --json > cycles-parallel.json
+  cmp cycles-flame-serial.txt cycles-flame-parallel.txt
+  cmp cycles-serial.json cycles-parallel.json
+)
+
+# Stall-partition gate: a BENCH artifact whose stall digest violates
+# the exact-partition invariant must fail the report gate.
+(
+  cd "$tmpdir"
+  awk '
+    /"stalls": \{/ { in_stalls = 1 }
+    in_stalls && /"exact": true/ { sub(/"exact": true/, "\"exact\": false"); in_stalls = 0 }
+    { print }
+  ' BENCH_check.json > BENCH_stallcorrupt.json
+  if "$repo/target/release/fua" report \
+      --baseline "$repo/BENCH_seed.json" --current BENCH_stallcorrupt.json; then
+    echo "inexact stall partition unexpectedly passed the gate" >&2
+    exit 1
+  fi
+)
+
 # Estimator gates: static bounds must be byte-identical across job
 # counts, and must dominate the measured attribution for every
 # workload x scheme (nonzero exit on any violated bound).

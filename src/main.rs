@@ -17,12 +17,14 @@
 //! fua run <workload>          simulate one workload under every scheme
 //! fua trace <workload>        cycle-level trace of one workload
 //! fua profile-energy <w|all>  attribute switched bits to PCs/blocks
+//! fua profile-cycles <w|all>  attribute issue slots to stall reasons/PCs
 //! fua bench-suite             run the quick suite, write BENCH_<tag>.json
 //! fua report                  diff a BENCH artifact against a baseline
 //!
 //! options: --limit <N>      retired-instruction cap per run
-//!                           (default 150000; 20000 for `trace`;
-//!                           25000 for `bench-suite`/`report`/`profile-energy`)
+//!                           (default 150000; 20000 for `trace`; 25000 for
+//!                           `bench-suite`/`report`/`profile-energy`/
+//!                           `profile-cycles`)
 //!          --scale <N>      workload scale factor (default 1)
 //!          --jobs <N>       worker threads for the parallel sweeps
 //!                           (figure4/headline/bench-suite/report;
@@ -33,13 +35,14 @@
 //!          --last <N>       print the last N trace events (trace only)
 //!          --window <N>     telemetry window in cycles (trace/bench-suite/report)
 //!          --csv <FILE>     write windowed telemetry CSV (trace only)
-//!          --scheme <S>     steering scheme for profile-energy/estimate
-//!                           (default lut4)
+//!          --scheme <S>     steering scheme for profile-energy/
+//!                           profile-cycles/estimate (default lut4)
 //!          --compare <A> <B> differential attribution of two schemes
 //!          --per-block      aggregate estimate output per basic block
 //!          --verify         check static bounds against dynamic attribution
 //!          --top <N>        hotspot/mover rows to print (default 10)
 //!          --flame <FILE>   write a collapsed-stack flamegraph file
+//!          --critical-path  print the retirement critical path (profile-cycles)
 //!          --tag <T>        artifact tag for bench-suite (default "local")
 //!          --baseline <F>   baseline BENCH json for report (required)
 //!          --current <F>    current BENCH json for report (default: fresh run)
@@ -57,12 +60,16 @@
 
 use std::process::ExitCode;
 
+mod cli;
+
+use cli::{
+    bench_config, config, dispatch, help, parse_options, parse_scheme, profile_workloads,
+    unknown_workload, usage, Cmd, Options, DEFAULT_LIMIT, PROFILE_DEFAULT_LIMIT,
+};
 use fua::core::{
     chip_estimate, figure4_jobs, headline_jobs, profile_suite, routing_example,
-    static_swap_comparison, swap_sensitivity, synthesis_report, workload_breakdown,
-    ExperimentConfig, Unit,
+    static_swap_comparison, swap_sensitivity, synthesis_report, workload_breakdown, Unit,
 };
-use fua::exec::Jobs;
 use fua::isa::FuClass;
 use fua::report::{
     bench_suite_jobs, compare, BenchReport, Severity, Tolerance, DEFAULT_WINDOW_CYCLES,
@@ -70,276 +77,6 @@ use fua::report::{
 use fua::sim::{MachineConfig, Simulator, SteeringConfig};
 use fua::stats::TextTable;
 use fua::steer::SteeringKind;
-
-/// Default retired-instruction cap for simulation commands.
-const DEFAULT_LIMIT: u64 = 150_000;
-/// Default cap for `fua trace` — full runs would emit millions of
-/// events; 20k instructions already gives Perfetto a rich timeline.
-const TRACE_DEFAULT_LIMIT: u64 = 20_000;
-
-struct Options {
-    limit: Option<u64>,
-    scale: u32,
-    jobs: Jobs,
-    json: bool,
-    metrics: bool,
-    out: Option<String>,
-    last: Option<usize>,
-    window: Option<u64>,
-    csv: Option<String>,
-    tag: Option<String>,
-    baseline: Option<String>,
-    current: Option<String>,
-    scheme: Option<String>,
-    compare: Option<(String, String)>,
-    top: Option<usize>,
-    flame: Option<String>,
-    per_block: bool,
-    verify: bool,
-}
-
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage: fua <command> [sub] [options]\n\
-         commands: tables | figure4 <ialu|fpau> | headline | fig1 | synth | \
-         chip | breakdown <ialu|fpau> | sensitivity | staticswap <ialu|fpau> | \
-         analyze <workload> | lint [workload] | workloads | run <workload> | \
-         estimate <workload|all> [--scheme S | --compare A B] [--per-block] [--verify] | \
-         trace <workload> [--out FILE] [--last N] [--window N] [--csv FILE] | \
-         profile-energy <workload|all> [--scheme S | --compare A B] \
-         [--top N] [--flame FILE] | \
-         bench-suite [--tag T] [--window N] [--jobs N] | \
-         report --baseline FILE [--current FILE]\n\
-         try `fua --help` for the full reference"
-    );
-    ExitCode::FAILURE
-}
-
-/// The full CLI reference: every subcommand with its arguments, then
-/// every flag with which commands consume it. Mirrored as the command
-/// table in README.md — keep the two in sync.
-fn help() {
-    println!(
-        "fua {} — dynamic functional unit assignment for low power\n\
-         \n\
-         usage: fua <command> [sub] [options]\n\
-         \n\
-         paper artefacts:\n\
-         \x20 tables                  regenerate Tables 1-3 (bit patterns, occupancy)\n\
-         \x20 figure4 <ialu|fpau>     regenerate Figure 4(a)/(b), the scheme sweep\n\
-         \x20 headline                headline numbers (paper: ~17% / ~18% / ~26%)\n\
-         \x20 fig1                    Figure 1 routing example\n\
-         \x20 synth                   Section-5 gate-cost report (58 gates / 6 levels)\n\
-         \x20 chip                    chip-level power extrapolation (Section 1)\n\
-         \n\
-         studies:\n\
-         \x20 breakdown <ialu|fpau>   per-workload reduction results\n\
-         \x20 sensitivity             compiler-swap cross-input sensitivity study\n\
-         \x20 staticswap <ialu|fpau>  static analysis vs profile-guided swapping\n\
-         \x20 analyze <workload>      static information-bit predictions\n\
-         \x20 estimate <w|all>        static switched-bit upper bounds per PC, block\n\
-         \x20                         and FU class; --verify gates them against the\n\
-         \x20                         measured attribution (nonzero exit on violation)\n\
-         \x20 lint [workload]         lint one workload (or all; nonzero exit on findings)\n\
-         \n\
-         simulation and observability:\n\
-         \x20 workloads               list the bundled workloads\n\
-         \x20 run <workload>          simulate one workload under every scheme\n\
-         \x20 trace <workload>        cycle-level trace under 4-bit LUT + hw swap\n\
-         \x20 profile-energy <w|all>  attribute every switched bit to its static PC,\n\
-         \x20                         basic block, FU module and steering case;\n\
-         \x20                         rank hotspots, export flamegraphs, diff schemes\n\
-         \n\
-         experiment ledger:\n\
-         \x20 bench-suite             quick suite -> BENCH_<tag>.json artifact\n\
-         \x20 report                  tolerance-banded diff vs a BENCH baseline\n\
-         \x20                         (nonzero exit on regression — the CI gate)\n\
-         \n\
-         options (in [] the commands that consume each):\n\
-         \x20 --limit <N>     retired-instruction cap per run [all simulating]\n\
-         \x20                 (default {DEFAULT_LIMIT}; {TRACE_DEFAULT_LIMIT} for trace;\n\
-         \x20                 {PROFILE_DEFAULT_LIMIT} for profile-energy;\n\
-         \x20                 quick-config 25000 for bench-suite/report)\n\
-         \x20 --scale <N>     workload scale factor, default 1 [all simulating]\n\
-         \x20 --jobs <N>      worker threads for the sweep [figure4, headline,\n\
-         \x20                 bench-suite, report, profile-energy, estimate]; default:\n\
-         \x20                 available parallelism; 1 = serial reference path.\n\
-         \x20                 Output is byte-identical for every N — parallelism\n\
-         \x20                 only changes wall-clock\n\
-         \x20 --json          emit machine-readable JSON instead of tables\n\
-         \x20                 [figure4, headline, fig1, synth, chip, breakdown,\n\
-         \x20                 sensitivity, staticswap, run, profile-energy, estimate]\n\
-         \x20 --metrics       print a metrics snapshot [run, figure4, headline, trace]\n\
-         \x20 --out <FILE>    write Chrome trace-event JSON for Perfetto [trace]\n\
-         \x20 --last <N>      print the last N trace events, default 16 [trace]\n\
-         \x20 --window <N>    telemetry window in cycles, default {DEFAULT_WINDOW_CYCLES}\n\
-         \x20                 [trace, bench-suite, report]\n\
-         \x20 --csv <FILE>    write the windowed telemetry time-series CSV [trace]\n\
-         \x20 --scheme <S>    steering scheme to attribute or bound, default lut4\n\
-         \x20                 (naive|fullham|1bitham|lut2|lut4|lut8)\n\
-         \x20                 [profile-energy, estimate]\n\
-         \x20 --compare <A> <B>  run both schemes and report where B saves or\n\
-         \x20                 loses switched bits vs A, per PC/module/case;\n\
-         \x20                 for estimate, diff the two schemes' static bounds\n\
-         \x20                 [profile-energy, estimate]\n\
-         \x20 --per-block     print per-basic-block aggregates instead of the\n\
-         \x20                 per-PC bound table [estimate]\n\
-         \x20 --verify        join the static bounds with a measured attribution\n\
-         \x20                 and report soundness + precision; nonzero exit on\n\
-         \x20                 any violated bound [estimate]\n\
-         \x20 --top <N>       hotspot/mover rows to print, default 10 [profile-energy]\n\
-         \x20 --flame <FILE>  write collapsed stacks (workload;block;pc weight)\n\
-         \x20                 for flamegraph renderers [profile-energy]\n\
-         \x20 --tag <T>       artifact tag, default \"local\": bench-suite writes\n\
-         \x20                 BENCH_<T>.json [bench-suite]\n\
-         \x20 --baseline <F>  baseline artifact, required [report]\n\
-         \x20 --current <F>   current artifact; omitted = run a fresh bench-suite\n\
-         \x20                 and diff that [report]\n\
-         \x20 --version, -V   print the version and exit\n\
-         \x20 --help, -h      print this help and exit\n\
-         \n\
-         stdout carries only the command's output (tables, JSON, findings);\n\
-         progress and log lines go to stderr, so pipelines compose cleanly.",
-        env!("CARGO_PKG_VERSION")
-    );
-}
-
-/// Parses a flag value as a positive integer; 0 and non-numeric input
-/// are rejected with an error naming the flag.
-fn positive_u64(flag: &str, value: &str) -> Result<u64, String> {
-    let n: u64 = value
-        .parse()
-        .map_err(|_| format!("{flag} expects a positive integer, got `{value}`"))?;
-    if n == 0 {
-        return Err(format!("{flag} must be at least 1, got 0"));
-    }
-    Ok(n)
-}
-
-fn parse_options(args: &[String]) -> Result<Options, String> {
-    let mut opts = Options {
-        limit: None,
-        scale: 1,
-        jobs: Jobs::auto(),
-        json: false,
-        metrics: false,
-        out: None,
-        last: None,
-        window: None,
-        csv: None,
-        tag: None,
-        baseline: None,
-        current: None,
-        scheme: None,
-        compare: None,
-        top: None,
-        flame: None,
-        per_block: false,
-        verify: false,
-    };
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--limit" => {
-                let v = it.next().ok_or("--limit needs a value")?;
-                opts.limit = Some(positive_u64("--limit", v)?);
-            }
-            "--scale" => {
-                let v = it.next().ok_or("--scale needs a value")?;
-                let n = positive_u64("--scale", v)?;
-                opts.scale = u32::try_from(n).map_err(|_| format!("--scale is too large: {v}"))?;
-            }
-            "--jobs" => {
-                let v = it.next().ok_or("--jobs needs a value")?;
-                opts.jobs = v.parse().map_err(|e| format!("--jobs: {e}"))?;
-            }
-            "--json" => opts.json = true,
-            "--metrics" => opts.metrics = true,
-            "--out" => {
-                let v = it.next().ok_or("--out needs a file path")?;
-                opts.out = Some(v.clone());
-            }
-            "--last" => {
-                let v = it.next().ok_or("--last needs a value")?;
-                opts.last = Some(positive_u64("--last", v)? as usize);
-            }
-            "--window" => {
-                let v = it.next().ok_or("--window needs a value")?;
-                opts.window = Some(positive_u64("--window", v)?);
-            }
-            "--csv" => {
-                let v = it.next().ok_or("--csv needs a file path")?;
-                opts.csv = Some(v.clone());
-            }
-            "--tag" => {
-                let v = it.next().ok_or("--tag needs a value")?;
-                opts.tag = Some(v.clone());
-            }
-            "--baseline" => {
-                let v = it.next().ok_or("--baseline needs a file path")?;
-                opts.baseline = Some(v.clone());
-            }
-            "--current" => {
-                let v = it.next().ok_or("--current needs a file path")?;
-                opts.current = Some(v.clone());
-            }
-            "--scheme" => {
-                let v = it.next().ok_or("--scheme needs a value")?;
-                opts.scheme = Some(v.clone());
-            }
-            "--compare" => {
-                let a = it
-                    .next()
-                    .ok_or("--compare needs two scheme names (e.g. --compare naive lut4)")?;
-                let b = it
-                    .next()
-                    .ok_or("--compare needs a second scheme name (e.g. --compare naive lut4)")?;
-                opts.compare = Some((a.clone(), b.clone()));
-            }
-            "--top" => {
-                let v = it.next().ok_or("--top needs a value")?;
-                opts.top = Some(positive_u64("--top", v)? as usize);
-            }
-            "--flame" => {
-                let v = it.next().ok_or("--flame needs a file path")?;
-                opts.flame = Some(v.clone());
-            }
-            "--per-block" => opts.per_block = true,
-            "--verify" => opts.verify = true,
-            other => return Err(format!("unknown option: {other}")),
-        }
-    }
-    Ok(opts)
-}
-
-fn config(opts: &Options) -> ExperimentConfig {
-    ExperimentConfig {
-        scale: opts.scale,
-        inst_limit: opts.limit.unwrap_or(DEFAULT_LIMIT),
-        machine: MachineConfig::paper_default(),
-    }
-}
-
-/// The configuration `bench-suite`/`report` measure under: the quick
-/// experiment config unless `--limit`/`--scale` override it.
-fn bench_config(opts: &Options) -> ExperimentConfig {
-    let quick = ExperimentConfig::quick();
-    ExperimentConfig {
-        scale: opts.scale,
-        inst_limit: opts.limit.unwrap_or(quick.inst_limit),
-        machine: quick.machine,
-    }
-}
-
-/// The error for a workload name that does not exist, listing the names
-/// that do (the same list `fua workloads` prints).
-fn unknown_workload(name: &str, scale: u32) -> String {
-    let names: Vec<&str> = fua::workloads::all(scale).iter().map(|w| w.name).collect();
-    format!(
-        "unknown workload: {name}\navailable workloads: {}",
-        names.join(", ")
-    )
-}
 
 #[cfg(not(feature = "trace"))]
 fn warn_missing_trace_feature(opts: &Options) {
@@ -382,7 +119,7 @@ fn emit<T>(_value: &T, rendered: String, json: bool) {
 #[cfg(feature = "trace")]
 fn unit_metrics(
     units: &[Unit],
-    cfg: &ExperimentConfig,
+    cfg: &fua::core::ExperimentConfig,
 ) -> Vec<(Unit, fua::trace::MetricsRegistry)> {
     units
         .iter()
@@ -760,6 +497,36 @@ fn fmt_event(e: &fua::trace::TraceEvent) -> String {
             taken,
             predicted,
         } => format!("[{cycle:>7}] branch    #{serial} taken={taken} predicted={predicted}"),
+        E::Stall {
+            cycle,
+            class,
+            reason,
+            slots,
+            pc,
+            ..
+        } => format!(
+            "[{cycle:>7}] stall     {class} {} x{slots}{}",
+            reason.name(),
+            match pc {
+                Some(pc) => format!(" pc{pc}"),
+                None => String::new(),
+            }
+        ),
+        E::Dependence {
+            cycle,
+            serial,
+            pc,
+            dep1,
+            dep2,
+        } => format!(
+            "[{cycle:>7}] deps      #{serial} pc{pc} <- {}",
+            match (dep1, dep2) {
+                (None, None) => "none".to_string(),
+                (Some(a), None) => format!("#{a}"),
+                (None, Some(b)) => format!("#{b}"),
+                (Some(a), Some(b)) => format!("#{a} #{b}"),
+            }
+        ),
         E::CycleSummary {
             cycle,
             window,
@@ -774,7 +541,7 @@ fn cmd_trace(name: &str, opts: &Options) -> Result<(), String> {
 
     let w = fua::workloads::by_name(name, opts.scale)
         .ok_or_else(|| unknown_workload(name, opts.scale))?;
-    let limit = opts.limit.unwrap_or(TRACE_DEFAULT_LIMIT);
+    let limit = opts.limit.unwrap_or(cli::TRACE_DEFAULT_LIMIT);
     let window = opts.window.unwrap_or(DEFAULT_WINDOW_CYCLES);
     let mut sim = Simulator::with_sink(
         MachineConfig::paper_default(),
@@ -852,36 +619,6 @@ fn cmd_trace(name: &str, opts: &Options) -> Result<(), String> {
 #[cfg(not(feature = "trace"))]
 fn cmd_trace(_name: &str, _opts: &Options) -> Result<(), String> {
     Err("`fua trace` requires the `trace` feature (rebuild with `--features trace`)".into())
-}
-
-/// Default retired-instruction cap for `fua profile-energy` — matches
-/// the bench-suite quick config so profiles explain BENCH artifacts.
-const PROFILE_DEFAULT_LIMIT: u64 = 25_000;
-
-/// The workload set a `<workload|all>` sub-argument names.
-fn profile_workloads(name: &str, scale: u32) -> Result<Vec<fua::workloads::Workload>, String> {
-    if name == "all" {
-        Ok(fua::workloads::all(scale))
-    } else {
-        Ok(vec![
-            fua::workloads::by_name(name, scale).ok_or_else(|| unknown_workload(name, scale))?
-        ])
-    }
-}
-
-/// The error for a scheme name that does not exist, listing the names
-/// that do — the same shape as [`unknown_workload`], prefixed with the
-/// flag that carried the bad value.
-fn unknown_scheme(flag: &str, name: &str) -> String {
-    let names: Vec<&str> = fua::attr::Scheme::ALL.iter().map(|s| s.name()).collect();
-    format!(
-        "{flag}: unknown scheme: {name}\navailable schemes: {}",
-        names.join(", ")
-    )
-}
-
-fn parse_scheme(flag: &str, name: &str) -> Result<fua::attr::Scheme, String> {
-    name.parse().map_err(|_| unknown_scheme(flag, name))
 }
 
 fn write_flame(path: &str, runs: &[fua::attr::AttributedRun]) -> Result<(), String> {
@@ -1108,6 +845,386 @@ fn cmd_profile_energy(name: &str, opts: &Options) -> Result<(), String> {
     }
     if let Some(path) = &opts.flame {
         write_flame(path, &runs)?;
+    }
+    Ok(())
+}
+
+/// Writes the cycle-side collapsed stacks of `runs` to `path`.
+fn write_cycle_flame(path: &str, runs: &[fua::attr::CycleProfiledRun]) -> Result<(), String> {
+    let mut stacks = String::new();
+    for run in runs {
+        stacks.push_str(&run.cycles.collapsed_stacks());
+    }
+    std::fs::write(path, &stacks).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!(
+        "profile-cycles: wrote {} collapsed-stack line(s) to {path}",
+        stacks.lines().count()
+    );
+    Ok(())
+}
+
+/// Checks every run's exact-partition invariants (ledger and issue
+/// bandwidth), logging per workload — the cycle-side sibling of
+/// [`verify_exact`].
+fn verify_cycles_exact(runs: &[fua::attr::CycleProfiledRun]) -> Result<(), String> {
+    for run in runs {
+        let c = &run.cycles;
+        eprintln!(
+            "profile-cycles: {} under {}: {} cycles x {} slots = {} issue slots \
+             over {} sites, exact: {}",
+            c.workload,
+            c.scheme,
+            c.cycles,
+            c.issue_width,
+            c.total_slots(),
+            c.rows().len(),
+            run.exact()
+        );
+        if !run.exact() {
+            return Err(format!(
+                "cycle attribution for {} did not partition the issue bandwidth exactly",
+                c.workload
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The per-workload stall-mix table: one row per run, one percentage
+/// column per [`StallReason`](fua::trace::StallReason).
+fn stall_mix_table(runs: &[fua::attr::CycleProfiledRun]) -> TextTable {
+    use fua::trace::StallReason;
+    let mut headers = vec![
+        "workload".to_string(),
+        "cycles".to_string(),
+        "IPC".to_string(),
+    ];
+    headers.extend(StallReason::ALL.iter().map(|r| r.name().to_string()));
+    let mut t = TextTable::new(headers);
+    for run in runs {
+        let totals = run.cycles.reason_totals();
+        let slots = run.cycles.total_slots();
+        let mut row = vec![
+            run.cycles.workload.clone(),
+            run.cycles.cycles.to_string(),
+            format!("{:.2}", run.result.ipc()),
+        ];
+        row.extend(StallReason::ALL.iter().map(|r| {
+            let share = if slots == 0 {
+                0.0
+            } else {
+                100.0 * totals[r.index()] as f64 / slots as f64
+            };
+            format!("{share:.1}%")
+        }));
+        t.push_row(row);
+    }
+    t
+}
+
+/// The suite-wide top-N stall hotspot table for one scheme's runs.
+fn stall_hotspot_table(runs: &[fua::attr::CycleProfiledRun], top: usize) -> TextTable {
+    let suite_stalled: u64 = runs
+        .iter()
+        .map(|r| r.cycles.total_slots() - r.cycles.issued_slots())
+        .sum();
+    let mut spots: Vec<(String, fua::attr::StallHotspot)> = Vec::new();
+    for run in runs {
+        for h in run.cycles.hotspots(top) {
+            spots.push((run.cycles.workload.clone(), h));
+        }
+    }
+    spots.sort_by(|(wa, a), (wb, b)| {
+        b.stalled
+            .cmp(&a.stalled)
+            .then_with(|| wa.cmp(wb))
+            .then(a.pc.is_none().cmp(&b.pc.is_none()))
+            .then(a.pc.cmp(&b.pc))
+    });
+    spots.truncate(top);
+    let mut table = TextTable::new([
+        "workload", "pc", "block", "opcode", "reason", "stalled", "issued", "share",
+    ]);
+    for (workload, h) in &spots {
+        let share = if suite_stalled == 0 {
+            0.0
+        } else {
+            100.0 * h.stalled as f64 / suite_stalled as f64
+        };
+        table.push_row([
+            workload.clone(),
+            match h.pc {
+                Some(pc) => format!("pc{pc}"),
+                None => "-".to_string(),
+            },
+            h.block.clone(),
+            h.opcode.clone(),
+            h.top_reason.name().to_string(),
+            h.stalled.to_string(),
+            h.issued.to_string(),
+            format!("{share:.2}%"),
+        ]);
+    }
+    table
+}
+
+/// The suite-wide joint energy × cycles table, ranked by switched bits.
+fn joint_energy_cycles_table(runs: &[fua::attr::CycleProfiledRun], top: usize) -> TextTable {
+    let mut rows: Vec<(String, fua::attr::JointRow)> = Vec::new();
+    for run in runs {
+        for r in fua::attr::joint_table(&run.energy, &run.cycles, top) {
+            rows.push((run.cycles.workload.clone(), r));
+        }
+    }
+    rows.sort_by(|(wa, a), (wb, b)| {
+        b.bits
+            .cmp(&a.bits)
+            .then_with(|| wa.cmp(wb))
+            .then(a.pc.cmp(&b.pc))
+    });
+    rows.truncate(top);
+    let mut table = TextTable::new([
+        "workload", "pc", "block", "opcode", "bits", "ops", "bits/op", "issued", "stalled",
+    ]);
+    for (workload, r) in &rows {
+        table.push_row([
+            workload.clone(),
+            format!("pc{}", r.pc),
+            r.block.clone(),
+            r.opcode.clone(),
+            r.bits.to_string(),
+            r.ops.to_string(),
+            format!("{:.1}", r.bits_per_op),
+            r.issued_slots.to_string(),
+            r.stalled_slots.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Prints one run's critical path: the summary line plus the last
+/// `top` nodes of the chain (the tail decides the run's length).
+fn print_critical_path(run: &fua::attr::CycleProfiledRun, top: usize) {
+    let nodes = run.path.nodes();
+    println!(
+        "critical path — {}: {} node(s), span {} cycles, operand wait {}, \
+         structural wait {}",
+        run.cycles.workload,
+        nodes.len(),
+        run.path.span_cycles(),
+        run.path.operand_wait(),
+        run.path.structural_wait(),
+    );
+    let shown = nodes.len().min(top);
+    let mut t = TextTable::new([
+        "serial",
+        "pc",
+        "opcode",
+        "dispatch",
+        "issue",
+        "done",
+        "op wait",
+        "struct wait",
+    ]);
+    for n in &nodes[nodes.len() - shown..] {
+        t.push_row([
+            format!("#{}", n.serial),
+            format!("pc{}", n.pc),
+            n.opcode.clone(),
+            n.dispatch_cycle.to_string(),
+            n.issue_cycle.to_string(),
+            n.done_cycle.to_string(),
+            n.operand_wait.to_string(),
+            n.structural_wait.to_string(),
+        ]);
+    }
+    if shown < nodes.len() {
+        println!("(last {shown} of {} nodes)", nodes.len());
+    }
+    println!("{t}");
+}
+
+/// One cycle-profiled run as a JSON document: the slot attribution,
+/// the critical path, and the joint energy × cycles rows.
+fn cycle_run_json(run: &fua::attr::CycleProfiledRun, top: usize) -> fua::trace::Json {
+    use fua::trace::Json;
+    let joint = Json::Arr(
+        fua::attr::joint_table(&run.energy, &run.cycles, top)
+            .iter()
+            .map(|r| {
+                Json::obj([
+                    ("pc", Json::UInt(r.pc as u64)),
+                    ("block", Json::Str(r.block.clone())),
+                    ("opcode", Json::Str(r.opcode.clone())),
+                    ("bits", Json::UInt(r.bits)),
+                    ("ops", Json::UInt(r.ops)),
+                    ("bits_per_op", Json::Float(r.bits_per_op)),
+                    ("issued_slots", Json::UInt(r.issued_slots)),
+                    ("stalled_slots", Json::UInt(r.stalled_slots)),
+                ])
+            })
+            .collect(),
+    );
+    Json::obj([
+        ("attribution", run.cycles.to_json()),
+        ("critical_path", run.path.to_json()),
+        ("joint", joint),
+    ])
+}
+
+fn cmd_profile_cycles(name: &str, opts: &Options) -> Result<(), String> {
+    use fua::attr::profile_cycles_suite;
+    use fua::trace::{Json, StallReason};
+
+    if opts.scheme.is_some() && opts.compare.is_some() {
+        return Err("--scheme and --compare are mutually exclusive".into());
+    }
+    let workloads = profile_workloads(name, opts.scale)?;
+    let limit = opts.limit.unwrap_or(PROFILE_DEFAULT_LIMIT);
+    let top = opts.top.unwrap_or(10);
+
+    if let Some((name_a, name_b)) = &opts.compare {
+        let scheme_a = parse_scheme("--compare", name_a)?;
+        let scheme_b = parse_scheme("--compare", name_b)?;
+        eprintln!(
+            "profile-cycles: comparing {} vs {} over {} workload(s) (limit {limit}, {} job(s))",
+            scheme_a.label(),
+            scheme_b.label(),
+            workloads.len(),
+            opts.jobs
+        );
+        let runs_a = profile_cycles_suite(&workloads, scheme_a, limit, opts.jobs);
+        let runs_b = profile_cycles_suite(&workloads, scheme_b, limit, opts.jobs);
+        verify_cycles_exact(&runs_a)?;
+        verify_cycles_exact(&runs_b)?;
+
+        if opts.json {
+            let doc = Json::Arr(
+                runs_a
+                    .iter()
+                    .zip(&runs_b)
+                    .map(|(a, b)| {
+                        Json::obj([
+                            ("workload", Json::Str(a.cycles.workload.clone())),
+                            ("a", cycle_run_json(a, top)),
+                            ("b", cycle_run_json(b, top)),
+                        ])
+                    })
+                    .collect(),
+            );
+            println!("{}", doc.pretty());
+        } else {
+            let mut totals = TextTable::new([
+                "workload".to_string(),
+                format!("cycles A ({})", scheme_a.name()),
+                format!("cycles B ({})", scheme_b.name()),
+                "delta".to_string(),
+                "issued A".to_string(),
+                "issued B".to_string(),
+            ]);
+            for (a, b) in runs_a.iter().zip(&runs_b) {
+                let issued_share = |r: &fua::attr::CycleProfiledRun| {
+                    let slots = r.cycles.total_slots();
+                    if slots == 0 {
+                        0.0
+                    } else {
+                        100.0 * r.cycles.issued_slots() as f64 / slots as f64
+                    }
+                };
+                totals.push_row([
+                    a.cycles.workload.clone(),
+                    a.cycles.cycles.to_string(),
+                    b.cycles.cycles.to_string(),
+                    (b.cycles.cycles as i64 - a.cycles.cycles as i64).to_string(),
+                    format!("{:.1}%", issued_share(a)),
+                    format!("{:.1}%", issued_share(b)),
+                ]);
+            }
+            println!(
+                "cycles, {} (A) vs {} (B):",
+                scheme_a.label(),
+                scheme_b.label()
+            );
+            println!("{totals}");
+
+            // Suite-wide stall mix, side by side: where does each
+            // scheme's issue bandwidth go?
+            let sum_mix = |runs: &[fua::attr::CycleProfiledRun]| {
+                let mut mix = [0u64; 8];
+                for r in runs {
+                    for (acc, v) in mix.iter_mut().zip(r.cycles.reason_totals()) {
+                        *acc += v;
+                    }
+                }
+                mix
+            };
+            let (mix_a, mix_b) = (sum_mix(&runs_a), sum_mix(&runs_b));
+            let (slots_a, slots_b) = (
+                mix_a.iter().sum::<u64>().max(1),
+                mix_b.iter().sum::<u64>().max(1),
+            );
+            let mut mix = TextTable::new(["reason", "slots A", "share A", "slots B", "share B"]);
+            for r in StallReason::ALL {
+                mix.push_row([
+                    r.name().to_string(),
+                    mix_a[r.index()].to_string(),
+                    format!("{:.1}%", 100.0 * mix_a[r.index()] as f64 / slots_a as f64),
+                    mix_b[r.index()].to_string(),
+                    format!("{:.1}%", 100.0 * mix_b[r.index()] as f64 / slots_b as f64),
+                ]);
+            }
+            println!("suite stall mix (every issue slot, A vs B):");
+            println!("{mix}");
+            if opts.critical_path {
+                for (a, b) in runs_a.iter().zip(&runs_b) {
+                    print_critical_path(a, top);
+                    print_critical_path(b, top);
+                }
+            }
+        }
+        if let Some(path) = &opts.flame {
+            // The flamegraph shows where the cycles still go under
+            // scheme B (the "after" profile of the comparison).
+            write_cycle_flame(path, &runs_b)?;
+        }
+        return Ok(());
+    }
+
+    let scheme = match opts.scheme.as_deref() {
+        Some(s) => parse_scheme("--scheme", s)?,
+        None => fua::attr::Scheme::Lut4,
+    };
+    eprintln!(
+        "profile-cycles: attributing {} workload(s) under {} (limit {limit}, {} job(s))",
+        workloads.len(),
+        scheme.label(),
+        opts.jobs
+    );
+    let runs = profile_cycles_suite(&workloads, scheme, limit, opts.jobs);
+    verify_cycles_exact(&runs)?;
+
+    if opts.json {
+        let doc = Json::Arr(runs.iter().map(|r| cycle_run_json(r, top)).collect());
+        println!("{}", doc.pretty());
+    } else {
+        println!(
+            "issue-slot mix under {} ({} slots/cycle; every slot accounted):",
+            scheme.label(),
+            runs.first().map_or(0, |r| r.cycles.issue_width)
+        );
+        println!("{}", stall_mix_table(&runs));
+        println!("top {top} stall hotspot(s) under {}:", scheme.label());
+        println!("{}", stall_hotspot_table(&runs, top));
+        println!("energy x cycles, top {top} PC(s) by switched bits:");
+        println!("{}", joint_energy_cycles_table(&runs, top));
+        if opts.critical_path {
+            for run in &runs {
+                print_critical_path(run, top);
+            }
+        }
+    }
+    if let Some(path) = &opts.flame {
+        write_cycle_flame(path, &runs)?;
     }
     Ok(())
 }
@@ -1544,12 +1661,13 @@ fn cmd_bench_suite(opts: &Options) -> Result<(), String> {
     std::fs::write(&path, rendered).map_err(|e| format!("writing {path}: {e}"))?;
     eprintln!(
         "bench-suite: wrote {path} (IALU {:.1}%, FPAU {:.1}%, {} windows, telemetry exact: {}, \
-         attribution exact: {})",
+         attribution exact: {}, stall partition exact: {})",
         report.headline_ialu_pct,
         report.headline_fpau_pct,
         report.telemetry.windows,
         report.telemetry.exact,
-        report.attribution.as_ref().is_some_and(|a| a.exact)
+        report.attribution.as_ref().is_some_and(|a| a.exact),
+        report.stalls.as_ref().is_some_and(|s| s.exact)
     );
     if let Some(p) = &report.parallel {
         eprintln!(
@@ -1563,6 +1681,9 @@ fn cmd_bench_suite(opts: &Options) -> Result<(), String> {
     }
     if !report.attribution.as_ref().is_some_and(|a| a.exact) {
         return Err("energy attribution did not reproduce the energy ledger".into());
+    }
+    if !report.stalls.as_ref().is_some_and(|s| s.exact) {
+        return Err("stall partition did not account every issue slot".into());
     }
     Ok(())
 }
@@ -1633,58 +1754,50 @@ fn main() -> ExitCode {
     };
     warn_missing_trace_feature(&opts);
 
-    match (command.as_str(), sub.as_deref()) {
-        ("tables", None) => cmd_tables(&opts),
-        ("figure4", Some("ialu")) => cmd_figure4(Unit::Ialu, &opts),
-        ("figure4", Some("fpau")) => cmd_figure4(Unit::Fpau, &opts),
-        ("headline", None) => cmd_headline(&opts),
-        ("fig1", None) => {
+    let Some(cmd) = dispatch(command, sub.as_deref()) else {
+        return usage();
+    };
+    match cmd {
+        Cmd::Tables => cmd_tables(&opts),
+        Cmd::Figure4(unit) => cmd_figure4(unit, &opts),
+        Cmd::Headline => cmd_headline(&opts),
+        Cmd::Fig1 => {
             let ex = routing_example();
             let rendered = ex.render();
             emit(&ex, rendered, opts.json);
         }
-        ("synth", None) => {
+        Cmd::Synth => {
             let report = synthesis_report();
             let rendered = report.render();
             emit(&report, rendered, opts.json);
         }
-        ("chip", None) => {
+        Cmd::Chip => {
             let est = chip_estimate(&config(&opts));
             let rendered = est.render();
             emit(&est, rendered, opts.json);
         }
-        ("breakdown", Some("ialu")) => {
-            let b = workload_breakdown(Unit::Ialu, &config(&opts));
+        Cmd::Breakdown(unit) => {
+            let b = workload_breakdown(unit, &config(&opts));
             let rendered = b.render();
             emit(&b, rendered, opts.json);
         }
-        ("breakdown", Some("fpau")) => {
-            let b = workload_breakdown(Unit::Fpau, &config(&opts));
-            let rendered = b.render();
-            emit(&b, rendered, opts.json);
-        }
-        ("sensitivity", None) => {
+        Cmd::Sensitivity => {
             let s = swap_sensitivity(&config(&opts));
             let rendered = s.render();
             emit(&s, rendered, opts.json);
         }
-        ("staticswap", Some("ialu")) => {
-            let c = static_swap_comparison(Unit::Ialu, &config(&opts));
+        Cmd::StaticSwap(unit) => {
+            let c = static_swap_comparison(unit, &config(&opts));
             let rendered = c.render();
             emit(&c, rendered, opts.json);
         }
-        ("staticswap", Some("fpau")) => {
-            let c = static_swap_comparison(Unit::Fpau, &config(&opts));
-            let rendered = c.render();
-            emit(&c, rendered, opts.json);
-        }
-        ("analyze", Some(name)) => {
-            if let Err(e) = cmd_analyze(name, &opts) {
+        Cmd::Analyze(name) => {
+            if let Err(e) = cmd_analyze(&name, &opts) {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }
         }
-        ("lint", name) => match cmd_lint(name, &opts) {
+        Cmd::Lint(name) => match cmd_lint(name.as_deref(), &opts) {
             Ok(clean) => {
                 if !clean {
                     return ExitCode::FAILURE;
@@ -1695,38 +1808,44 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         },
-        ("workloads", None) => cmd_workloads(&opts),
-        ("run", Some(name)) => {
-            if let Err(e) = cmd_run(name, &opts) {
+        Cmd::Workloads => cmd_workloads(&opts),
+        Cmd::Run(name) => {
+            if let Err(e) = cmd_run(&name, &opts) {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }
         }
-        ("trace", Some(name)) => {
-            if let Err(e) = cmd_trace(name, &opts) {
+        Cmd::Trace(name) => {
+            if let Err(e) = cmd_trace(&name, &opts) {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }
         }
-        ("estimate", Some(name)) => {
-            if let Err(e) = cmd_estimate(name, &opts) {
+        Cmd::Estimate(name) => {
+            if let Err(e) = cmd_estimate(&name, &opts) {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }
         }
-        ("profile-energy", Some(name)) => {
-            if let Err(e) = cmd_profile_energy(name, &opts) {
+        Cmd::ProfileEnergy(name) => {
+            if let Err(e) = cmd_profile_energy(&name, &opts) {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }
         }
-        ("bench-suite", None) => {
+        Cmd::ProfileCycles(name) => {
+            if let Err(e) = cmd_profile_cycles(&name, &opts) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        Cmd::BenchSuite => {
             if let Err(e) = cmd_bench_suite(&opts) {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }
         }
-        ("report", None) => match cmd_report(&opts) {
+        Cmd::Report => match cmd_report(&opts) {
             Ok(passed) => {
                 if !passed {
                     return ExitCode::FAILURE;
@@ -1737,7 +1856,6 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         },
-        _ => return usage(),
     }
     ExitCode::SUCCESS
 }
