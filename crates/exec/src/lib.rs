@@ -35,6 +35,11 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod progress;
+
+pub use progress::{enable_heartbeat, heartbeat_enabled, heartbeat_stage};
+use progress::{heartbeat_add_cells, heartbeat_tick};
+
 use std::fmt;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -196,11 +201,20 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let sweep = Instant::now();
+    heartbeat_add_cells(items.len() as u64);
     // The serial path is the reference semantics: plain in-order
     // iteration on the calling thread.
     if jobs.is_serial() || items.len() <= 1 {
         let start = Instant::now();
-        let results: Vec<R> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let results: Vec<R> = items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let r = f(i, t);
+                heartbeat_tick(1);
+                r
+            })
+            .collect();
         let nanos = elapsed_nanos(start);
         let report = ExecReport {
             jobs: 1,
@@ -239,6 +253,7 @@ where
                     // Compute the whole chunk outside the lock …
                     let batch: Vec<(usize, R)> = (lo..hi).map(|i| (i, f(i, &items[i]))).collect();
                     cells += (hi - lo) as u64;
+                    heartbeat_tick((hi - lo) as u64);
                     // … then file the results into their index slots.
                     let mut guard = slots.lock().expect("result slots poisoned");
                     for (i, r) in batch {

@@ -1,0 +1,148 @@
+//! Opt-in progress heartbeat for long sweeps.
+//!
+//! Observability rule one in this workspace: stdout is machine-clean
+//! and artifacts are byte-identical whether or not anyone is watching.
+//! The heartbeat therefore lives entirely on **stderr**, is **off by
+//! default**, and touches nothing the model computes: when enabled (the
+//! CLI's `--progress`), a detached thread prints one status line per
+//! interval — elapsed wall-clock, the current stage label, and the
+//! sweep cell counters that [`map_indexed_timed`](crate::map_indexed_timed)
+//! ticks as workers finish chunks.
+//!
+//! The state is process-global atomics, so enabling it requires **zero
+//! signature changes** anywhere in the call graph: the executor ticks
+//! unconditionally-cheap relaxed atomics, and the commands sprinkle
+//! [`heartbeat_stage`] labels at their phase boundaries. When the
+//! heartbeat is disabled the only cost is one relaxed load per sweep.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static DONE: AtomicU64 = AtomicU64::new(0);
+static TOTAL: AtomicU64 = AtomicU64::new(0);
+static STAGE: Mutex<String> = Mutex::new(String::new());
+static START: OnceLock<Instant> = OnceLock::new();
+
+/// Whether the heartbeat has been enabled for this process.
+pub fn heartbeat_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns the heartbeat on: from now until process exit, a detached
+/// thread prints a `progress:` line to stderr every `interval`.
+///
+/// Idempotent — only the first call spawns the thread, and there is no
+/// way to turn the heartbeat off again (it is process-scoped opt-in,
+/// mirroring the CLI flag's lifetime). Stdout and every artifact are
+/// unaffected by construction: nothing in this module writes anywhere
+/// but stderr.
+pub fn enable_heartbeat(interval: Duration) {
+    if ENABLED.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    START.get_or_init(Instant::now);
+    // Detached on purpose: the thread must not keep the process alive,
+    // and `std::thread::sleep` cannot be interrupted anyway. Dropping
+    // the handle is exactly the semantics wanted.
+    let spawned = std::thread::Builder::new()
+        .name("fua-heartbeat".to_string())
+        .spawn(move || loop {
+            std::thread::sleep(interval);
+            print_line();
+        });
+    // A spawn failure (resource exhaustion) silently degrades to
+    // stage-line-only progress; the run itself must not care.
+    drop(spawned);
+}
+
+/// Records the current stage label and prints one progress line
+/// immediately, so short runs still show each stage even when they
+/// finish within the first interval.
+///
+/// No-op unless [`enable_heartbeat`] ran.
+pub fn heartbeat_stage(label: &str) {
+    if !heartbeat_enabled() {
+        return;
+    }
+    if let Ok(mut stage) = STAGE.lock() {
+        stage.clear();
+        stage.push_str(label);
+    }
+    print_line();
+}
+
+/// Adds `n` cells to the outstanding-work denominator. Called by the
+/// executor when a sweep starts.
+pub(crate) fn heartbeat_add_cells(n: u64) {
+    if heartbeat_enabled() {
+        TOTAL.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Marks `n` cells finished. Called by the executor as chunks complete.
+pub(crate) fn heartbeat_tick(n: u64) {
+    if heartbeat_enabled() {
+        DONE.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+fn print_line() {
+    let elapsed = START.get().map(|s| s.elapsed()).unwrap_or_default();
+    let done = DONE.load(Ordering::Relaxed);
+    let total = TOTAL.load(Ordering::Relaxed);
+    let stage = STAGE
+        .lock()
+        .map(|s| {
+            if s.is_empty() {
+                "-".to_string()
+            } else {
+                s.clone()
+            }
+        })
+        .unwrap_or_else(|_| "-".to_string());
+    eprintln!(
+        "progress: {:>6.1}s  {stage}  {done}/{total} cells",
+        elapsed.as_secs_f64()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The heartbeat is process-global, so there is exactly one test
+    // function: once enabled it cannot be disabled for a later test.
+    #[test]
+    fn heartbeat_is_off_by_default_then_sticky_and_counting() {
+        assert!(!heartbeat_enabled());
+        // Disabled: ticks are dropped, stage is a no-op.
+        heartbeat_tick(5);
+        heartbeat_add_cells(5);
+        heartbeat_stage("ignored");
+        assert_eq!(DONE.load(Ordering::Relaxed), 0);
+        assert_eq!(TOTAL.load(Ordering::Relaxed), 0);
+
+        enable_heartbeat(Duration::from_secs(3600));
+        assert!(heartbeat_enabled());
+        enable_heartbeat(Duration::from_secs(3600)); // idempotent
+        heartbeat_stage("warmup");
+        heartbeat_add_cells(7);
+        heartbeat_tick(3);
+        heartbeat_tick(4);
+        // Other tests' sweeps may tick concurrently once enabled, so
+        // the counters are checked as lower bounds and deltas.
+        assert!(DONE.load(Ordering::Relaxed) >= 7);
+        assert!(TOTAL.load(Ordering::Relaxed) >= 7);
+
+        // A sweep through the executor ticks the counters too.
+        let done_before = DONE.load(Ordering::Relaxed);
+        let total_before = TOTAL.load(Ordering::Relaxed);
+        let items: Vec<u32> = (0..10).collect();
+        let out = crate::map_indexed(crate::Jobs::new(3).unwrap(), &items, |_, &x| x * 2);
+        assert_eq!(out[9], 18);
+        assert!(DONE.load(Ordering::Relaxed) >= done_before + 10);
+        assert!(TOTAL.load(Ordering::Relaxed) >= total_before + 10);
+    }
+}

@@ -26,20 +26,22 @@ use fua_core::{
 use crate::{expect_f64, expect_str, expect_u64, ReportError, RunManifest};
 
 /// The artifact schema identifier; bump on any breaking shape change.
-/// Minor bumps (`/1` → `/1.1` → … → `/1.4`) add optional sections
+/// Minor bumps (`/1` → `/1.1` → … → `/1.5`) add optional sections
 /// only; this build still reads every schema in [`BENCH_SCHEMAS_READ`].
-pub const BENCH_SCHEMA: &str = "fua-bench/1.4";
+pub const BENCH_SCHEMA: &str = "fua-bench/1.5";
 
 /// Every schema version this build can read. `fua-bench/1` artifacts
 /// (pre-`parallel` section) parse with `parallel: None`; pre-1.2
 /// artifacts parse with `attribution: None`; pre-1.3 artifacts parse
-/// with `estimator: None`; pre-1.4 artifacts parse with `stalls: None`.
-pub const BENCH_SCHEMAS_READ: [&str; 5] = [
+/// with `estimator: None`; pre-1.4 artifacts parse with `stalls: None`;
+/// pre-1.5 artifacts parse with `throughput: None`.
+pub const BENCH_SCHEMAS_READ: [&str; 6] = [
     "fua-bench/1",
     "fua-bench/1.1",
     "fua-bench/1.2",
     "fua-bench/1.3",
     "fua-bench/1.4",
+    "fua-bench/1.5",
 ];
 
 /// Hotspots recorded in the artifact's `attribution` section (the
@@ -157,6 +159,54 @@ pub struct StallSummary {
     pub exact: bool,
     /// Slot totals per [`StallReason`], in [`StallReason::ALL`] order.
     pub mix: [u64; 8],
+}
+
+/// The `throughput` section of the artifact: how fast the simulator
+/// itself ran during the telemetry pass — the ROADMAP item-1 headline.
+/// `cycles` and `instructions` are deterministic model totals;
+/// `hot_nanos` (the summed per-phase wall-clock of the hot loop) is
+/// measurement, so the derived kHz varies run to run and machine to
+/// machine. [`compare`](crate::compare) treats it like the phase
+/// timers: only a gross slowdown is gated, never banded drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThroughputSummary {
+    /// Simulated cycles summed over every workload of the telemetry
+    /// pass.
+    pub cycles: u64,
+    /// Retired instructions summed over the same runs.
+    pub instructions: u64,
+    /// Summed per-phase wall-clock of the simulator hot loop, in
+    /// nanoseconds (the denominator of the simulated-rate headline).
+    pub hot_nanos: u64,
+}
+
+impl ThroughputSummary {
+    /// Simulated kilohertz: cycles per wall-second of hot loop, /1000.
+    pub fn sim_khz(&self) -> f64 {
+        if self.hot_nanos == 0 {
+            0.0
+        } else {
+            self.cycles as f64 * 1e6 / self.hot_nanos as f64
+        }
+    }
+
+    /// Simulated kilo-instructions per wall-second of hot loop.
+    pub fn kips(&self) -> f64 {
+        if self.hot_nanos == 0 {
+            0.0
+        } else {
+            self.instructions as f64 * 1e6 / self.hot_nanos as f64
+        }
+    }
+
+    /// Instructions per simulated cycle — a deterministic model metric.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
 }
 
 /// One scheme's static-vs-dynamic digest in the artifact's `estimator`
@@ -301,6 +351,8 @@ pub struct BenchReport {
     pub phase_nanos: PhaseNanos,
     /// Windowed-telemetry summary and exactness verdict.
     pub telemetry: TelemetrySummary,
+    /// Simulated-throughput headline (`None` for pre-1.5 artifacts).
+    pub throughput: Option<ThroughputSummary>,
     /// Energy-attribution digest (`None` for pre-1.2 artifacts).
     pub attribution: Option<AttributionSummary>,
     /// Cycle-attribution (stall) digest (`None` for pre-1.4 artifacts).
@@ -375,9 +427,10 @@ pub fn bench_suite_jobs(
             .unwrap_or_else(|e| panic!("workload {} faulted: {e}", w.name));
         let ledger = result.ledger;
         let cycles = result.cycles;
+        let retired = result.retired;
         let ((sink, (attr, stall)), timers) = sim.into_parts();
         let attribution = EnergyAttribution::build(w.name, Scheme::Lut4.label(), &w.program, &attr);
-        (sink, attribution, stall, timers, ledger, cycles)
+        (sink, attribution, stall, timers, ledger, cycles, retired)
     });
     exec.merge(&exec_t);
     let mut sink = WindowedSink::new(window_cycles);
@@ -389,11 +442,13 @@ pub fn bench_suite_jobs(
     let mut stall_sink = StallSink::new();
     let mut stall_cycles = 0u64;
     let mut stall_exact = true;
+    let mut retired_total = 0u64;
     let mut spots: Vec<HotspotEntry> = Vec::new();
-    for (s, attribution, stall, t, l, cycles) in &cells {
+    for (s, attribution, stall, t, l, cycles, retired) in &cells {
         sink.merge(s);
         timers.merge(t);
         ledger.merge(l);
+        retired_total += retired;
         // The partition must be exact per workload *and* in aggregate.
         stall_exact &= stall.total_slots() == cycles * issue_width;
         stall_sink.merge(stall);
@@ -444,6 +499,13 @@ pub fn bench_suite_jobs(
         exact: attr_exact,
         top_hotspots: spots,
     };
+    // The simulated-rate headline: model totals over the hot loop's
+    // measured wall-clock.
+    let throughput = ThroughputSummary {
+        cycles: stall_cycles,
+        instructions: retired_total,
+        hot_nanos: timers.nanos().iter().sum(),
+    };
     stall_exact &= stall_sink.total_slots() == stall_cycles * issue_width;
     let stalls = StallSummary {
         scheme: Scheme::Lut4.label().to_string(),
@@ -484,6 +546,7 @@ pub fn bench_suite_jobs(
         fpau_occupancy: profile.fpau_occupancy.distribution(),
         phase_nanos: PhaseNanos(timers.nanos()),
         telemetry,
+        throughput: Some(throughput),
         attribution: Some(attribution),
         stalls: Some(stalls),
         estimator: Some(estimator),
@@ -554,6 +617,31 @@ fn f64_array(json: &Json, field: &str) -> Result<Vec<f64>, ReportError> {
         .iter()
         .map(|v| v.as_f64().ok_or_else(|| ReportError::mistyped(field)))
         .collect()
+}
+
+fn throughput_to_json(t: &ThroughputSummary) -> Json {
+    // The derived rates are written for human readers; parsing ignores
+    // them and recomputes from the integer fields, so the round trip
+    // stays bit-exact.
+    Json::obj([
+        ("cycles", Json::UInt(t.cycles)),
+        ("instructions", Json::UInt(t.instructions)),
+        ("hot_nanos", Json::UInt(t.hot_nanos)),
+        ("sim_khz", Json::Float(t.sim_khz())),
+        ("kips", Json::Float(t.kips())),
+        ("ipc", Json::Float(t.ipc())),
+    ])
+}
+
+fn throughput_from_json(json: &Json) -> Result<Option<ThroughputSummary>, ReportError> {
+    let Some(t) = json.get("throughput") else {
+        return Ok(None);
+    };
+    Ok(Some(ThroughputSummary {
+        cycles: expect_u64(t, "cycles")?,
+        instructions: expect_u64(t, "instructions")?,
+        hot_nanos: expect_u64(t, "hot_nanos")?,
+    }))
 }
 
 fn attribution_to_json(a: &AttributionSummary) -> Json {
@@ -857,6 +945,9 @@ impl BenchReport {
             ),
         ]);
         if let Json::Obj(fields) = &mut json {
+            if let Some(t) = &self.throughput {
+                fields.push(("throughput".to_string(), throughput_to_json(t)));
+            }
             if let Some(a) = &self.attribution {
                 fields.push(("attribution".to_string(), attribution_to_json(a)));
             }
@@ -884,7 +975,7 @@ impl BenchReport {
         if !BENCH_SCHEMAS_READ.contains(&schema) {
             return Err(ReportError::Schema {
                 found: schema.to_string(),
-                expected: BENCH_SCHEMA,
+                expected: &BENCH_SCHEMAS_READ,
             });
         }
         let manifest = RunManifest::from_json(
@@ -946,6 +1037,7 @@ impl BenchReport {
                     .and_then(Json::as_bool)
                     .ok_or_else(|| ReportError::missing("telemetry.exact"))?,
             },
+            throughput: throughput_from_json(json)?,
             attribution: attribution_from_json(json)?,
             stalls: stalls_from_json(json)?,
             estimator: estimator_from_json(json)?,
@@ -1030,8 +1122,20 @@ mod tests {
         assert_eq!(p.jobs, 1, "bench_suite is the serial reference path");
         assert!(p.wall_nanos > 0);
         assert!(p.workers.iter().map(|w| w.cells).sum::<u64>() > 0);
+        let t = report
+            .throughput
+            .as_ref()
+            .expect("throughput section present");
+        assert_eq!(
+            t.cycles, s.cycles,
+            "throughput and stall sections count the same telemetry pass"
+        );
+        assert!(t.instructions > 0);
+        assert!(t.hot_nanos > 0);
+        assert!(t.sim_khz() > 0.0 && t.kips() > 0.0 && t.ipc() > 0.0);
         let rendered = report.to_json().pretty();
-        assert!(rendered.contains("\"schema\": \"fua-bench/1.4\""));
+        assert!(rendered.contains("\"schema\": \"fua-bench/1.5\""));
+        assert!(rendered.contains("\"sim_khz\""));
         let parsed: BenchReport = rendered.parse().unwrap();
         // Everything round-trips exactly (floats use shortest-exact
         // rendering, so equality is bit-for-bit).
@@ -1060,6 +1164,12 @@ mod tests {
             "the estimator digest is byte-identical across job counts"
         );
         assert_eq!(a.headline_ialu_pct.to_bits(), b.headline_ialu_pct.to_bits());
+        // Throughput's model totals are deterministic; only its
+        // hot_nanos denominator is wall-clock.
+        let (ta, tb) = (a.throughput.unwrap(), b.throughput.unwrap());
+        assert_eq!(ta.cycles, tb.cycles);
+        assert_eq!(ta.instructions, tb.instructions);
+        assert_eq!(ta.ipc().to_bits(), tb.ipc().to_bits());
         // Only the wall-clock sections differ (and the tag).
         assert_eq!(b.parallel.as_ref().unwrap().jobs, 3);
     }
@@ -1075,6 +1185,7 @@ mod tests {
                     && name != "attribution"
                     && name != "estimator"
                     && name != "stalls"
+                    && name != "throughput"
             });
         }
         let parsed = BenchReport::from_json(&json).unwrap();
@@ -1092,7 +1203,10 @@ mod tests {
         if let Json::Obj(fields) = &mut json {
             fields[0].1 = Json::Str("fua-bench/1.1".into());
             fields.retain(|(name, _)| {
-                name != "attribution" && name != "estimator" && name != "stalls"
+                name != "attribution"
+                    && name != "estimator"
+                    && name != "stalls"
+                    && name != "throughput"
             });
         }
         let parsed = BenchReport::from_json(&json).unwrap();
@@ -1109,7 +1223,9 @@ mod tests {
         let mut json = report.to_json();
         if let Json::Obj(fields) = &mut json {
             fields[0].1 = Json::Str("fua-bench/1.2".into());
-            fields.retain(|(name, _)| name != "estimator" && name != "stalls");
+            fields.retain(|(name, _)| {
+                name != "estimator" && name != "stalls" && name != "throughput"
+            });
         }
         let parsed = BenchReport::from_json(&json).unwrap();
         assert_eq!(parsed.estimator, None);
@@ -1124,12 +1240,28 @@ mod tests {
         let mut json = report.to_json();
         if let Json::Obj(fields) = &mut json {
             fields[0].1 = Json::Str("fua-bench/1.3".into());
-            fields.retain(|(name, _)| name != "stalls");
+            fields.retain(|(name, _)| name != "stalls" && name != "throughput");
         }
         let parsed = BenchReport::from_json(&json).unwrap();
         assert_eq!(parsed.stalls, None);
+        assert_eq!(parsed.throughput, None);
         assert!(parsed.estimator.is_some(), "1.3 already had estimator");
         assert!(parsed.attribution.is_some());
+        assert_eq!(parsed.telemetry, report.telemetry);
+    }
+
+    #[test]
+    fn schema_1_4_artifacts_without_a_throughput_section_still_parse() {
+        let report = bench_suite("prev14", &tiny_config(), 512);
+        let mut json = report.to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields[0].1 = Json::Str("fua-bench/1.4".into());
+            fields.retain(|(name, _)| name != "throughput");
+        }
+        let parsed = BenchReport::from_json(&json).unwrap();
+        assert_eq!(parsed.throughput, None);
+        assert!(parsed.stalls.is_some(), "1.4 already had stalls");
+        assert!(parsed.estimator.is_some());
         assert_eq!(parsed.telemetry, report.telemetry);
     }
 

@@ -34,6 +34,13 @@
 //!   share of the suite's issue bandwidth may drift by at most
 //!   `metric_pct` points. A missing section (pre-1.4 artifact) on
 //!   either side is informational only.
+//! - **Throughput** — the simulated-rate headline: suite IPC is a
+//!   deterministic model metric and is banded relatively by
+//!   `metric_pct`; the simulated-kHz figure divides model cycles by
+//!   measured wall-clock, so only a slowdown beyond `timer_factor` of
+//!   a run whose hot loop took at least `timer_floor_nanos` is
+//!   flagged. A missing section (pre-1.5 artifact) on either side is
+//!   informational only.
 //! - **Estimator soundness & precision** — the static switched-bit
 //!   estimator's digest: a violated bound (`sound: false`) on either
 //!   side is a hard regression regardless of tolerances, and when both
@@ -360,6 +367,62 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, tol: &Tolerance) -
                 ),
             );
         }
+    }
+
+    // Simulated-rate headline: IPC is pure model arithmetic (cycles and
+    // retired instructions are deterministic), so it is banded like the
+    // estimator ratios; the kHz figure divides by measured wall-clock,
+    // so — exactly like the phase timers — only a gross slowdown of a
+    // non-trivial run is gated.
+    match (&baseline.throughput, &current.throughput) {
+        (Some(b), Some(c)) => {
+            let (bi, ci) = (b.ipc(), c.ipc());
+            let drift_pct = if bi == 0.0 {
+                0.0
+            } else {
+                100.0 * (ci / bi - 1.0).abs()
+            };
+            if drift_pct > tol.metric_pct {
+                chk.regression(
+                    "throughput-ipc",
+                    format!(
+                        "suite IPC {ci:.4} vs baseline {bi:.4} \
+                         (drift {drift_pct:.3}% > {:.3}%)",
+                        tol.metric_pct
+                    ),
+                );
+            } else if drift_pct > 0.0 {
+                chk.info(
+                    "throughput-ipc",
+                    format!("suite IPC {ci:.4} vs baseline {bi:.4} (within band)"),
+                );
+            }
+            if b.hot_nanos >= tol.timer_floor_nanos && c.sim_khz() > 0.0 {
+                let factor = b.sim_khz() / c.sim_khz();
+                if factor > tol.timer_factor {
+                    chk.regression(
+                        "sim-rate",
+                        format!(
+                            "simulated rate fell to {:.1} kHz from {:.1} kHz \
+                             ({factor:.1}x slower, limit {:.0}x)",
+                            c.sim_khz(),
+                            b.sim_khz(),
+                            tol.timer_factor
+                        ),
+                    );
+                }
+            }
+        }
+        // One side predates schema 1.5: nothing to diff, note it only.
+        (Some(_), None) => chk.info(
+            "throughput-ipc",
+            "current artifact has no throughput section (pre-1.5 schema)".to_string(),
+        ),
+        (None, Some(_)) => chk.info(
+            "throughput-ipc",
+            "baseline artifact has no throughput section (pre-1.5 schema)".to_string(),
+        ),
+        (None, None) => {}
     }
 
     for (side, report) in [("baseline", baseline), ("current", current)] {
@@ -776,6 +839,68 @@ mod tests {
                 .findings
                 .iter()
                 .any(|f| f.category == "stall-mix" && f.severity == Severity::Info));
+        }
+    }
+
+    #[test]
+    fn ipc_drift_past_band_is_a_regression_and_khz_noise_is_not() {
+        let baseline = tiny();
+        let mut drifted = baseline.clone();
+        {
+            let t = drifted.throughput.as_mut().unwrap();
+            t.instructions = t.instructions + t.instructions / 10; // +10% IPC
+        }
+        let cmp = compare(&baseline, &drifted, &Tolerance::default());
+        assert!(!cmp.passed());
+        assert!(cmp
+            .findings
+            .iter()
+            .any(|f| f.category == "throughput-ipc" && f.severity == Severity::Regression));
+
+        // Wall-clock noise in the denominator alone never regresses:
+        // double the hot nanos (half the kHz), same model totals.
+        let mut noisy = baseline.clone();
+        {
+            let t = noisy.throughput.as_mut().unwrap();
+            t.hot_nanos *= 2;
+        }
+        let cmp = compare(&baseline, &noisy, &Tolerance::default());
+        assert!(cmp.passed(), "findings: {:#?}", cmp.findings);
+    }
+
+    #[test]
+    fn a_gross_simulated_rate_collapse_is_flagged() {
+        let baseline = tiny();
+        let mut base = baseline.clone();
+        {
+            let t = base.throughput.as_mut().unwrap();
+            t.hot_nanos = 10_000_000; // above the floor
+        }
+        let mut slow = base.clone();
+        {
+            let t = slow.throughput.as_mut().unwrap();
+            t.hot_nanos = 10_000_000 * 30; // 30x slower than baseline
+        }
+        let cmp = compare(&base, &slow, &Tolerance::default());
+        assert!(!cmp.passed());
+        assert!(cmp
+            .findings
+            .iter()
+            .any(|f| f.category == "sim-rate" && f.severity == Severity::Regression));
+    }
+
+    #[test]
+    fn a_pre_1_5_artifact_without_throughput_is_informational_only() {
+        let baseline = tiny();
+        let mut old = baseline.clone();
+        old.throughput = None;
+        for (b, c) in [(&baseline, &old), (&old, &baseline)] {
+            let cmp = compare(b, c, &Tolerance::default());
+            assert!(cmp.passed(), "findings: {:#?}", cmp.findings);
+            assert!(cmp
+                .findings
+                .iter()
+                .any(|f| f.category == "throughput-ipc" && f.severity == Severity::Info));
         }
     }
 

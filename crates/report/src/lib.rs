@@ -28,15 +28,19 @@
 mod bench;
 mod compare;
 mod manifest;
+mod trends;
 
 pub use bench::{
     bench_suite, bench_suite_jobs, AttributionSummary, BenchReport, EstimatorEntry,
     EstimatorSummary, HotspotEntry, OperandAggregates, ParallelSummary, PhaseNanos, StallSummary,
-    TelemetrySummary, UnitFigure, WorkerNanos, ATTRIBUTION_HOTSPOTS, BENCH_SCHEMA,
-    BENCH_SCHEMAS_READ, DEFAULT_WINDOW_CYCLES,
+    TelemetrySummary, ThroughputSummary, UnitFigure, WorkerNanos, ATTRIBUTION_HOTSPOTS,
+    BENCH_SCHEMA, BENCH_SCHEMAS_READ, DEFAULT_WINDOW_CYCLES,
 };
 pub use compare::{compare, Comparison, Finding, Severity, Tolerance};
 pub use manifest::{RunManifest, WorkloadEntry};
+pub use trends::{
+    sparkline, trends, TrendError, TrendKind, TrendReport, TrendSeries, TRENDS_SCHEMA, TREND_WINDOW,
+};
 
 use fua_trace::{Json, JsonParseError};
 use std::fmt;
@@ -54,8 +58,8 @@ pub enum ReportError {
     Schema {
         /// What the artifact declared.
         found: String,
-        /// What this build understands.
-        expected: &'static str,
+        /// Every schema this build accepts (oldest to newest).
+        expected: &'static [&'static str],
     },
 }
 
@@ -78,7 +82,8 @@ impl fmt::Display for ReportError {
             ReportError::Schema { found, expected } => {
                 write!(
                     f,
-                    "unknown schema `{found}` (this build reads `{expected}`)"
+                    "unknown schema: {found}\naccepted schemas: {}",
+                    expected.join(", ")
                 )
             }
         }

@@ -1,0 +1,696 @@
+//! Longitudinal trend analysis over a history of BENCH artifacts.
+//!
+//! [`compare`](crate::compare) answers "did this run drift from that
+//! run?"; this module answers "is the trajectory healthy?". Given an
+//! ordered history of artifacts captured under one comparable manifest
+//! (oldest first, as the run store hands them out), [`trends`] extracts
+//! one time series per tracked metric and applies a rolling-median
+//! change-point rule: each point is banded against the median of its
+//! [`TREND_WINDOW`] most recent predecessors, using the same
+//! [`Tolerance`] knobs the pairwise gate uses.
+//!
+//! The classification is positional. An out-of-band *newest* point is a
+//! [`Severity::Regression`] (`trend-regression`) — the latest run broke
+//! the trajectory and the gate fails. An out-of-band *interior* point
+//! is only [`Severity::Info`] (`trend-shift`): it marks where the
+//! history stepped (an intentional model change, a retagged baseline),
+//! which is exactly the provenance question the store exists to answer,
+//! not something to fail retroactively.
+//!
+//! Three band shapes cover the metric families:
+//!
+//! - [`TrendKind::Points`] — absolute drift in percentage points
+//!   (`metric_pct`), for reduction percentages and share-of-total
+//!   metrics that already live on a 0–100 scale.
+//! - [`TrendKind::RelativePct`] — relative drift in percent
+//!   (`metric_pct`), for dimensionless ratios (suite IPC, estimator
+//!   precision) where a fixed point band would be meaningless.
+//! - [`TrendKind::WallClock`] — slowdown-only by `timer_factor`, for
+//!   measured rates (simulated kHz) where faster is never a finding
+//!   and machine-to-machine noise must not gate.
+//!
+//! Series are aligned to the input points with `Vec<Option<f64>>`:
+//! artifacts predating a section's schema (for example pre-1.5 runs
+//! without `throughput`) contribute holes, which the median skips and
+//! [`sparkline`] renders as gaps.
+
+use crate::bench::BenchReport;
+use crate::compare::{Finding, Severity, Tolerance};
+use fua_trace::Json;
+use std::fmt;
+
+/// Schema identifier stamped into `trends --json` output.
+pub const TRENDS_SCHEMA: &str = "fua-trends/1";
+
+/// Rolling-median window: each point is banded against the median of
+/// up to this many most recent non-hole predecessors.
+pub const TREND_WINDOW: usize = 8;
+
+/// Characters of the ASCII sparkline, lowest value first.
+const SPARK_LEVELS: &[u8] = b"_.:-=+*#";
+
+/// How a series is banded against its rolling median.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrendKind {
+    /// Absolute drift banded in percentage points (`metric_pct`).
+    Points,
+    /// Relative drift banded in percent of the median (`metric_pct`).
+    RelativePct,
+    /// Only a slowdown beyond `timer_factor` is flagged; the metric is
+    /// a measured rate where higher is better and noise is expected.
+    WallClock,
+}
+
+impl TrendKind {
+    /// Machine-greppable name used in the JSON rendering.
+    pub fn name(self) -> &'static str {
+        match self {
+            TrendKind::Points => "points",
+            TrendKind::RelativePct => "relative-pct",
+            TrendKind::WallClock => "wall-clock",
+        }
+    }
+}
+
+/// One metric's history across the input points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendSeries {
+    /// Human-readable metric name (also the JSON key).
+    pub metric: String,
+    /// The band shape applied to this series.
+    pub kind: TrendKind,
+    /// One slot per input point, oldest first; `None` where the
+    /// artifact predates the metric's schema section.
+    pub values: Vec<Option<f64>>,
+}
+
+impl TrendSeries {
+    /// The newest recorded value, if the latest artifact carries one.
+    pub fn newest(&self) -> Option<f64> {
+        self.values.last().copied().flatten()
+    }
+}
+
+/// The assembled trend analysis: aligned series plus classified
+/// change points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendReport {
+    /// One label per input point, oldest first (store tags or
+    /// sequence numbers).
+    pub labels: Vec<String>,
+    /// One series per tracked metric.
+    pub series: Vec<TrendSeries>,
+    /// Change-point findings, regressions first.
+    pub findings: Vec<Finding>,
+}
+
+impl TrendReport {
+    /// Whether the newest point stayed in band on every series.
+    pub fn passed(&self) -> bool {
+        self.regressions() == 0
+    }
+
+    /// Number of regression-severity findings.
+    pub fn regressions(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Regression)
+            .count()
+    }
+
+    /// Renders the report as a stable JSON document.
+    pub fn to_json(&self) -> Json {
+        let series = self
+            .series
+            .iter()
+            .map(|s| {
+                let values = s
+                    .values
+                    .iter()
+                    .map(|v| match v {
+                        Some(x) => Json::Float(*x),
+                        None => Json::Null,
+                    })
+                    .collect();
+                Json::obj([
+                    ("metric", Json::Str(s.metric.clone())),
+                    ("kind", Json::Str(s.kind.name().to_string())),
+                    ("values", Json::Arr(values)),
+                    ("spark", Json::Str(sparkline(&s.values))),
+                ])
+            })
+            .collect();
+        let findings = self
+            .findings
+            .iter()
+            .map(|f| {
+                Json::obj([
+                    (
+                        "severity",
+                        Json::Str(
+                            match f.severity {
+                                Severity::Info => "info",
+                                Severity::Regression => "regression",
+                            }
+                            .to_string(),
+                        ),
+                    ),
+                    ("category", Json::Str(f.category.to_string())),
+                    ("message", Json::Str(f.message.clone())),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("schema", Json::Str(TRENDS_SCHEMA.to_string())),
+            ("points", Json::UInt(self.labels.len() as u64)),
+            (
+                "labels",
+                Json::Arr(self.labels.iter().cloned().map(Json::Str).collect()),
+            ),
+            ("passed", Json::Bool(self.passed())),
+            ("series", Json::Arr(series)),
+            ("findings", Json::Arr(findings)),
+        ])
+    }
+}
+
+/// Why a trend analysis could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrendError {
+    /// Fewer than two points — there is no trajectory to judge.
+    TooFew {
+        /// How many points were supplied.
+        have: usize,
+    },
+    /// A point's manifest is not comparable with the first point's.
+    Incomparable {
+        /// Label of the offending point.
+        label: String,
+        /// Label of the point it was checked against.
+        against: String,
+    },
+}
+
+impl fmt::Display for TrendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrendError::TooFew { have } => {
+                write!(
+                    f,
+                    "need at least 2 comparable runs for a trend, have {have}"
+                )
+            }
+            TrendError::Incomparable { label, against } => {
+                write!(
+                    f,
+                    "run {label} was captured under a different configuration than {against}; \
+                     trends only run over one manifest key"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrendError {}
+
+/// Renders a series as one ASCII sparkline character per point.
+///
+/// Values are scaled to the series' own min–max range over eight
+/// levels (`_.:-=+*#`); holes render as spaces; a flat series renders
+/// at the middle level.
+pub fn sparkline(values: &[Option<f64>]) -> String {
+    let present: Vec<f64> = values.iter().copied().flatten().collect();
+    let (min, max) = present
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+            (lo.min(*v), hi.max(*v))
+        });
+    let span = max - min;
+    values
+        .iter()
+        .map(|v| match v {
+            None => ' ',
+            Some(v) => {
+                let level = if span <= 0.0 || !span.is_finite() {
+                    SPARK_LEVELS.len() / 2
+                } else {
+                    let t = (v - min) / span;
+                    ((t * (SPARK_LEVELS.len() - 1) as f64).round() as usize)
+                        .min(SPARK_LEVELS.len() - 1)
+                };
+                SPARK_LEVELS[level] as char
+            }
+        })
+        .collect()
+}
+
+/// Median of a non-empty slice (midpoint average for even lengths).
+fn median(values: &[f64]) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// Checks one value against its rolling median; `Some(description)`
+/// when it is out of band for the series' kind.
+fn band_violation(kind: TrendKind, value: f64, med: f64, tol: &Tolerance) -> Option<String> {
+    match kind {
+        TrendKind::Points => {
+            let drift = (value - med).abs();
+            (drift > tol.metric_pct).then(|| {
+                format!(
+                    "{value:.3} vs rolling median {med:.3}: drift {drift:.3} pct-points \
+                     exceeds the {:.3} band",
+                    tol.metric_pct
+                )
+            })
+        }
+        TrendKind::RelativePct => {
+            let drift_pct = if med.abs() < 1e-12 {
+                if (value - med).abs() < 1e-12 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                (value - med).abs() / med.abs() * 100.0
+            };
+            (drift_pct > tol.metric_pct).then(|| {
+                format!(
+                    "{value:.4} vs rolling median {med:.4}: relative drift {drift_pct:.2}% \
+                     exceeds the {:.2}% band",
+                    tol.metric_pct
+                )
+            })
+        }
+        TrendKind::WallClock => {
+            if value <= 0.0 || med <= 0.0 {
+                return None;
+            }
+            let factor = med / value;
+            (factor > tol.timer_factor).then(|| {
+                format!(
+                    "{value:.1} vs rolling median {med:.1}: {factor:.1}x slower exceeds \
+                     the {:.1}x slowdown factor",
+                    tol.timer_factor
+                )
+            })
+        }
+    }
+}
+
+/// Pulls one metric's value out of an artifact, or `None` when the
+/// artifact predates the metric (a hole in the series).
+type Extract = Box<dyn Fn(&BenchReport) -> Option<f64>>;
+
+/// One tracked metric: its name, band shape, and extractor.
+struct Metric {
+    name: String,
+    kind: TrendKind,
+    extract: Extract,
+}
+
+/// Builds the metric catalogue from the newest point (whose scheme
+/// rows and estimator entries define which per-scheme series exist).
+fn catalogue(newest: &BenchReport, tol: &Tolerance) -> Vec<Metric> {
+    let mut metrics: Vec<Metric> = Vec::new();
+    let mut push = |name: String, kind: TrendKind, f: Extract| {
+        metrics.push(Metric {
+            name,
+            kind,
+            extract: f,
+        })
+    };
+
+    // Headline reductions.
+    push(
+        "headline IALU %".to_string(),
+        TrendKind::Points,
+        Box::new(|r| Some(r.headline_ialu_pct)),
+    );
+    push(
+        "headline FPAU %".to_string(),
+        TrendKind::Points,
+        Box::new(|r| Some(r.headline_fpau_pct)),
+    );
+    push(
+        "headline IALU+compiler %".to_string(),
+        TrendKind::Points,
+        Box::new(|r| Some(r.headline_ialu_compiler_pct)),
+    );
+
+    // Per-scheme hardware-swap reductions, both units. Which schemes
+    // exist comes from the newest point; older points missing a scheme
+    // contribute holes.
+    for row in &newest.ialu.rows {
+        let scheme = row.scheme.clone();
+        push(
+            format!("IALU {scheme} hw %"),
+            TrendKind::Points,
+            Box::new(move |r| r.ialu.row(&scheme).map(|row| row.hardware_pct)),
+        );
+    }
+    for row in &newest.fpau.rows {
+        let scheme = row.scheme.clone();
+        push(
+            format!("FPAU {scheme} hw %"),
+            TrendKind::Points,
+            Box::new(move |r| r.fpau.row(&scheme).map(|row| row.hardware_pct)),
+        );
+    }
+
+    // Throughput: IPC is a deterministic model ratio; the simulated
+    // rates divide by wall-clock and are only slowdown-gated, with
+    // sub-floor hot loops treated as holes (noise, not signal).
+    push(
+        "suite IPC".to_string(),
+        TrendKind::RelativePct,
+        Box::new(|r| r.throughput.as_ref().map(|t| t.ipc())),
+    );
+    let floor = tol.timer_floor_nanos;
+    push(
+        "sim kHz".to_string(),
+        TrendKind::WallClock,
+        Box::new(move |r| {
+            r.throughput
+                .as_ref()
+                .filter(|t| t.hot_nanos >= floor)
+                .map(|t| t.sim_khz())
+        }),
+    );
+    push(
+        "sim kinst/s".to_string(),
+        TrendKind::WallClock,
+        Box::new(move |r| {
+            r.throughput
+                .as_ref()
+                .filter(|t| t.hot_nanos >= floor)
+                .map(|t| t.kips())
+        }),
+    );
+
+    // Stall-reason mix, as share of all issue slots.
+    for (i, reason) in fua_trace::StallReason::ALL.iter().enumerate() {
+        push(
+            format!("stall {} share %", reason.name()),
+            TrendKind::Points,
+            Box::new(move |r| {
+                r.stalls
+                    .as_ref()
+                    .filter(|s| s.slots > 0)
+                    .map(|s| s.mix[i] as f64 / s.slots as f64 * 100.0)
+            }),
+        );
+    }
+
+    // Estimator precision ratios, one per scheme the newest point
+    // checked.
+    if let Some(est) = &newest.estimator {
+        for entry in &est.entries {
+            let scheme = entry.scheme.clone();
+            push(
+                format!("estimator {scheme} ratio"),
+                TrendKind::RelativePct,
+                Box::new(move |r| {
+                    r.estimator.as_ref().and_then(|e| {
+                        e.entries
+                            .iter()
+                            .find(|en| en.scheme == scheme)
+                            .map(|en| en.mean_ratio)
+                    })
+                }),
+            );
+        }
+    }
+
+    // Attribution hotspot concentration: how top-heavy the energy
+    // profile is (top PC, and the whole recorded top-N together).
+    push(
+        "hotspot top-1 share %".to_string(),
+        TrendKind::Points,
+        Box::new(|r| {
+            r.attribution
+                .as_ref()
+                .and_then(|a| a.top_hotspots.first())
+                .map(|h| h.share_pct)
+        }),
+    );
+    push(
+        "hotspot top-10 share %".to_string(),
+        TrendKind::Points,
+        Box::new(|r| {
+            r.attribution
+                .as_ref()
+                .map(|a| a.top_hotspots.iter().map(|h| h.share_pct).sum())
+        }),
+    );
+
+    metrics
+}
+
+/// Assembles per-metric time series over a comparable artifact history
+/// (oldest first) and classifies change points against rolling
+/// medians.
+///
+/// Returns [`TrendError::TooFew`] below two points and
+/// [`TrendError::Incomparable`] when any point's manifest disagrees
+/// with the first point's (tag aside). The result's
+/// [`passed`](TrendReport::passed) is `false` exactly when the newest
+/// point sits out of band on some series.
+pub fn trends(
+    points: &[(String, BenchReport)],
+    tol: &Tolerance,
+) -> Result<TrendReport, TrendError> {
+    if points.len() < 2 {
+        return Err(TrendError::TooFew { have: points.len() });
+    }
+    let (first_label, first) = &points[0];
+    for (label, report) in &points[1..] {
+        if !first.manifest.comparable_with(&report.manifest) {
+            return Err(TrendError::Incomparable {
+                label: label.clone(),
+                against: first_label.clone(),
+            });
+        }
+    }
+
+    let newest = &points[points.len() - 1].1;
+    let metrics = catalogue(newest, tol);
+    let mut series = Vec::with_capacity(metrics.len());
+    let mut findings = Vec::new();
+
+    for metric in &metrics {
+        let values: Vec<Option<f64>> = points.iter().map(|(_, r)| (metric.extract)(r)).collect();
+
+        // Band each present point against the median of its most
+        // recent present predecessors.
+        for (i, value) in values.iter().enumerate() {
+            let Some(value) = value else { continue };
+            let prior: Vec<f64> = values[..i]
+                .iter()
+                .copied()
+                .flatten()
+                .rev()
+                .take(TREND_WINDOW)
+                .collect();
+            if prior.is_empty() {
+                continue;
+            }
+            let med = median(&prior);
+            if let Some(description) = band_violation(metric.kind, *value, med, tol) {
+                let newest_point = i == points.len() - 1;
+                findings.push(Finding {
+                    severity: if newest_point {
+                        Severity::Regression
+                    } else {
+                        Severity::Info
+                    },
+                    category: if newest_point {
+                        "trend-regression"
+                    } else {
+                        "trend-shift"
+                    },
+                    message: format!("{} at {}: {}", metric.name, points[i].0, description),
+                });
+            }
+        }
+
+        series.push(TrendSeries {
+            metric: metric.name.clone(),
+            kind: metric.kind,
+            values,
+        });
+    }
+
+    findings.sort_by_key(|f| match f.severity {
+        Severity::Regression => 0,
+        Severity::Info => 1,
+    });
+
+    Ok(TrendReport {
+        labels: points.iter().map(|(l, _)| l.clone()).collect(),
+        series,
+        findings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench::bench_suite;
+    use fua_core::ExperimentConfig;
+
+    fn tiny() -> BenchReport {
+        let config = ExperimentConfig {
+            inst_limit: 1_500,
+            ..ExperimentConfig::quick()
+        };
+        bench_suite("tiny", &config, 512)
+    }
+
+    fn history(n: usize) -> Vec<(String, BenchReport)> {
+        let base = tiny();
+        (0..n).map(|i| (format!("run-{i}"), base.clone())).collect()
+    }
+
+    #[test]
+    fn a_flat_history_passes_with_no_findings() {
+        let report = trends(&history(4), &Tolerance::default()).unwrap();
+        assert!(report.passed());
+        assert!(report.findings.is_empty(), "{:#?}", report.findings);
+        assert_eq!(report.labels.len(), 4);
+        // Every series is fully populated on same-schema artifacts.
+        assert!(report
+            .series
+            .iter()
+            .all(|s| s.values.iter().all(Option::is_some)));
+    }
+
+    #[test]
+    fn fewer_than_two_points_is_an_error() {
+        assert_eq!(
+            trends(&history(1), &Tolerance::default()),
+            Err(TrendError::TooFew { have: 1 })
+        );
+    }
+
+    #[test]
+    fn a_foreign_manifest_is_rejected_by_label() {
+        let mut points = history(3);
+        points[2].1.manifest.inst_limit += 1;
+        let err = trends(&points, &Tolerance::default()).unwrap_err();
+        assert_eq!(
+            err,
+            TrendError::Incomparable {
+                label: "run-2".to_string(),
+                against: "run-0".to_string(),
+            }
+        );
+    }
+
+    #[test]
+    fn a_drifted_newest_point_is_a_regression() {
+        let mut points = history(4);
+        points[3].1.headline_ialu_pct += 5.0;
+        let report = trends(&points, &Tolerance::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.findings.iter().any(|f| {
+            f.category == "trend-regression"
+                && f.severity == Severity::Regression
+                && f.message.contains("headline IALU %")
+                && f.message.contains("run-3")
+        }));
+    }
+
+    #[test]
+    fn an_interior_step_is_informational_only() {
+        let mut points = history(5);
+        points[2].1.headline_ialu_pct += 5.0;
+        let report = trends(&points, &Tolerance::default()).unwrap();
+        assert!(report.passed(), "{:#?}", report.findings);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.category == "trend-shift" && f.severity == Severity::Info));
+    }
+
+    #[test]
+    fn wall_clock_noise_never_regresses_but_a_collapse_does() {
+        let mut points = history(4);
+        for (_, r) in &mut points {
+            r.throughput.as_mut().unwrap().hot_nanos = 20_000_000;
+        }
+        // 2x slower: inside the generous factor, no finding.
+        points[3].1.throughput.as_mut().unwrap().hot_nanos = 40_000_000;
+        let report = trends(&points, &Tolerance::default()).unwrap();
+        assert!(report.passed(), "{:#?}", report.findings);
+
+        // 30x slower: flagged on the rate series.
+        points[3].1.throughput.as_mut().unwrap().hot_nanos = 20_000_000 * 30;
+        let report = trends(&points, &Tolerance::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.category == "trend-regression" && f.message.contains("sim kHz")));
+    }
+
+    #[test]
+    fn pre_throughput_artifacts_contribute_holes_not_findings() {
+        let mut points = history(4);
+        points[0].1.throughput = None;
+        points[1].1.throughput = None;
+        let report = trends(&points, &Tolerance::default()).unwrap();
+        assert!(report.passed(), "{:#?}", report.findings);
+        let ipc = report
+            .series
+            .iter()
+            .find(|s| s.metric == "suite IPC")
+            .unwrap();
+        assert_eq!(ipc.values[0], None);
+        assert_eq!(ipc.values[1], None);
+        assert!(ipc.values[2].is_some() && ipc.values[3].is_some());
+        assert!(sparkline(&ipc.values).starts_with("  "));
+    }
+
+    #[test]
+    fn sparklines_scale_to_the_series_range() {
+        let values: Vec<Option<f64>> = vec![Some(0.0), Some(100.0), None, Some(50.0), Some(100.0)];
+        let spark = sparkline(&values);
+        assert_eq!(spark.len(), 5);
+        assert_eq!(&spark[0..1], "_");
+        assert_eq!(&spark[1..2], "#");
+        assert_eq!(&spark[2..3], " ");
+        assert_eq!(&spark[4..5], "#");
+        // Flat series sit at the middle level.
+        assert_eq!(sparkline(&[Some(7.0), Some(7.0)]), "==");
+    }
+
+    #[test]
+    fn the_json_rendering_round_trips_holes_as_null() {
+        let mut points = history(3);
+        points[0].1.throughput = None;
+        let report = trends(&points, &Tolerance::default()).unwrap();
+        let json = report.to_json();
+        assert_eq!(
+            json.get("schema").and_then(Json::as_str),
+            Some(TRENDS_SCHEMA)
+        );
+        assert_eq!(json.get("passed").and_then(Json::as_bool), Some(true));
+        let text = json.pretty();
+        let reparsed = Json::parse(&text).unwrap();
+        let series = reparsed.get("series").and_then(Json::as_arr).unwrap();
+        let ipc = series
+            .iter()
+            .find(|s| s.get("metric").and_then(Json::as_str) == Some("suite IPC"))
+            .unwrap();
+        let vals = ipc.get("values").and_then(Json::as_arr).unwrap();
+        assert_eq!(vals[0], Json::Null);
+        assert!(vals[1].as_f64().is_some());
+    }
+}

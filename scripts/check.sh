@@ -103,4 +103,46 @@ trap 'rm -rf "$tmpdir"' EXIT
   "$repo/target/release/fua" estimate all --verify --jobs 4 > estimator-precision.txt
   cat estimator-precision.txt
 )
+
+# Run-store and trends gates: two reduced-scale runs recorded to the
+# store must trend clean; a third run seeded with a regressed headline
+# (edited offline, re-added via `store put`) must fail `trends` and
+# `report --store`; stored artifacts must survive `store gc` byte-
+# identically.
+(
+  cd "$tmpdir"
+  "$repo/target/release/fua" bench-suite --limit 1500 --store --tag t1
+  "$repo/target/release/fua" bench-suite --limit 1500 --store --tag t2
+  "$repo/target/release/fua" trends | tee trends-clean.txt
+  grep -q "PASS: 0 finding(s)" trends-clean.txt
+  "$repo/target/release/fua" trends --json > trends.json
+
+  "$repo/target/release/fua" store show 2 > shown.json
+  sed 's/"ialu_pct": [0-9.eE+-]*,/"ialu_pct": 1.0,/' shown.json > regressed.json
+  "$repo/target/release/fua" store put regressed.json
+  if "$repo/target/release/fua" trends > trends-regressed.txt; then
+    echo "a regressed newest run unexpectedly passed trends" >&2
+    exit 1
+  fi
+  grep -q "trend-regression" trends-regressed.txt
+  if "$repo/target/release/fua" report --store; then
+    echo "a regressed stored run unexpectedly passed report --store" >&2
+    exit 1
+  fi
+
+  "$repo/target/release/fua" store gc
+  "$repo/target/release/fua" store show 2 > reshown.json
+  cmp shown.json reshown.json
+)
+
+# Progress-isolation gate: --progress must not change a single stdout
+# byte (heartbeat lines are stderr-only).
+(
+  cd "$tmpdir"
+  "$repo/target/release/fua" figure4 ialu --limit 2000 > fig-plain.txt
+  "$repo/target/release/fua" figure4 ialu --limit 2000 --progress > fig-progress.txt \
+    2> fig-progress-err.txt
+  cmp fig-plain.txt fig-progress.txt
+  grep -q "progress:" fig-progress-err.txt
+)
 echo "all checks passed"

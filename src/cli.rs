@@ -14,6 +14,7 @@ use fua::core::{ExperimentConfig, Unit};
 use fua::exec::Jobs;
 use fua::report::DEFAULT_WINDOW_CYCLES;
 use fua::sim::MachineConfig;
+use fua::store::DEFAULT_STORE_DIR;
 
 /// Default retired-instruction cap for simulation commands.
 pub const DEFAULT_LIMIT: u64 = 150_000;
@@ -46,6 +47,35 @@ pub struct Options {
     pub per_block: bool,
     pub verify: bool,
     pub critical_path: bool,
+    pub store: bool,
+    pub store_dir: Option<String>,
+    pub progress: bool,
+}
+
+impl Options {
+    /// Whether the command should read/write the run store (`--store`,
+    /// or `--store-dir` which implies it).
+    pub fn use_store(&self) -> bool {
+        self.store || self.store_dir.is_some()
+    }
+
+    /// The run-store directory: `--store-dir` or the default
+    /// `.fua-store`.
+    pub fn store_root(&self) -> &str {
+        self.store_dir.as_deref().unwrap_or(DEFAULT_STORE_DIR)
+    }
+}
+
+/// A `fua store <action>` subcommand.
+pub enum StoreAction {
+    /// List every stored run, newest last.
+    Ls,
+    /// Print one stored artifact, byte-identical, to stdout.
+    Show(String),
+    /// Add an existing artifact file to the store.
+    Put(String),
+    /// Remove unreferenced objects and stale staging files.
+    Gc,
 }
 
 /// A recognised `(command, sub)` pair, ready to dispatch.
@@ -69,35 +99,44 @@ pub enum Cmd {
     ProfileCycles(String),
     BenchSuite,
     Report,
+    Store(StoreAction),
+    Trends,
 }
 
-/// Maps a `(command, sub)` string pair to its typed command, or `None`
-/// for anything the binary does not recognise (the caller prints
-/// usage). The table mirrors the command list in [`usage`]/[`help`].
-pub fn dispatch(command: &str, sub: Option<&str>) -> Option<Cmd> {
-    Some(match (command, sub) {
-        ("tables", None) => Cmd::Tables,
-        ("figure4", Some("ialu")) => Cmd::Figure4(Unit::Ialu),
-        ("figure4", Some("fpau")) => Cmd::Figure4(Unit::Fpau),
-        ("headline", None) => Cmd::Headline,
-        ("fig1", None) => Cmd::Fig1,
-        ("synth", None) => Cmd::Synth,
-        ("chip", None) => Cmd::Chip,
-        ("breakdown", Some("ialu")) => Cmd::Breakdown(Unit::Ialu),
-        ("breakdown", Some("fpau")) => Cmd::Breakdown(Unit::Fpau),
-        ("sensitivity", None) => Cmd::Sensitivity,
-        ("staticswap", Some("ialu")) => Cmd::StaticSwap(Unit::Ialu),
-        ("staticswap", Some("fpau")) => Cmd::StaticSwap(Unit::Fpau),
-        ("analyze", Some(name)) => Cmd::Analyze(name.to_string()),
-        ("lint", name) => Cmd::Lint(name.map(str::to_string)),
-        ("workloads", None) => Cmd::Workloads,
-        ("run", Some(name)) => Cmd::Run(name.to_string()),
-        ("trace", Some(name)) => Cmd::Trace(name.to_string()),
-        ("estimate", Some(name)) => Cmd::Estimate(name.to_string()),
-        ("profile-energy", Some(name)) => Cmd::ProfileEnergy(name.to_string()),
-        ("profile-cycles", Some(name)) => Cmd::ProfileCycles(name.to_string()),
-        ("bench-suite", None) => Cmd::BenchSuite,
-        ("report", None) => Cmd::Report,
+/// Maps a command plus its leading positional arguments to a typed
+/// command, or `None` for anything the binary does not recognise (the
+/// caller prints usage). The table mirrors the command list in
+/// [`usage`]/[`help`].
+pub fn dispatch(command: &str, subs: &[&str]) -> Option<Cmd> {
+    Some(match (command, subs) {
+        ("tables", []) => Cmd::Tables,
+        ("figure4", ["ialu"]) => Cmd::Figure4(Unit::Ialu),
+        ("figure4", ["fpau"]) => Cmd::Figure4(Unit::Fpau),
+        ("headline", []) => Cmd::Headline,
+        ("fig1", []) => Cmd::Fig1,
+        ("synth", []) => Cmd::Synth,
+        ("chip", []) => Cmd::Chip,
+        ("breakdown", ["ialu"]) => Cmd::Breakdown(Unit::Ialu),
+        ("breakdown", ["fpau"]) => Cmd::Breakdown(Unit::Fpau),
+        ("sensitivity", []) => Cmd::Sensitivity,
+        ("staticswap", ["ialu"]) => Cmd::StaticSwap(Unit::Ialu),
+        ("staticswap", ["fpau"]) => Cmd::StaticSwap(Unit::Fpau),
+        ("analyze", [name]) => Cmd::Analyze(name.to_string()),
+        ("lint", []) => Cmd::Lint(None),
+        ("lint", [name]) => Cmd::Lint(Some(name.to_string())),
+        ("workloads", []) => Cmd::Workloads,
+        ("run", [name]) => Cmd::Run(name.to_string()),
+        ("trace", [name]) => Cmd::Trace(name.to_string()),
+        ("estimate", [name]) => Cmd::Estimate(name.to_string()),
+        ("profile-energy", [name]) => Cmd::ProfileEnergy(name.to_string()),
+        ("profile-cycles", [name]) => Cmd::ProfileCycles(name.to_string()),
+        ("bench-suite", []) => Cmd::BenchSuite,
+        ("report", []) => Cmd::Report,
+        ("store", ["ls"]) => Cmd::Store(StoreAction::Ls),
+        ("store", ["show", reference]) => Cmd::Store(StoreAction::Show(reference.to_string())),
+        ("store", ["put", file]) => Cmd::Store(StoreAction::Put(file.to_string())),
+        ("store", ["gc"]) => Cmd::Store(StoreAction::Gc),
+        ("trends", []) => Cmd::Trends,
         _ => return None,
     })
 }
@@ -115,8 +154,10 @@ pub fn usage() -> ExitCode {
          [--top N] [--flame FILE] | \
          profile-cycles <workload|all> [--scheme S | --compare A B] \
          [--top N] [--flame FILE] [--critical-path] | \
-         bench-suite [--tag T] [--window N] [--jobs N] | \
-         report --baseline FILE [--current FILE]\n\
+         bench-suite [--tag T] [--window N] [--jobs N] [--store] | \
+         report (--baseline FILE [--current FILE] | --store) | \
+         store <ls|show REF|put FILE|gc> [--store-dir DIR] | \
+         trends [--json] [--store-dir DIR]\n\
          try `fua --help` for the full reference"
     );
     ExitCode::FAILURE
@@ -164,8 +205,19 @@ pub fn help() {
          \n\
          experiment ledger:\n\
          \x20 bench-suite             quick suite -> BENCH_<tag>.json artifact\n\
+         \x20                         (--store: append to the run store instead)\n\
          \x20 report                  tolerance-banded diff vs a BENCH baseline\n\
-         \x20                         (nonzero exit on regression — the CI gate)\n\
+         \x20                         (nonzero exit on regression — the CI gate;\n\
+         \x20                         --store: diff the two newest stored runs)\n\
+         \x20 store ls                list the run store, newest last\n\
+         \x20 store show <ref>        print one stored artifact byte-identically\n\
+         \x20                         (<ref>: a sequence number or a key prefix)\n\
+         \x20 store put <file>        add an existing BENCH artifact to the store\n\
+         \x20 store gc                drop unreferenced objects and staging files\n\
+         \x20 trends                  per-metric trajectories over the stored runs\n\
+         \x20                         of the newest configuration, with rolling-\n\
+         \x20                         median change points (nonzero exit when the\n\
+         \x20                         newest run regresses)\n\
          \n\
          options (in [] the commands that consume each):\n\
          \x20 --limit <N>     retired-instruction cap per run [all simulating]\n\
@@ -209,9 +261,21 @@ pub fn help() {
          \x20                 per-node operand/structural wait [profile-cycles]\n\
          \x20 --tag <T>       artifact tag, default \"local\": bench-suite writes\n\
          \x20                 BENCH_<T>.json [bench-suite]\n\
-         \x20 --baseline <F>  baseline artifact, required [report]\n\
+         \x20 --baseline <F>  baseline artifact [report; or use --store]\n\
          \x20 --current <F>   current artifact; omitted = run a fresh bench-suite\n\
          \x20                 and diff that [report]\n\
+         \x20 --store         use the run store: bench-suite appends its artifact\n\
+         \x20                 to the store; report diffs the two newest stored\n\
+         \x20                 runs of the newest configuration [bench-suite,\n\
+         \x20                 report]\n\
+         \x20 --store-dir <D> run-store directory, default {DEFAULT_STORE_DIR}\n\
+         \x20                 (implies --store) [bench-suite, report, store,\n\
+         \x20                 trends]\n\
+         \x20 --progress      print a heartbeat line to stderr every few seconds\n\
+         \x20                 (elapsed, stage, cells done/total); stdout and\n\
+         \x20                 artifacts are byte-identical with or without it\n\
+         \x20                 [bench-suite, report, figure4, headline,\n\
+         \x20                 profile-energy, profile-cycles, estimate]\n\
          \x20 --version, -V   print the version and exit\n\
          \x20 --help, -h      print this help and exit\n\
          \n\
@@ -255,6 +319,9 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
         per_block: false,
         verify: false,
         critical_path: false,
+        store: false,
+        store_dir: None,
+        progress: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -326,6 +393,12 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
             "--per-block" => opts.per_block = true,
             "--verify" => opts.verify = true,
             "--critical-path" => opts.critical_path = true,
+            "--store" => opts.store = true,
+            "--store-dir" => {
+                let v = it.next().ok_or("--store-dir needs a directory path")?;
+                opts.store_dir = Some(v.clone());
+            }
+            "--progress" => opts.progress = true,
             other => return Err(format!("unknown option: {other}")),
         }
     }

@@ -24,6 +24,7 @@ pub use fua_report as report;
 pub use fua_sim as sim;
 pub use fua_stats as stats;
 pub use fua_steer as steer;
+pub use fua_store as store;
 pub use fua_swap as swap;
 pub use fua_synth as synth;
 pub use fua_trace as trace;

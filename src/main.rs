@@ -19,7 +19,10 @@
 //! fua profile-energy <w|all>  attribute switched bits to PCs/blocks
 //! fua profile-cycles <w|all>  attribute issue slots to stall reasons/PCs
 //! fua bench-suite             run the quick suite, write BENCH_<tag>.json
+//!                             (or append to the run store with --store)
 //! fua report                  diff a BENCH artifact against a baseline
+//! fua store <ls|show|put|gc>  inspect the content-addressed run store
+//! fua trends                  metric trajectories over the stored runs
 //!
 //! options: --limit <N>      retired-instruction cap per run
 //!                           (default 150000; 20000 for `trace`; 25000 for
@@ -44,8 +47,14 @@
 //!          --flame <FILE>   write a collapsed-stack flamegraph file
 //!          --critical-path  print the retirement critical path (profile-cycles)
 //!          --tag <T>        artifact tag for bench-suite (default "local")
-//!          --baseline <F>   baseline BENCH json for report (required)
+//!          --baseline <F>   baseline BENCH json for report (or --store)
 //!          --current <F>    current BENCH json for report (default: fresh run)
+//!          --store          bench-suite appends to the run store; report
+//!                           diffs the two newest stored runs
+//!          --store-dir <D>  run-store directory (default .fua-store;
+//!                           implies --store)
+//!          --progress       heartbeat lines on stderr; stdout and artifacts
+//!                           are byte-identical with or without it
 //!          --version        print the version and exit
 //!          --help           print the command table and exit
 //! ```
@@ -64,19 +73,22 @@ mod cli;
 
 use cli::{
     bench_config, config, dispatch, help, parse_options, parse_scheme, profile_workloads,
-    unknown_workload, usage, Cmd, Options, DEFAULT_LIMIT, PROFILE_DEFAULT_LIMIT,
+    unknown_workload, usage, Cmd, Options, StoreAction, DEFAULT_LIMIT, PROFILE_DEFAULT_LIMIT,
 };
 use fua::core::{
     chip_estimate, figure4_jobs, headline_jobs, profile_suite, routing_example,
     static_swap_comparison, swap_sensitivity, synthesis_report, workload_breakdown, Unit,
 };
+use fua::exec::{enable_heartbeat, heartbeat_stage};
 use fua::isa::FuClass;
 use fua::report::{
-    bench_suite_jobs, compare, BenchReport, Severity, Tolerance, DEFAULT_WINDOW_CYCLES,
+    bench_suite_jobs, compare, trends, BenchReport, Severity, Tolerance, TrendError,
+    DEFAULT_WINDOW_CYCLES,
 };
 use fua::sim::{MachineConfig, Simulator, SteeringConfig};
 use fua::stats::TextTable;
 use fua::steer::SteeringKind;
+use fua::store::{IndexEntry, Store};
 
 #[cfg(not(feature = "trace"))]
 fn warn_missing_trace_feature(opts: &Options) {
@@ -176,6 +188,7 @@ fn emit_with_metrics<T>(
 
 fn cmd_figure4(unit: Unit, opts: &Options) {
     let cfg = config(opts);
+    heartbeat_stage("figure4: scheme sweep");
     let fig = figure4_jobs(unit, &cfg, opts.jobs);
     let rendered = fig.render();
     #[cfg(feature = "trace")]
@@ -189,6 +202,7 @@ fn cmd_figure4(unit: Unit, opts: &Options) {
 
 fn cmd_headline(opts: &Options) {
     let cfg = config(opts);
+    heartbeat_stage("headline: scheme sweeps");
     let h = headline_jobs(&cfg, opts.jobs);
     let rendered = format!(
         "IALU 4-bit LUT + hw swap:            {:>6.1}%   (paper ~17%)\n\
@@ -729,6 +743,7 @@ fn cmd_profile_energy(name: &str, opts: &Options) -> Result<(), String> {
     let workloads = profile_workloads(name, opts.scale)?;
     let limit = opts.limit.unwrap_or(PROFILE_DEFAULT_LIMIT);
     let top = opts.top.unwrap_or(10);
+    heartbeat_stage("profile-energy: attributing");
 
     if let Some((name_a, name_b)) = &opts.compare {
         let scheme_a = parse_scheme("--compare", name_a)?;
@@ -1082,6 +1097,7 @@ fn cmd_profile_cycles(name: &str, opts: &Options) -> Result<(), String> {
     let workloads = profile_workloads(name, opts.scale)?;
     let limit = opts.limit.unwrap_or(PROFILE_DEFAULT_LIMIT);
     let top = opts.top.unwrap_or(10);
+    heartbeat_stage("profile-cycles: attributing");
 
     if let Some((name_a, name_b)) = &opts.compare {
         let scheme_a = parse_scheme("--compare", name_a)?;
@@ -1518,6 +1534,7 @@ fn cmd_estimate(name: &str, opts: &Options) -> Result<(), String> {
         return Err("--verify and --compare are mutually exclusive".into());
     }
     let workloads = profile_workloads(name, opts.scale)?;
+    heartbeat_stage("estimate: bounding");
 
     if opts.verify {
         return cmd_estimate_verify(&workloads, opts);
@@ -1654,14 +1671,36 @@ fn cmd_bench_suite(opts: &Options) -> Result<(), String> {
          {} job(s)) ...",
         cfg.scale, cfg.inst_limit, window, opts.jobs
     );
+    heartbeat_stage("bench-suite: measuring");
     let report = bench_suite_jobs(tag, &cfg, window, opts.jobs);
-    let path = format!("BENCH_{tag}.json");
+    heartbeat_stage("bench-suite: writing artifact");
     let mut rendered = report.to_json().pretty();
     rendered.push('\n');
-    std::fs::write(&path, rendered).map_err(|e| format!("writing {path}: {e}"))?;
+    let destination = if opts.use_store() {
+        let store =
+            Store::open(std::path::Path::new(opts.store_root())).map_err(|e| e.to_string())?;
+        let receipt = store
+            .put(&rendered, std::path::Path::new("bench-suite"))
+            .map_err(|e| e.to_string())?;
+        format!(
+            "run #{} (key {}{}) to {}",
+            receipt.entry.seq,
+            &receipt.entry.key[..12],
+            if receipt.deduplicated {
+                ", object deduplicated"
+            } else {
+                ""
+            },
+            opts.store_root()
+        )
+    } else {
+        let path = format!("BENCH_{tag}.json");
+        std::fs::write(&path, rendered).map_err(|e| format!("writing {path}: {e}"))?;
+        path
+    };
     eprintln!(
-        "bench-suite: wrote {path} (IALU {:.1}%, FPAU {:.1}%, {} windows, telemetry exact: {}, \
-         attribution exact: {}, stall partition exact: {})",
+        "bench-suite: wrote {destination} (IALU {:.1}%, FPAU {:.1}%, {} windows, \
+         telemetry exact: {}, attribution exact: {}, stall partition exact: {})",
         report.headline_ialu_pct,
         report.headline_fpau_pct,
         report.telemetry.windows,
@@ -1669,6 +1708,18 @@ fn cmd_bench_suite(opts: &Options) -> Result<(), String> {
         report.attribution.as_ref().is_some_and(|a| a.exact),
         report.stalls.as_ref().is_some_and(|s| s.exact)
     );
+    if let Some(t) = &report.throughput {
+        eprintln!(
+            "bench-suite: simulated {} cycles / {} instructions in {:.2}s hot loop — \
+             {:.0} kHz, {:.0} kinst/s, IPC {:.3}",
+            t.cycles,
+            t.instructions,
+            t.hot_nanos as f64 / 1e9,
+            t.sim_khz(),
+            t.kips(),
+            t.ipc()
+        );
+    }
     if let Some(p) = &report.parallel {
         eprintln!(
             "bench-suite: {} job(s), {:.2}s wall",
@@ -1688,24 +1739,76 @@ fn cmd_bench_suite(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// The newest stored run's manifest-key history, parsed in sequence
+/// order — the artifact series `report --store` and `trends` operate
+/// on.
+fn store_history(store: &Store) -> Result<Vec<(IndexEntry, BenchReport)>, String> {
+    let entries = store.entries().map_err(|e| e.to_string())?;
+    let Some(newest) = entries.last() else {
+        return Err(format!(
+            "the run store at {} is empty; record runs with \
+             `fua bench-suite --store` first",
+            store.root().display()
+        ));
+    };
+    entries
+        .iter()
+        .filter(|e| e.key == newest.key)
+        .map(|entry| {
+            let text = store.read(entry).map_err(|e| e.to_string())?;
+            let report = text
+                .parse::<BenchReport>()
+                .map_err(|e| format!("stored run #{} ({}): {e}", entry.seq, &entry.key[..12]))?;
+            Ok((entry.clone(), report))
+        })
+        .collect()
+}
+
 fn cmd_report(opts: &Options) -> Result<bool, String> {
-    let baseline_path = opts
-        .baseline
-        .as_deref()
-        .ok_or("report needs --baseline <FILE> (a BENCH_<tag>.json artifact)")?;
-    let baseline = load_bench(baseline_path)?;
-    let current = match opts.current.as_deref() {
-        Some(path) => load_bench(path)?,
-        None => {
-            let cfg = bench_config(opts);
-            let window = opts.window.unwrap_or(DEFAULT_WINDOW_CYCLES);
-            eprintln!(
-                "report: no --current given; running a fresh bench-suite \
-                 (scale {}, limit {}, {} job(s)) ...",
-                cfg.scale, cfg.inst_limit, opts.jobs
-            );
-            bench_suite_jobs("current", &cfg, window, opts.jobs)
+    if opts.use_store() && (opts.baseline.is_some() || opts.current.is_some()) {
+        return Err("report --store picks both artifacts from the run store; \
+                    it cannot be combined with --baseline/--current"
+            .into());
+    }
+    let (baseline, current) = if opts.use_store() {
+        let store =
+            Store::open(std::path::Path::new(opts.store_root())).map_err(|e| e.to_string())?;
+        let mut history = store_history(&store)?;
+        if history.len() < 2 {
+            return Err(format!(
+                "report --store needs two stored runs of the newest configuration, \
+                 have {}; record another with `fua bench-suite --store`",
+                history.len()
+            ));
         }
+        let (cur_entry, current) = history.pop().expect("len checked above");
+        let (base_entry, baseline) = history.pop().expect("len checked above");
+        eprintln!(
+            "report: diffing stored run #{} ({}) against #{} ({})",
+            cur_entry.seq, cur_entry.tag, base_entry.seq, base_entry.tag
+        );
+        (baseline, current)
+    } else {
+        let baseline_path = opts
+            .baseline
+            .as_deref()
+            .ok_or("report needs --baseline <FILE> (a BENCH_<tag>.json artifact) or --store")?;
+        let baseline = load_bench(baseline_path)?;
+        let current = match opts.current.as_deref() {
+            Some(path) => load_bench(path)?,
+            None => {
+                let cfg = bench_config(opts);
+                let window = opts.window.unwrap_or(DEFAULT_WINDOW_CYCLES);
+                eprintln!(
+                    "report: no --current given; running a fresh bench-suite \
+                     (scale {}, limit {}, {} job(s)) ...",
+                    cfg.scale, cfg.inst_limit, opts.jobs
+                );
+                heartbeat_stage("report: fresh bench-suite");
+                bench_suite_jobs("current", &cfg, window, opts.jobs)
+            }
+        };
+        (baseline, current)
     };
 
     let cmp = compare(&baseline, &current, &Tolerance::default());
@@ -1726,6 +1829,122 @@ fn cmd_report(opts: &Options) -> Result<bool, String> {
     Ok(cmp.passed())
 }
 
+fn cmd_store(action: &StoreAction, opts: &Options) -> Result<(), String> {
+    let store = Store::open(std::path::Path::new(opts.store_root())).map_err(|e| e.to_string())?;
+    match action {
+        StoreAction::Ls => {
+            let entries = store.entries().map_err(|e| e.to_string())?;
+            if entries.is_empty() {
+                println!("store at {} is empty", store.root().display());
+                return Ok(());
+            }
+            let mut table = TextTable::new(["seq", "key", "tag", "schema", "bytes"]);
+            for e in &entries {
+                table.push_row([
+                    e.seq.to_string(),
+                    e.key[..12].to_string(),
+                    e.tag.clone(),
+                    e.bench_schema.clone(),
+                    e.bytes.to_string(),
+                ]);
+            }
+            println!("{table}");
+            println!(
+                "{} run(s) over {} configuration(s) in {}",
+                entries.len(),
+                Store::summarize(&entries).len(),
+                store.root().display()
+            );
+        }
+        StoreAction::Show(reference) => {
+            let entry = store.resolve(reference).map_err(|e| e.to_string())?;
+            let text = store.read(&entry).map_err(|e| e.to_string())?;
+            // Byte-identical: the artifact already ends in a newline.
+            print!("{text}");
+        }
+        StoreAction::Put(file) => {
+            let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+            let receipt = store
+                .put(&text, std::path::Path::new(file))
+                .map_err(|e| e.to_string())?;
+            println!(
+                "stored run #{} (key {}, tag \"{}\", {} bytes{})",
+                receipt.entry.seq,
+                &receipt.entry.key[..12],
+                receipt.entry.tag,
+                receipt.entry.bytes,
+                if receipt.deduplicated {
+                    ", object deduplicated"
+                } else {
+                    ""
+                }
+            );
+        }
+        StoreAction::Gc => {
+            let report = store.gc().map_err(|e| e.to_string())?;
+            println!(
+                "gc: kept {} object(s), removed {} unreferenced object(s) and {} staging file(s)",
+                report.kept_objects, report.removed_objects, report.removed_tmp
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_trends(opts: &Options) -> Result<bool, String> {
+    let store = Store::open(std::path::Path::new(opts.store_root())).map_err(|e| e.to_string())?;
+    let history = store_history(&store)?;
+    let points: Vec<(String, BenchReport)> = history
+        .into_iter()
+        .map(|(entry, report)| (format!("#{} {}", entry.seq, entry.tag), report))
+        .collect();
+    let trend = trends(&points, &Tolerance::default()).map_err(|e| match e {
+        TrendError::TooFew { have } => format!(
+            "{e}; record more with `fua bench-suite --store` \
+             (store holds {have} run(s) of the newest configuration)"
+        ),
+        other => other.to_string(),
+    })?;
+
+    if opts.json {
+        println!("{}", trend.to_json().pretty());
+        return Ok(trend.passed());
+    }
+
+    let mut table = TextTable::new(["metric", "trend", "newest"]);
+    for series in &trend.series {
+        table.push_row([
+            series.metric.clone(),
+            fua::report::sparkline(&series.values),
+            match series.newest() {
+                Some(v) => format!("{v:.3}"),
+                None => "-".to_string(),
+            },
+        ]);
+    }
+    println!(
+        "trends over {} stored run(s) ({} .. {}):",
+        trend.labels.len(),
+        trend.labels.first().map(String::as_str).unwrap_or("-"),
+        trend.labels.last().map(String::as_str).unwrap_or("-")
+    );
+    println!("{table}");
+    for f in &trend.findings {
+        let tag = match f.severity {
+            Severity::Regression => "REGRESSION",
+            Severity::Info => "info",
+        };
+        println!("{tag:<10} [{}] {}", f.category, f.message);
+    }
+    println!(
+        "{}: {} finding(s), {} regression(s) on the newest run",
+        if trend.passed() { "PASS" } else { "FAIL" },
+        trend.findings.len(),
+        trend.regressions()
+    );
+    Ok(trend.passed())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
@@ -1742,9 +1961,19 @@ fn main() -> ExitCode {
         }
         _ => {}
     }
-    // Sub-argument (for figure4/run/trace) precedes the -- options.
-    let sub = args.get(1).filter(|a| !a.starts_with("--")).cloned();
-    let opt_start = 1 + sub.is_some() as usize;
+    // Positional arguments (for figure4/run/trace, and the two-word
+    // store actions) precede the -- options.
+    let mut opt_start = 1;
+    let mut subs: Vec<&str> = Vec::new();
+    while subs.len() < 2 {
+        match args.get(opt_start).filter(|a| !a.starts_with("--")) {
+            Some(sub) => {
+                subs.push(sub.as_str());
+                opt_start += 1;
+            }
+            None => break,
+        }
+    }
     let opts = match parse_options(&args[opt_start..]) {
         Ok(o) => o,
         Err(e) => {
@@ -1753,8 +1982,11 @@ fn main() -> ExitCode {
         }
     };
     warn_missing_trace_feature(&opts);
+    if opts.progress {
+        enable_heartbeat(std::time::Duration::from_secs(2));
+    }
 
-    let Some(cmd) = dispatch(command, sub.as_deref()) else {
+    let Some(cmd) = dispatch(command, &subs) else {
         return usage();
     };
     match cmd {
@@ -1846,6 +2078,23 @@ fn main() -> ExitCode {
             }
         }
         Cmd::Report => match cmd_report(&opts) {
+            Ok(passed) => {
+                if !passed {
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Cmd::Store(action) => {
+            if let Err(e) = cmd_store(&action, &opts) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        Cmd::Trends => match cmd_trends(&opts) {
             Ok(passed) => {
                 if !passed {
                     return ExitCode::FAILURE;

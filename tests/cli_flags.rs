@@ -161,3 +161,74 @@ fn valid_flag_values_still_pass() {
     assert!(out.status.success(), "estimate control case must succeed");
     assert!(!out.stdout.is_empty());
 }
+
+#[test]
+fn report_names_the_missing_artifact_path() {
+    let stderr = expect_rejection(&["report", "--baseline", "/no/such/BENCH_x.json"]);
+    assert!(
+        stderr.contains("/no/such/BENCH_x.json"),
+        "the offending path must be named: {stderr}"
+    );
+    assert!(stderr.contains("error:"), "got: {stderr}");
+}
+
+#[test]
+fn report_schema_mismatch_lists_the_accepted_range() {
+    let dir = std::env::temp_dir().join(format!("fua-schema-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("BENCH_future.json");
+    std::fs::write(&path, "{\"schema\": \"fua-bench/99\"}\n").unwrap();
+    let path_str = path.to_str().unwrap();
+
+    let stderr = expect_rejection(&["report", "--baseline", path_str]);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(
+        stderr.contains(path_str),
+        "the offending path must be named: {stderr}"
+    );
+    assert!(
+        stderr.contains("unknown schema: fua-bench/99"),
+        "got: {stderr}"
+    );
+    // The full accepted range, oldest to newest, like the workload and
+    // scheme errors list their valid names.
+    assert!(
+        stderr.contains(
+            "accepted schemas: fua-bench/1, fua-bench/1.1, fua-bench/1.2, \
+             fua-bench/1.3, fua-bench/1.4, fua-bench/1.5"
+        ),
+        "got: {stderr}"
+    );
+}
+
+#[test]
+fn report_store_is_mutually_exclusive_with_explicit_artifacts() {
+    let stderr = expect_rejection(&["report", "--store", "--baseline", "BENCH_x.json"]);
+    assert!(
+        stderr.contains("cannot be combined with --baseline/--current"),
+        "got: {stderr}"
+    );
+}
+
+#[test]
+fn store_subcommands_validate_their_arguments() {
+    // An unknown store action is a usage error.
+    let out = fua(&["store", "frobnicate"]);
+    assert!(!out.status.success());
+
+    // A reference into an empty store names the store and what it holds.
+    let dir = std::env::temp_dir().join(format!("fua-storeref-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_fua"))
+        .current_dir(&dir)
+        .args(["store", "show", "7"])
+        .output()
+        .expect("spawn fua binary");
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("no stored artifact matches `7`"),
+        "got: {stderr}"
+    );
+}
