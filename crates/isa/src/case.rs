@@ -74,6 +74,45 @@ impl Case {
         self as usize
     }
 
+    /// Branchless variant of [`Case::from_index`]: the index is masked
+    /// to its low two bits, so the conversion compiles to a constant
+    /// array load with no panic path. The simulator's issue stage uses
+    /// this to turn pre-decoded information bits into a [`Case`]
+    /// without a data-dependent branch.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fua_isa::Case;
+    ///
+    /// assert_eq!(Case::from_index_masked(2), Case::C10);
+    /// assert_eq!(Case::from_index_masked(0b101_10), Case::C10); // masked
+    /// ```
+    #[inline]
+    pub fn from_index_masked(index: u8) -> Self {
+        Case::ALL[(index & 3) as usize]
+    }
+
+    /// Swaps a 2-bit case index's operand bits without constructing a
+    /// [`Case`]: `index(swapped(c)) == swap_index(index(c))`. Branchless
+    /// twin of [`Case::swapped`] for code that carries pre-decoded case
+    /// bits through operand swaps.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fua_isa::Case;
+    ///
+    /// for c in Case::ALL {
+    ///     let swapped = Case::swap_index(c.index() as u8);
+    ///     assert_eq!(Case::from_index_masked(swapped), c.swapped());
+    /// }
+    /// ```
+    #[inline]
+    pub fn swap_index(index: u8) -> u8 {
+        ((index & 1) << 1) | ((index >> 1) & 1)
+    }
+
     /// OP1's information bit.
     #[inline]
     pub fn op1_bit(self) -> bool {
@@ -133,6 +172,19 @@ mod tests {
         assert!(Case::C01.op2_bit());
         assert!(Case::C10.op1_bit());
         assert!(!Case::C10.op2_bit());
+    }
+
+    #[test]
+    fn branchless_index_helpers_agree_with_the_enum() {
+        for c in Case::ALL {
+            assert_eq!(Case::from_index_masked(c.index() as u8), c);
+            assert_eq!(
+                Case::from_index_masked(Case::swap_index(c.index() as u8)),
+                c.swapped()
+            );
+        }
+        // Out-of-range bits are masked, never panicked on.
+        assert_eq!(Case::from_index_masked(0xFF), Case::C11);
     }
 
     #[test]

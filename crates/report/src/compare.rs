@@ -36,7 +36,7 @@
 //!   either side is informational only.
 //! - **Throughput** — the simulated-rate headline: suite IPC is a
 //!   deterministic model metric and is banded relatively by
-//!   `metric_pct`; the simulated-kHz figure divides model cycles by
+//!   `metric_pct`; the simulated-MHz figure divides model cycles by
 //!   measured wall-clock, so only a slowdown beyond `timer_factor` of
 //!   a run whose hot loop took at least `timer_floor_nanos` is
 //!   flagged. A missing section (pre-1.5 artifact) on either side is
@@ -371,7 +371,7 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, tol: &Tolerance) -
 
     // Simulated-rate headline: IPC is pure model arithmetic (cycles and
     // retired instructions are deterministic), so it is banded like the
-    // estimator ratios; the kHz figure divides by measured wall-clock,
+    // estimator ratios; the MHz figure divides by measured wall-clock,
     // so — exactly like the phase timers — only a gross slowdown of a
     // non-trivial run is gated.
     match (&baseline.throughput, &current.throughput) {
@@ -403,10 +403,10 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, tol: &Tolerance) -
                     chk.regression(
                         "sim-rate",
                         format!(
-                            "simulated rate fell to {:.1} kHz from {:.1} kHz \
+                            "simulated rate fell to {:.3} MHz from {:.3} MHz \
                              ({factor:.1}x slower, limit {:.0}x)",
-                            c.sim_khz(),
-                            b.sim_khz(),
+                            c.sim_mhz(),
+                            b.sim_mhz(),
                             tol.timer_factor
                         ),
                     );

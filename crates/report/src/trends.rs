@@ -26,7 +26,7 @@
 //!   (`metric_pct`), for dimensionless ratios (suite IPC, estimator
 //!   precision) where a fixed point band would be meaningless.
 //! - [`TrendKind::WallClock`] — slowdown-only by `timer_factor`, for
-//!   measured rates (simulated kHz) where faster is never a finding
+//!   measured rates (simulated MHz) where faster is never a finding
 //!   and machine-to-machine noise must not gate.
 //!
 //! Series are aligned to the input points with `Vec<Option<f64>>`:
@@ -374,13 +374,13 @@ fn catalogue(newest: &BenchReport, tol: &Tolerance) -> Vec<Metric> {
     );
     let floor = tol.timer_floor_nanos;
     push(
-        "sim kHz".to_string(),
+        "sim MHz".to_string(),
         TrendKind::WallClock,
         Box::new(move |r| {
             r.throughput
                 .as_ref()
                 .filter(|t| t.hot_nanos >= floor)
-                .map(|t| t.sim_khz())
+                .map(|t| t.sim_mhz())
         }),
     );
     push(
@@ -637,7 +637,7 @@ mod tests {
         assert!(report
             .findings
             .iter()
-            .any(|f| f.category == "trend-regression" && f.message.contains("sim kHz")));
+            .any(|f| f.category == "trend-regression" && f.message.contains("sim MHz")));
     }
 
     #[test]

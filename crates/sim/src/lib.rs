@@ -42,9 +42,11 @@
 
 mod cache;
 mod config;
+mod inflight;
 mod pipeline;
 mod predictor;
 mod profiler;
+mod reference;
 mod result;
 mod steering;
 
@@ -53,5 +55,6 @@ pub use config::MachineConfig;
 pub use pipeline::Simulator;
 pub use predictor::BimodalPredictor;
 pub use profiler::{NullProfiler, PhaseProfiler, PhaseTimers, SimPhase};
+pub use reference::ReferenceSimulator;
 pub use result::{BranchStats, CacheStats, SimResult, SwapStats};
 pub use steering::SteeringConfig;

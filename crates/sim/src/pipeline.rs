@@ -1,15 +1,30 @@
 //! The cycle-driven out-of-order engine.
+//!
+//! The in-flight machinery is laid out for the machine, not the borrow
+//! checker: pre-decoded struct-of-arrays ROB/reservation-station state in
+//! an [`InflightArena`] ring, dense `waiting`/`ready` bitmasks scanned
+//! with `trailing_zeros`, wakeup via per-producer consumer lists drained
+//! by a completion calendar wheel, and branchless case computation from
+//! pre-decoded information bits. The arena is leased from a thread-local
+//! pool, so sweeps and bench suites reuse one allocation across runs.
+//! `docs/PERFORMANCE.md` documents the layout and the measured effect;
+//! DESIGN.md §13 gives the soundness argument. The pre-rewrite engine
+//! survives as [`crate::ReferenceSimulator`], and the
+//! `hot_loop_equivalence` integration test pins this engine against it
+//! bit-for-bit.
 
-use std::collections::VecDeque;
 use std::time::Instant;
 
-use fua_isa::{FuClass, Opcode, Program};
+use fua_isa::{Case, FuClass, Opcode, Program};
 use fua_power::booth::BoothModel;
 use fua_power::{EnergyLedger, ModulePorts};
 use fua_stats::{BitPatternProfiler, OccupancyProfiler};
 use fua_trace::{NullSink, Stage, StallReason, SwapKind, TraceEvent, TraceSink};
 use fua_vm::{DynOp, Vm, VmError};
 
+use crate::inflight::{
+    bit_clear, bit_get, bit_set, bit_shift_right, ArenaLease, InflightArena, NO_NODE,
+};
 use crate::{
     BimodalPredictor, BranchStats, CacheStats, DataCache, MachineConfig, NullProfiler,
     PhaseProfiler, SimPhase, SimResult, SteeringConfig, SwapStats,
@@ -35,27 +50,13 @@ macro_rules! timed {
 /// before declaring itself wedged (a model bug, not a program property).
 const WATCHDOG_CYCLES: u64 = 10_000;
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum EntryState {
-    /// Dispatched, waiting for operands or an FU.
-    Waiting,
-    /// Executing or executed; completes at `done_cycle`.
-    Issued,
-}
-
-#[derive(Debug, Clone)]
-struct Entry {
-    op: DynOp,
-    deps: [Option<u64>; 2],
-    state: EntryState,
-    done_cycle: u64,
-}
-
 /// The out-of-order superscalar simulator.
 ///
 /// One `Simulator` owns the machine state (window, predictor, cache,
 /// module latches) for a single run; create a fresh one per run. See the
-/// crate-level docs for an example.
+/// crate-level docs for an example. In-flight storage is leased from a
+/// thread-local arena pool, so constructing simulators in a loop reuses
+/// one allocation.
 ///
 /// The engine is generic over a [`TraceSink`]; [`Simulator::new`] uses
 /// the no-op [`NullSink`] (its hooks compile away entirely), while
@@ -77,7 +78,8 @@ pub struct Simulator<S: TraceSink = NullSink, P: PhaseProfiler = NullProfiler> {
     steering: SteeringConfig,
     booth: BoothModel,
 
-    window: VecDeque<Entry>,
+    inflight: ArenaLease,
+    window_len: usize,
     head_serial: u64,
     last_writer: [Option<u64>; 64],
     rs_used: [usize; 4],
@@ -137,13 +139,15 @@ impl<S: TraceSink, P: PhaseProfiler> Simulator<S, P> {
             .map(|c| OccupancyProfiler::new(config.modules(*c)))
             .collect();
         let cache = DataCache::new(config.cache);
+        let inflight = InflightArena::lease(&config);
         Simulator {
             sink,
             profiler,
             config,
             steering,
             booth: BoothModel::new(),
-            window: VecDeque::new(),
+            inflight,
+            window_len: 0,
             head_serial: 0,
             last_writer: [None; 64],
             rs_used: [0; 4],
@@ -223,7 +227,10 @@ impl<S: TraceSink, P: PhaseProfiler> Simulator<S, P> {
         let mut source_done = false;
         let mut idle_cycles = 0u64;
         loop {
-            let progress_commit = timed!(self, SimPhase::Writeback, self.commit());
+            let progress_commit = timed!(self, SimPhase::Writeback, {
+                self.wake_completions();
+                self.commit()
+            });
             let progress_issue = timed!(self, SimPhase::Issue, self.issue());
             let progress_fetch = if source_done && self.skid.is_none() {
                 0
@@ -238,23 +245,24 @@ impl<S: TraceSink, P: PhaseProfiler> Simulator<S, P> {
             if S::ENABLED {
                 self.sink.record(&TraceEvent::CycleSummary {
                     cycle: self.cycle,
-                    window: self.window.len() as u32,
+                    window: self.window_len as u32,
                     issued: progress_issue as u32,
                 });
             }
             self.cycle += 1;
-            if self.window.is_empty() && source_done && self.skid.is_none() {
+            if self.window_len == 0 && source_done && self.skid.is_none() {
                 break;
             }
 
             if progress_commit + progress_issue + progress_fetch == 0 {
                 idle_cycles += 1;
-                assert!(
-                    idle_cycles < WATCHDOG_CYCLES,
-                    "pipeline wedged at cycle {}: head {:?}",
-                    self.cycle,
-                    self.window.front()
-                );
+                if idle_cycles >= WATCHDOG_CYCLES {
+                    let head = (self.window_len > 0).then(|| {
+                        let slot = (self.head_serial & self.inflight.mask) as usize;
+                        (self.inflight.serial[slot], self.inflight.opcode[slot])
+                    });
+                    panic!("pipeline wedged at cycle {}: head {:?}", self.cycle, head);
+                }
             } else {
                 idle_cycles = 0;
             }
@@ -276,90 +284,153 @@ impl<S: TraceSink, P: PhaseProfiler> Simulator<S, P> {
         })
     }
 
+    // --- wakeup ---
+
+    /// Drains this cycle's completion-wheel bucket: every producer slot
+    /// completing now walks its consumer list, decrementing each
+    /// consumer's pending-operand count and setting its `ready` bit when
+    /// the count hits zero. Runs before commit so a producer completing
+    /// at cycle `c` satisfies consumers issuing at cycle `c`, matching
+    /// the reference engine's `done_cycle <= cycle` check.
+    fn wake_completions(&mut self) {
+        let cycle = self.cycle;
+        let head_serial = self.head_serial;
+        let a = &mut *self.inflight;
+        let idx = (cycle & a.wheel_mask) as usize;
+        if a.wheel[idx].is_empty() {
+            return;
+        }
+        let bucket = std::mem::take(&mut a.wheel[idx]);
+        for &pslot in &bucket {
+            let mut node = a.first_consumer[pslot as usize];
+            a.first_consumer[pslot as usize] = NO_NODE;
+            while node != NO_NODE {
+                let next = a.next_consumer[node as usize];
+                let cslot = (node >> 1) as usize;
+                a.pending[cslot] -= 1;
+                if a.pending[cslot] == 0 {
+                    // A consumer cannot commit before it issues, so it is
+                    // still in the window and this offset is in range.
+                    let offset = (a.serial[cslot] - head_serial) as usize;
+                    bit_set(&mut a.ready, offset);
+                }
+                node = next;
+            }
+        }
+        // Hand the (cleared) allocation back to the wheel.
+        let mut bucket = bucket;
+        bucket.clear();
+        self.inflight.wheel[idx] = bucket;
+    }
+
     // --- commit ---
 
     fn commit(&mut self) -> usize {
+        let cycle = self.cycle;
+        let commit_width = self.config.commit_width;
         let mut committed = 0;
-        while committed < self.config.commit_width {
-            let head_done = matches!(
-                self.window.front(),
-                Some(e) if e.state == EntryState::Issued && e.done_cycle <= self.cycle
-            );
-            if !head_done {
+        while committed < commit_width && committed < self.window_len {
+            // Offset `committed` is the current head: bits shift only
+            // after the loop, so ages are relative to the old head.
+            let a = &*self.inflight;
+            if bit_get(&a.waiting, committed) {
                 break;
             }
-            let entry = self.window.pop_front().expect("head checked above");
+            let slot = ((self.head_serial + committed as u64) & a.mask) as usize;
+            if a.done_cycle[slot] > cycle {
+                break;
+            }
             if S::ENABLED {
+                let serial = a.serial[slot];
+                let opcode = a.opcode[slot];
                 self.sink.record(&TraceEvent::Stage {
                     stage: Stage::Retire,
-                    cycle: self.cycle,
-                    serial: entry.op.serial,
-                    opcode: entry.op.opcode,
+                    cycle,
+                    serial,
+                    opcode,
                 });
             }
-            self.head_serial += 1;
-            self.retired += 1;
             committed += 1;
+        }
+        if committed > 0 {
+            self.head_serial += committed as u64;
+            self.retired += committed as u64;
+            self.window_len -= committed;
+            let a = &mut *self.inflight;
+            bit_shift_right(&mut a.waiting, committed);
+            bit_shift_right(&mut a.ready, committed);
         }
         committed
     }
 
     // --- issue ---
 
-    fn deps_satisfied(&self, entry: &Entry) -> bool {
-        entry.deps.iter().all(|dep| match dep {
-            None => true,
-            Some(serial) => {
-                if *serial < self.head_serial {
-                    return true; // producer already committed
-                }
-                let idx = (*serial - self.head_serial) as usize;
-                let producer = &self.window[idx];
-                producer.state == EntryState::Issued && producer.done_cycle <= self.cycle
-            }
-        })
-    }
-
-    /// Selects this cycle's issue group: oldest-first per class, one
-    /// instruction per module, loads/stores contending for the memory
-    /// ports. In in-order mode the group is the maximal *prefix* of
-    /// unissued instructions that can all go — the first stalled
-    /// instruction (data or structural hazard) ends the group, as in a
-    /// VLIW.
-    fn select_ready(&self) -> [Vec<usize>; 4] {
-        let mut selected: [Vec<usize>; 4] = Default::default();
+    /// Selects this cycle's issue group into the arena's per-class
+    /// scratch: oldest-first per class, one instruction per module,
+    /// loads/stores contending for the memory ports. Out-of-order mode
+    /// scans only the dense `ready` bitmask (deps already resolved by
+    /// wakeup); in-order mode scans the `waiting` bitmask so the group is
+    /// the maximal *prefix* of unissued instructions that can all go —
+    /// the first stalled instruction (data or structural hazard) ends
+    /// the group, as in a VLIW.
+    fn select_ready(&mut self) {
+        let head_serial = self.head_serial;
+        let fu_counts = self.config.fu_counts;
+        let in_order = self.config.in_order_issue;
         let mut mem_ports_left = self.config.mem_ports;
-        for idx in 0..self.window.len() {
-            let entry = &self.window[idx];
-            if entry.state != EntryState::Waiting {
-                continue;
-            }
-            let Some(fu) = entry.op.fu else { continue };
-            let ci = fu.class.index();
-            let needs_port = entry.op.mem.is_some();
-            let issuable = selected[ci].len() < self.config.modules(fu.class)
-                && (!needs_port || mem_ports_left > 0)
-                && self.deps_satisfied(entry);
-            if issuable {
-                if needs_port {
-                    mem_ports_left -= 1;
+        let a = &mut *self.inflight;
+        for sel in &mut a.selected {
+            sel.clear();
+        }
+        if !in_order {
+            for w in 0..a.words {
+                let mut word = a.ready[w];
+                while word != 0 {
+                    let offset = w * 64 + word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    let slot = ((head_serial + offset as u64) & a.mask) as usize;
+                    let ci = a.fu[slot].class.index();
+                    let needs_port = a.has_mem[slot];
+                    if a.selected[ci].len() < fu_counts[ci] && (!needs_port || mem_ports_left > 0) {
+                        if needs_port {
+                            mem_ports_left -= 1;
+                        }
+                        a.selected[ci].push(offset as u32);
+                    }
                 }
-                selected[ci].push(idx);
-            } else if self.config.in_order_issue {
-                break;
+            }
+        } else {
+            'scan: for w in 0..a.words {
+                let mut word = a.waiting[w];
+                while word != 0 {
+                    let offset = w * 64 + word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    let slot = ((head_serial + offset as u64) & a.mask) as usize;
+                    let ci = a.fu[slot].class.index();
+                    let needs_port = a.has_mem[slot];
+                    let issuable = bit_get(&a.ready, offset)
+                        && a.selected[ci].len() < fu_counts[ci]
+                        && (!needs_port || mem_ports_left > 0);
+                    if !issuable {
+                        break 'scan;
+                    }
+                    if needs_port {
+                        mem_ports_left -= 1;
+                    }
+                    a.selected[ci].push(offset as u32);
+                }
             }
         }
-        selected
     }
 
     fn issue(&mut self) -> usize {
-        let groups = self.select_ready();
+        self.select_ready();
         if S::ENABLED {
-            self.record_stalls(&groups);
+            self.record_stalls();
         }
         let mut issued_total = 0;
         for class in FuClass::ALL {
-            issued_total += self.issue_class(class, &groups[class.index()]);
+            issued_total += self.issue_class(class);
         }
         issued_total
     }
@@ -371,62 +442,71 @@ impl<S: TraceSink, P: PhaseProfiler> Simulator<S, P> {
     /// partition `cycles × issue_width`).
     ///
     /// Runs only when a sink is attached and never mutates engine
-    /// state: it mirrors `select_ready`'s walk (same window order, same
-    /// memory-port budget) to rediscover which candidates were passed
-    /// over and why, so a profiled run is cycle-identical to an
-    /// unprofiled one.
-    fn record_stalls(&mut self, groups: &[Vec<usize>; 4]) {
+    /// state: it mirrors `select_ready`'s walk (same age order over the
+    /// `waiting` bitmask, same memory-port budget) to rediscover which
+    /// candidates were passed over and why, so a traced run is
+    /// cycle-identical to an untraced one.
+    fn record_stalls(&mut self) {
         let mut idle = [0usize; 4];
         let mut width_left = [0usize; 4];
         for class in FuClass::ALL {
             let ci = class.index();
             width_left[ci] = self.config.modules(class);
-            idle[ci] = width_left[ci] - groups[ci].len();
+            idle[ci] = width_left[ci] - self.inflight.selected[ci].len();
         }
         let mut mem_ports_left = self.config.mem_ports;
         let mut prefix_blocked = false;
-        for idx in 0..self.window.len() {
-            let entry = &self.window[idx];
-            if entry.state != EntryState::Waiting {
-                continue;
-            }
-            let Some(fu) = entry.op.fu else { continue };
-            let ci = fu.class.index();
-            let needs_port = entry.op.mem.is_some();
-            let ready = self.deps_satisfied(entry);
-            if !prefix_blocked && width_left[ci] > 0 && (!needs_port || mem_ports_left > 0) && ready
-            {
-                // This candidate was selected for issue.
-                if needs_port {
-                    mem_ports_left -= 1;
+        let head_serial = self.head_serial;
+        let in_order = self.config.in_order_issue;
+        for w in 0..self.inflight.words {
+            let mut word = self.inflight.waiting[w];
+            while word != 0 {
+                let offset = w * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                let a = &*self.inflight;
+                let slot = ((head_serial + offset as u64) & a.mask) as usize;
+                let class = a.fu[slot].class;
+                let ci = class.index();
+                let needs_port = a.has_mem[slot];
+                let ready = bit_get(&a.ready, offset);
+                if !prefix_blocked
+                    && width_left[ci] > 0
+                    && (!needs_port || mem_ports_left > 0)
+                    && ready
+                {
+                    // This candidate was selected for issue.
+                    if needs_port {
+                        mem_ports_left -= 1;
+                    }
+                    width_left[ci] -= 1;
+                    continue;
                 }
-                width_left[ci] -= 1;
-                continue;
-            }
-            let reason = if prefix_blocked {
-                StallReason::SteeringDelay
-            } else if !ready {
-                StallReason::OperandWait
-            } else {
-                StallReason::FuBusy
-            };
-            if self.config.in_order_issue {
-                prefix_blocked = true;
-            }
-            // Charge an idle slot of the candidate's class to it, while
-            // slots remain (blocked candidates can outnumber the idle
-            // slots — the slots are the resource being partitioned).
-            if idle[ci] > 0 {
-                idle[ci] -= 1;
-                let event = TraceEvent::Stall {
-                    cycle: self.cycle,
-                    class: fu.class,
-                    reason,
-                    slots: 1,
-                    pc: Some(entry.op.static_idx),
-                    case: Some(fu.case()),
+                let reason = if prefix_blocked {
+                    StallReason::SteeringDelay
+                } else if !ready {
+                    StallReason::OperandWait
+                } else {
+                    StallReason::FuBusy
                 };
-                self.sink.record(&event);
+                if in_order {
+                    prefix_blocked = true;
+                }
+                // Charge an idle slot of the candidate's class to it,
+                // while slots remain (blocked candidates can outnumber
+                // the idle slots — the slots are the resource being
+                // partitioned).
+                if idle[ci] > 0 {
+                    idle[ci] -= 1;
+                    let event = TraceEvent::Stall {
+                        cycle: self.cycle,
+                        class,
+                        reason,
+                        slots: 1,
+                        pc: Some(a.static_idx[slot]),
+                        case: Some(Case::from_index_masked(a.case_bits[slot])),
+                    };
+                    self.sink.record(&event);
+                }
             }
         }
         // Residual idle slots had no candidate at all: a frontend
@@ -437,15 +517,15 @@ impl<S: TraceSink, P: PhaseProfiler> Simulator<S, P> {
                 let culprit = self.fetch_blocked_by.and_then(|serial| {
                     serial
                         .checked_sub(self.head_serial)
-                        .and_then(|idx| self.window.get(idx as usize))
-                        .map(|e| e.op.static_idx)
+                        .filter(|&off| (off as usize) < self.window_len)
+                        .map(|_| self.inflight.static_idx[(serial & self.inflight.mask) as usize])
                 });
                 (StallReason::BranchRecovery, culprit)
-            } else if self.window.len() >= self.config.rob_size {
-                (
-                    StallReason::RobFull,
-                    self.window.front().map(|e| e.op.static_idx),
-                )
+            } else if self.window_len >= self.config.rob_size {
+                let head_pc = (self.window_len > 0).then(|| {
+                    self.inflight.static_idx[(self.head_serial & self.inflight.mask) as usize]
+                });
+                (StallReason::RobFull, head_pc)
             } else if let Some(op) = &self.skid {
                 (StallReason::RsFull, Some(op.static_idx))
             } else {
@@ -467,26 +547,42 @@ impl<S: TraceSink, P: PhaseProfiler> Simulator<S, P> {
         }
     }
 
-    fn issue_class(&mut self, class: FuClass, selected: &[usize]) -> usize {
+    fn issue_class(&mut self, class: FuClass) -> usize {
+        let ci = class.index();
         let modules = self.config.modules(class);
+        let selected = std::mem::take(&mut self.inflight.selected[ci]);
         debug_assert!(selected.len() <= modules);
-        self.occupancy[class.index()].record(selected.len());
+        self.occupancy[ci].record(selected.len());
         if selected.is_empty() {
+            self.inflight.selected[ci] = selected;
             return 0;
         }
+        let head_serial = self.head_serial;
+        let mask = self.inflight.mask;
+        let slot_of = |offset: u32| ((head_serial + offset as u64) & mask) as usize;
 
-        // Build the FU operations, applying the static swap rules.
-        let mut ops: Vec<fua_vm::FuOp> = selected
-            .iter()
-            .map(|&i| self.window[i].op.fu.expect("selected ops have FUs"))
-            .collect();
+        // Build the FU operations, applying the static swap rules. The
+        // pre-decoded case bits track each op through every swap, so no
+        // operand word is re-inspected on this path.
+        let mut ops = std::mem::take(&mut self.inflight.ops_scratch);
+        let mut case_bits = std::mem::take(&mut self.inflight.bits_scratch);
+        ops.clear();
+        case_bits.clear();
+        for &offset in &selected {
+            let slot = slot_of(offset);
+            ops.push(self.inflight.fu[slot]);
+            case_bits.push(self.inflight.case_bits[slot]);
+        }
         if let Some(rule) = self.steering.swap_rule(class) {
-            let rule = *rule;
-            for (op, &i) in ops.iter_mut().zip(selected) {
-                if rule.apply(op) {
+            let target = rule.case().index() as u8;
+            for i in 0..ops.len() {
+                let op = &mut ops[i];
+                if op.commutative && case_bits[i] == target {
+                    *op = op.swapped();
+                    case_bits[i] = Case::swap_index(case_bits[i]);
                     self.swaps.rule_swaps += 1;
                     if S::ENABLED {
-                        let serial = self.window[i].op.serial;
+                        let serial = self.inflight.serial[slot_of(selected[i])];
                         self.sink.record(&TraceEvent::OperandSwap {
                             cycle: self.cycle,
                             serial,
@@ -499,12 +595,14 @@ impl<S: TraceSink, P: PhaseProfiler> Simulator<S, P> {
         }
         if matches!(class, FuClass::IntMul | FuClass::FpMul) {
             if let Some(rule) = self.steering.multiplier_swap {
-                for (op, &i) in ops.iter_mut().zip(selected) {
-                    let opcode = self.window[i].op.opcode;
-                    if matches!(opcode, Opcode::Mul | Opcode::FMul) && rule.apply(op) {
+                for i in 0..ops.len() {
+                    let slot = slot_of(selected[i]);
+                    let opcode = self.inflight.opcode[slot];
+                    if matches!(opcode, Opcode::Mul | Opcode::FMul) && rule.apply(&mut ops[i]) {
+                        case_bits[i] = Case::swap_index(case_bits[i]);
                         self.swaps.multiplier_swaps += 1;
                         if S::ENABLED {
-                            let serial = self.window[i].op.serial;
+                            let serial = self.inflight.serial[slot];
                             self.sink.record(&TraceEvent::OperandSwap {
                                 cycle: self.cycle,
                                 serial,
@@ -525,7 +623,7 @@ impl<S: TraceSink, P: PhaseProfiler> Simulator<S, P> {
                     .steering
                     .policy_mut(class)
                     .expect("duplicated classes have a policy");
-                policy.assign(&ops, &self.ports[class.index()])
+                policy.assign(&ops, &self.ports[ci])
             })
         } else {
             ops.iter()
@@ -540,28 +638,30 @@ impl<S: TraceSink, P: PhaseProfiler> Simulator<S, P> {
         }
 
         // Latch, charge energy, schedule completion.
-        for ((mut op, choice), &win_idx) in ops.into_iter().zip(choices).zip(selected) {
+        for (i, choice) in choices.into_iter().enumerate() {
+            let mut op = ops[i];
+            let offset = selected[i] as usize;
+            let slot = slot_of(selected[i]);
             // The case the steering policy saw (post rule-swap,
             // pre policy-swap) — what a Steer trace event reports.
-            let steer_case = op.case();
+            let steer_case = Case::from_index_masked(case_bits[i]);
             if choice.swap {
                 debug_assert!(op.commutative);
                 op = op.swapped();
                 self.swaps.policy_swaps += 1;
             }
-            let ports = &mut self.ports[class.index()][choice.module];
+            let ports = &mut self.ports[ci][choice.module];
             let bits = ports.latch(op.op1, op.op2);
             self.ledger.charge(class, bits);
-            self.bit_patterns[class.index()].record(&op);
+            self.bit_patterns[ci].record(&op);
 
-            let entry = &mut self.window[win_idx];
-            let opcode = entry.op.opcode;
-            let serial = entry.op.serial;
-            let entry_pc = entry.op.static_idx;
+            let opcode = self.inflight.opcode[slot];
+            let serial = self.inflight.serial[slot];
+            let entry_pc = self.inflight.static_idx[slot];
             if matches!(opcode, Opcode::Mul | Opcode::FMul) {
                 // Booth activity model (extension; see DESIGN.md). The
                 // latch already advanced, so reconstruct prev from cost.
-                self.booth_energy[class.index()] += self.booth.pp_weight
+                self.booth_energy[ci] += self.booth.pp_weight
                     * fua_power::booth::nonzero_booth_digits(
                         fua_power::booth::significand(op.op2).0,
                         fua_power::booth::significand(op.op2).1,
@@ -572,7 +672,8 @@ impl<S: TraceSink, P: PhaseProfiler> Simulator<S, P> {
 
             let mut latency = self.config.latency(opcode);
             let mut cache_event = None;
-            if let Some(mem) = entry.op.mem {
+            if self.inflight.has_mem[slot] {
+                let mem = self.inflight.mem[slot];
                 let mem_latency = self.cache.access(mem.addr);
                 if mem.is_load {
                     latency += mem_latency;
@@ -587,10 +688,20 @@ impl<S: TraceSink, P: PhaseProfiler> Simulator<S, P> {
                     });
                 }
             }
-            entry.state = EntryState::Issued;
-            entry.done_cycle = self.cycle + latency;
-            let done_cycle = entry.done_cycle;
-            self.rs_used[class.index()] -= 1;
+            let done_cycle = self.cycle + latency;
+            {
+                let a = &mut *self.inflight;
+                a.done_cycle[slot] = done_cycle;
+                bit_clear(&mut a.waiting, offset);
+                bit_clear(&mut a.ready, offset);
+                debug_assert!(
+                    ((done_cycle - self.cycle) as usize) < a.wheel.len(),
+                    "completion wheel must cover every latency"
+                );
+                let widx = (done_cycle & a.wheel_mask) as usize;
+                a.wheel[widx].push(slot as u32);
+            }
+            self.rs_used[ci] -= 1;
 
             // A resolved mispredicted branch un-blocks fetch.
             if self.fetch_blocked_by == Some(serial) {
@@ -661,7 +772,12 @@ impl<S: TraceSink, P: PhaseProfiler> Simulator<S, P> {
                 });
             }
         }
-        selected.len()
+        let issued = selected.len();
+        // Return the scratch buffers (and their capacity) to the arena.
+        self.inflight.selected[ci] = selected;
+        self.inflight.ops_scratch = ops;
+        self.inflight.bits_scratch = case_bits;
+        issued
     }
 
     // --- fetch/dispatch ---
@@ -676,7 +792,7 @@ impl<S: TraceSink, P: PhaseProfiler> Simulator<S, P> {
         }
         let mut dispatched = 0;
         while dispatched < self.config.fetch_width {
-            if self.window.len() >= self.config.rob_size {
+            if self.window_len >= self.config.rob_size {
                 break;
             }
             // Drain the skid buffer (an op stalled on a full reservation
@@ -759,18 +875,62 @@ impl<S: TraceSink, P: PhaseProfiler> Simulator<S, P> {
                 }
             }
         }
-        let state = if op.fu.is_some() {
-            EntryState::Waiting
-        } else {
-            EntryState::Issued // no FU: completes next cycle
-        };
-        let done_cycle = self.cycle + 1;
-        self.window.push_back(Entry {
-            op,
-            deps,
-            state,
-            done_cycle,
-        });
+
+        // Write the slot. Ring-index stability: slot = serial & mask never
+        // collides while the instruction is in flight, because the window
+        // holds at most rob_size <= capacity consecutive serials.
+        let cycle = self.cycle;
+        let head_serial = self.head_serial;
+        let offset = self.window_len;
+        let a = &mut *self.inflight;
+        let slot = (op.serial & a.mask) as usize;
+        a.serial[slot] = op.serial;
+        a.opcode[slot] = op.opcode;
+        a.static_idx[slot] = op.static_idx;
+        a.first_consumer[slot] = NO_NODE;
+        a.done_cycle[slot] = cycle + 1;
+        match op.fu {
+            Some(fu) => {
+                a.fu[slot] = fu;
+                a.case_bits[slot] = fu.case_bits();
+                a.has_mem[slot] = op.mem.is_some();
+                if let Some(mem) = op.mem {
+                    a.mem[slot] = mem;
+                }
+                // Register unresolved operands with their producers'
+                // consumer lists; resolved ones need no wakeup.
+                let mut pending = 0u8;
+                for (k, dep) in deps.iter().enumerate() {
+                    if let Some(s) = *dep {
+                        let satisfied = s < head_serial || {
+                            let p_offset = (s - head_serial) as usize;
+                            let p_slot = (s & a.mask) as usize;
+                            !bit_get(&a.waiting, p_offset) && a.done_cycle[p_slot] <= cycle
+                        };
+                        if !satisfied {
+                            pending += 1;
+                            let node = (slot * 2 + k) as u32;
+                            let p_slot = (s & a.mask) as usize;
+                            a.next_consumer[node as usize] = a.first_consumer[p_slot];
+                            a.first_consumer[p_slot] = node;
+                        }
+                    }
+                }
+                a.pending[slot] = pending;
+                bit_set(&mut a.waiting, offset);
+                if pending == 0 {
+                    bit_set(&mut a.ready, offset);
+                }
+            }
+            None => {
+                // No FU: completes next cycle. Schedule the completion so
+                // consumers registered on this slot still get woken.
+                a.has_mem[slot] = false;
+                let widx = ((cycle + 1) & a.wheel_mask) as usize;
+                a.wheel[widx].push(slot as u32);
+            }
+        }
+        self.window_len += 1;
     }
 }
 

@@ -44,6 +44,16 @@ impl FuOp {
         Case::of_operands(self.op1, self.op2)
     }
 
+    /// The instruction's case as a pre-decoded 2-bit index
+    /// (`op1_bit << 1 | op2_bit`), for hot paths that carry the case
+    /// through operand swaps with [`Case::swap_index`] instead of
+    /// re-inspecting the operand words. `Case::from_index_masked`
+    /// recovers the [`Case`] branchlessly.
+    #[inline]
+    pub fn case_bits(&self) -> u8 {
+        ((self.op1.info_bit() as u8) << 1) | (self.op2.info_bit() as u8)
+    }
+
     /// The operation with its ports exchanged (callers must check
     /// [`FuOp::commutative`] for legality).
     #[inline]

@@ -135,6 +135,30 @@ trap 'rm -rf "$tmpdir"' EXIT
   cmp shown.json reshown.json
 )
 
+# Throughput gates (mirrors the CI `throughput` job, see
+# docs/PERFORMANCE.md). The simulated-MHz rate is gated through a
+# dedicated run store: two fresh runs must trend clean and pass the
+# slowdown-only sim-rate band. The criterion hot-loop bench (rewrite
+# vs reference speedup assertion) additionally runs when the registry
+# is reachable; crates/bench is workspace-excluded because criterion
+# cannot be resolved offline, so the smoke is skipped — not failed —
+# in that case.
+(
+  cd "$tmpdir"
+  mkdir -p rate && cd rate
+  "$repo/target/release/fua" bench-suite --store --store-dir .rate-store --tag rate1
+  "$repo/target/release/fua" bench-suite --store --store-dir .rate-store --tag rate2
+  "$repo/target/release/fua" report --store --store-dir .rate-store
+  "$repo/target/release/fua" trends --store-dir .rate-store | tee rate-trends.txt
+  grep -q "PASS: 0 finding(s)" rate-trends.txt
+)
+if cargo metadata --manifest-path crates/bench/Cargo.toml \
+    --format-version 1 > /dev/null 2>&1; then
+  cargo bench --manifest-path crates/bench/Cargo.toml --bench hot_loop -- --test
+else
+  echo "note: criterion unresolvable (offline); skipping hot-loop bench smoke" >&2
+fi
+
 # Progress-isolation gate: --progress must not change a single stdout
 # byte (heartbeat lines are stderr-only).
 (

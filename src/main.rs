@@ -1711,11 +1711,11 @@ fn cmd_bench_suite(opts: &Options) -> Result<(), String> {
     if let Some(t) = &report.throughput {
         eprintln!(
             "bench-suite: simulated {} cycles / {} instructions in {:.2}s hot loop — \
-             {:.0} kHz, {:.0} kinst/s, IPC {:.3}",
+             {:.2} MHz simulated ({:.0} kinst/s, IPC {:.3})",
             t.cycles,
             t.instructions,
             t.hot_nanos as f64 / 1e9,
-            t.sim_khz(),
+            t.sim_mhz(),
             t.kips(),
             t.ipc()
         );
