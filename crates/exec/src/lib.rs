@@ -37,8 +37,10 @@
 
 mod progress;
 
+use progress::{current_stage, heartbeat_add_cells, heartbeat_sweep_summary, heartbeat_tick};
 pub use progress::{enable_heartbeat, heartbeat_enabled, heartbeat_stage};
-use progress::{heartbeat_add_cells, heartbeat_tick};
+
+use fua_obs::HarnessSpan;
 
 use std::fmt;
 use std::num::NonZeroUsize;
@@ -145,6 +147,30 @@ impl ExecReport {
         self.workers.iter().map(|w| w.nanos).sum()
     }
 
+    /// Fraction of the pool's wall-clock capacity spent executing cells:
+    /// `busy / (jobs × wall)`, in `[0, 1]`-ish (scheduling jitter can
+    /// nudge it past 1 by a hair). Zero when nothing was measured.
+    pub fn busy_fraction(&self) -> f64 {
+        let capacity = (self.jobs as u64).saturating_mul(self.wall_nanos);
+        if capacity == 0 {
+            return 0.0;
+        }
+        self.busy_nanos() as f64 / capacity as f64
+    }
+
+    /// Load-imbalance ratio: the busiest worker's nanoseconds over the
+    /// mean worker's. 1.0 is perfectly balanced; 1.0 also when nothing
+    /// was measured (no worker did work).
+    pub fn imbalance(&self) -> f64 {
+        let busy = self.busy_nanos();
+        if busy == 0 || self.workers.is_empty() {
+            return 1.0;
+        }
+        let mean = busy as f64 / self.workers.len() as f64;
+        let max = self.workers.iter().map(|w| w.nanos).max().unwrap_or(0);
+        max as f64 / mean
+    }
+
     /// Folds another sweep's telemetry into this one: worker stats add
     /// index-wise, wall-clocks add (sequential sweeps), and the job
     /// count takes the maximum (the pool size the run was granted).
@@ -202,9 +228,19 @@ where
 {
     let sweep = Instant::now();
     heartbeat_add_cells(items.len() as u64);
+    // Span collection is decided once per sweep: one relaxed load, and
+    // the stage label is cloned into each recorded span so the timeline
+    // can group chunks by pipeline stage.
+    let spans_on = fua_obs::spans_enabled() && !items.is_empty();
+    let stage = if spans_on {
+        current_stage()
+    } else {
+        String::new()
+    };
     // The serial path is the reference semantics: plain in-order
     // iteration on the calling thread.
     if jobs.is_serial() || items.len() <= 1 {
+        let span_start = fua_obs::now_nanos();
         let start = Instant::now();
         let results: Vec<R> = items
             .iter()
@@ -216,6 +252,18 @@ where
             })
             .collect();
         let nanos = elapsed_nanos(start);
+        if spans_on {
+            // The whole serial sweep is one busy segment of worker 0.
+            fua_obs::record_spans(vec![HarnessSpan {
+                worker: 0,
+                stage,
+                lo: 0,
+                hi: items.len() as u32,
+                queue_depth: items.len() as u32,
+                start_nanos: span_start,
+                end_nanos: fua_obs::now_nanos(),
+            }]);
+        }
         let report = ExecReport {
             jobs: 1,
             wall_nanos: elapsed_nanos(sweep),
@@ -224,6 +272,7 @@ where
                 nanos,
             }],
         };
+        heartbeat_sweep_summary(&report);
         return (results, report);
     }
 
@@ -241,17 +290,37 @@ where
             let slots = &slots;
             let stats = &stats;
             let f = &f;
+            let stage = &stage;
             scope.spawn(move || {
                 let start = Instant::now();
                 let mut cells = 0u64;
+                // Worker-local span batch: no lock and no shared state
+                // while chunks execute; merged once when the worker
+                // runs out of work.
+                let mut spans: Vec<HarnessSpan> = Vec::new();
                 loop {
                     let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
                     if lo >= items.len() {
                         break;
                     }
                     let hi = (lo + chunk).min(items.len());
+                    let span_start = if spans_on { fua_obs::now_nanos() } else { 0 };
                     // Compute the whole chunk outside the lock …
                     let batch: Vec<(usize, R)> = (lo..hi).map(|i| (i, f(i, &items[i]))).collect();
+                    if spans_on {
+                        spans.push(HarnessSpan {
+                            worker: worker as u32,
+                            stage: stage.clone(),
+                            lo: lo as u32,
+                            hi: hi as u32,
+                            // Cells still unclaimed at the moment this
+                            // chunk was claimed — the queue-occupancy
+                            // sample.
+                            queue_depth: (items.len() - lo) as u32,
+                            start_nanos: span_start,
+                            end_nanos: fua_obs::now_nanos(),
+                        });
+                    }
                     cells += (hi - lo) as u64;
                     heartbeat_tick((hi - lo) as u64);
                     // … then file the results into their index slots.
@@ -260,6 +329,7 @@ where
                         guard[i] = Some(r);
                     }
                 }
+                fua_obs::record_spans(spans);
                 stats.lock().expect("worker stats poisoned")[worker] = WorkerStat {
                     cells,
                     nanos: elapsed_nanos(start),
@@ -279,6 +349,7 @@ where
         wall_nanos: elapsed_nanos(sweep),
         workers: stats.into_inner().expect("worker stats poisoned"),
     };
+    heartbeat_sweep_summary(&report);
     (results, report)
 }
 
@@ -384,6 +455,74 @@ mod tests {
         assert_eq!(a.workers[2], WorkerStat { cells: 2, nanos: 4 });
         assert_eq!(a.cells(), 8);
         assert_eq!(a.busy_nanos(), 15);
+    }
+
+    #[test]
+    fn utilization_helpers_handle_empty_and_balanced_reports() {
+        let empty = ExecReport::default();
+        assert_eq!(empty.busy_fraction(), 0.0);
+        assert_eq!(empty.imbalance(), 1.0);
+
+        let balanced = ExecReport {
+            jobs: 2,
+            wall_nanos: 100,
+            workers: vec![
+                WorkerStat {
+                    cells: 1,
+                    nanos: 80,
+                },
+                WorkerStat {
+                    cells: 1,
+                    nanos: 80,
+                },
+            ],
+        };
+        assert!((balanced.busy_fraction() - 0.8).abs() < 1e-12);
+        assert!((balanced.imbalance() - 1.0).abs() < 1e-12);
+
+        let skewed = ExecReport {
+            jobs: 2,
+            wall_nanos: 100,
+            workers: vec![
+                WorkerStat {
+                    cells: 1,
+                    nanos: 90,
+                },
+                WorkerStat {
+                    cells: 1,
+                    nanos: 30,
+                },
+            ],
+        };
+        // max 90 over mean 60 = 1.5
+        assert!((skewed.imbalance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spans_partition_the_sweep_once_enabled() {
+        // Span state is process-global and other tests sweep
+        // concurrently, so this test identifies its own spans by a
+        // unique item count: claim-time queue depth plus claim offset
+        // always equals the sweep's cell count.
+        let items: Vec<u32> = (0..4096).collect();
+        fua_obs::enable_spans();
+        let _ = map_indexed(Jobs::serial(), &items, |_, &x| x);
+        let _ = map_indexed(Jobs::new(4).unwrap(), &items, |_, &x| x + 1);
+        let spans = fua_obs::drain_spans();
+        let mine: Vec<_> = spans
+            .iter()
+            .filter(|s| s.lo + s.queue_depth == 4096)
+            .collect();
+        let covered: u32 = mine.iter().map(|s| s.hi - s.lo).sum();
+        assert_eq!(
+            covered,
+            4096 * 2,
+            "one serial sweep span plus parallel chunks partitioning the cells"
+        );
+        for s in &mine {
+            assert!(s.end_nanos >= s.start_nanos);
+            assert!(s.hi > s.lo && s.hi <= 4096);
+        }
     }
 
     #[test]

@@ -5,9 +5,11 @@
 //! The heartbeat therefore lives entirely on **stderr**, is **off by
 //! default**, and touches nothing the model computes: when enabled (the
 //! CLI's `--progress`), a detached thread prints one status line per
-//! interval — elapsed wall-clock, the current stage label, and the
-//! sweep cell counters that [`map_indexed_timed`](crate::map_indexed_timed)
-//! ticks as workers finish chunks.
+//! interval — elapsed wall-clock, the current stage label, the sweep
+//! cell counters that [`map_indexed_timed`](crate::map_indexed_timed)
+//! ticks as workers finish chunks, and a linear-extrapolation ETA.
+//! Each finished sweep additionally prints a per-stage utilization
+//! summary (busy fraction and load imbalance from the worker stats).
 //!
 //! The state is process-global atomics, so enabling it requires **zero
 //! signature changes** anywhere in the call graph: the executor ticks
@@ -61,16 +63,41 @@ pub fn enable_heartbeat(interval: Duration) {
 /// immediately, so short runs still show each stage even when they
 /// finish within the first interval.
 ///
-/// No-op unless [`enable_heartbeat`] ran.
+/// The label is recorded unconditionally (the harness span collector
+/// reads it to tag worker chunks per stage); printing still happens
+/// only once [`enable_heartbeat`] ran.
 pub fn heartbeat_stage(label: &str) {
-    if !heartbeat_enabled() {
-        return;
-    }
     if let Ok(mut stage) = STAGE.lock() {
         stage.clear();
         stage.push_str(label);
     }
+    if !heartbeat_enabled() {
+        return;
+    }
     print_line();
+}
+
+/// The most recent stage label (empty before any [`heartbeat_stage`]).
+pub(crate) fn current_stage() -> String {
+    STAGE.lock().map(|s| s.clone()).unwrap_or_default()
+}
+
+/// Prints a one-line worker-utilization summary for a finished sweep:
+/// pool size, busy fraction and load imbalance. Called by the executor
+/// after every sweep; stderr-only and a no-op unless the heartbeat is
+/// enabled, like every other line in this module.
+pub(crate) fn heartbeat_sweep_summary(report: &crate::ExecReport) {
+    if !heartbeat_enabled() || report.cells() == 0 {
+        return;
+    }
+    let stage = stage_label();
+    eprintln!(
+        "progress: stage {stage}: {} cells on {} worker(s), busy {:>5.1}%, imbalance {:.2}",
+        report.cells(),
+        report.jobs,
+        report.busy_fraction() * 100.0,
+        report.imbalance()
+    );
 }
 
 /// Adds `n` cells to the outstanding-work denominator. Called by the
@@ -88,11 +115,8 @@ pub(crate) fn heartbeat_tick(n: u64) {
     }
 }
 
-fn print_line() {
-    let elapsed = START.get().map(|s| s.elapsed()).unwrap_or_default();
-    let done = DONE.load(Ordering::Relaxed);
-    let total = TOTAL.load(Ordering::Relaxed);
-    let stage = STAGE
+fn stage_label() -> String {
+    STAGE
         .lock()
         .map(|s| {
             if s.is_empty() {
@@ -101,9 +125,25 @@ fn print_line() {
                 s.clone()
             }
         })
-        .unwrap_or_else(|_| "-".to_string());
+        .unwrap_or_else(|_| "-".to_string())
+}
+
+fn print_line() {
+    let elapsed = START.get().map(|s| s.elapsed()).unwrap_or_default();
+    let done = DONE.load(Ordering::Relaxed);
+    let total = TOTAL.load(Ordering::Relaxed);
+    let stage = stage_label();
+    // ETA by linear extrapolation over cells; "-" until the first cell
+    // lands (or once the sweep total is met), so the line never shows a
+    // wild early estimate.
+    let eta = if done == 0 || total <= done {
+        "-".to_string()
+    } else {
+        let per_cell = elapsed.as_secs_f64() / done as f64;
+        format!("{:.1}s", per_cell * (total - done) as f64)
+    };
     eprintln!(
-        "progress: {:>6.1}s  {stage}  {done}/{total} cells",
+        "progress: {:>6.1}s  {stage}  {done}/{total} cells  eta {eta}",
         elapsed.as_secs_f64()
     );
 }
@@ -123,11 +163,23 @@ mod tests {
         heartbeat_stage("ignored");
         assert_eq!(DONE.load(Ordering::Relaxed), 0);
         assert_eq!(TOTAL.load(Ordering::Relaxed), 0);
+        // The label itself is recorded even while disabled: the span
+        // collector tags worker chunks with it.
+        assert_eq!(current_stage(), "ignored");
 
         enable_heartbeat(Duration::from_secs(3600));
         assert!(heartbeat_enabled());
         enable_heartbeat(Duration::from_secs(3600)); // idempotent
         heartbeat_stage("warmup");
+        assert_eq!(current_stage(), "warmup");
+        // The sweep summary is stderr-only; exercise both the zero-cell
+        // early return and a real report.
+        heartbeat_sweep_summary(&crate::ExecReport::default());
+        heartbeat_sweep_summary(&crate::ExecReport {
+            jobs: 2,
+            wall_nanos: 10,
+            workers: vec![crate::WorkerStat { cells: 4, nanos: 9 }],
+        });
         heartbeat_add_cells(7);
         heartbeat_tick(3);
         heartbeat_tick(4);

@@ -1,0 +1,155 @@
+//! A dependency-free counting wrapper around the system allocator.
+//!
+//! Binaries (and dedicated test binaries) opt in with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: fua_obs::CountingAlloc = fua_obs::CountingAlloc;
+//! ```
+//!
+//! after which [`alloc_snapshot`] deltas measure exactly how many heap
+//! allocations (and bytes) a region of code performed — the primitive
+//! behind the zero-allocation steady-state gate and the allocs-per-phase
+//! metrics in `fua harness-report`. When the wrapper is not installed
+//! the counters simply stay at zero and
+//! [`counting_allocator_active`] reports `false`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+static FREES: AtomicU64 = AtomicU64::new(0);
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// A [`GlobalAlloc`] that forwards to [`System`] and counts every
+/// allocation, reallocation and free on relaxed process-global atomics.
+///
+/// The counting adds two relaxed `fetch_add`s per heap call — noise
+/// next to the allocator itself — and changes no allocation behaviour,
+/// so a binary with the wrapper installed computes byte-identical
+/// results to one without.
+pub struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ACTIVE.store(true, Ordering::Relaxed);
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ACTIVE.store(true, Ordering::Relaxed);
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A realloc is one allocation event; only the growth counts as
+        // new bytes, so `bytes` tracks gross requested growth.
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(
+            new_size.saturating_sub(layout.size()) as u64,
+            Ordering::Relaxed,
+        );
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        FREES.fetch_add(1, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Whether [`CountingAlloc`] is installed as the global allocator in
+/// this process (detected by the first counted allocation; any Rust
+/// program allocates long before measurement code runs).
+pub fn counting_allocator_active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// A point-in-time reading of the process-wide allocation counters.
+///
+/// Two snapshots bracket a region; [`AllocSnapshot::delta`] is the
+/// region's heap traffic. With [`CountingAlloc`] not installed every
+/// field is zero and deltas are zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Allocation events (alloc + alloc_zeroed + realloc) so far.
+    pub allocs: u64,
+    /// Bytes requested by those events (reallocs count growth only).
+    pub bytes: u64,
+    /// Free events so far.
+    pub frees: u64,
+}
+
+impl AllocSnapshot {
+    /// The allocation traffic between `earlier` and `self`.
+    pub fn delta(&self, earlier: &AllocSnapshot) -> AllocSnapshot {
+        AllocSnapshot {
+            allocs: self.allocs.wrapping_sub(earlier.allocs),
+            bytes: self.bytes.wrapping_sub(earlier.bytes),
+            frees: self.frees.wrapping_sub(earlier.frees),
+        }
+    }
+}
+
+/// Reads the current process-wide allocation counters.
+pub fn alloc_snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        allocs: ALLOCS.load(Ordering::Relaxed),
+        bytes: BYTES.load(Ordering::Relaxed),
+        frees: FREES.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_wrapper_counts_without_being_installed() {
+        // These tests run without the wrapper installed globally, so we
+        // exercise the impl directly: counters must move and the memory
+        // must be usable.
+        let layout = Layout::from_size_align(64, 8).unwrap();
+        let before = alloc_snapshot();
+        unsafe {
+            let p = CountingAlloc.alloc(layout);
+            assert!(!p.is_null());
+            p.write_bytes(0xAB, 64);
+            let p = CountingAlloc.realloc(p, layout, 128);
+            assert!(!p.is_null());
+            CountingAlloc.dealloc(p, Layout::from_size_align(128, 8).unwrap());
+        }
+        let delta = alloc_snapshot().delta(&before);
+        assert_eq!(delta.allocs, 2, "alloc + realloc");
+        assert_eq!(delta.frees, 1);
+        assert_eq!(delta.bytes, 64 + 64, "64 fresh + 64 growth");
+        assert!(counting_allocator_active());
+    }
+
+    #[test]
+    fn snapshot_delta_is_fieldwise() {
+        let a = AllocSnapshot {
+            allocs: 10,
+            bytes: 100,
+            frees: 4,
+        };
+        let b = AllocSnapshot {
+            allocs: 13,
+            bytes: 164,
+            frees: 9,
+        };
+        assert_eq!(
+            b.delta(&a),
+            AllocSnapshot {
+                allocs: 3,
+                bytes: 64,
+                frees: 5
+            }
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Harness self-observability primitives: allocation counters and
+//! worker-span collection.
+//!
+//! Every other crate in the workspace observes the *simulated* machine;
+//! this one observes the harness that runs it — the `fua-exec` worker
+//! pool, the `fua-sim` arena pool, and the heap underneath both. It is
+//! dependency-free and deliberately tiny: a counting [`GlobalAlloc`]
+//! wrapper ([`CountingAlloc`]) that binaries opt into, process-global
+//! relaxed-atomic counters for arena pool traffic, and a span collector
+//! that worker threads append to lock-free (each worker batches its
+//! spans locally and merges once per sweep).
+//!
+//! Everything here is **measurement, never model state**: enabling or
+//! disabling any of it cannot change a simulated bit. The only cost
+//! when disabled is a relaxed atomic load at each hook site.
+//!
+//! [`GlobalAlloc`]: std::alloc::GlobalAlloc
+
+// NOT `forbid(unsafe_code)`: implementing `GlobalAlloc` requires an
+// `unsafe impl`. The two unsafe blocks below only forward to `System`.
+#![deny(missing_docs)]
+
+mod alloc;
+mod span;
+
+pub use alloc::{alloc_snapshot, counting_allocator_active, AllocSnapshot, CountingAlloc};
+pub use span::{
+    arena_counters, drain_arena_events, drain_spans, enable_spans, note_arena_lease,
+    note_arena_return, now_nanos, record_spans, spans_enabled, ArenaCounters, ArenaEvent,
+    ArenaEventKind, HarnessSpan,
+};

@@ -1,0 +1,288 @@
+//! Process-global collection of harness spans and arena-pool events.
+//!
+//! The `fua-exec` worker loop batches one [`HarnessSpan`] per claimed
+//! chunk into a worker-local `Vec` (no locks, no atomics while the
+//! chunk runs) and merges the batch here once per sweep. The `fua-sim`
+//! arena pool notes every lease and return on relaxed counters, plus a
+//! timestamped [`ArenaEvent`] when span collection is enabled.
+//!
+//! Collection is **off by default** — the only disabled-path cost is a
+//! relaxed load per hook — and must be switched on with
+//! [`enable_spans`] before a sweep. Draining sorts by content fields
+//! (stage, item range, worker), so the *order* of a drained list is
+//! deterministic even though its timestamps are wall-clock.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SPANS: Mutex<Vec<HarnessSpan>> = Mutex::new(Vec::new());
+static EVENTS: Mutex<Vec<ArenaEvent>> = Mutex::new(Vec::new());
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+static LEASES: AtomicU64 = AtomicU64::new(0);
+static FRESH: AtomicU64 = AtomicU64::new(0);
+static RETURNS: AtomicU64 = AtomicU64::new(0);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+/// One worker's busy segment: a chunk of sweep cells claimed from the
+/// work queue and executed back-to-back.
+///
+/// `queue_depth` is the number of cells still unclaimed at the moment
+/// this chunk was claimed — sampling it at every claim point yields the
+/// queue-occupancy distribution the queueing-model literature says to
+/// look at instead of averages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HarnessSpan {
+    /// Worker index within the sweep's pool (0-based).
+    pub worker: u32,
+    /// Stage label active when the chunk was claimed (e.g. "telemetry").
+    pub stage: String,
+    /// First cell index of the chunk (inclusive).
+    pub lo: u32,
+    /// One past the last cell index of the chunk.
+    pub hi: u32,
+    /// Cells still unclaimed when this chunk was claimed.
+    pub queue_depth: u32,
+    /// Chunk start, nanoseconds since the collector epoch.
+    pub start_nanos: u64,
+    /// Chunk end, nanoseconds since the collector epoch.
+    pub end_nanos: u64,
+}
+
+/// What happened at the arena pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArenaEventKind {
+    /// A run leased an arena that was waiting in the thread-local pool.
+    LeasePooled,
+    /// A run leased an arena that had to be freshly allocated.
+    LeaseFresh,
+    /// A finished run returned its arena to the pool.
+    ReturnPooled,
+    /// A finished run dropped its arena because the pool was full.
+    ReturnDropped,
+}
+
+impl ArenaEventKind {
+    /// Stable lowercase label, used for track names and metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            ArenaEventKind::LeasePooled => "lease-pooled",
+            ArenaEventKind::LeaseFresh => "lease-fresh",
+            ArenaEventKind::ReturnPooled => "return-pooled",
+            ArenaEventKind::ReturnDropped => "return-dropped",
+        }
+    }
+}
+
+/// A timestamped arena-pool event (recorded only while span collection
+/// is enabled; the counters in [`ArenaCounters`] always run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaEvent {
+    /// Event kind.
+    pub kind: ArenaEventKind,
+    /// Nanoseconds since the collector epoch.
+    pub nanos: u64,
+}
+
+/// Cumulative arena-pool traffic for this process.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaCounters {
+    /// Total leases (pooled + fresh).
+    pub leases: u64,
+    /// Leases that allocated a fresh arena (pool was empty).
+    pub fresh: u64,
+    /// Arenas returned to the pool.
+    pub returns: u64,
+    /// Arenas dropped on return because the pool was full.
+    pub dropped: u64,
+}
+
+impl ArenaCounters {
+    /// The traffic between `earlier` and `self`.
+    pub fn delta(&self, earlier: &ArenaCounters) -> ArenaCounters {
+        ArenaCounters {
+            leases: self.leases.wrapping_sub(earlier.leases),
+            fresh: self.fresh.wrapping_sub(earlier.fresh),
+            returns: self.returns.wrapping_sub(earlier.returns),
+            dropped: self.dropped.wrapping_sub(earlier.dropped),
+        }
+    }
+}
+
+/// Whether span collection is on for this process.
+pub fn spans_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns span collection on (idempotent, process-scoped — mirrors the
+/// heartbeat's lifetime) and pins the collector epoch.
+pub fn enable_spans() {
+    EPOCH.get_or_init(Instant::now);
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Nanoseconds since the collector epoch (pinned on first use).
+pub fn now_nanos() -> u64 {
+    let epoch = EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Merges one worker's span batch into the global collector. Called at
+/// most a handful of times per sweep (once per worker), so one mutex is
+/// the right tool; the per-chunk path never touches it.
+pub fn record_spans(batch: Vec<HarnessSpan>) {
+    if batch.is_empty() || !spans_enabled() {
+        return;
+    }
+    if let Ok(mut spans) = SPANS.lock() {
+        spans.extend(batch);
+    }
+}
+
+/// Takes every collected span, sorted by content fields — (stage,
+/// lo, worker, start) — so the order is reproducible across runs even
+/// though the timestamps are not.
+pub fn drain_spans() -> Vec<HarnessSpan> {
+    let mut spans = SPANS
+        .lock()
+        .map(|mut guard| std::mem::take(&mut *guard))
+        .unwrap_or_default();
+    spans.sort_by(|a, b| {
+        (&a.stage, a.lo, a.worker, a.start_nanos).cmp(&(&b.stage, b.lo, b.worker, b.start_nanos))
+    });
+    spans
+}
+
+/// Notes an arena lease: bumps the always-on counters and, when span
+/// collection is enabled, records a timestamped event.
+pub fn note_arena_lease(fresh: bool) {
+    LEASES.fetch_add(1, Ordering::Relaxed);
+    if fresh {
+        FRESH.fetch_add(1, Ordering::Relaxed);
+    }
+    if spans_enabled() {
+        record_arena_event(if fresh {
+            ArenaEventKind::LeaseFresh
+        } else {
+            ArenaEventKind::LeasePooled
+        });
+    }
+}
+
+/// Notes an arena return: `kept` says whether the pool took it back.
+pub fn note_arena_return(kept: bool) {
+    RETURNS.fetch_add(1, Ordering::Relaxed);
+    if !kept {
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+    }
+    if spans_enabled() {
+        record_arena_event(if kept {
+            ArenaEventKind::ReturnPooled
+        } else {
+            ArenaEventKind::ReturnDropped
+        });
+    }
+}
+
+fn record_arena_event(kind: ArenaEventKind) {
+    let event = ArenaEvent {
+        kind,
+        nanos: now_nanos(),
+    };
+    if let Ok(mut events) = EVENTS.lock() {
+        events.push(event);
+    }
+}
+
+/// Takes every timestamped arena event, sorted by time then kind.
+pub fn drain_arena_events() -> Vec<ArenaEvent> {
+    let mut events = EVENTS
+        .lock()
+        .map(|mut guard| std::mem::take(&mut *guard))
+        .unwrap_or_default();
+    events.sort_by_key(|e| (e.nanos, e.kind.label()));
+    events
+}
+
+/// Reads the cumulative arena-pool counters.
+pub fn arena_counters() -> ArenaCounters {
+    ArenaCounters {
+        leases: LEASES.load(Ordering::Relaxed),
+        fresh: FRESH.load(Ordering::Relaxed),
+        returns: RETURNS.load(Ordering::Relaxed),
+        dropped: DROPPED.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(stage: &str, worker: u32, lo: u32) -> HarnessSpan {
+        HarnessSpan {
+            worker,
+            stage: stage.to_string(),
+            lo,
+            hi: lo + 1,
+            queue_depth: 0,
+            start_nanos: 1,
+            end_nanos: 2,
+        }
+    }
+
+    // Span state is process-global, so one test function owns the whole
+    // enable → record → drain lifecycle (mirrors the heartbeat tests).
+    #[test]
+    fn spans_are_off_by_default_then_collected_and_sorted() {
+        assert!(!spans_enabled());
+        record_spans(vec![span("dropped", 0, 0)]);
+        assert!(drain_spans().is_empty(), "disabled collector drops spans");
+
+        let before = arena_counters();
+        note_arena_lease(true);
+        note_arena_lease(false);
+        note_arena_return(true);
+        note_arena_return(false);
+        let delta = arena_counters().delta(&before);
+        assert_eq!(delta.leases, 2);
+        assert_eq!(delta.fresh, 1);
+        assert_eq!(delta.returns, 2);
+        assert_eq!(delta.dropped, 1);
+        assert!(
+            drain_arena_events().is_empty(),
+            "no timestamped events while disabled"
+        );
+
+        enable_spans();
+        assert!(spans_enabled());
+        enable_spans(); // idempotent
+        record_spans(vec![span("b", 1, 4), span("a", 2, 8), span("a", 0, 2)]);
+        record_spans(vec![span("a", 1, 2)]);
+        let drained = drain_spans();
+        let keys: Vec<(String, u32, u32)> = drained
+            .iter()
+            .map(|s| (s.stage.clone(), s.lo, s.worker))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("a".to_string(), 2, 0),
+                ("a".to_string(), 2, 1),
+                ("a".to_string(), 8, 2),
+                ("b".to_string(), 4, 1),
+            ]
+        );
+        assert!(drain_spans().is_empty(), "drain empties the collector");
+
+        note_arena_lease(true);
+        note_arena_return(true);
+        let events = drain_arena_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, ArenaEventKind::LeaseFresh);
+        assert_eq!(events[1].kind, ArenaEventKind::ReturnPooled);
+        assert!(events[0].nanos <= events[1].nanos);
+        assert!(now_nanos() >= events[1].nanos);
+    }
+}

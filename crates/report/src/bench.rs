@@ -26,22 +26,24 @@ use fua_core::{
 use crate::{expect_f64, expect_str, expect_u64, ReportError, RunManifest};
 
 /// The artifact schema identifier; bump on any breaking shape change.
-/// Minor bumps (`/1` → `/1.1` → … → `/1.5`) add optional sections
+/// Minor bumps (`/1` → `/1.1` → … → `/1.6`) add optional sections
 /// only; this build still reads every schema in [`BENCH_SCHEMAS_READ`].
-pub const BENCH_SCHEMA: &str = "fua-bench/1.5";
+pub const BENCH_SCHEMA: &str = "fua-bench/1.6";
 
 /// Every schema version this build can read. `fua-bench/1` artifacts
 /// (pre-`parallel` section) parse with `parallel: None`; pre-1.2
 /// artifacts parse with `attribution: None`; pre-1.3 artifacts parse
 /// with `estimator: None`; pre-1.4 artifacts parse with `stalls: None`;
-/// pre-1.5 artifacts parse with `throughput: None`.
-pub const BENCH_SCHEMAS_READ: [&str; 6] = [
+/// pre-1.5 artifacts parse with `throughput: None`; pre-1.6 artifacts
+/// parse with `harness: None`.
+pub const BENCH_SCHEMAS_READ: [&str; 7] = [
     "fua-bench/1",
     "fua-bench/1.1",
     "fua-bench/1.2",
     "fua-bench/1.3",
     "fua-bench/1.4",
     "fua-bench/1.5",
+    "fua-bench/1.6",
 ];
 
 /// Hotspots recorded in the artifact's `attribution` section (the
@@ -327,6 +329,35 @@ impl ParallelSummary {
     }
 }
 
+/// The `harness` section of the artifact: how well the measurement
+/// harness itself behaved — worker utilization, load imbalance, arena
+/// reuse, and (when the counting allocator is installed) allocation
+/// pressure normalised per simulated kilocycle. `busy_fraction` and
+/// `imbalance` are wall-clock measurements; `jobs` and the arena
+/// counters are configuration/model facts. [`compare`](crate::compare)
+/// gates only a *collapse* (utilization halving, allocation pressure
+/// exploding) and only between runs with the same `jobs` — two worker
+/// counts legitimately utilize differently, so cross-jobs diffs are
+/// skipped entirely.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessSummary {
+    /// Worker count the suite ran with.
+    pub jobs: u64,
+    /// Busy wall-clock over pool capacity, `busy / (jobs × wall)`.
+    pub busy_fraction: f64,
+    /// Busiest worker's nanoseconds over the mean worker's (1.0 =
+    /// perfectly balanced).
+    pub imbalance: f64,
+    /// Heap allocations per simulated kilocycle over the whole suite;
+    /// `None` when the counting allocator was not installed (the
+    /// default build).
+    pub allocs_per_kcycle: Option<f64>,
+    /// Inflight-arena leases the suite performed.
+    pub arena_leases: u64,
+    /// Leases that had to allocate a fresh arena (pool misses).
+    pub arena_fresh: u64,
+}
+
 /// Per-phase wall-clock of the telemetry pass, in nanoseconds, in
 /// [`SimPhase::ALL`] order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -375,6 +406,9 @@ pub struct BenchReport {
     pub estimator: Option<EstimatorSummary>,
     /// Executor accounting (`None` for pre-1.1 artifacts).
     pub parallel: Option<ParallelSummary>,
+    /// Harness self-observability digest (`None` for pre-1.6
+    /// artifacts).
+    pub harness: Option<HarnessSummary>,
 }
 
 /// Runs the full bench suite under `config` and assembles the artifact,
@@ -403,6 +437,8 @@ pub fn bench_suite_jobs(
     jobs: Jobs,
 ) -> BenchReport {
     let started = std::time::Instant::now();
+    let alloc_start = fua_obs::alloc_snapshot();
+    let arena_start = fua_obs::arena_counters();
     let manifest = RunManifest::capture(tag, config);
     let arena = WorkloadArena::build(config.scale);
 
@@ -572,6 +608,23 @@ pub fn bench_suite_jobs(
             .collect(),
     };
 
+    // Harness digest: how the measurement machinery itself behaved.
+    // The allocation figure is normalised per telemetry-pass kilocycle
+    // (a deterministic denominator); it is `Some` only when the
+    // counting allocator is actually installed in this binary.
+    let alloc_delta = fua_obs::alloc_snapshot().delta(&alloc_start);
+    let arena_delta = fua_obs::arena_counters().delta(&arena_start);
+    let allocs_per_kcycle = (fua_obs::counting_allocator_active() && stall_cycles > 0)
+        .then(|| alloc_delta.allocs as f64 * 1000.0 / stall_cycles as f64);
+    let harness = HarnessSummary {
+        jobs: jobs.get() as u64,
+        busy_fraction: exec.busy_fraction(),
+        imbalance: exec.imbalance(),
+        allocs_per_kcycle,
+        arena_leases: arena_delta.leases,
+        arena_fresh: arena_delta.fresh,
+    };
+
     BenchReport {
         manifest,
         ialu: UnitFigure::from_figure(&fig_a),
@@ -598,6 +651,7 @@ pub fn bench_suite_jobs(
             started.elapsed().as_nanos() as u64,
             &exec,
         )),
+        harness: Some(harness),
     }
 }
 
@@ -897,6 +951,43 @@ fn parallel_from_json(json: &Json) -> Result<Option<ParallelSummary>, ReportErro
     }))
 }
 
+fn harness_to_json(h: &HarnessSummary) -> Json {
+    let mut fields = vec![
+        ("jobs".to_string(), Json::UInt(h.jobs)),
+        ("busy_fraction".to_string(), Json::Float(h.busy_fraction)),
+        ("imbalance".to_string(), Json::Float(h.imbalance)),
+        ("arena_leases".to_string(), Json::UInt(h.arena_leases)),
+        ("arena_fresh".to_string(), Json::UInt(h.arena_fresh)),
+    ];
+    if let Some(a) = h.allocs_per_kcycle {
+        fields.push(("allocs_per_kcycle".to_string(), Json::Float(a)));
+    }
+    Json::Obj(fields)
+}
+
+fn harness_from_json(json: &Json) -> Result<Option<HarnessSummary>, ReportError> {
+    let Some(h) = json.get("harness") else {
+        return Ok(None);
+    };
+    // `allocs_per_kcycle` is optional within the section: most builds
+    // run without the counting allocator installed.
+    let allocs_per_kcycle = match h.get("allocs_per_kcycle") {
+        None => None,
+        Some(v) => Some(
+            v.as_f64()
+                .ok_or_else(|| ReportError::mistyped("harness.allocs_per_kcycle"))?,
+        ),
+    };
+    Ok(Some(HarnessSummary {
+        jobs: expect_u64(h, "jobs")?,
+        busy_fraction: expect_f64(h, "busy_fraction")?,
+        imbalance: expect_f64(h, "imbalance")?,
+        allocs_per_kcycle,
+        arena_leases: expect_u64(h, "arena_leases")?,
+        arena_fresh: expect_u64(h, "arena_fresh")?,
+    }))
+}
+
 impl BenchReport {
     /// Serialises the artifact (stable schema [`BENCH_SCHEMA`]).
     pub fn to_json(&self) -> Json {
@@ -1004,6 +1095,9 @@ impl BenchReport {
             if let Some(p) = &self.parallel {
                 fields.push(("parallel".to_string(), parallel_to_json(p)));
             }
+            if let Some(h) = &self.harness {
+                fields.push(("harness".to_string(), harness_to_json(h)));
+            }
         }
         json
     }
@@ -1086,6 +1180,7 @@ impl BenchReport {
             stalls: stalls_from_json(json)?,
             estimator: estimator_from_json(json)?,
             parallel: parallel_from_json(json)?,
+            harness: harness_from_json(json)?,
         })
     }
 }
@@ -1177,8 +1272,18 @@ mod tests {
         assert!(t.instructions > 0);
         assert!(t.hot_nanos > 0);
         assert!(t.sim_khz() > 0.0 && t.kips() > 0.0 && t.ipc() > 0.0);
+        let h = report.harness.as_ref().expect("harness section present");
+        assert_eq!(h.jobs, 1, "bench_suite is the serial reference path");
+        assert!(h.busy_fraction > 0.0, "a serial suite still does work");
+        assert!(h.imbalance >= 1.0);
+        assert!(h.arena_leases > 0, "every simulator run leases an arena");
+        assert!(h.arena_fresh <= h.arena_leases);
+        assert_eq!(
+            h.allocs_per_kcycle, None,
+            "no counting allocator installed in this test binary"
+        );
         let rendered = report.to_json().pretty();
-        assert!(rendered.contains("\"schema\": \"fua-bench/1.5\""));
+        assert!(rendered.contains("\"schema\": \"fua-bench/1.6\""));
         assert!(rendered.contains("\"sim_khz\""));
         let parsed: BenchReport = rendered.parse().unwrap();
         // Everything round-trips exactly (floats use shortest-exact
@@ -1230,10 +1335,12 @@ mod tests {
                     && name != "estimator"
                     && name != "stalls"
                     && name != "throughput"
+                    && name != "harness"
             });
         }
         let parsed = BenchReport::from_json(&json).unwrap();
         assert_eq!(parsed.parallel, None);
+        assert_eq!(parsed.harness, None);
         assert_eq!(parsed.attribution, None);
         assert_eq!(parsed.estimator, None);
         assert_eq!(parsed.stalls, None);
@@ -1251,6 +1358,7 @@ mod tests {
                     && name != "estimator"
                     && name != "stalls"
                     && name != "throughput"
+                    && name != "harness"
             });
         }
         let parsed = BenchReport::from_json(&json).unwrap();
@@ -1268,7 +1376,7 @@ mod tests {
         if let Json::Obj(fields) = &mut json {
             fields[0].1 = Json::Str("fua-bench/1.2".into());
             fields.retain(|(name, _)| {
-                name != "estimator" && name != "stalls" && name != "throughput"
+                name != "estimator" && name != "stalls" && name != "throughput" && name != "harness"
             });
         }
         let parsed = BenchReport::from_json(&json).unwrap();
@@ -1284,7 +1392,8 @@ mod tests {
         let mut json = report.to_json();
         if let Json::Obj(fields) = &mut json {
             fields[0].1 = Json::Str("fua-bench/1.3".into());
-            fields.retain(|(name, _)| name != "stalls" && name != "throughput");
+            fields
+                .retain(|(name, _)| name != "stalls" && name != "throughput" && name != "harness");
         }
         let parsed = BenchReport::from_json(&json).unwrap();
         assert_eq!(parsed.stalls, None);
@@ -1300,13 +1409,38 @@ mod tests {
         let mut json = report.to_json();
         if let Json::Obj(fields) = &mut json {
             fields[0].1 = Json::Str("fua-bench/1.4".into());
-            fields.retain(|(name, _)| name != "throughput");
+            fields.retain(|(name, _)| name != "throughput" && name != "harness");
         }
         let parsed = BenchReport::from_json(&json).unwrap();
         assert_eq!(parsed.throughput, None);
         assert!(parsed.stalls.is_some(), "1.4 already had stalls");
         assert!(parsed.estimator.is_some());
         assert_eq!(parsed.telemetry, report.telemetry);
+    }
+
+    #[test]
+    fn schema_1_5_artifacts_without_a_harness_section_still_parse() {
+        let report = bench_suite("prev15", &tiny_config(), 512);
+        let mut json = report.to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields[0].1 = Json::Str("fua-bench/1.5".into());
+            fields.retain(|(name, _)| name != "harness");
+        }
+        let parsed = BenchReport::from_json(&json).unwrap();
+        assert_eq!(parsed.harness, None);
+        assert!(parsed.throughput.is_some(), "1.5 already had throughput");
+        assert!(parsed.stalls.is_some());
+        assert_eq!(parsed.telemetry, report.telemetry);
+    }
+
+    #[test]
+    fn an_allocs_figure_survives_the_round_trip_when_present() {
+        let mut report = bench_suite("withallocs", &tiny_config(), 512);
+        report.harness.as_mut().unwrap().allocs_per_kcycle = Some(12.5);
+        let rendered = report.to_json().pretty();
+        assert!(rendered.contains("\"allocs_per_kcycle\": 12.5"));
+        let parsed: BenchReport = rendered.parse().unwrap();
+        assert_eq!(parsed, report);
     }
 
     #[test]

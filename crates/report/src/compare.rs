@@ -41,6 +41,17 @@
 //!   a run whose hot loop took at least `timer_floor_nanos` is
 //!   flagged. A missing section (pre-1.5 artifact) on either side is
 //!   informational only.
+//! - **Harness health** — the harness self-observability digest:
+//!   worker utilization and allocation pressure are wall-clock
+//!   measurements, so they are gated only on a *collapse* — busy
+//!   fraction falling below half the baseline (and by more than 0.2
+//!   absolute), or allocations per simulated kilocycle exploding past
+//!   10× the baseline (and by more than 100 absolute). Two runs with
+//!   different worker counts legitimately utilize differently, so
+//!   harness sections recording different `jobs` are skipped entirely
+//!   (no findings — `fua report` across `--jobs` values must diff to
+//!   zero). A missing section (pre-1.6 artifact) on either side is
+//!   informational only.
 //! - **Estimator soundness & precision** — the static switched-bit
 //!   estimator's digest: a violated bound (`sound: false`) on either
 //!   side is a hard regression regardless of tolerances, and when both
@@ -621,6 +632,92 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport, tol: &Tolerance) -
         (None, None) => {}
     }
 
+    // Harness health: utilization and allocation pressure are measured,
+    // not modelled, so only a collapse is actionable — and only between
+    // runs with the same worker count. Different `jobs` values utilize
+    // the pool differently by construction, so those pairs are skipped
+    // without even an Info finding (artifact diffs across `--jobs` must
+    // come out empty).
+    match (&baseline.harness, &current.harness) {
+        (Some(b), Some(c)) if b.jobs == c.jobs => {
+            let dropped = b.busy_fraction - c.busy_fraction;
+            if c.busy_fraction < b.busy_fraction * 0.5 && dropped > 0.2 {
+                chk.regression(
+                    "harness-utilization",
+                    format!(
+                        "worker busy fraction collapsed to {:.3} from baseline {:.3} \
+                         on {} worker(s)",
+                        c.busy_fraction, b.busy_fraction, c.jobs
+                    ),
+                );
+            } else if (c.busy_fraction - b.busy_fraction).abs() > 0.05 {
+                // Below the floor the difference is scheduler jitter two
+                // honest runs always exhibit; reporting it would keep any
+                // same-config pair from ever diffing to zero findings.
+                chk.info(
+                    "harness-utilization",
+                    format!(
+                        "worker busy fraction {:.3} vs baseline {:.3} (measurement noise)",
+                        c.busy_fraction, b.busy_fraction
+                    ),
+                );
+            }
+            if (c.imbalance - b.imbalance).abs() > 0.05 {
+                chk.info(
+                    "harness-imbalance",
+                    format!(
+                        "load imbalance {:.2} vs baseline {:.2} (measurement noise)",
+                        c.imbalance, b.imbalance
+                    ),
+                );
+            }
+            match (b.allocs_per_kcycle, c.allocs_per_kcycle) {
+                (Some(bv), Some(cv)) => {
+                    if cv > bv * 10.0 && cv - bv > 100.0 {
+                        chk.regression(
+                            "harness-allocs",
+                            format!(
+                                "allocations per simulated kilocycle exploded to {cv:.1} \
+                                 from baseline {bv:.1}"
+                            ),
+                        );
+                    } else if (cv - bv).abs() > 0.05 * bv.abs().max(1.0) {
+                        chk.info(
+                            "harness-allocs",
+                            format!("allocs per kilocycle {cv:.1} vs baseline {bv:.1}"),
+                        );
+                    }
+                }
+                (Some(_), None) => chk.info(
+                    "harness-allocs",
+                    "current artifact has no allocation figure \
+                     (counting allocator not installed)"
+                        .to_string(),
+                ),
+                (None, Some(_)) => chk.info(
+                    "harness-allocs",
+                    "baseline artifact has no allocation figure \
+                     (counting allocator not installed)"
+                        .to_string(),
+                ),
+                (None, None) => {}
+            }
+        }
+        // Different worker counts: nothing comparable, deliberately
+        // silent (see the module doc).
+        (Some(_), Some(_)) => {}
+        // One side predates schema 1.6: nothing to diff, note it only.
+        (Some(_), None) => chk.info(
+            "harness-health",
+            "current artifact has no harness section (pre-1.6 schema)".to_string(),
+        ),
+        (None, Some(_)) => chk.info(
+            "harness-health",
+            "baseline artifact has no harness section (pre-1.6 schema)".to_string(),
+        ),
+        (None, None) => {}
+    }
+
     chk.findings
         .sort_by_key(|f| f.severity != Severity::Regression);
     Comparison {
@@ -1008,6 +1105,122 @@ mod tests {
         both_old.attribution = None;
         let cmp = compare(&both_old, &old, &Tolerance::default());
         assert!(!cmp.findings.iter().any(|f| f.category == "hotspot-drift"));
+    }
+
+    #[test]
+    fn a_harness_utilization_collapse_fails_the_gate_and_noise_does_not() {
+        let mut base = tiny();
+        base.harness.as_mut().unwrap().busy_fraction = 0.9;
+
+        // Collapse: below half the baseline and more than 0.2 absolute.
+        let mut collapsed = base.clone();
+        collapsed.harness.as_mut().unwrap().busy_fraction = 0.01;
+        let cmp = compare(&base, &collapsed, &Tolerance::default());
+        assert!(!cmp.passed());
+        assert!(
+            cmp.findings
+                .iter()
+                .any(|f| f.category == "harness-utilization" && f.severity == Severity::Regression),
+            "findings: {:#?}",
+            cmp.findings
+        );
+
+        // An ordinary dip is measurement noise: informational only.
+        let mut noisy = base.clone();
+        noisy.harness.as_mut().unwrap().busy_fraction = 0.7;
+        let cmp = compare(&base, &noisy, &Tolerance::default());
+        assert!(cmp.passed(), "findings: {:#?}", cmp.findings);
+        assert!(cmp
+            .findings
+            .iter()
+            .any(|f| f.category == "harness-utilization" && f.severity == Severity::Info));
+    }
+
+    #[test]
+    fn inflated_allocation_pressure_fails_the_gate() {
+        let mut base = tiny();
+        base.harness.as_mut().unwrap().allocs_per_kcycle = Some(5.0);
+
+        // 1000x the baseline's allocation pressure: the hot loop grew
+        // a per-cycle allocation somewhere.
+        let mut leaky = base.clone();
+        leaky.harness.as_mut().unwrap().allocs_per_kcycle = Some(5_000.0);
+        let cmp = compare(&base, &leaky, &Tolerance::default());
+        assert!(!cmp.passed());
+        assert!(
+            cmp.findings
+                .iter()
+                .any(|f| f.category == "harness-allocs" && f.severity == Severity::Regression),
+            "findings: {:#?}",
+            cmp.findings
+        );
+
+        // Small drift stays informational.
+        let mut drifted = base.clone();
+        drifted.harness.as_mut().unwrap().allocs_per_kcycle = Some(6.0);
+        assert!(compare(&base, &drifted, &Tolerance::default()).passed());
+
+        // A side measured without the counting allocator installed is
+        // noted, never gated.
+        let mut unmeasured = base.clone();
+        unmeasured.harness.as_mut().unwrap().allocs_per_kcycle = None;
+        for (b, c) in [(&base, &unmeasured), (&unmeasured, &base)] {
+            let cmp = compare(b, c, &Tolerance::default());
+            assert!(cmp.passed(), "findings: {:#?}", cmp.findings);
+            assert!(cmp
+                .findings
+                .iter()
+                .any(|f| f.category == "harness-allocs" && f.severity == Severity::Info));
+        }
+    }
+
+    #[test]
+    fn harness_sections_with_different_jobs_are_skipped_silently() {
+        let mut base = tiny();
+        {
+            let h = base.harness.as_mut().unwrap();
+            h.jobs = 1;
+            h.busy_fraction = 0.95;
+        }
+        // Even a would-be collapse produces no finding across worker
+        // counts: `fua report` between --jobs 1 and --jobs 4 artifacts
+        // must diff to zero.
+        let mut other = base.clone();
+        {
+            let h = other.harness.as_mut().unwrap();
+            h.jobs = 4;
+            h.busy_fraction = 0.01;
+        }
+        for (b, c) in [(&base, &other), (&other, &base)] {
+            let cmp = compare(b, c, &Tolerance::default());
+            assert!(cmp.passed());
+            assert!(
+                !cmp.findings
+                    .iter()
+                    .any(|f| f.category.starts_with("harness")),
+                "findings: {:#?}",
+                cmp.findings
+            );
+        }
+    }
+
+    #[test]
+    fn a_pre_1_6_artifact_without_a_harness_section_is_informational_only() {
+        let baseline = tiny();
+        let mut old = baseline.clone();
+        old.harness = None;
+        for (b, c) in [(&baseline, &old), (&old, &baseline)] {
+            let cmp = compare(b, c, &Tolerance::default());
+            assert!(cmp.passed(), "findings: {:#?}", cmp.findings);
+            assert!(cmp
+                .findings
+                .iter()
+                .any(|f| f.category == "harness-health" && f.severity == Severity::Info));
+        }
+        let mut both_old = baseline.clone();
+        both_old.harness = None;
+        let cmp = compare(&both_old, &old, &Tolerance::default());
+        assert!(!cmp.findings.iter().any(|f| f.category == "harness-health"));
     }
 
     #[test]

@@ -32,9 +32,9 @@ mod trends;
 
 pub use bench::{
     bench_suite, bench_suite_jobs, AttributionSummary, BenchReport, EstimatorEntry,
-    EstimatorSummary, HotspotEntry, OperandAggregates, ParallelSummary, PhaseNanos, StallSummary,
-    TelemetrySummary, ThroughputSummary, UnitFigure, WorkerNanos, ATTRIBUTION_HOTSPOTS,
-    BENCH_SCHEMA, BENCH_SCHEMAS_READ, DEFAULT_WINDOW_CYCLES,
+    EstimatorSummary, HarnessSummary, HotspotEntry, OperandAggregates, ParallelSummary, PhaseNanos,
+    StallSummary, TelemetrySummary, ThroughputSummary, UnitFigure, WorkerNanos,
+    ATTRIBUTION_HOTSPOTS, BENCH_SCHEMA, BENCH_SCHEMAS_READ, DEFAULT_WINDOW_CYCLES,
 };
 pub use compare::{compare, Comparison, Finding, Severity, Tolerance};
 pub use manifest::{RunManifest, WorkloadEntry};

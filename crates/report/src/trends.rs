@@ -28,6 +28,9 @@
 //! - [`TrendKind::WallClock`] — slowdown-only by `timer_factor`, for
 //!   measured rates (simulated MHz) where faster is never a finding
 //!   and machine-to-machine noise must not gate.
+//! - [`TrendKind::Inflation`] — growth-only by `timer_factor`, for
+//!   measured costs (harness allocations per simulated kilocycle)
+//!   where *lower* is better and only an explosion should gate.
 //!
 //! Series are aligned to the input points with `Vec<Option<f64>>`:
 //! artifacts predating a section's schema (for example pre-1.5 runs
@@ -59,6 +62,9 @@ pub enum TrendKind {
     /// Only a slowdown beyond `timer_factor` is flagged; the metric is
     /// a measured rate where higher is better and noise is expected.
     WallClock,
+    /// Only growth beyond `timer_factor` is flagged; the metric is a
+    /// measured cost where lower is better and noise is expected.
+    Inflation,
 }
 
 impl TrendKind {
@@ -68,6 +74,7 @@ impl TrendKind {
             TrendKind::Points => "points",
             TrendKind::RelativePct => "relative-pct",
             TrendKind::WallClock => "wall-clock",
+            TrendKind::Inflation => "inflation",
         }
     }
 }
@@ -301,6 +308,19 @@ fn band_violation(kind: TrendKind, value: f64, med: f64, tol: &Tolerance) -> Opt
                 )
             })
         }
+        TrendKind::Inflation => {
+            if value <= 0.0 || med <= 0.0 {
+                return None;
+            }
+            let factor = value / med;
+            (factor > tol.timer_factor).then(|| {
+                format!(
+                    "{value:.1} vs rolling median {med:.1}: {factor:.1}x growth exceeds \
+                     the {:.1}x inflation factor",
+                    tol.timer_factor
+                )
+            })
+        }
     }
 }
 
@@ -427,6 +447,16 @@ fn catalogue(newest: &BenchReport, tol: &Tolerance) -> Vec<Metric> {
             );
         }
     }
+
+    // Harness allocation pressure: allocations per simulated kilocycle
+    // of the telemetry pass. Holes for pre-1.6 artifacts and for runs
+    // captured without the counting allocator installed; growth-only
+    // gating, since measurement noise can always shrink the figure.
+    push(
+        "harness allocs/kcycle".to_string(),
+        TrendKind::Inflation,
+        Box::new(|r| r.harness.as_ref().and_then(|h| h.allocs_per_kcycle)),
+    );
 
     // Attribution hotspot concentration: how top-heavy the energy
     // profile is (top PC, and the whole recorded top-N together).
@@ -564,11 +594,19 @@ mod tests {
         assert!(report.passed());
         assert!(report.findings.is_empty(), "{:#?}", report.findings);
         assert_eq!(report.labels.len(), 4);
-        // Every series is fully populated on same-schema artifacts.
+        // Every series is fully populated on same-schema artifacts —
+        // except the allocation series, which is all holes because the
+        // test binary runs without the counting allocator installed.
         assert!(report
             .series
             .iter()
-            .all(|s| s.values.iter().all(Option::is_some)));
+            .all(|s| s.metric == "harness allocs/kcycle" || s.values.iter().all(Option::is_some)));
+        let allocs = report
+            .series
+            .iter()
+            .find(|s| s.metric == "harness allocs/kcycle")
+            .unwrap();
+        assert!(allocs.values.iter().all(Option::is_none));
     }
 
     #[test]
@@ -638,6 +676,31 @@ mod tests {
             .findings
             .iter()
             .any(|f| f.category == "trend-regression" && f.message.contains("sim MHz")));
+    }
+
+    #[test]
+    fn allocation_inflation_gates_only_on_an_explosion() {
+        let mut points = history(4);
+        for (_, r) in &mut points {
+            r.harness.as_mut().unwrap().allocs_per_kcycle = Some(5.0);
+        }
+        // Doubling is noise under the generous factor: no finding.
+        points[3].1.harness.as_mut().unwrap().allocs_per_kcycle = Some(10.0);
+        let report = trends(&points, &Tolerance::default()).unwrap();
+        assert!(report.passed(), "{:#?}", report.findings);
+
+        // A 1000x explosion on the newest point fails the gate.
+        points[3].1.harness.as_mut().unwrap().allocs_per_kcycle = Some(5_000.0);
+        let report = trends(&points, &Tolerance::default()).unwrap();
+        assert!(!report.passed());
+        assert!(report.findings.iter().any(|f| {
+            f.category == "trend-regression" && f.message.contains("harness allocs/kcycle")
+        }));
+
+        // Shrinking is never a finding for a cost series.
+        points[3].1.harness.as_mut().unwrap().allocs_per_kcycle = Some(0.001);
+        let report = trends(&points, &Tolerance::default()).unwrap();
+        assert!(report.passed(), "{:#?}", report.findings);
     }
 
     #[test]

@@ -82,6 +82,8 @@ pub(crate) struct InflightArena {
     pub ops_scratch: Vec<FuOp>,
     /// Case bits tracking `ops_scratch` through swaps.
     pub bits_scratch: Vec<u8>,
+    /// Steering decisions for the group being issued.
+    pub choices_scratch: Vec<fua_steer::ModuleChoice>,
 }
 
 fn dummy_fu() -> FuOp {
@@ -123,6 +125,7 @@ impl InflightArena {
             selected: Default::default(),
             ops_scratch: Vec::new(),
             bits_scratch: Vec::new(),
+            choices_scratch: Vec::new(),
         }
     }
 
@@ -169,15 +172,16 @@ impl InflightArena {
         }
         self.ops_scratch.clear();
         self.bits_scratch.clear();
+        self.choices_scratch.clear();
     }
 
     /// Leases an arena from the thread-local pool (or allocates a fresh
     /// one), reset for a run under `config`. Dropping the lease returns
     /// the arena — and every buffer it grew — to the pool.
     pub(crate) fn lease(config: &MachineConfig) -> ArenaLease {
-        let mut arena = POOL
-            .with(|p| p.borrow_mut().pop())
-            .unwrap_or_else(InflightArena::new);
+        let pooled = POOL.with(|p| p.borrow_mut().pop());
+        fua_obs::note_arena_lease(pooled.is_none());
+        let mut arena = pooled.unwrap_or_else(InflightArena::new);
         arena.reset(config);
         ArenaLease(Some(arena))
     }
@@ -215,12 +219,16 @@ impl DerefMut for ArenaLease {
 impl Drop for ArenaLease {
     fn drop(&mut self) {
         if let Some(arena) = self.0.take() {
-            POOL.with(|p| {
+            let kept = POOL.with(|p| {
                 let mut pool = p.borrow_mut();
                 if pool.len() < POOL_CAP {
                     pool.push(arena);
+                    true
+                } else {
+                    false
                 }
             });
+            fua_obs::note_arena_return(kept);
         }
     }
 }
@@ -317,6 +325,18 @@ mod tests {
         assert_eq!(lease.serial.as_ptr() as usize, ptr);
         assert_eq!(lease.capacity, 64);
         assert!(lease.wheel.len() >= 40, "wheel covers worst-case latency");
+    }
+
+    #[test]
+    fn pool_traffic_is_counted() {
+        let config = MachineConfig::paper_default();
+        let before = fua_obs::arena_counters();
+        drop(InflightArena::lease(&config));
+        // Other tests lease concurrently, so check deltas as lower
+        // bounds only.
+        let delta = fua_obs::arena_counters().delta(&before);
+        assert!(delta.leases >= 1, "lease counted");
+        assert!(delta.returns >= 1, "return counted");
     }
 
     #[test]

@@ -616,29 +616,31 @@ impl<S: TraceSink, P: PhaseProfiler> Simulator<S, P> {
         }
 
         // Steer: duplicated classes consult the policy, single-module
-        // classes trivially use module 0.
-        let choices: Vec<fua_steer::ModuleChoice> = if modules > 1 {
+        // classes trivially use module 0. The choices buffer is arena
+        // scratch like `ops`: reused every cycle, so steady-state issue
+        // stays allocation-free (the gate in tests/alloc_gate.rs).
+        let mut choices = std::mem::take(&mut self.inflight.choices_scratch);
+        choices.clear();
+        if modules > 1 {
             timed!(self, SimPhase::Steer, {
                 let policy = self
                     .steering
                     .policy_mut(class)
                     .expect("duplicated classes have a policy");
-                policy.assign(&ops, &self.ports[ci])
+                policy.assign_into(&ops, &self.ports[ci], &mut choices);
             })
         } else {
-            ops.iter()
-                .map(|_| fua_steer::ModuleChoice {
-                    module: 0,
-                    swap: false,
-                })
-                .collect()
-        };
+            choices.extend(ops.iter().map(|_| fua_steer::ModuleChoice {
+                module: 0,
+                swap: false,
+            }));
+        }
         if cfg!(debug_assertions) {
             fua_steer::validate_choices(&ops, modules, &choices);
         }
 
         // Latch, charge energy, schedule completion.
-        for (i, choice) in choices.into_iter().enumerate() {
+        for (i, &choice) in choices.iter().enumerate() {
             let mut op = ops[i];
             let offset = selected[i] as usize;
             let slot = slot_of(selected[i]);
@@ -777,6 +779,7 @@ impl<S: TraceSink, P: PhaseProfiler> Simulator<S, P> {
         self.inflight.selected[ci] = selected;
         self.inflight.ops_scratch = ops;
         self.inflight.bits_scratch = case_bits;
+        self.inflight.choices_scratch = choices;
         issued
     }
 

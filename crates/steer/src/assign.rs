@@ -1,5 +1,80 @@
 //! Minimum-cost injective assignment of instructions to modules.
 
+/// Reusable working memory for [`min_cost_assignment_into`].
+///
+/// A policy keeps one of these across cycles so the per-cycle solve
+/// performs **zero heap allocations** once the buffers have grown to
+/// the machine's (fixed) issue width × module count — the steady-state
+/// contract the allocation gate enforces on the untraced hot loop.
+#[derive(Debug, Clone, Default)]
+pub struct AssignScratch {
+    /// Row-major `rows × cols` column indices, each row sorted
+    /// cheapest-first.
+    order: Vec<usize>,
+    /// The partial assignment of the branch being explored.
+    current: Vec<usize>,
+    /// Column-taken flags.
+    used: Vec<bool>,
+}
+
+/// As [`min_cost_assignment`], but reading the cost matrix through a
+/// closure (`cost(row, col)`) and writing the winning assignment into
+/// `out` — no allocation beyond the (amortised) growth of `scratch`
+/// and `out`.
+///
+/// # Panics
+///
+/// Panics if `rows > cols`.
+pub fn min_cost_assignment_into(
+    rows: usize,
+    cols: usize,
+    cost: impl Fn(usize, usize) -> u32,
+    scratch: &mut AssignScratch,
+    out: &mut Vec<usize>,
+) {
+    out.clear();
+    if rows == 0 {
+        return;
+    }
+    assert!(rows <= cols, "more instructions than modules");
+
+    // Explore each row's columns cheapest-first. Besides speeding up the
+    // pruning, this makes the tie-break deterministic and *row-priority*:
+    // among equal-total assignments the first row (oldest instruction)
+    // keeps its cheapest module — which matters when later rows are
+    // indistinguishable padding (see the LUT builder).
+    scratch.order.clear();
+    for row in 0..rows {
+        let lo = scratch.order.len();
+        scratch.order.extend(0..cols);
+        // `sort_unstable` is in-place (no hidden allocation); keying on
+        // `(cost, column)` reproduces the stable sort's tie-break —
+        // equal-cost columns stay in ascending index order — exactly,
+        // so the refactor cannot change a single steering decision.
+        scratch.order[lo..].sort_unstable_by_key(|&c| (cost(row, c), c));
+    }
+    scratch.current.clear();
+    scratch.current.resize(rows, 0);
+    scratch.used.clear();
+    scratch.used.resize(cols, false);
+    out.resize(rows, 0);
+
+    let mut best = u64::MAX;
+    search(
+        rows,
+        cols,
+        &cost,
+        &scratch.order,
+        0,
+        0,
+        &mut scratch.used,
+        &mut scratch.current,
+        &mut best,
+        out,
+    );
+    debug_assert!(best != u64::MAX, "rows <= cols guarantees a solution");
+}
+
 /// Finds the assignment of `n = cost.len()` instructions to distinct
 /// modules (columns) minimising the total cost, by exhaustive search with
 /// pruning. Returns the chosen module for each instruction.
@@ -7,7 +82,10 @@
 /// The paper's machines have at most 4 instructions and a handful of
 /// modules per cycle, so exhaustive search is both exact and cheap; the
 /// hardware itself never runs this (it is the reference "optimal"
-/// assignment the LUT approximates).
+/// assignment the LUT approximates). Allocating convenience wrapper
+/// around [`min_cost_assignment_into`] for one-shot callers (the LUT
+/// builder, tests); the per-cycle policies use the `_into` form with
+/// reused scratch.
 ///
 /// # Panics
 ///
@@ -32,43 +110,23 @@ pub fn min_cost_assignment(cost: &[Vec<u32>]) -> Vec<usize> {
     }
     let m = cost[0].len();
     assert!(cost.iter().all(|row| row.len() == m), "ragged cost matrix");
-    assert!(n <= m, "more instructions than modules");
-
-    // Explore each row's columns cheapest-first. Besides speeding up the
-    // pruning, this makes the tie-break deterministic and *row-priority*:
-    // among equal-total assignments the first row (oldest instruction)
-    // keeps its cheapest module — which matters when later rows are
-    // indistinguishable padding (see the LUT builder).
-    let order: Vec<Vec<usize>> = cost
-        .iter()
-        .map(|row| {
-            let mut idx: Vec<usize> = (0..m).collect();
-            idx.sort_by_key(|&c| row[c]);
-            idx
-        })
-        .collect();
-
-    let mut best = u64::MAX;
-    let mut best_assign = vec![0usize; n];
-    let mut current = vec![0usize; n];
-    let mut used = vec![false; m];
-    search(
-        cost,
-        &order,
-        0,
-        0,
-        &mut used,
-        &mut current,
-        &mut best,
-        &mut best_assign,
+    let mut out = Vec::with_capacity(n);
+    min_cost_assignment_into(
+        n,
+        m,
+        |r, c| cost[r][c],
+        &mut AssignScratch::default(),
+        &mut out,
     );
-    best_assign
+    out
 }
 
 #[allow(clippy::too_many_arguments)]
 fn search(
-    cost: &[Vec<u32>],
-    order: &[Vec<usize>],
+    rows: usize,
+    cols: usize,
+    cost: &impl Fn(usize, usize) -> u32,
+    order: &[usize],
     row: usize,
     acc: u64,
     used: &mut [bool],
@@ -79,22 +137,24 @@ fn search(
     if acc >= *best {
         return; // prune
     }
-    if row == cost.len() {
+    if row == rows {
         *best = acc;
         best_assign.copy_from_slice(current);
         return;
     }
-    for &col in &order[row] {
+    for &col in &order[row * cols..(row + 1) * cols] {
         if used[col] {
             continue;
         }
         used[col] = true;
         current[row] = col;
         search(
+            rows,
+            cols,
             cost,
             order,
             row + 1,
-            acc + cost[row][col] as u64,
+            acc + cost(row, col) as u64,
             used,
             current,
             best,

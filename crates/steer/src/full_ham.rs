@@ -3,7 +3,7 @@
 use fua_power::{steering_cost, ModulePorts};
 use fua_vm::FuOp;
 
-use crate::{min_cost_assignment, ModuleChoice, SteeringPolicy};
+use crate::{min_cost_assignment_into, AssignScratch, ModuleChoice, SteeringPolicy};
 
 /// The paper's Figure-2 algorithm: the cost of every (instruction,
 /// module) pairing, taking the cheaper of the direct and swapped operand
@@ -49,16 +49,26 @@ pub fn assignment_costs(
 /// *Full Ham* upper bound of Figure 4. Too expensive for real routing
 /// logic (the cost computation alone would dominate the savings); modelled
 /// here as the yardstick every practical scheme is measured against.
-#[derive(Debug, Clone, Copy)]
+///
+/// The cost matrix and solver scratch live on the policy and are reused
+/// every cycle: steady-state assignment allocates nothing.
+#[derive(Debug, Clone, Default)]
 pub struct FullHamPolicy {
     allow_swap: bool,
+    /// Row-major `ops × modules` (cost, swapped) pairs, refilled per call.
+    costs: Vec<(u32, bool)>,
+    scratch: AssignScratch,
+    assignment: Vec<usize>,
 }
 
 impl FullHamPolicy {
     /// Creates the policy; `allow_swap` enables the per-assignment operand
     /// swap of Figure 2 (the "+ Hardware swapping" variant).
     pub fn new(allow_swap: bool) -> Self {
-        FullHamPolicy { allow_swap }
+        FullHamPolicy {
+            allow_swap,
+            ..FullHamPolicy::default()
+        }
     }
 }
 
@@ -67,21 +77,33 @@ impl SteeringPolicy for FullHamPolicy {
         "Full Ham"
     }
 
-    fn assign(&mut self, ops: &[FuOp], modules: &[ModulePorts]) -> Vec<ModuleChoice> {
-        let detailed = assignment_costs(ops, modules, self.allow_swap);
-        let cost: Vec<Vec<u32>> = detailed
-            .iter()
-            .map(|row| row.iter().map(|&(c, _)| c).collect())
-            .collect();
-        let assignment = min_cost_assignment(&cost);
-        assignment
-            .iter()
-            .enumerate()
-            .map(|(i, &module)| ModuleChoice {
-                module,
-                swap: detailed[i][module].1,
-            })
-            .collect()
+    fn assign_into(&mut self, ops: &[FuOp], modules: &[ModulePorts], out: &mut Vec<ModuleChoice>) {
+        let m = modules.len();
+        self.costs.clear();
+        for op in ops {
+            for module in modules {
+                self.costs
+                    .push(steering_cost(module.prev(), op, self.allow_swap));
+            }
+        }
+        let costs = &self.costs;
+        min_cost_assignment_into(
+            ops.len(),
+            m,
+            |r, c| costs[r * m + c].0,
+            &mut self.scratch,
+            &mut self.assignment,
+        );
+        out.clear();
+        out.extend(
+            self.assignment
+                .iter()
+                .enumerate()
+                .map(|(i, &module)| ModuleChoice {
+                    module,
+                    swap: costs[i * m + module].1,
+                }),
+        );
     }
 }
 

@@ -50,7 +50,7 @@ mod one_bit;
 mod policy;
 mod swap_rule;
 
-pub use assign::min_cost_assignment;
+pub use assign::{min_cost_assignment, min_cost_assignment_into, AssignScratch};
 pub use full_ham::{assignment_costs, FullHamPolicy};
 pub use kind::{make_policy, SteeringKind};
 pub use lut::{

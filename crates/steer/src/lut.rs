@@ -434,17 +434,29 @@ impl LutBuilder {
 /// The runtime steering policy wrapping a built [`LutTable`]: encode this
 /// cycle's cases, index the table, place any instructions beyond the
 /// vector's slots on the remaining modules first-come-first-served.
+///
+/// The per-cycle working buffers are owned and reused: steady-state
+/// assignment allocates nothing.
 #[derive(Debug, Clone)]
 pub struct LutPolicy {
     table: LutTable,
     name: String,
+    /// This cycle's instruction cases, refilled per call.
+    cases: Vec<Case>,
+    /// Module-taken flags, refilled per call.
+    used: Vec<bool>,
 }
 
 impl LutPolicy {
     /// Wraps a built table.
     pub fn new(table: LutTable) -> Self {
         let name = format!("{}-bit LUT", table.vector_bits());
-        LutPolicy { table, name }
+        LutPolicy {
+            table,
+            name,
+            cases: Vec::new(),
+            used: Vec::new(),
+        }
     }
 
     /// The underlying table (e.g. for gate-level synthesis).
@@ -458,16 +470,18 @@ impl SteeringPolicy for LutPolicy {
         &self.name
     }
 
-    fn assign(&mut self, ops: &[FuOp], modules: &[ModulePorts]) -> Vec<ModuleChoice> {
+    fn assign_into(&mut self, ops: &[FuOp], modules: &[ModulePorts], out: &mut Vec<ModuleChoice>) {
         debug_assert!(ops.len() <= modules.len());
-        let cases: Vec<Case> = ops.iter().map(FuOp::case).collect();
-        let vector = self.table.encode(&cases);
+        self.cases.clear();
+        self.cases.extend(ops.iter().map(FuOp::case));
+        let vector = self.table.encode(&self.cases);
         let entry = self.table.entry(vector);
-        let mut used = vec![false; modules.len()];
-        let mut out = Vec::with_capacity(ops.len());
+        self.used.clear();
+        self.used.resize(modules.len(), false);
+        out.clear();
         let seen = ops.len().min(self.table.slots());
         for &m in entry.iter().take(seen) {
-            used[m as usize] = true;
+            self.used[m as usize] = true;
             out.push(ModuleChoice {
                 module: m as usize,
                 swap: false,
@@ -478,17 +492,17 @@ impl SteeringPolicy for LutPolicy {
         // information exists for them — first free module, as a plain
         // Tomasulo router would.
         for _ in seen..ops.len() {
-            let m = used
+            let m = self
+                .used
                 .iter()
                 .position(|&u| !u)
                 .expect("ops never outnumber modules");
-            used[m] = true;
+            self.used[m] = true;
             out.push(ModuleChoice {
                 module: m,
                 swap: false,
             });
         }
-        out
     }
 }
 

@@ -4,21 +4,35 @@ use fua_isa::Case;
 use fua_power::ModulePorts;
 use fua_vm::FuOp;
 
-use crate::{min_cost_assignment, ModuleChoice, SteeringPolicy};
+use crate::{min_cost_assignment_into, AssignScratch, ModuleChoice, SteeringPolicy};
 
 /// Optimal per-cycle assignment where each operand is summarised by its
 /// information bit — the *1-bit Ham* bar of Figure 4. This bounds what any
 /// scheme based solely on information bits (such as the LUTs) can achieve.
-#[derive(Debug, Clone, Copy)]
+///
+/// The cost/swap matrices and solver scratch live on the policy and are
+/// reused every cycle: steady-state assignment allocates nothing.
+#[derive(Debug, Clone, Default)]
 pub struct OneBitHamPolicy {
     allow_swap: bool,
+    /// Each module's last-latched case, refilled per call.
+    prev_cases: Vec<Option<Case>>,
+    /// Row-major `ops × modules` information-bit distances.
+    cost: Vec<u32>,
+    /// Row-major `ops × modules` swap decisions.
+    swap: Vec<bool>,
+    scratch: AssignScratch,
+    assignment: Vec<usize>,
 }
 
 impl OneBitHamPolicy {
     /// Creates the policy; `allow_swap` lets it consider the swapped
     /// operand order for commutative instructions.
     pub fn new(allow_swap: bool) -> Self {
-        OneBitHamPolicy { allow_swap }
+        OneBitHamPolicy {
+            allow_swap,
+            ..OneBitHamPolicy::default()
+        }
     }
 
     /// Information-bit distance between an instruction case and a module's
@@ -38,43 +52,50 @@ impl SteeringPolicy for OneBitHamPolicy {
         "1-bit Ham"
     }
 
-    fn assign(&mut self, ops: &[FuOp], modules: &[ModulePorts]) -> Vec<ModuleChoice> {
-        let prev_cases: Vec<Option<Case>> = modules
-            .iter()
-            .map(|m| m.prev().map(|(a, b)| Case::of_operands(a, b)))
-            .collect();
-        let mut swap_table = vec![vec![false; modules.len()]; ops.len()];
-        let cost: Vec<Vec<u32>> = ops
-            .iter()
-            .enumerate()
-            .map(|(i, op)| {
-                let case = op.case();
-                prev_cases
-                    .iter()
-                    .enumerate()
-                    .map(|(j, &prev)| {
-                        let direct = Self::case_cost(prev, case);
-                        if self.allow_swap && op.commutative {
-                            let swapped = Self::case_cost(prev, case.swapped());
-                            if swapped < direct {
-                                swap_table[i][j] = true;
-                                return swapped;
-                            }
-                        }
-                        direct
-                    })
-                    .collect()
-            })
-            .collect();
-        let assignment = min_cost_assignment(&cost);
-        assignment
-            .iter()
-            .enumerate()
-            .map(|(i, &module)| ModuleChoice {
-                module,
-                swap: swap_table[i][module],
-            })
-            .collect()
+    fn assign_into(&mut self, ops: &[FuOp], modules: &[ModulePorts], out: &mut Vec<ModuleChoice>) {
+        let m = modules.len();
+        self.prev_cases.clear();
+        self.prev_cases.extend(
+            modules
+                .iter()
+                .map(|p| p.prev().map(|(a, b)| Case::of_operands(a, b))),
+        );
+        self.cost.clear();
+        self.swap.clear();
+        self.swap.resize(ops.len() * m, false);
+        for (i, op) in ops.iter().enumerate() {
+            let case = op.case();
+            for (j, &prev) in self.prev_cases.iter().enumerate() {
+                let direct = Self::case_cost(prev, case);
+                let mut chosen = direct;
+                if self.allow_swap && op.commutative {
+                    let swapped = Self::case_cost(prev, case.swapped());
+                    if swapped < direct {
+                        self.swap[i * m + j] = true;
+                        chosen = swapped;
+                    }
+                }
+                self.cost.push(chosen);
+            }
+        }
+        let cost = &self.cost;
+        min_cost_assignment_into(
+            ops.len(),
+            m,
+            |r, c| cost[r * m + c],
+            &mut self.scratch,
+            &mut self.assignment,
+        );
+        out.clear();
+        out.extend(
+            self.assignment
+                .iter()
+                .enumerate()
+                .map(|(i, &module)| ModuleChoice {
+                    module,
+                    swap: self.swap[i * m + module],
+                }),
+        );
     }
 }
 

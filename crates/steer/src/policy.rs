@@ -22,8 +22,24 @@ pub trait SteeringPolicy {
     /// A short name for reports ("Original", "4-bit LUT", ...).
     fn name(&self) -> &str;
 
-    /// Assigns this cycle's ready instructions to modules.
-    fn assign(&mut self, ops: &[FuOp], modules: &[ModulePorts]) -> Vec<ModuleChoice>;
+    /// Assigns this cycle's ready instructions to modules, writing
+    /// exactly one choice per instruction into `out` (cleared first).
+    ///
+    /// This is the hot-loop entry point: the engine passes a buffer it
+    /// reuses every cycle, and implementations keep their own working
+    /// memory across calls, so steady-state issue performs **zero**
+    /// heap allocations (the allocation gate enforces this for every
+    /// workload × scheme).
+    fn assign_into(&mut self, ops: &[FuOp], modules: &[ModulePorts], out: &mut Vec<ModuleChoice>);
+
+    /// Allocating convenience wrapper around
+    /// [`assign_into`](Self::assign_into) for one-shot callers (tests,
+    /// the Figure-1 example).
+    fn assign(&mut self, ops: &[FuOp], modules: &[ModulePorts]) -> Vec<ModuleChoice> {
+        let mut out = Vec::with_capacity(ops.len());
+        self.assign_into(ops, modules, &mut out);
+        out
+    }
 }
 
 /// The paper's *Original* strategy: instructions are placed on modules in
@@ -46,31 +62,37 @@ impl SteeringPolicy for FcfsPolicy {
         "Original"
     }
 
-    fn assign(&mut self, ops: &[FuOp], modules: &[ModulePorts]) -> Vec<ModuleChoice> {
+    fn assign_into(&mut self, ops: &[FuOp], modules: &[ModulePorts], out: &mut Vec<ModuleChoice>) {
         debug_assert!(ops.len() <= modules.len());
-        (0..ops.len())
-            .map(|i| ModuleChoice {
-                module: i,
-                swap: false,
-            })
-            .collect()
+        out.clear();
+        out.extend((0..ops.len()).map(|i| ModuleChoice {
+            module: i,
+            swap: false,
+        }));
     }
 }
 
 /// Checks a policy's output invariants — one choice per instruction,
 /// distinct in-range modules, swaps only on commutative operations.
 /// The engine calls this in debug builds; tests use it directly.
+/// Allocation-free (a bitmask tracks used modules), so the engine's
+/// debug-build call sites stay invisible to the allocation gate.
 ///
 /// # Panics
 ///
-/// Panics when any invariant is violated.
+/// Panics when any invariant is violated, or when `modules > 64` (real
+/// configurations duplicate a module a handful of times).
 pub fn validate_choices(ops: &[FuOp], modules: usize, choices: &[ModuleChoice]) {
     assert_eq!(choices.len(), ops.len(), "one choice per instruction");
-    let mut seen = vec![false; modules];
+    assert!(modules <= 64, "module bitmask covers the configuration");
+    let mut seen = 0u64;
     for (op, c) in ops.iter().zip(choices) {
         assert!(c.module < modules, "module index in range");
-        assert!(!seen[c.module], "modules are assigned at most once");
-        seen[c.module] = true;
+        assert!(
+            seen & (1 << c.module) == 0,
+            "modules are assigned at most once"
+        );
+        seen |= 1 << c.module;
         assert!(!c.swap || op.commutative, "swap only commutative ops");
     }
 }

@@ -30,6 +30,12 @@
 //! * [`VecSink`] — unbounded capture for tests;
 //! * tuples `(A, B)` — fan-out to several sinks at once.
 //!
+//! Beyond the sinks, the crate renders a [`MetricsRegistry`] as the
+//! OpenMetrics text exposition ([`render_openmetrics`], the `/metrics`
+//! wire format) and exports **harness** worker timelines
+//! ([`HarnessTimeline`]) as a third Perfetto process next to the
+//! simulated pipeline and functional units.
+//!
 //! This crate also hosts the workspace's dependency-free JSON emitter
 //! ([`Json`]/[`ToJson`]), which moved here from `fua-core` so sinks can
 //! serialise without a dependency cycle through the experiment layer,
@@ -53,6 +59,7 @@
 mod event;
 mod json;
 mod metrics;
+mod openmetrics;
 mod parse;
 mod perfetto;
 mod recorder;
@@ -63,8 +70,9 @@ mod windowed;
 pub use event::{NullSink, Stage, StallReason, SwapKind, TraceEvent, TraceSink, VecSink};
 pub use json::{Json, ToJson};
 pub use metrics::{Histogram, Metric, MetricId, MetricsRegistry};
+pub use openmetrics::{escape_label_value, metric_name, render_openmetrics, sanitize_name};
 pub use parse::JsonParseError;
-pub use perfetto::ChromeTraceSink;
+pub use perfetto::{ChromeTraceSink, HarnessTimeline};
 pub use recorder::MetricsRecorder;
 pub use ring::RingBufferSink;
 pub use stall::{DepRecord, DepSink, StallKey, StallSink};

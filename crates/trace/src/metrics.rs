@@ -36,7 +36,9 @@ impl Histogram {
         }
     }
 
-    /// Records one observation.
+    /// Records one observation. The running sum saturates instead of
+    /// overflowing, so a histogram fed `u64::MAX`-ish values (the top
+    /// bucket's natural diet) stays well-defined.
     pub fn observe(&mut self, value: u64) {
         let idx = self
             .bounds
@@ -45,7 +47,7 @@ impl Histogram {
             .unwrap_or(self.bounds.len());
         self.counts[idx] += 1;
         self.count += 1;
-        self.sum += value;
+        self.sum = self.sum.saturating_add(value);
     }
 
     /// Total observations.
@@ -357,5 +359,72 @@ mod tests {
         let mut m = MetricsRegistry::new();
         let g = m.gauge("g");
         m.add(g, 1);
+    }
+
+    #[test]
+    fn empty_registry_serializes_cleanly() {
+        let m = MetricsRegistry::new();
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.to_json().compact(), "{}");
+        assert_eq!(m.to_string(), "");
+        assert_eq!(m.sum_counters(""), 0);
+    }
+
+    #[test]
+    fn single_sample_histogram_is_exact() {
+        let mut h = Histogram::new(&[10]);
+        h.observe(7);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 7);
+        assert_eq!(h.mean(), 7.0);
+        let buckets: Vec<(Option<u64>, u64)> = h.buckets().collect();
+        assert_eq!(buckets, [(Some(10), 1), (None, 0)]);
+    }
+
+    #[test]
+    fn top_bucket_saturates_instead_of_overflowing() {
+        let mut h = Histogram::new(&[1, 2]);
+        h.observe(u64::MAX);
+        h.observe(u64::MAX);
+        // Both land in the overflow bucket; the sum saturates rather
+        // than wrapping to a tiny number.
+        let counts: Vec<u64> = h.buckets().map(|(_, c)| c).collect();
+        assert_eq!(counts, [0, 0, 2]);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert!(h.mean() > 0.0);
+    }
+
+    #[test]
+    fn name_collision_across_types_keeps_the_first_registration() {
+        // Registration is keyed purely by name: a later registration
+        // under the same name — even as a different metric type —
+        // returns the original handle, and the original type wins.
+        let mut m = MetricsRegistry::new();
+        let c = m.counter("shared");
+        let g = m.gauge("shared");
+        let h = m.histogram("shared", &[1, 2]);
+        assert_eq!(c, g);
+        assert_eq!(c, h);
+        assert_eq!(m.len(), 1);
+        m.add(c, 5);
+        assert!(matches!(m.get("shared"), Some(Metric::Counter(5))));
+    }
+
+    #[test]
+    fn histogram_rebounds_on_collision_keep_original_bounds() {
+        let mut m = MetricsRegistry::new();
+        let a = m.histogram("h", &[1, 2, 3]);
+        let b = m.histogram("h", &[100]);
+        assert_eq!(a, b);
+        m.observe(a, 2);
+        match m.get("h") {
+            Some(Metric::Histogram(h)) => {
+                let bounds: Vec<Option<u64>> = h.buckets().map(|(le, _)| le).collect();
+                assert_eq!(bounds, [Some(1), Some(2), Some(3), None]);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
     }
 }

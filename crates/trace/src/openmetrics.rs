@@ -1,0 +1,325 @@
+//! OpenMetrics text-exposition serializer for [`MetricsRegistry`].
+//!
+//! Renders every registered counter, gauge and histogram as the
+//! OpenMetrics text format (the `/metrics` wire format Prometheus
+//! scrapes), ending with the mandatory `# EOF` marker. Dependency-free,
+//! like the rest of the workspace: the format is lines of
+//! `name{label="value"} number`, so no machinery beyond careful
+//! escaping is needed.
+//!
+//! Registry names map onto OpenMetrics as follows:
+//!
+//! * A name may carry a label block composed by [`metric_name`]
+//!   (`base{key="value"}`); everything before the first `{` is the
+//!   family name, the rest is passed through (it was escaped at
+//!   composition time).
+//! * Family names are sanitized to the OpenMetrics charset
+//!   (`[a-zA-Z0-9_:]`, not starting with a digit) — the registry's
+//!   dotted names like `ham.IALU.m0` become `ham_IALU_m0`.
+//! * Entries whose sanitized family collides (`a.b` vs `a_b`, or equal
+//!   bases with different labels) merge under a single `# TYPE` header;
+//!   the first-registered entry decides the family's declared type.
+//! * Counters expose the mandatory `_total` sample suffix; histograms
+//!   expose cumulative `_bucket{le=...}` series plus `_count`/`_sum`,
+//!   with the `+Inf` bucket equal to `_count` as the spec requires.
+//!
+//! Label *values* escape `\`, `"` and newline per the OpenMetrics ABNF;
+//! [`metric_name`] applies that escaping so workload-derived strings
+//! can never break the exposition.
+
+use crate::{Metric, MetricsRegistry};
+
+/// Composes a registry metric name with a label block:
+/// `base{key="value",...}`. Keys are sanitized to the OpenMetrics
+/// label charset; values get ABNF escaping (`\\`, `\"`, `\n`). With no
+/// labels the base is returned unchanged.
+pub fn metric_name(base: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return base.to_string();
+    }
+    let mut out = String::with_capacity(base.len() + 16 * labels.len());
+    out.push_str(base);
+    out.push('{');
+    for (i, (key, value)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&sanitize_name(key));
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(value));
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Escapes a label value per the OpenMetrics ABNF: backslash, double
+/// quote and line feed become `\\`, `\"` and `\n`.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Maps an arbitrary string onto the OpenMetrics metric-name charset:
+/// every character outside `[a-zA-Z0-9_:]` becomes `_`, and a leading
+/// digit gets a `_` prefix. Empty input becomes `_`.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.is_empty() {
+        out.push('_');
+    }
+    if out.as_bytes()[0].is_ascii_digit() {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Splits a registry name into its sanitized family name and its
+/// (already-escaped) label block body, if any.
+fn split_name(name: &str) -> (String, Option<&str>) {
+    match name.split_once('{') {
+        Some((base, rest)) => {
+            let labels = rest.strip_suffix('}').unwrap_or(rest);
+            (sanitize_name(base), Some(labels))
+        }
+        None => (sanitize_name(name), None),
+    }
+}
+
+/// Joins a label block body with one extra label (`le` for histogram
+/// buckets) into a full `{...}` block.
+fn label_block(labels: Option<&str>, extra: Option<&str>) -> String {
+    match (labels.filter(|l| !l.is_empty()), extra) {
+        (None, None) => String::new(),
+        (Some(l), None) => format!("{{{l}}}"),
+        (None, Some(e)) => format!("{{{e}}}"),
+        (Some(l), Some(e)) => format!("{{{l},{e}}}"),
+    }
+}
+
+/// Formats a gauge value: finite floats in plain decimal, the spec
+/// spellings for infinities and NaN.
+fn format_float(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        let s = format!("{v}");
+        // OpenMetrics numbers are fine without a decimal point, but a
+        // gauge rendered "3" round-trips as an integer; keep floats
+        // recognisably floaty.
+        if s.contains('.') || s.contains('e') || s.contains('-') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    }
+}
+
+fn type_keyword(metric: &Metric) -> &'static str {
+    match metric {
+        Metric::Counter(_) => "counter",
+        Metric::Gauge(_) => "gauge",
+        Metric::Histogram(_) => "histogram",
+    }
+}
+
+/// Renders the registry as an OpenMetrics text exposition, terminated
+/// by `# EOF`. An empty registry renders as just the terminator.
+pub fn render_openmetrics(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    // One `# TYPE` header per family (first registration wins), even
+    // when several registry entries — different label sets, or dotted
+    // names that sanitize identically — share the family.
+    let mut declared: Vec<String> = Vec::new();
+    for (name, metric) in registry.iter() {
+        let (family, labels) = split_name(name);
+        // Counters declare the family without the `_total` suffix.
+        let family = match metric {
+            Metric::Counter(_) => family
+                .strip_suffix("_total")
+                .map(str::to_string)
+                .unwrap_or(family),
+            _ => family,
+        };
+        if !declared.iter().any(|f| f == &family) {
+            declared.push(family.clone());
+            out.push_str(&format!("# TYPE {family} {}\n", type_keyword(metric)));
+        }
+        match metric {
+            Metric::Counter(v) => {
+                out.push_str(&format!(
+                    "{family}_total{} {v}\n",
+                    label_block(labels, None)
+                ));
+            }
+            Metric::Gauge(v) => {
+                out.push_str(&format!(
+                    "{family}{} {}\n",
+                    label_block(labels, None),
+                    format_float(*v)
+                ));
+            }
+            Metric::Histogram(h) => {
+                let mut cumulative = 0u64;
+                for (le, count) in h.buckets() {
+                    cumulative += count;
+                    let le = match le {
+                        Some(b) => format!("le=\"{b}\""),
+                        None => "le=\"+Inf\"".to_string(),
+                    };
+                    out.push_str(&format!(
+                        "{family}_bucket{} {cumulative}\n",
+                        label_block(labels, Some(&le))
+                    ));
+                }
+                out.push_str(&format!(
+                    "{family}_count{} {}\n",
+                    label_block(labels, None),
+                    h.count()
+                ));
+                out.push_str(&format!(
+                    "{family}_sum{} {}\n",
+                    label_block(labels, None),
+                    h.sum()
+                ));
+            }
+        }
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_registry_is_just_the_terminator() {
+        assert_eq!(render_openmetrics(&MetricsRegistry::new()), "# EOF\n");
+    }
+
+    #[test]
+    fn counters_expose_the_total_suffix() {
+        let mut m = MetricsRegistry::new();
+        let id = m.counter("sw.bits");
+        m.add(id, 42);
+        let text = render_openmetrics(&m);
+        assert!(text.contains("# TYPE sw_bits counter\n"));
+        assert!(text.contains("sw_bits_total 42\n"));
+        assert!(text.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn a_counter_already_named_total_is_not_doubled() {
+        let mut m = MetricsRegistry::new();
+        let id = m.counter("requests_total");
+        m.add(id, 1);
+        let text = render_openmetrics(&m);
+        assert!(text.contains("# TYPE requests counter\n"));
+        assert!(text.contains("requests_total 1\n"));
+        assert!(!text.contains("requests_total_total"));
+    }
+
+    #[test]
+    fn gauges_render_as_floats_with_spec_spellings() {
+        let mut m = MetricsRegistry::new();
+        let g = m.gauge("busy");
+        m.set(g, 0.875);
+        let whole = m.gauge("whole");
+        m.set(whole, 3.0);
+        let text = render_openmetrics(&m);
+        assert!(text.contains("# TYPE busy gauge\n"));
+        assert!(text.contains("busy 0.875\n"));
+        assert!(text.contains("whole 3.0\n"));
+        assert_eq!(format_float(f64::INFINITY), "+Inf");
+        assert_eq!(format_float(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(format_float(f64::NAN), "NaN");
+    }
+
+    #[test]
+    fn histograms_are_cumulative_with_an_inf_bucket() {
+        let mut m = MetricsRegistry::new();
+        let h = m.histogram("depth", &[1, 4]);
+        for v in [0, 1, 2, 9] {
+            m.observe(h, v);
+        }
+        let text = render_openmetrics(&m);
+        assert!(text.contains("# TYPE depth histogram\n"));
+        assert!(text.contains("depth_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("depth_bucket{le=\"4\"} 3\n"));
+        assert!(text.contains("depth_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("depth_count 4\n"));
+        assert!(text.contains("depth_sum 12\n"));
+    }
+
+    #[test]
+    fn labels_compose_and_escape_per_the_abnf() {
+        let hostile = "he\"ll\\o\nworld";
+        let name = metric_name("fua.worker busy", &[("stage", hostile), ("worker", "0")]);
+        let mut m = MetricsRegistry::new();
+        let g = m.gauge(&name);
+        m.set(g, 1.5);
+        let text = render_openmetrics(&m);
+        assert!(
+            text.contains("fua_worker_busy{stage=\"he\\\"ll\\\\o\\nworld\",worker=\"0\"} 1.5\n"),
+            "got: {text}"
+        );
+        // The exposition itself stays line-structured: no raw newline
+        // or unescaped quote survives inside a label value.
+        for line in text.lines() {
+            assert!(line.len() < 200);
+        }
+
+        // Histograms splice `le` after the caller's labels.
+        let mut m = MetricsRegistry::new();
+        let h = m.histogram(&metric_name("queue", &[("stage", "telemetry")]), &[2]);
+        m.observe(h, 1);
+        let text = render_openmetrics(&m);
+        assert!(text.contains("queue_bucket{stage=\"telemetry\",le=\"2\"} 1\n"));
+        assert!(text.contains("queue_count{stage=\"telemetry\"} 1\n"));
+    }
+
+    #[test]
+    fn colliding_sanitized_families_share_one_type_header() {
+        let mut m = MetricsRegistry::new();
+        let a = m.counter("a.b");
+        m.add(a, 1);
+        let b = m.counter("a_b");
+        m.add(b, 2);
+        let text = render_openmetrics(&m);
+        assert_eq!(
+            text.matches("# TYPE a_b counter").count(),
+            1,
+            "one family header for colliding names: {text}"
+        );
+        assert_eq!(text.matches("a_b_total").count(), 2, "both samples kept");
+    }
+
+    #[test]
+    fn names_sanitize_to_the_openmetrics_charset() {
+        assert_eq!(sanitize_name("ham.IALU.m0"), "ham_IALU_m0");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name(""), "_");
+        assert_eq!(sanitize_name("ok:name_1"), "ok:name_1");
+        assert_eq!(sanitize_name("spaß"), "spa_");
+    }
+}

@@ -19,6 +19,10 @@ use crate::{Json, Stage, TraceEvent, TraceSink};
 
 const PID_PIPELINE: u64 = 1;
 const PID_UNITS: u64 = 2;
+const PID_HARNESS: u64 = 3;
+
+/// Thread id of the arena-pool event track in the harness process.
+const TID_ARENA: u64 = 1_000;
 
 // Pipeline-process thread ids: the six stages, then the decision tracks.
 const TID_STEER: u64 = 6;
@@ -160,6 +164,151 @@ impl ChromeTraceSink {
     pub fn into_json(self) -> Json {
         Json::obj([
             ("traceEvents", Json::Arr(self.events)),
+            ("displayTimeUnit", Json::Str("ms".into())),
+            (
+                "otherData",
+                Json::obj([("producer", Json::Str("fua-trace".into()))]),
+            ),
+        ])
+    }
+}
+
+/// Builder for **harness** timelines: one Perfetto thread track per
+/// `fua-exec` worker (pid 3, alongside the simulated pipeline's pid 1
+/// and functional units' pid 2), a queue-depth counter sampled at every
+/// chunk claim, and an arena-pool event track.
+///
+/// Timestamps are wall-clock nanoseconds since the harness span
+/// collector's epoch, mapped to the Chrome trace's microsecond
+/// timebase. Every name and label travels through the [`Json`] string
+/// layer, so workload- or stage-derived strings with quotes, controls
+/// or non-ASCII are escaped, never spliced raw.
+#[derive(Debug, Clone, Default)]
+pub struct HarnessTimeline {
+    events: Vec<Json>,
+    named_workers: Vec<u64>,
+    arena_named: bool,
+}
+
+impl HarnessTimeline {
+    /// An empty harness timeline whose process is labelled
+    /// `harness [{label}]`.
+    pub fn new(label: &str) -> Self {
+        let mut timeline = HarnessTimeline::default();
+        timeline.events.push(meta(
+            "process_name",
+            PID_HARNESS,
+            None,
+            &format!("harness [{label}]"),
+        ));
+        timeline
+    }
+
+    /// Events accumulated so far (including metadata records).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing beyond the process label has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.len() <= 1
+    }
+
+    fn name_worker(&mut self, worker: u64) {
+        if !self.named_workers.contains(&worker) {
+            self.named_workers.push(worker);
+            self.events.push(meta(
+                "thread_name",
+                PID_HARNESS,
+                Some(worker),
+                &format!("worker {worker}"),
+            ));
+        }
+    }
+
+    /// Records one worker busy segment — a claimed chunk of sweep cells
+    /// `[lo, hi)` executed under `stage` — plus a queue-depth counter
+    /// sample at the claim instant.
+    #[allow(clippy::too_many_arguments)]
+    pub fn worker_span(
+        &mut self,
+        worker: u32,
+        stage: &str,
+        lo: u32,
+        hi: u32,
+        queue_depth: u32,
+        start_nanos: u64,
+        end_nanos: u64,
+    ) {
+        self.name_worker(worker as u64);
+        let stage = if stage.is_empty() { "chunk" } else { stage };
+        let ts = start_nanos / 1_000;
+        self.events.push(complete(
+            format!("{stage} [{lo}..{hi})"),
+            "harness",
+            ts,
+            end_nanos.saturating_sub(start_nanos) / 1_000,
+            PID_HARNESS,
+            worker as u64,
+            Json::obj([
+                ("stage", Json::Str(stage.into())),
+                ("lo", Json::UInt(lo.into())),
+                ("hi", Json::UInt(hi.into())),
+                ("queue_depth", Json::UInt(queue_depth.into())),
+            ]),
+        ));
+        self.events.push(counter(
+            "queue_depth".to_string(),
+            ts,
+            PID_HARNESS,
+            "cells",
+            queue_depth.into(),
+        ));
+    }
+
+    /// Records an arena-pool event (lease/return) on the dedicated
+    /// arena track.
+    pub fn arena_event(&mut self, label: &str, nanos: u64) {
+        if !self.arena_named {
+            self.arena_named = true;
+            self.events.push(meta(
+                "thread_name",
+                PID_HARNESS,
+                Some(TID_ARENA),
+                "arena-pool",
+            ));
+        }
+        self.events.push(complete(
+            label.to_string(),
+            "arena",
+            nanos / 1_000,
+            1,
+            PID_HARNESS,
+            TID_ARENA,
+            Json::obj([]),
+        ));
+    }
+
+    /// The standalone timeline as a `{"traceEvents": [...]}` document.
+    pub fn into_json(self) -> Json {
+        Json::obj([
+            ("traceEvents", Json::Arr(self.events)),
+            ("displayTimeUnit", Json::Str("ms".into())),
+            (
+                "otherData",
+                Json::obj([("producer", Json::Str("fua-trace".into()))]),
+            ),
+        ])
+    }
+
+    /// Merges this timeline's tracks into a sim trace export, so one
+    /// file shows simulated events (pids 1–2) and harness timelines
+    /// (pid 3) side by side.
+    pub fn merge_into(self, sink: ChromeTraceSink) -> Json {
+        let mut events = sink.events;
+        events.extend(self.events);
+        Json::obj([
+            ("traceEvents", Json::Arr(events)),
             ("displayTimeUnit", Json::Str("ms".into())),
             (
                 "otherData",
@@ -479,6 +628,111 @@ mod tests {
                 .and_then(Json::as_u64),
             Some(17)
         );
+    }
+
+    #[test]
+    fn harness_timeline_renders_workers_queue_and_arena_tracks() {
+        let mut t = HarnessTimeline::new("bench");
+        assert!(t.is_empty());
+        t.worker_span(0, "telemetry", 0, 4, 15, 2_000, 9_000);
+        t.worker_span(1, "telemetry", 4, 8, 11, 2_500, 8_000);
+        t.worker_span(0, "", 8, 9, 1, 10_000, 10_100);
+        t.arena_event("lease-fresh", 1_500);
+        assert!(!t.is_empty());
+        assert!(t.len() > 5);
+        let doc = t.into_json().compact();
+        let parsed = Json::parse(&doc).expect("harness export parses");
+        let events = parsed.get("traceEvents").and_then(Json::as_arr).unwrap();
+        // Worker threads named once each, plus the arena track.
+        let threads: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        assert_eq!(threads, ["worker 0", "worker 1", "arena-pool"]);
+        // Spans land on pid 3 with their claim-time queue depth.
+        let spans: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(Json::as_str) == Some("harness"))
+            .collect();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].get("pid").and_then(Json::as_u64), Some(3));
+        assert_eq!(spans[0].get("ts").and_then(Json::as_u64), Some(2));
+        assert_eq!(spans[0].get("dur").and_then(Json::as_u64), Some(7));
+        assert_eq!(
+            spans[0]
+                .get("args")
+                .and_then(|a| a.get("queue_depth"))
+                .and_then(Json::as_u64),
+            Some(15)
+        );
+        // The empty stage label falls back to "chunk".
+        assert_eq!(
+            spans[2].get("name").and_then(Json::as_str),
+            Some("chunk [8..9)")
+        );
+        // Queue-depth counter samples ride along.
+        let counters = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("queue_depth"))
+            .count();
+        assert_eq!(counters, 3);
+        // Arena events live on their own track.
+        assert!(events.iter().any(|e| {
+            e.get("cat").and_then(Json::as_str) == Some("arena")
+                && e.get("name").and_then(Json::as_str) == Some("lease-fresh")
+        }));
+    }
+
+    #[test]
+    fn harness_labels_with_quotes_and_controls_round_trip() {
+        // Stage and process labels are workload-derived; a hostile one
+        // must survive the JSON layer verbatim (same contract as the
+        // sim trace's process labels).
+        let hostile = "st\"a\\ge\tx\n\u{1}";
+        let mut t = HarnessTimeline::new(hostile);
+        t.worker_span(0, hostile, 0, 1, 1, 0, 10);
+        let doc = t.into_json().compact();
+        let parsed = Json::parse(&doc).expect("escaped harness export parses");
+        let events = parsed.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let process: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("process_name"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        assert_eq!(process, [format!("harness [{hostile}]")]);
+        let span = events
+            .iter()
+            .find(|e| e.get("cat").and_then(Json::as_str) == Some("harness"))
+            .expect("span present");
+        assert_eq!(
+            span.get("args")
+                .and_then(|a| a.get("stage"))
+                .and_then(Json::as_str),
+            Some(hostile)
+        );
+    }
+
+    #[test]
+    fn harness_tracks_merge_into_a_sim_trace() {
+        let mut sink = ChromeTraceSink::for_workload("espresso");
+        sink.record(&TraceEvent::Stage {
+            stage: Stage::Fetch,
+            cycle: 3,
+            serial: 0,
+            opcode: Opcode::Add,
+        });
+        let mut t = HarnessTimeline::new("espresso");
+        t.worker_span(2, "figure4", 0, 8, 8, 0, 5_000);
+        let doc = t.merge_into(sink).compact();
+        let parsed = Json::parse(&doc).expect("merged export parses");
+        let events = parsed.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let pids: Vec<u64> = events
+            .iter()
+            .filter_map(|e| e.get("pid")?.as_u64())
+            .collect();
+        assert!(pids.contains(&1), "sim pipeline process present");
+        assert!(pids.contains(&3), "harness process present");
     }
 
     #[test]

@@ -50,6 +50,8 @@ pub struct Options {
     pub store: bool,
     pub store_dir: Option<String>,
     pub progress: bool,
+    pub quiet: bool,
+    pub openmetrics: Option<String>,
 }
 
 impl Options {
@@ -101,6 +103,7 @@ pub enum Cmd {
     Report,
     Store(StoreAction),
     Trends,
+    HarnessReport,
 }
 
 /// Maps a command plus its leading positional arguments to a typed
@@ -137,6 +140,7 @@ pub fn dispatch(command: &str, subs: &[&str]) -> Option<Cmd> {
         ("store", ["put", file]) => Cmd::Store(StoreAction::Put(file.to_string())),
         ("store", ["gc"]) => Cmd::Store(StoreAction::Gc),
         ("trends", []) => Cmd::Trends,
+        ("harness-report", []) => Cmd::HarnessReport,
         _ => return None,
     })
 }
@@ -157,7 +161,9 @@ pub fn usage() -> ExitCode {
          bench-suite [--tag T] [--window N] [--jobs N] [--store] | \
          report (--baseline FILE [--current FILE] | --store) | \
          store <ls|show REF|put FILE|gc> [--store-dir DIR] | \
-         trends [--json] [--store-dir DIR]\n\
+         trends [--json] [--store-dir DIR] | \
+         harness-report [--jobs N] [--json] [--openmetrics FILE] \
+         [--flame FILE] [--out FILE]\n\
          try `fua --help` for the full reference"
     );
     ExitCode::FAILURE
@@ -218,6 +224,13 @@ pub fn help() {
          \x20                         of the newest configuration, with rolling-\n\
          \x20                         median change points (nonzero exit when the\n\
          \x20                         newest run regresses)\n\
+         \x20 harness-report          observe the harness observing: sweep the\n\
+         \x20                         workloads with span collection on and print\n\
+         \x20                         per-stage cell counts, simulated cycles,\n\
+         \x20                         arena-pool traffic and allocation counts\n\
+         \x20                         (stdout is byte-identical for every --jobs N;\n\
+         \x20                         wall-clock views go to the side files:\n\
+         \x20                         --openmetrics, --flame, --out for Perfetto)\n\
          \n\
          options (in [] the commands that consume each):\n\
          \x20 --limit <N>     retired-instruction cap per run [all simulating]\n\
@@ -235,7 +248,8 @@ pub fn help() {
          \x20                 sensitivity, staticswap, run, profile-energy,\n\
          \x20                 profile-cycles, estimate]\n\
          \x20 --metrics       print a metrics snapshot [run, figure4, headline, trace]\n\
-         \x20 --out <FILE>    write Chrome trace-event JSON for Perfetto [trace]\n\
+         \x20 --out <FILE>    write Chrome trace-event JSON for Perfetto [trace,\n\
+         \x20                 harness-report: worker/arena timeline tracks]\n\
          \x20 --last <N>      print the last N trace events, default 16 [trace]\n\
          \x20 --window <N>    telemetry window in cycles, default {DEFAULT_WINDOW_CYCLES}\n\
          \x20                 [trace, bench-suite, report]\n\
@@ -256,7 +270,8 @@ pub fn help() {
          \x20                 [profile-energy, profile-cycles]\n\
          \x20 --flame <FILE>  write collapsed stacks (workload;block;pc weight)\n\
          \x20                 for flamegraph renderers [profile-energy,\n\
-         \x20                 profile-cycles]\n\
+         \x20                 profile-cycles; harness-report:\n\
+         \x20                 harness;worker;stage nanos]\n\
          \x20 --critical-path print the retirement-dependence critical path with\n\
          \x20                 per-node operand/structural wait [profile-cycles]\n\
          \x20 --tag <T>       artifact tag, default \"local\": bench-suite writes\n\
@@ -272,10 +287,17 @@ pub fn help() {
          \x20                 (implies --store) [bench-suite, report, store,\n\
          \x20                 trends]\n\
          \x20 --progress      print a heartbeat line to stderr every few seconds\n\
-         \x20                 (elapsed, stage, cells done/total); stdout and\n\
+         \x20                 (elapsed, stage, cells done/total, eta) plus a\n\
+         \x20                 per-stage worker-utilization summary; stdout and\n\
          \x20                 artifacts are byte-identical with or without it\n\
          \x20                 [bench-suite, report, figure4, headline,\n\
-         \x20                 profile-energy, profile-cycles, estimate]\n\
+         \x20                 profile-energy, profile-cycles, estimate,\n\
+         \x20                 harness-report]\n\
+         \x20 --quiet         suppress --progress heartbeat output (wins when\n\
+         \x20                 both are given) [same commands as --progress]\n\
+         \x20 --openmetrics <FILE>  write harness metrics (worker utilization,\n\
+         \x20                 queue-depth histogram, imbalance, allocations) as\n\
+         \x20                 an OpenMetrics text exposition [harness-report]\n\
          \x20 --version, -V   print the version and exit\n\
          \x20 --help, -h      print this help and exit\n\
          \n\
@@ -322,6 +344,8 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
         store: false,
         store_dir: None,
         progress: false,
+        quiet: false,
+        openmetrics: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -399,6 +423,11 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.store_dir = Some(v.clone());
             }
             "--progress" => opts.progress = true,
+            "--quiet" => opts.quiet = true,
+            "--openmetrics" => {
+                let v = it.next().ok_or("--openmetrics needs a file path")?;
+                opts.openmetrics = Some(v.clone());
+            }
             other => return Err(format!("unknown option: {other}")),
         }
     }

@@ -19,6 +19,7 @@ pub use fua_attr as attr;
 pub use fua_core as core;
 pub use fua_exec as exec;
 pub use fua_isa as isa;
+pub use fua_obs as obs;
 pub use fua_power as power;
 pub use fua_report as report;
 pub use fua_sim as sim;

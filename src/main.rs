@@ -23,6 +23,8 @@
 //! fua report                  diff a BENCH artifact against a baseline
 //! fua store <ls|show|put|gc>  inspect the content-addressed run store
 //! fua trends                  metric trajectories over the stored runs
+//! fua harness-report          observe the harness observing: worker
+//!                             timelines, arena traffic, allocations
 //!
 //! options: --limit <N>      retired-instruction cap per run
 //!                           (default 150000; 20000 for `trace`; 25000 for
@@ -55,6 +57,9 @@
 //!                           implies --store)
 //!          --progress       heartbeat lines on stderr; stdout and artifacts
 //!                           are byte-identical with or without it
+//!          --quiet          suppress the heartbeat (wins over --progress)
+//!          --openmetrics <F> write an OpenMetrics text exposition
+//!                           (harness-report only)
 //!          --version        print the version and exit
 //!          --help           print the command table and exit
 //! ```
@@ -89,6 +94,15 @@ use fua::sim::{MachineConfig, Simulator, SteeringConfig};
 use fua::stats::TextTable;
 use fua::steer::SteeringKind;
 use fua::store::{IndexEntry, Store};
+
+// With `--features harness-obs` every allocation in the binary routes
+// through the counting wrapper, so `harness-report` and the BENCH
+// harness digest carry real allocs/bytes figures. The default build
+// keeps the untouched system allocator; results are byte-identical
+// either way (the wrapper changes no allocation behaviour).
+#[cfg(feature = "harness-obs")]
+#[global_allocator]
+static COUNTING_ALLOC: fua::obs::CountingAlloc = fua::obs::CountingAlloc;
 
 #[cfg(not(feature = "trace"))]
 fn warn_missing_trace_feature(opts: &Options) {
@@ -1945,6 +1959,258 @@ fn cmd_trends(opts: &Options) -> Result<bool, String> {
     Ok(trend.passed())
 }
 
+/// One sweep cell of `harness-report`: a full run of `w` under the
+/// observed scheme on the untraced engine (the configuration the real
+/// sweeps spend their time in).
+fn harness_cell(w: &fua::workloads::Workload, machine: &MachineConfig, limit: u64) -> (u64, u64) {
+    let mut sim = Simulator::new(machine.clone(), fua::core::observed_scheme());
+    let result = sim
+        .run_program(&w.program, limit)
+        .unwrap_or_else(|e| panic!("workload {} faulted: {e}", w.name));
+    (result.cycles, result.retired)
+}
+
+/// Frame-name sanitizer for the folded-stack export: `flamegraph.pl`
+/// splits frames on `;` and the sample count on the last space, so
+/// neither may appear inside a frame.
+fn flame_frame(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c == ';' || c.is_whitespace() {
+                '-'
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+/// `fua harness-report` — observe the harness observing. Sweeps the
+/// full workload set twice with span collection on: a serial reference
+/// pass that doubles as the allocation-measurement window (it is the
+/// only thread doing work, so the process-wide counters see exactly its
+/// allocations), then the parallel sweep under `--jobs` that feeds the
+/// worker timeline.
+///
+/// Stdout carries only model-deterministic figures — cell counts,
+/// simulated cycles, arena-lease totals, and the serial-pass allocation
+/// counts (constant for a given build) — and is **byte-identical for
+/// every `--jobs N`**; CI `cmp`s the `--jobs 1` and `--jobs 4` outputs.
+/// Everything wall-clock (worker busy spans, utilization, imbalance,
+/// folded stacks) goes to stderr and the opt-in side files:
+/// `--out` (Perfetto timeline), `--flame` (folded stacks),
+/// `--openmetrics` (text exposition).
+fn cmd_harness_report(opts: &Options) -> Result<(), String> {
+    let cfg = bench_config(opts);
+    let workloads = fua::workloads::all(cfg.scale);
+    eprintln!(
+        "harness-report: sweeping {} workload(s) twice (scale {}, limit {}, {} job(s)) ...",
+        workloads.len(),
+        cfg.scale,
+        cfg.inst_limit,
+        opts.jobs
+    );
+    fua::obs::enable_spans();
+
+    // Serial reference pass: the allocation window. Snapshot deltas are
+    // attributable because nothing else runs concurrently yet.
+    heartbeat_stage("harness-report: serial pass");
+    let arena_before = fua::obs::arena_counters();
+    let alloc_before = fua::obs::alloc_snapshot();
+    let (serial_cells, serial_exec) =
+        fua::exec::map_indexed_timed(fua::exec::Jobs::serial(), &workloads, |_, w| {
+            harness_cell(w, &cfg.machine, cfg.inst_limit)
+        });
+    let alloc_delta = fua::obs::alloc_snapshot().delta(&alloc_before);
+    let serial_arena = fua::obs::arena_counters().delta(&arena_before);
+
+    // The observed parallel sweep: same cells, `--jobs` workers.
+    heartbeat_stage("harness-report: parallel sweep");
+    let arena_before = fua::obs::arena_counters();
+    let (parallel_cells, parallel_exec) =
+        fua::exec::map_indexed_timed(opts.jobs, &workloads, |_, w| {
+            harness_cell(w, &cfg.machine, cfg.inst_limit)
+        });
+    let parallel_arena = fua::obs::arena_counters().delta(&arena_before);
+
+    let spans = fua::obs::drain_spans();
+    let events = fua::obs::drain_arena_events();
+
+    // The determinism claim the stdout report leans on: both passes run
+    // the same deterministic engine, so their model totals must agree.
+    let serial_cycles: u64 = serial_cells.iter().map(|c| c.0).sum();
+    let parallel_cycles: u64 = parallel_cells.iter().map(|c| c.0).sum();
+    if serial_cycles != parallel_cycles {
+        return Err(format!(
+            "parallel sweep diverged from the serial reference: \
+             {parallel_cycles} simulated cycles vs {serial_cycles}"
+        ));
+    }
+    let retired: u64 = serial_cells.iter().map(|c| c.1).sum();
+    let allocs =
+        fua::obs::counting_allocator_active().then_some((alloc_delta.allocs, alloc_delta.bytes));
+
+    // --- Deterministic stdout report -----------------------------------
+    if opts.json {
+        let alloc_json = match allocs {
+            Some((a, b)) => fua::trace::Json::obj([
+                ("allocs", fua::trace::Json::UInt(a)),
+                ("bytes", fua::trace::Json::UInt(b)),
+            ]),
+            None => fua::trace::Json::Null,
+        };
+        let stage = |arena: &fua::obs::ArenaCounters| {
+            fua::trace::Json::obj([
+                ("cells", fua::trace::Json::UInt(workloads.len() as u64)),
+                ("cycles", fua::trace::Json::UInt(serial_cycles)),
+                ("retired", fua::trace::Json::UInt(retired)),
+                ("arena_leases", fua::trace::Json::UInt(arena.leases)),
+            ])
+        };
+        let doc = fua::trace::Json::obj([
+            (
+                "schema",
+                fua::trace::Json::Str("fua-harness-report/1".into()),
+            ),
+            ("serial_pass", stage(&serial_arena)),
+            ("parallel_sweep", stage(&parallel_arena)),
+            ("serial_pass_allocations", alloc_json),
+        ]);
+        println!("{}", doc.pretty());
+    } else {
+        let mut table = TextTable::new(["stage", "cells", "simulated cycles", "arena leases"]);
+        for (stage, arena) in [
+            ("serial pass", &serial_arena),
+            ("parallel sweep", &parallel_arena),
+        ] {
+            table.push_row([
+                stage.to_string(),
+                workloads.len().to_string(),
+                serial_cycles.to_string(),
+                arena.leases.to_string(),
+            ]);
+        }
+        println!("{table}");
+        println!("retired {retired} instruction(s) per pass");
+        match allocs {
+            Some((a, b)) => println!("serial-pass allocations: {a} alloc(s), {b} byte(s)"),
+            None => println!(
+                "serial-pass allocations: n/a \
+                 (counting allocator not installed; build with --features harness-obs)"
+            ),
+        }
+    }
+
+    // --- Wall-clock views: stderr and the opt-in side files ------------
+    eprintln!(
+        "harness-report: parallel sweep busy {:.1}% over {} worker(s), imbalance {:.2}, \
+         wall {:.3}s ({} span(s), {} arena event(s) collected)",
+        parallel_exec.busy_fraction() * 100.0,
+        parallel_exec.jobs,
+        parallel_exec.imbalance(),
+        parallel_exec.wall_nanos as f64 / 1e9,
+        spans.len(),
+        events.len()
+    );
+
+    if let Some(path) = &opts.out {
+        let mut timeline = fua::trace::HarnessTimeline::new("harness-report");
+        for s in &spans {
+            timeline.worker_span(
+                s.worker,
+                &s.stage,
+                s.lo,
+                s.hi,
+                s.queue_depth,
+                s.start_nanos,
+                s.end_nanos,
+            );
+        }
+        for e in &events {
+            timeline.arena_event(e.kind.label(), e.nanos);
+        }
+        let mut text = timeline.into_json().pretty();
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("harness-report: wrote Perfetto timeline to {path}");
+    }
+
+    if let Some(path) = &opts.flame {
+        // Folded stacks: harness;worker-N;stage  <busy nanoseconds>.
+        let mut folded: std::collections::BTreeMap<(u32, String), u64> =
+            std::collections::BTreeMap::new();
+        for s in &spans {
+            let stage = if s.stage.is_empty() {
+                "chunk".to_string()
+            } else {
+                flame_frame(&s.stage)
+            };
+            *folded.entry((s.worker, stage)).or_insert(0) +=
+                s.end_nanos.saturating_sub(s.start_nanos);
+        }
+        let mut text = String::new();
+        for ((worker, stage), nanos) in &folded {
+            text.push_str(&format!("harness;worker-{worker};{stage} {nanos}\n"));
+        }
+        std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("harness-report: wrote folded stacks to {path}");
+    }
+
+    if let Some(path) = &opts.openmetrics {
+        use fua::trace::{metric_name, render_openmetrics, MetricsRegistry};
+        let mut reg = MetricsRegistry::new();
+        for (stage, exec) in [("serial", &serial_exec), ("parallel", &parallel_exec)] {
+            let id = reg.counter(&metric_name("fua.harness.cells", &[("stage", stage)]));
+            reg.add(id, exec.cells());
+            let id = reg.counter(&metric_name("fua.harness.busy_nanos", &[("stage", stage)]));
+            reg.add(id, exec.busy_nanos());
+            let id = reg.counter(&metric_name("fua.harness.wall_nanos", &[("stage", stage)]));
+            reg.add(id, exec.wall_nanos);
+            let id = reg.gauge(&metric_name(
+                "fua.harness.busy_fraction",
+                &[("stage", stage)],
+            ));
+            reg.set(id, exec.busy_fraction());
+            let id = reg.gauge(&metric_name("fua.harness.imbalance", &[("stage", stage)]));
+            reg.set(id, exec.imbalance());
+        }
+        for (i, w) in parallel_exec.workers.iter().enumerate() {
+            let worker = i.to_string();
+            let id = reg.counter(&metric_name(
+                "fua.harness.worker.busy_nanos",
+                &[("worker", &worker)],
+            ));
+            reg.add(id, w.nanos);
+            let id = reg.counter(&metric_name(
+                "fua.harness.worker.cells",
+                &[("worker", &worker)],
+            ));
+            reg.add(id, w.cells);
+        }
+        let qd = reg.histogram("fua.harness.queue_depth", &[0, 1, 2, 4, 8, 16, 32]);
+        for s in &spans {
+            reg.observe(qd, s.queue_depth as u64);
+        }
+        let id = reg.counter("fua.harness.arena.leases");
+        reg.add(id, serial_arena.leases + parallel_arena.leases);
+        let id = reg.counter("fua.harness.arena.fresh");
+        reg.add(id, serial_arena.fresh + parallel_arena.fresh);
+        let id = reg.counter("fua.harness.allocs");
+        reg.add(id, alloc_delta.allocs);
+        let id = reg.counter("fua.harness.alloc_bytes");
+        reg.add(id, alloc_delta.bytes);
+        std::fs::write(path, render_openmetrics(&reg))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!(
+            "harness-report: wrote OpenMetrics exposition to {path} ({} metric(s))",
+            reg.len()
+        );
+    }
+
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
@@ -1982,7 +2248,7 @@ fn main() -> ExitCode {
         }
     };
     warn_missing_trace_feature(&opts);
-    if opts.progress {
+    if opts.progress && !opts.quiet {
         enable_heartbeat(std::time::Duration::from_secs(2));
     }
 
@@ -2105,6 +2371,12 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         },
+        Cmd::HarnessReport => {
+            if let Err(e) = cmd_harness_report(&opts) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     ExitCode::SUCCESS
 }

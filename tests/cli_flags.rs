@@ -195,7 +195,7 @@ fn report_schema_mismatch_lists_the_accepted_range() {
     assert!(
         stderr.contains(
             "accepted schemas: fua-bench/1, fua-bench/1.1, fua-bench/1.2, \
-             fua-bench/1.3, fua-bench/1.4, fua-bench/1.5"
+             fua-bench/1.3, fua-bench/1.4, fua-bench/1.5, fua-bench/1.6"
         ),
         "got: {stderr}"
     );

@@ -21,6 +21,9 @@ fn normalized(report: &BenchReport) -> BenchReport {
     r.manifest.tag = "normalized".to_string();
     r.phase_nanos = fua::report::PhaseNanos([0; 5]);
     r.parallel = None;
+    // The harness digest is wall-clock (utilization, imbalance) and
+    // records the worker count itself.
+    r.harness = None;
     // Simulated cycles and retired instructions are model output and
     // stay compared; only the hot-loop timer is wall-clock.
     if let Some(t) = r.throughput.as_mut() {
